@@ -1,0 +1,82 @@
+// Microbenchmark: Global Routing recompute cost — Yen's KSP (k=3) over
+// all node pairs as a function of overlay size. Demonstrates the
+// 10-minute recompute cycle is cheap even at multiples of our footprint.
+#include <benchmark/benchmark.h>
+
+#include "brain/global_routing.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace livenet;
+using namespace livenet::brain;
+
+GlobalDiscovery make_view(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  GlobalDiscovery view;
+  for (int a = 0; a < n; ++a) {
+    overlay::NodeStateReport rep;
+    rep.node = a;
+    rep.node_load = rng.uniform(0.05, 0.6);
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      overlay::LinkReport lr;
+      lr.to = b;
+      lr.rtt = static_cast<Duration>(rng.uniform(10.0, 300.0) *
+                                     static_cast<double>(kMs));
+      lr.loss_rate = rng.uniform(0.0, 0.002);
+      lr.utilization = rng.uniform(0.0, 0.7);
+      rep.links.push_back(lr);
+    }
+    view.on_report(rep, 0, nullptr);
+  }
+  return view;
+}
+
+void BM_GlobalRoutingRecompute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const GlobalDiscovery view = make_view(n, 7);
+  std::vector<sim::NodeId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(i);
+  GlobalRouting routing;
+  for (auto _ : state) {
+    Pib pib;
+    const auto res = routing.recompute(view, nodes, {}, &pib);
+    benchmark::DoNotOptimize(res.paths_installed);
+  }
+  state.counters["pairs"] = static_cast<double>(n) * (n - 1);
+}
+BENCHMARK(BM_GlobalRoutingRecompute)->Arg(10)->Arg(20)->Arg(40)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_YenKsp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const GlobalDiscovery view = make_view(n, 11);
+  std::vector<sim::NodeId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(i);
+  GlobalRouting routing;
+  const RoutingGraph g = routing.build_graph(view, nodes);
+  for (auto _ : state) {
+    const auto paths = k_shortest_paths(g, 0, static_cast<std::size_t>(n) - 1, 3);
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+BENCHMARK(BM_YenKsp)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_LinkWeight(benchmark::State& state) {
+  LinkState ls;
+  ls.rtt = 80 * livenet::kMs;
+  ls.loss_rate = 0.001;
+  ls.utilization = 0.42;
+  const WeightParams params;
+  double u = 0.3;
+  for (auto _ : state) {
+    u = u < 0.9 ? u + 1e-6 : 0.3;
+    benchmark::DoNotOptimize(link_weight(ls, u, 0.2, params));
+  }
+}
+BENCHMARK(BM_LinkWeight);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Ablation of LiveNet's data-plane design choices (DESIGN.md): the
+// fast/slow path split, NACK-based per-hop recovery, and the NACK scan
+// interval. Each variant runs the same workload; the table shows what
+// each mechanism buys.
+#include "repro_common.h"
+
+using namespace livenet;
+
+namespace {
+
+ScenarioResult run_variant(const ScenarioConfig& scn,
+                           const SystemConfig& sys_cfg) {
+  LiveNetSystem system(sys_cfg);
+  ScenarioRunner runner(system, scn);
+  return runner.run();
+}
+
+void show(const char* label, const ScenarioResult& r) {
+  const HeadlineMetrics m = headline_metrics(r);
+  std::printf("%-28s %9.0f %10.0f %8.1f %8.1f\n", label,
+              m.cdn_path_delay_ms_median, m.streaming_delay_ms_median,
+              m.zero_stall_percent, m.fast_startup_percent);
+}
+
+}  // namespace
+
+int main() {
+  const int days = std::max(2, repro::repro_days(3));
+  repro::header("Ablation — LiveNet data-plane design choices (" +
+                std::to_string(days) + " days)");
+
+  ScenarioConfig scn = repro::scenario_for_days(days);
+
+  std::printf("%-28s %9s %10s %8s %8s\n", "variant", "cdn(ms)",
+              "stream(ms)", "0stall%", "fast%");
+
+  {
+    const SystemConfig cfg = paper_system_config();
+    show("fast+slow path (LiveNet)", run_variant(scn, cfg));
+  }
+  {
+    SystemConfig cfg = paper_system_config();
+    cfg.overlay_node.fast_path_enabled = false;
+    show("slow path only (ordered)", run_variant(scn, cfg));
+  }
+  {
+    SystemConfig cfg = paper_system_config();
+    cfg.overlay_node.receiver.buffer.max_nacks_per_seq = 0;  // no recovery
+    cfg.overlay_node.receiver.buffer.giveup_after = 60 * kMs;
+    show("no NACK recovery", run_variant(scn, cfg));
+  }
+  for (const Duration interval : {20 * kMs, 100 * kMs, 200 * kMs}) {
+    SystemConfig cfg = paper_system_config();
+    cfg.overlay_node.receiver.buffer.nack_interval = interval;
+    const std::string label =
+        "NACK scan " + std::to_string(interval / kMs) + " ms";
+    show(label.c_str(), run_variant(scn, cfg));
+  }
+  {
+    SystemConfig cfg = paper_system_config();
+    cfg.overlay_node.sender.pacer.i_frame_gain = 1.0;  // no I-frame gain
+    show("pacing gain 1.0 (no boost)", run_variant(scn, cfg));
+  }
+
+  std::printf("\nexpected shape: disabling the fast path adds per-hop\n"
+              "ordering/processing delay (CDN delay rises toward Hier);\n"
+              "removing NACK recovery hurts the 0-stall ratio; the 50 ms\n"
+              "scan is a good latency/overhead balance; the I-frame pacing\n"
+              "gain mainly protects startup and keyframe delay.\n");
+  return 0;
+}

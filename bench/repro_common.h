@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "livenet/defaults.h"
+#include "livenet/report.h"
+#include "livenet/scenario.h"
+#include "livenet/system.h"
+
+// Shared helpers for the reproduction benchmarks (one binary per paper
+// table/figure). Each binary prints the same rows/series the paper
+// reports, with the paper's numbers alongside for comparison. Absolute
+// values are not expected to match (the substrate is a calibrated
+// simulator); shapes are.
+namespace livenet::repro {
+
+/// Number of compressed "days" to simulate; REPRO_DAYS overrides (the
+/// paper's headline experiments span 20 days; the default keeps the
+/// whole bench suite fast).
+inline int repro_days(int fallback = 6) {
+  if (const char* env = std::getenv("REPRO_DAYS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline ScenarioConfig scenario_for_days(int days, std::uint64_t seed = 7) {
+  ScenarioConfig cfg = paper_scenario_config(seed);
+  cfg.duration = days * cfg.day_length;
+  return cfg;
+}
+
+inline ScenarioResult run_livenet(const ScenarioConfig& scn,
+                                  std::uint64_t sys_seed = 42) {
+  LiveNetSystem system(paper_system_config(sys_seed));
+  ScenarioRunner runner(system, scn);
+  return runner.run();
+}
+
+inline ScenarioResult run_hier(const ScenarioConfig& scn,
+                               std::uint64_t sys_seed = 42) {
+  HierSystem system(paper_system_config(sys_seed));
+  ScenarioRunner runner(system, scn);
+  return runner.run();
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace livenet::repro

@@ -1,0 +1,66 @@
+// Reproduces Figure 10: the Path Decision module and its impact —
+// (a) path-request response time by hour, (b) local path hit ratio over
+// a week, (c) hourly first-packet delay.
+#include "repro_common.h"
+
+using namespace livenet;
+
+int main() {
+  const int days = repro::repro_days(7);
+  const ScenarioConfig scn = repro::scenario_for_days(days);
+  const ScenarioResult r = repro::run_livenet(scn);
+
+  repro::header("Figure 10(a) — path-request response time by hour (Brain)");
+  {
+    std::map<int, Samples> by_h;
+    for (const auto& q : r.brain.path_requests) {
+      by_h[static_cast<int>(r.hour_of(q.arrival))].add(
+          to_ms(q.response_time));
+    }
+    std::printf("%-6s %8s %8s %8s %6s\n", "hour", "p25", "median", "p75",
+                "n");
+    for (auto& [h, smp] : by_h) {
+      std::printf("%-6d %8.1f %8.1f %8.1f %6zu\n", h, smp.quantile(0.25),
+                  smp.median(), smp.quantile(0.75), smp.count());
+    }
+    Samples all;
+    for (const auto& q : r.brain.path_requests) {
+      all.add(to_ms(q.response_time));
+    }
+    std::printf("overall: p25=%.1f median=%.1f ms (paper: ~5 / ~30 ms —\n"
+                "their replicas serve production-scale request queues; the\n"
+                "shape claim is single-digit-to-tens of ms lookups)\n",
+                all.quantile(0.25), all.median());
+  }
+
+  repro::header("Figure 10(b) — local path hit ratio by hour");
+  {
+    std::map<int, RatioCounter> by_h;
+    for (const auto& s : r.overlay.sessions()) {
+      by_h[static_cast<int>(r.hour_of(s.request_time))].add(s.local_hit);
+    }
+    std::printf("%-6s %8s %6s\n", "hour", "hit", "n");
+    for (auto& [h, rc] : by_h) {
+      std::printf("%-6d %7.1f%% %6zu\n", h, rc.percent(), rc.total());
+    }
+    std::printf("paper shape: diurnal swing peaking ~70%% in the evening\n"
+                "(8-11 pm) and dipping overnight.\n");
+  }
+
+  repro::header("Figure 10(c) — first-packet delay by hour (mean)");
+  {
+    std::map<int, OnlineStats> by_h;
+    for (const auto& s : r.overlay.sessions()) {
+      if (s.first_packet_delay() == kNever) continue;
+      by_h[static_cast<int>(r.hour_of(s.request_time))].add(
+          to_ms(s.first_packet_delay()));
+    }
+    std::printf("%-6s %10s %6s\n", "hour", "mean(ms)", "n");
+    for (auto& [h, st] : by_h) {
+      std::printf("%-6d %10.1f %6zu\n", h, st.mean(), st.count());
+    }
+    std::printf("paper shape: below ~100 ms except in the low-hit-ratio\n"
+                "overnight hours; lowest in the evening when hits peak.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 11 (CDN path delay vs path length, boxplots of
+// p20/p25/p50/p75/p80) and Figure 12 (intra- vs inter-national path
+// delay for both systems).
+#include "repro_common.h"
+
+using namespace livenet;
+
+namespace {
+
+void print_box(const char* label, const BoxStats& b) {
+  std::printf("%-14s p20=%6.0f p25=%6.0f p50=%6.0f p75=%6.0f p80=%6.0f "
+              "(n=%zu)\n",
+              label, b.p20, b.p25, b.p50, b.p75, b.p80, b.count);
+}
+
+BoxStats box_of(const std::vector<const overlay::ViewSession*>& sessions) {
+  Samples s;
+  for (const auto* p : sessions) {
+    if (session_healthy(*p)) s.add(p->cdn_delay_ms.mean());
+  }
+  return boxplot(s);
+}
+
+}  // namespace
+
+int main() {
+  const int days = repro::repro_days();
+  const ScenarioConfig scn = repro::scenario_for_days(days);
+  const ScenarioResult ln = repro::run_livenet(scn);
+  const ScenarioResult hr = repro::run_hier(scn);
+
+  repro::header("Figure 11 — CDN path delay vs path length");
+  std::size_t total = 0;
+  for (const auto& s : ln.overlay.sessions()) {
+    if (session_healthy(s)) ++total;
+  }
+  for (const auto& [len, box] : delay_by_path_length(ln)) {
+    const std::string label =
+        (len >= 3 ? std::string("LiveNet len>=3") :
+                    "LiveNet len=" + std::to_string(len)) + " " +
+        std::to_string(100 * box.count / std::max<std::size_t>(total, 1)) +
+        "%";
+    print_box(label.c_str(), box);
+  }
+  for (const auto& [len, box] : delay_by_path_length(hr)) {
+    if (len == 4 || len == 3) print_box("Hier len=4", box);
+  }
+  std::printf("paper shape: delay grows with hop count; len=0 is purely\n"
+              "processing; Hier's fixed len=4 sits far above LiveNet's\n"
+              "len=2 median; overlaps exist because load-aware routing\n"
+              "sometimes prefers longer detours.\n");
+
+  repro::header("Figure 12 — intra- vs inter-national CDN path delay");
+  {
+    std::vector<const overlay::ViewSession*> li, le, hi, he;
+    split_by_locality(ln, ln.stream_country, ln.node_country, &li, &le);
+    split_by_locality(hr, hr.stream_country, hr.node_country, &hi, &he);
+    print_box("LiveNet intra", box_of(li));
+    print_box("LiveNet inter", box_of(le));
+    print_box("Hier intra", box_of(hi));
+    print_box("Hier inter", box_of(he));
+    std::printf("paper medians: LiveNet <200 / 330 ms; Hier 400 / 450 ms.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 13 (average link packet loss rate over a day) and
+// Figure 14 (normalized daily peak throughput across the observation
+// window, including the Double-12 spike).
+#include "repro_common.h"
+
+using namespace livenet;
+
+int main() {
+  const int days = repro::repro_days(8);
+  ScenarioConfig scn = repro::scenario_for_days(days);
+  // A Double-12-style flash window in the second half of the window
+  // (the paper's spike doubles the regular peak).
+  workload::FlashWindow flash;
+  flash.start = (days / 2) * scn.day_length + scn.day_length * 20 / 24;
+  flash.end = flash.start + scn.day_length;  // ~28 compressed hours
+  flash.multiplier = 3.0;
+  scn.flash.push_back(flash);
+  scn.flash_capacity_factor = 1.25;
+
+  const ScenarioResult r = repro::run_livenet(scn);
+
+  repro::header("Figure 13 — avg CDN link loss rate (%) by hour");
+  {
+    std::map<int, OnlineStats> by_h;
+    for (const auto& t : r.timeline) {
+      by_h[static_cast<int>(t.hour)].add(100.0 * t.measured_loss);
+    }
+    std::printf("%-6s %10s\n", "hour", "loss(%)");
+    double peak = 0.0;
+    for (auto& [h, st] : by_h) {
+      std::printf("%-6d %10.4f\n", h, st.mean());
+      peak = std::max(peak, st.mean());
+    }
+    std::printf("peak hourly loss: %.4f%% (paper: rises toward ~9 pm but\n"
+                "stays under 0.175%%; <0.1%% most of the day)\n", peak);
+  }
+
+  repro::header("Figure 14 — normalized daily peak throughput");
+  {
+    std::vector<double> day_peak(static_cast<std::size_t>(days), 0.0);
+    for (const auto& t : r.timeline) {
+      if (t.day >= 0 && t.day < days) {
+        day_peak[static_cast<std::size_t>(t.day)] = std::max(
+            day_peak[static_cast<std::size_t>(t.day)],
+            static_cast<double>(t.bytes_delta));
+      }
+    }
+    const double max_peak =
+        *std::max_element(day_peak.begin(), day_peak.end());
+    std::printf("%-6s %12s\n", "day", "norm. peak");
+    for (int d = 0; d < days; ++d) {
+      std::printf("%-6d %12.2f\n", d + 1,
+                  max_peak > 0 ? day_peak[static_cast<std::size_t>(d)] /
+                                     max_peak
+                               : 0.0);
+    }
+    std::printf("paper shape: flat regular days with a ~2x spike on the\n"
+                "festival days (Dec 11-12).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 9: fast-startup ratio of LiveNet across streaming-
+// delay buckets — the effect of GoP caches (startup stays fast even for
+// views whose steady-state streaming delay is high).
+#include "repro_common.h"
+
+using namespace livenet;
+
+int main() {
+  const int days = repro::repro_days();
+  repro::header("Figure 9 — fast-startup ratio vs streaming delay (LiveNet)");
+
+  const ScenarioConfig scn = repro::scenario_for_days(days);
+  const ScenarioResult r = repro::run_livenet(scn);
+
+  struct Bucket {
+    const char* label;
+    double lo, hi;
+    RatioCounter fast;
+  };
+  std::vector<Bucket> buckets = {
+      {"(0, 500]", 0, 500, {}},        {"(500, 700]", 500, 700, {}},
+      {"(700, 1000]", 700, 1000, {}},  {"(1000, 1500]", 1000, 1500, {}},
+      {"(1500, inf]", 1500, 1e18, {}},
+  };
+  for (const auto& v : r.clients.records()) {
+    if (!view_healthy(v)) continue;
+    const double d = v.streaming_delay_ms.mean();
+    for (auto& b : buckets) {
+      if (d > b.lo && d <= b.hi) {
+        b.fast.add(v.fast_startup());
+        break;
+      }
+    }
+  }
+  std::printf("%-16s %14s %8s\n", "delay bucket(ms)", "fast-startup",
+              "views");
+  for (const auto& b : buckets) {
+    std::printf("%-16s %13.1f%% %8zu\n", b.label, b.fast.percent(),
+                b.fast.total());
+  }
+  std::printf("\npaper shape: ratio stays ~95%% through (1000,1500] and is\n"
+              "still ~87%% beyond 1.5 s — startup is decoupled from steady-\n"
+              "state delay because views start from the consumer GoP cache.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table 2: CDN path length distribution for LiveNet — all
+// sessions plus the inter-/intra-national split.
+#include "repro_common.h"
+
+using namespace livenet;
+
+namespace {
+
+void print_row(const char* label, const PathLengthDist& d) {
+  std::printf("%-16s %7.2f%% %7.2f%% %7.2f%% %7.2f%%  (n=%zu)\n", label,
+              100.0 * d.len0, 100.0 * d.len1, 100.0 * d.len2,
+              100.0 * d.len3_plus, d.count);
+}
+
+}  // namespace
+
+int main() {
+  const int days = repro::repro_days();
+  repro::header("Table 2 — CDN path length distribution (LiveNet, " +
+                std::to_string(days) + " days)");
+
+  const ScenarioConfig scn = repro::scenario_for_days(days);
+  const ScenarioResult r = repro::run_livenet(scn);
+
+  std::vector<const overlay::ViewSession*> all, intra, inter;
+  for (const auto& s : r.overlay.sessions()) all.push_back(&s);
+  split_by_locality(r, r.stream_country, r.node_country, &intra, &inter);
+
+  std::printf("%-16s %8s %8s %8s %8s\n", "", "len=0", "len=1", "len=2",
+              "len>=3");
+  print_row("All", path_length_distribution(all));
+  print_row("Inter-nation.", path_length_distribution(inter));
+  print_row("Intra-nation.", path_length_distribution(intra));
+
+  std::printf("\npaper:           len=0    len=1    len=2    len>=3\n");
+  std::printf("  All             0.13%%    7.00%%   92.06%%    0.81%%\n");
+  std::printf("  Inter-nation.   ~0%%      ~0%%     73.83%%   26.16%%\n");
+  std::printf("  Intra-nation.   0.13%%    7.16%%   92.48%%    0.23%%\n");
+  std::printf("\nNote: with a %d-node footprint, viewer/producer co-location\n"
+              "(len=0) is far likelier than on the paper's 600+ nodes; the\n"
+              "shape claims are len=2 dominance and the larger len>=3 share\n"
+              "on inter-national paths.\n",
+              paper_system_config().countries *
+                  paper_system_config().nodes_per_country);
+
+  // Last-resort usage (paper: ~2% of viewing sessions).
+  std::size_t lr = 0;
+  for (const auto& s : r.overlay.sessions()) {
+    if (s.last_resort) ++lr;
+  }
+  std::printf("last-resort sessions: %zu / %zu (%.2f%%; paper ~2%%)\n", lr,
+              r.overlay.sessions().size(),
+              r.overlay.sessions().empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(lr) /
+                        static_cast<double>(r.overlay.sessions().size()));
+  return 0;
+}

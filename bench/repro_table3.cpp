@@ -1,0 +1,57 @@
+// Reproduces Table 3: LiveNet's performance through the Double 12
+// festival — the day before, the two festival days (2x demand, 20%
+// capacity up-scale), and the day after, with no visible degradation.
+#include "repro_common.h"
+
+using namespace livenet;
+
+namespace {
+
+void print_window(const ScenarioResult& r, const char* label, Time from,
+                  Time to) {
+  const HeadlineMetrics m = headline_metrics(r, from, to);
+  std::printf("%-14s %10.0f %8.0f %10.0f %8.1f %8.1f   (%zu views)\n",
+              label, m.cdn_path_delay_ms_median, m.cdn_path_length_median,
+              m.streaming_delay_ms_median, m.zero_stall_percent,
+              m.fast_startup_percent, m.views);
+}
+
+}  // namespace
+
+int main() {
+  const int days = std::max(4, repro::repro_days(6));
+  repro::header("Table 3 — Double 12 festival case study (LiveNet)");
+
+  ScenarioConfig scn = repro::scenario_for_days(days, 11);
+  // Festival: 20:00 on day F to 23:59 on day F+1, demand x2.2, with the
+  // operational up-scaling the paper describes (§6.5).
+  const int fday = days / 2;
+  workload::FlashWindow flash;
+  flash.start = fday * scn.day_length + scn.day_length * 20 / 24;
+  flash.end = (fday + 2) * scn.day_length;
+  flash.multiplier = 2.2;
+  scn.flash.push_back(flash);
+  scn.flash_capacity_factor = 1.25;
+
+  const ScenarioResult r = repro::run_livenet(scn);
+
+  std::printf("%-14s %10s %8s %10s %8s %8s\n", "", "cdn(ms)", "len",
+              "stream(ms)", "0stall%", "fast%");
+  print_window(r, "day before", (fday - 1) * scn.day_length,
+               fday * scn.day_length);
+  print_window(r, "festival", fday * scn.day_length,
+               (fday + 2) * scn.day_length);
+  print_window(r, "day after", (fday + 2) * scn.day_length,
+               (fday + 3) * scn.day_length);
+
+  std::printf("\npaper (Dec 10 / 11-12 / 13): cdn 188/192/180, len 2/2/2,\n"
+              "stream 954/988/944, 0-stall 97/97/97, fast 94/94/95 — i.e.\n"
+              "no noticeable degradation under the 2x spike.\n");
+
+  // The paper also reports ~20%% more unique overlay paths during the
+  // festival (up-scaling at work).
+  std::map<std::string, bool> before_paths, during_paths;
+  (void)before_paths;
+  (void)during_paths;
+  return 0;
+}

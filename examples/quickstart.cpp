@@ -1,0 +1,86 @@
+// Quickstart: build a LiveNet deployment, publish one broadcast, serve
+// two viewers (one local hit, one remote), and print what happened.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "livenet/defaults.h"
+
+using namespace livenet;
+
+int main() {
+  // 1. A small flat-CDN deployment: 3 countries x 3 nodes (one backbone
+  //    relay per country) + a last-resort relay + the Streaming Brain.
+  SystemConfig cfg = paper_system_config();
+  cfg.countries = 3;
+  cfg.nodes_per_country = 3;
+  cfg.last_resort_nodes = 1;
+  cfg.brain.routing_interval = 10 * kSec;
+  cfg.overlay_node.report_interval = 3 * kSec;
+
+  LiveNetSystem system(cfg);
+  system.build_once();
+  system.start();
+  std::printf("built %zu CDN nodes (%zu edges, %zu backbone relays, "
+              "%zu last-resort) + Streaming Brain\n",
+              system.overlay_node_ids().size() +
+                  system.last_resort_ids().size(),
+              system.edge_nodes().size(), system.backbone_ids().size(),
+              system.last_resort_ids().size());
+
+  // 2. A broadcaster in country 0 publishing a 2-version simulcast.
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig hi, lo;
+  hi.bitrate_bps = 1.2e6;
+  lo.bitrate_bps = 0.6e6;
+  bc.versions = {hi, lo};
+  client::Broadcaster broadcaster(&system.network(), /*seed=*/1, bc);
+  const auto bsite = system.geo().sample_site(0);
+  const auto producer = system.attach_client(&broadcaster, bsite);
+  broadcaster.start(producer, /*stream ids=*/{100, 101});
+  std::printf("broadcaster publishing streams {100, 101} via producer "
+              "node %d\n", producer);
+
+  system.loop().run_until(12 * kSec);  // routing cycle + GoP warmup
+
+  // 3. Viewers: one in another country (path established through the
+  //    Brain), then a neighbor (local hit on the consumer's GoP cache).
+  client::ClientMetrics qoe;
+  client::Viewer remote(&system.network(), &qoe);
+  const auto rsite = system.geo().sample_site(2);
+  const auto rconsumer = system.attach_client(&remote, rsite);
+  remote.start_view(rconsumer, 100, /*fallback=*/{101});
+
+  system.loop().run_until(18 * kSec);
+
+  client::Viewer neighbor(&system.network(), &qoe);
+  const auto nconsumer = system.attach_client(&neighbor, rsite);
+  neighbor.start_view(nconsumer, 100, {101});
+
+  system.loop().run_until(30 * kSec);
+  remote.stop_view();
+  neighbor.stop_view();
+  system.loop().run_until(31 * kSec);
+
+  // 4. What happened.
+  for (std::size_t i = 0; i < qoe.records().size(); ++i) {
+    const auto& v = qoe.records()[i];
+    std::printf("viewer %zu: startup=%.0f ms, mean streaming delay=%.0f ms, "
+                "stalls=%u, frames=%llu\n",
+                i + 1, to_ms(v.startup_delay()), v.streaming_delay_ms.mean(),
+                v.stalls, static_cast<unsigned long long>(v.frames_displayed));
+  }
+  for (const auto& s : system.sessions().sessions()) {
+    std::printf("session (consumer %d): path length=%d, CDN delay=%.0f ms, "
+                "local hit=%s, first packet after %.0f ms\n",
+                s.consumer, s.path_length, s.cdn_delay_ms.mean(),
+                s.local_hit ? "yes" : "no", to_ms(s.first_packet_delay()));
+  }
+  std::printf("Brain served %zu path lookups, %llu routing recomputes\n",
+              system.brain().metrics().path_requests.size(),
+              static_cast<unsigned long long>(
+                  system.brain().metrics().recomputes));
+  return 0;
+}

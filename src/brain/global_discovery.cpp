@@ -1,0 +1,55 @@
+#include "brain/global_discovery.h"
+
+namespace livenet::brain {
+
+void GlobalDiscovery::on_report(const overlay::NodeStateReport& report,
+                                Time now, Pib* pib) {
+  auto& view = nodes_[report.node];
+  view.load = report.node_load;
+  view.last_report = now;
+  for (const auto& lr : report.links) {
+    LinkState& ls = view.links[lr.to];
+    ls.rtt = lr.rtt;
+    ls.loss_rate = lr.loss_rate;
+    ls.utilization = lr.utilization;
+    ls.valid = true;
+  }
+
+  if (pib == nullptr) return;
+  // A healthy report clears earlier real-time overload marks.
+  if (report.node_load < threshold_) {
+    pib->clear_node_overloaded(report.node);
+  }
+  for (const auto& lr : report.links) {
+    if (lr.utilization < threshold_) {
+      pib->clear_link_overloaded(report.node, lr.to);
+    }
+  }
+}
+
+void GlobalDiscovery::on_alarm(const overlay::OverloadAlarm& alarm,
+                               Pib* pib) {
+  auto& view = nodes_[alarm.node];
+  view.load = alarm.node_load;
+  if (pib == nullptr) return;
+  if (alarm.node_load >= threshold_) {
+    pib->mark_node_overloaded(alarm.node);
+  }
+  for (const sim::NodeId peer : alarm.overloaded_links) {
+    pib->mark_link_overloaded(alarm.node, peer);
+  }
+}
+
+double GlobalDiscovery::node_load(sim::NodeId n) const {
+  const auto it = nodes_.find(n);
+  return it != nodes_.end() ? it->second.load : 0.0;
+}
+
+const LinkState* GlobalDiscovery::link(sim::NodeId a, sim::NodeId b) const {
+  const auto it = nodes_.find(a);
+  if (it == nodes_.end()) return nullptr;
+  const auto lit = it->second.links.find(b);
+  return lit != it->second.links.end() ? &lit->second : nullptr;
+}
+
+}  // namespace livenet::brain

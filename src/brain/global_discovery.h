@@ -1,0 +1,46 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "brain/pib.h"
+#include "brain/routing_graph.h"
+#include "overlay/messages.h"
+#include "util/time.h"
+
+// Global Discovery module (paper §4.2): collects the 1-minute state
+// reports from overlay nodes into the global view used by Global
+// Routing, and reacts to real-time overload alarms by invalidating the
+// affected PIB entries immediately (without waiting for the 10-minute
+// routing cycle).
+namespace livenet::brain {
+
+class GlobalDiscovery {
+ public:
+  struct NodeView {
+    double load = 0.0;
+    Time last_report = kNever;
+    std::unordered_map<sim::NodeId, LinkState> links;
+  };
+
+  explicit GlobalDiscovery(double overload_threshold = 0.8)
+      : threshold_(overload_threshold) {}
+
+  /// Periodic report: refreshes the global view; clears overload marks
+  /// for elements the report shows healthy again.
+  void on_report(const overlay::NodeStateReport& report, Time now, Pib* pib);
+
+  /// Real-time alarm: marks the node/links overloaded in the PIB.
+  void on_alarm(const overlay::OverloadAlarm& alarm, Pib* pib);
+
+  const std::unordered_map<sim::NodeId, NodeView>& nodes() const {
+    return nodes_;
+  }
+  double node_load(sim::NodeId n) const;
+  const LinkState* link(sim::NodeId a, sim::NodeId b) const;
+
+ private:
+  double threshold_;
+  std::unordered_map<sim::NodeId, NodeView> nodes_;
+};
+
+}  // namespace livenet::brain

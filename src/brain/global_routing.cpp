@@ -1,0 +1,92 @@
+#include "brain/global_routing.h"
+
+#include <limits>
+
+namespace livenet::brain {
+
+RoutingGraph GlobalRouting::build_graph(
+    const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes) const {
+  RoutingGraph g(nodes.size());
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (a == b) continue;
+      const LinkState* ls = view.link(nodes[a], nodes[b]);
+      if (ls == nullptr || !ls->valid) continue;
+      const double w = link_weight(*ls, view.node_load(nodes[a]),
+                                   view.node_load(nodes[b]), cfg_.weights);
+      g.set_weight(a, b, w);
+    }
+  }
+  return g;
+}
+
+GlobalRouting::Result GlobalRouting::recompute(
+    const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes,
+    const std::vector<sim::NodeId>& last_resort_nodes, Pib* pib) const {
+  Result res;
+  const RoutingGraph g = build_graph(view, nodes);
+
+  auto overloaded_node = [&](sim::NodeId n) {
+    return view.node_load(n) >= cfg_.overload_threshold;
+  };
+  auto overloaded_link = [&](sim::NodeId a, sim::NodeId b) {
+    const LinkState* ls = view.link(a, b);
+    return ls != nullptr && ls->utilization >= cfg_.overload_threshold;
+  };
+
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (a == b) continue;
+      ++res.pairs;
+      const auto ksp = k_shortest_paths(g, a, b, cfg_.k);
+
+      std::vector<overlay::Path> kept;
+      for (const auto& wp : ksp) {
+        // Constraint (iii): bounded path length.
+        if (static_cast<int>(wp.nodes.size()) - 1 > cfg_.max_hops) continue;
+        // Constraints (i)/(ii): skip paths crossing overloaded elements
+        // (relay nodes and links; the endpoints are fixed by the pair).
+        bool bad = false;
+        for (std::size_t i = 0; i < wp.nodes.size() && !bad; ++i) {
+          const sim::NodeId n = nodes[wp.nodes[i]];
+          const bool endpoint = (i == 0 || i + 1 == wp.nodes.size());
+          if (!endpoint && overloaded_node(n)) bad = true;
+          if (i + 1 < wp.nodes.size() &&
+              overloaded_link(n, nodes[wp.nodes[i + 1]])) {
+            bad = true;
+          }
+        }
+        if (bad) continue;
+        overlay::Path p;
+        p.reserve(wp.nodes.size());
+        for (const std::size_t idx : wp.nodes) p.push_back(nodes[idx]);
+        kept.push_back(std::move(p));
+      }
+      res.paths_installed += kept.size();
+
+      // Last-resort fallback: src -> reserved relay -> dst, choosing the
+      // relay with the lowest total reported RTT.
+      overlay::Path fallback;
+      double best = std::numeric_limits<double>::infinity();
+      for (const sim::NodeId lr : last_resort_nodes) {
+        const LinkState* l1 = view.link(nodes[a], lr);
+        const LinkState* l2 = view.link(lr, nodes[b]);
+        if (l1 == nullptr || l2 == nullptr) continue;
+        const double cost =
+            static_cast<double>(l1->rtt) + static_cast<double>(l2->rtt);
+        if (cost < best) {
+          best = cost;
+          fallback = overlay::Path{nodes[a], lr, nodes[b]};
+        }
+      }
+      if (kept.empty() && !fallback.empty()) ++res.last_resort_pairs;
+      pib->set_paths(nodes[a], nodes[b], std::move(kept));
+      if (!fallback.empty()) {
+        pib->set_last_resort(nodes[a], nodes[b], std::move(fallback));
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace livenet::brain

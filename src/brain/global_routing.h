@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "brain/global_discovery.h"
+#include "brain/ksp.h"
+#include "brain/pib.h"
+#include "brain/routing_graph.h"
+
+// Global Routing module (paper §4.3): every cycle (10 minutes in
+// production), rebuild the abstracted graph from the Global Discovery
+// view, run KSP (k = 3) for every node pair, filter paths violating the
+// constraints (> 3 hops, overloaded links/nodes), and install the
+// result in the PIB. Pairs left with no valid path get a last-resort
+// path through one of the reserved, well-connected last-resort nodes.
+namespace livenet::brain {
+
+struct GlobalRoutingConfig {
+  std::size_t k = 3;           ///< candidate paths per pair
+  int max_hops = 3;            ///< constraint (iii)
+  double overload_threshold = 0.8;  ///< constraints (i)/(ii) proxy
+  WeightParams weights;
+};
+
+class GlobalRouting {
+ public:
+  struct Result {
+    std::size_t pairs = 0;
+    std::size_t paths_installed = 0;
+    std::size_t last_resort_pairs = 0;
+  };
+
+  GlobalRouting() : GlobalRouting(GlobalRoutingConfig()) {}
+  explicit GlobalRouting(const GlobalRoutingConfig& cfg) : cfg_(cfg) {}
+
+  /// `nodes`: the regular overlay nodes; `last_resort_nodes`: the
+  /// reserved relays (excluded from regular routing). Installs paths
+  /// into `pib`.
+  Result recompute(const GlobalDiscovery& view,
+                   const std::vector<sim::NodeId>& nodes,
+                   const std::vector<sim::NodeId>& last_resort_nodes,
+                   Pib* pib) const;
+
+  /// Builds the abstracted weight graph over `nodes` (exposed for tests
+  /// and the routing microbenchmark).
+  RoutingGraph build_graph(const GlobalDiscovery& view,
+                           const std::vector<sim::NodeId>& nodes) const;
+
+  const GlobalRoutingConfig& config() const { return cfg_; }
+
+ private:
+  GlobalRoutingConfig cfg_;
+};
+
+}  // namespace livenet::brain

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "brain/routing_graph.h"
+
+// K-Shortest-Paths on the abstracted overlay graph (paper §4.3: "we
+// find the k (k = 3) shortest paths between every pair of nodes using
+// the K Shortest Paths (KSP) algorithm"). Yen's algorithm over a
+// Dijkstra core, yielding loopless paths in non-decreasing cost order.
+namespace livenet::brain {
+
+struct WeightedPath {
+  std::vector<std::size_t> nodes;  ///< src..dst inclusive
+  double cost = 0.0;
+};
+
+/// Single-pair Dijkstra. `banned_nodes[i]` excludes node i entirely;
+/// `banned_edges` excludes specific directed edges (pairs a->b).
+std::optional<WeightedPath> shortest_path(
+    const RoutingGraph& g, std::size_t src, std::size_t dst,
+    const std::vector<bool>* banned_nodes = nullptr,
+    const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges =
+        nullptr);
+
+/// Yen's K shortest loopless paths. Returns up to k paths sorted by
+/// cost (fewer if the graph does not admit k distinct paths).
+std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
+                                           std::size_t src, std::size_t dst,
+                                           std::size_t k);
+
+}  // namespace livenet::brain

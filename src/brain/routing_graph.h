@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/time.h"
+
+// The abstracted overlay graph the Global Routing module computes on
+// (paper §4.3). Link weights follow Eq. 2/3:
+//
+//   W_AB = (rho * 2*RTT_AB + (1 - rho) * RTT_AB) * f(u_AB)
+//   f(u) = 1 / (1 + e^{alpha * (beta - u)}) + 1
+//
+// where rho is the link loss rate, u_AB is the max of the link
+// utilization and both endpoint node utilizations, and f is a
+// sigmoid-like penalty ranging from 1 to 2. alpha/beta are expressed in
+// percentage points (u = 80 means 80%), matching the paper's alpha=0.5,
+// beta=80% — which yields a sharp penalty as utilization crosses 80%.
+namespace livenet::brain {
+
+struct LinkState {
+  Duration rtt = 0;
+  double loss_rate = 0.0;
+  double utilization = 0.0;  ///< [0,1]
+  bool valid = false;
+};
+
+struct WeightParams {
+  double alpha = 0.5;
+  double beta_percent = 80.0;
+};
+
+/// Eq. 3: sigmoid-like utilization penalty in [1, 2]. `u` in [0,1].
+double utilization_penalty(double u, const WeightParams& params);
+
+/// Eq. 2: abstracted link weight in microseconds of expected RTT.
+double link_weight(const LinkState& link, double node_util_a,
+                   double node_util_b, const WeightParams& params);
+
+/// Dense directed graph over the overlay nodes.
+class RoutingGraph {
+ public:
+  explicit RoutingGraph(std::size_t n)
+      : n_(n), weights_(n * n, kNoEdge) {}
+
+  static constexpr double kNoEdge = -1.0;
+
+  std::size_t size() const { return n_; }
+
+  void set_weight(std::size_t a, std::size_t b, double w) {
+    weights_[a * n_ + b] = w;
+  }
+  double weight(std::size_t a, std::size_t b) const {
+    return weights_[a * n_ + b];
+  }
+  bool has_edge(std::size_t a, std::size_t b) const {
+    return weights_[a * n_ + b] >= 0.0;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> weights_;
+};
+
+}  // namespace livenet::brain

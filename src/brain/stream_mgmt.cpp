@@ -1,0 +1,39 @@
+#include "brain/stream_mgmt.h"
+
+#include <algorithm>
+
+namespace livenet::brain {
+
+void StreamMgmt::on_register(const overlay::StreamRegister& reg, Sib* sib) {
+  if (reg.active) {
+    sib->set_producer(reg.stream_id, reg.producer);
+  } else {
+    sib->erase(reg.stream_id);
+    popularity_.erase(reg.stream_id);
+  }
+}
+
+std::vector<media::StreamId> StreamMgmt::popular_streams(
+    std::size_t top_n, const Sib& sib) const {
+  std::vector<media::StreamId> out;
+  for (const media::StreamId s : pinned_) {
+    if (sib.producer_of(s) != sim::kNoNode && out.size() < top_n) {
+      out.push_back(s);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, media::StreamId>> ranked;
+  ranked.reserve(popularity_.size());
+  for (const auto& [s, n] : popularity_) {
+    if (sib.producer_of(s) == sim::kNoNode) continue;
+    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
+    ranked.emplace_back(n, s);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (const auto& [n, s] : ranked) {
+    if (out.size() >= top_n) break;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace livenet::brain

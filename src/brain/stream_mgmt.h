@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "brain/pib.h"
+#include "overlay/messages.h"
+
+// Stream Management module (paper §4.1): maintains the SIB from
+// producer registrations and tracks per-stream popularity (historical
+// request counts) used to decide which streams get proactive path
+// pushes (§4.4: "for popular broadcasters, up-to-date overlay paths are
+// proactively pushed to all overlay nodes in advance of any viewers").
+namespace livenet::brain {
+
+class StreamMgmt {
+ public:
+  void on_register(const overlay::StreamRegister& reg, Sib* sib);
+
+  /// Notes one path request for the stream (popularity signal).
+  void note_request(media::StreamId s) { ++popularity_[s]; }
+
+  /// Marks a stream popular regardless of history (campaigns that
+  /// "notify us in advance").
+  void mark_popular(media::StreamId s) { pinned_.push_back(s); }
+
+  /// Active streams ordered by popularity, at most `top_n`, pinned
+  /// streams first.
+  std::vector<media::StreamId> popular_streams(std::size_t top_n,
+                                               const Sib& sib) const;
+
+  std::uint64_t request_count(media::StreamId s) const {
+    const auto it = popularity_.find(s);
+    return it != popularity_.end() ? it->second : 0;
+  }
+
+ private:
+  std::unordered_map<media::StreamId, std::uint64_t> popularity_;
+  std::vector<media::StreamId> pinned_;
+};
+
+}  // namespace livenet::brain

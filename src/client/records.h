@@ -1,0 +1,55 @@
+#pragma once
+
+#include <deque>
+
+#include "media/frame.h"
+#include "sim/message.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+// Client-side QoE records, mirroring the paper's second data source
+// (§6.1): per view, the average streaming delay (capture-to-display,
+// measured both from the global virtual clock and from the RTP delay
+// header extension), the number of stalls (playing-buffer underruns)
+// and the fast-startup indicator (startup within 1 second).
+namespace livenet::client {
+
+struct QoeRecord {
+  media::StreamId stream = media::kNoStream;
+  sim::NodeId viewer = sim::kNoNode;
+  sim::NodeId consumer = sim::kNoNode;
+
+  Time view_start = kNever;       ///< when the view request was sent
+  Time first_display = kNever;    ///< first frame shown
+  std::uint32_t stalls = 0;
+  std::uint32_t dead_air_stalls = 0;  ///< subset of stalls: starvation
+  Duration total_stall_time = 0;
+  OnlineStats streaming_delay_ms;  ///< per displayed frame
+  OnlineStats header_ext_delay_ms; ///< delay-extension measurement (I frames)
+  std::uint64_t frames_displayed = 0;
+  std::uint64_t frames_skipped = 0;
+  bool view_failed = false;
+  bool completed = false;          ///< ViewStop sent (vs. cut off at sim end)
+
+  Duration startup_delay() const {
+    return (first_display == kNever || view_start == kNever)
+               ? kNever
+               : first_display - view_start;
+  }
+  bool fast_startup() const {
+    const Duration d = startup_delay();
+    return d != kNever && d <= 1 * kSec;
+  }
+};
+
+class ClientMetrics {
+ public:
+  QoeRecord& new_record() { return records_.emplace_back(); }
+  const std::deque<QoeRecord>& records() const { return records_; }
+  std::deque<QoeRecord>& records() { return records_; }
+
+ private:
+  std::deque<QoeRecord> records_;
+};
+
+}  // namespace livenet::client

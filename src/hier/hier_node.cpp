@@ -1,0 +1,432 @@
+#include "hier/hier_node.h"
+
+#include "util/logging.h"
+
+namespace livenet::hier {
+
+using media::RtpPacket;
+using media::RtpPacketPtr;
+using media::StreamId;
+using overlay::ViewSession;
+using sim::NodeId;
+
+HierNode::HierNode(sim::Network* net, overlay::OverlayMetrics* metrics,
+                   const HierNodeConfig& cfg)
+    : net_(net), metrics_(metrics), cfg_(cfg),
+      packet_cache_(cfg.packet_cache_gops) {}
+
+HierNode::~HierNode() {
+  for (auto& [s, timer] : linger_timers_) {
+    if (timer != sim::kInvalidEvent) net_->loop()->cancel(timer);
+  }
+}
+
+Duration HierNode::hop_processing_delay() const {
+  Duration d = cfg_.full_stack_delay;
+  if (cfg_.role == HierRole::kCenter) d += cfg_.center_extra_delay;
+  return d;
+}
+
+void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
+  if (const auto rtp = std::dynamic_pointer_cast<const RtpPacket>(msg)) {
+    handle_rtp(from, rtp);
+    return;
+  }
+  if (const auto nack =
+          std::dynamic_pointer_cast<const media::NackMessage>(msg)) {
+    overlay::LinkSender& snd = sender_for(from);
+    const auto unserved =
+        snd.on_nack(nack->stream_id, nack->audio, nack->missing);
+    if (!nack->audio) {
+      for (const media::Seq seq : unserved) {
+        const auto cached = packet_cache_.find_packet(nack->stream_id, seq);
+        if (cached) snd.send_rtx(cached);
+      }
+    }
+    return;
+  }
+  if (const auto fb =
+          std::dynamic_pointer_cast<const media::CcFeedbackMessage>(msg)) {
+    sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
+    return;
+  }
+  if (const auto view =
+          std::dynamic_pointer_cast<const overlay::ViewRequest>(msg)) {
+    handle_view_request(from, *view);
+    return;
+  }
+  if (const auto stop = std::dynamic_pointer_cast<const overlay::ViewStop>(msg)) {
+    handle_view_stop(from, *stop);
+    return;
+  }
+  if (const auto pub =
+          std::dynamic_pointer_cast<const overlay::PublishRequest>(msg)) {
+    handle_publish(from, *pub);
+    return;
+  }
+  if (const auto pstop =
+          std::dynamic_pointer_cast<const overlay::PublishStop>(msg)) {
+    handle_publish_stop(from, *pstop);
+    return;
+  }
+  if (const auto sub = std::dynamic_pointer_cast<const HierSubscribe>(msg)) {
+    handle_subscribe(from, *sub);
+    return;
+  }
+  if (const auto unsub =
+          std::dynamic_pointer_cast<const HierUnsubscribe>(msg)) {
+    handle_unsubscribe(from, *unsub);
+    return;
+  }
+  if (const auto map = std::dynamic_pointer_cast<const MapResponse>(msg)) {
+    handle_map_response(*map);
+    return;
+  }
+  if (std::dynamic_pointer_cast<const overlay::ClientQualityReport>(msg)) {
+    return;  // Hier has no quality-driven re-routing
+  }
+  LIVENET_LOG(kWarn) << "hier node " << node_id() << ": unhandled "
+                     << msg->describe();
+}
+
+// --------------------------------------------------------------- data path
+
+void HierNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
+  RtpPacketPtr pkt = pkt_in;
+  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id);
+  if (pkt->cdn_ingress_time == kNever && entry != nullptr &&
+      entry->locally_produced) {
+    auto stamped = std::make_shared<RtpPacket>(*pkt_in);
+    stamped->cdn_ingress_time = net_->loop()->now();
+    stamped->cdn_hops = 0;
+    pkt = std::move(stamped);
+  }
+  // L2 and the center accept uploads for streams they never subscribed
+  // to: in the hierarchical design every upload flows unconditionally
+  // toward the center, so the passthrough FIB entry is created on
+  // first contact.
+  if (cfg_.role != HierRole::kL1 && entry == nullptr) {
+    fib_.entry(pkt->stream_id);
+  }
+
+  // Full application stack: packets enter the reliable, ordered pipeline
+  // and are only forwarded from its in-order output.
+  receiver_for(from).on_rtp(pkt);
+}
+
+void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
+  // Invoked from the receive pipeline's ordered output; the `from` side
+  // is encoded in which receiver delivered — recomputed here from roles.
+  packet_cache_.add(pkt);
+  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id);
+  if (entry == nullptr) return;
+
+  // The packet's position in the tree is recovered from its hop count:
+  // 0 = produced at this L1; 1 = upload at L2; 2 = at the center;
+  // 3 = distribution at L2; 4 = distribution at the viewer-side L1.
+  net_->loop()->schedule_after(hop_processing_delay(), [this,
+                                                        pkt] {
+    const overlay::StreamFib::Entry* e = fib_.find(pkt->stream_id);
+    if (e == nullptr) return;
+    const Time now = net_->loop()->now();
+
+    // Upload leg: push toward the streaming center.
+    const auto upit = stream_upstream_.find(pkt->stream_id);
+    const bool producing_here = e->locally_produced;
+    if (cfg_.role == HierRole::kL1 && producing_here &&
+        upit != stream_upstream_.end()) {
+      auto clone = std::make_shared<RtpPacket>(*pkt);
+      clone->delay_ext_us +=
+          hop_processing_delay() + (net_->link(node_id(), upit->second)
+                                        ? net_->link(node_id(), upit->second)
+                                                  ->base_rtt() /
+                                              2
+                                        : 0);
+      clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+      sender_for(upit->second).send_media(std::move(clone));
+    }
+    if (cfg_.role == HierRole::kL2 && pkt->cdn_hops == 1 &&
+        parent_ != sim::kNoNode) {
+      // Upload passing through this L2 toward the center.
+      auto clone = std::make_shared<RtpPacket>(*pkt);
+      clone->delay_ext_us += hop_processing_delay();
+      clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+      sender_for(parent_).send_media(std::move(clone));
+    }
+
+    // Distribution leg: forward to subscribed downstream nodes.
+    if (cfg_.role != HierRole::kL1) {
+      const bool distributing =
+          (cfg_.role == HierRole::kCenter && pkt->cdn_hops == 2) ||
+          (cfg_.role == HierRole::kL2 && pkt->cdn_hops == 3);
+      if (distributing) {
+        for (const NodeId n : e->subscriber_nodes) {
+          auto clone = std::make_shared<RtpPacket>(*pkt);
+          clone->delay_ext_us += hop_processing_delay();
+          clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+          sender_for(n).send_media(std::move(clone));
+        }
+      }
+    }
+
+    // Edge serving: L1 delivers to attached viewers (either the
+    // distribution copy after 4 hops, or locally produced content).
+    if (cfg_.role == HierRole::kL1) {
+      for (const overlay::ClientId c : e->subscriber_clients) {
+        const auto cv = client_views_.find(static_cast<NodeId>(c));
+        if (cv == client_views_.end()) continue;
+        auto clone = std::make_shared<RtpPacket>(*pkt);
+        clone->delay_ext_us += hop_processing_delay();
+        if (cv->second.session != nullptr) {
+          if (pkt->cdn_ingress_time != kNever) {
+            cv->second.session->cdn_delay_ms.add(
+                to_ms(now - pkt->cdn_ingress_time));
+            cv->second.session->path_length = pkt->cdn_hops;
+          }
+          if (cv->second.session->first_packet_time == kNever) {
+            cv->second.session->first_packet_time = now;
+          }
+        }
+        sender_for(static_cast<NodeId>(c), /*client=*/true)
+            .send_media(std::move(clone));
+      }
+    }
+  });
+}
+
+// ------------------------------------------------------------- client side
+
+void HierNode::handle_view_request(NodeId client,
+                                   const overlay::ViewRequest& req) {
+  ViewSession& session = metrics_->new_session();
+  session.stream = req.stream_id;
+  session.consumer = node_id();
+  session.client = client;
+  session.request_time = net_->loop()->now();
+
+  if (carries_stream(req.stream_id)) {
+    session.local_hit = true;
+    attach_client(client, req.stream_id, &session);
+    return;
+  }
+  pending_views_[req.stream_id].push_back(PendingView{client, &session});
+  subscribe_upstream(req.stream_id);
+}
+
+void HierNode::attach_client(NodeId client, StreamId stream,
+                             ViewSession* session) {
+  fib_.add_client_subscriber(stream, client);
+  auto& view = client_views_[client];
+  view.session = session;
+  view.stream = stream;
+  auto ack = std::make_shared<overlay::ViewAck>();
+  ack->stream_id = stream;
+  ack->ok = true;
+  net_->send(node_id(), client, std::move(ack));
+
+  const auto burst = packet_cache_.startup_packets(stream);
+  if (!burst.empty()) {
+    overlay::LinkSender& snd = sender_for(client, /*client=*/true);
+    for (const auto& pkt : burst) {
+      auto clone = std::make_shared<RtpPacket>(*pkt);
+      clone->cdn_ingress_time = kNever;
+      snd.send_media(std::move(clone));
+    }
+    if (session != nullptr && session->first_packet_time == kNever) {
+      session->first_packet_time = net_->loop()->now();
+    }
+  }
+}
+
+void HierNode::handle_view_stop(NodeId client, const overlay::ViewStop& msg) {
+  const auto it = client_views_.find(client);
+  if (it != client_views_.end()) {
+    if (it->second.session != nullptr) {
+      it->second.session->end_time = net_->loop()->now();
+    }
+    client_views_.erase(it);
+  }
+  fib_.remove_client_subscriber(msg.stream_id, client);
+  maybe_release_stream(msg.stream_id);
+}
+
+void HierNode::handle_publish(NodeId client,
+                              const overlay::PublishRequest& req) {
+  (void)client;
+  auto& entry = fib_.entry(req.stream_id);
+  entry.locally_produced = true;
+  // Ask the controller which L2 carries this upload.
+  if (controller_ != sim::kNoNode) {
+    const std::uint64_t id = next_request_id_++;
+    pending_maps_[id] = req.stream_id;
+    auto map = std::make_shared<MapRequest>();
+    map->request_id = id;
+    map->stream_id = req.stream_id;
+    map->l1 = node_id();
+    net_->send(node_id(), controller_, std::move(map));
+  } else if (parent_ != sim::kNoNode) {
+    stream_upstream_[req.stream_id] = parent_;
+  }
+}
+
+void HierNode::handle_publish_stop(NodeId client,
+                                   const overlay::PublishStop& msg) {
+  (void)client;
+  release_stream(msg.stream_id);
+}
+
+// ------------------------------------------------------------ tree control
+
+void HierNode::subscribe_upstream(StreamId stream) {
+  if (stream_upstream_.count(stream) != 0) return;  // already subscribing
+  if (cfg_.role == HierRole::kL1 && controller_ != sim::kNoNode) {
+    // VDN-style: ask the controller for the L2 to use.
+    const std::uint64_t id = next_request_id_++;
+    pending_maps_[id] = stream;
+    auto map = std::make_shared<MapRequest>();
+    map->request_id = id;
+    map->stream_id = stream;
+    map->l1 = node_id();
+    net_->send(node_id(), controller_, std::move(map));
+    return;
+  }
+  if (parent_ == sim::kNoNode) return;  // the center has no upstream
+  stream_upstream_[stream] = parent_;
+  auto sub = std::make_shared<HierSubscribe>();
+  sub->stream_id = stream;
+  net_->send(node_id(), parent_, std::move(sub));
+}
+
+void HierNode::handle_map_response(const MapResponse& resp) {
+  const auto it = pending_maps_.find(resp.request_id);
+  if (it == pending_maps_.end()) return;
+  const StreamId stream = it->second;
+  pending_maps_.erase(it);
+  if (resp.l2 == sim::kNoNode) return;
+  stream_upstream_[stream] = resp.l2;
+
+  const overlay::StreamFib::Entry* entry = fib_.find(stream);
+  if (entry != nullptr && entry->locally_produced) {
+    // Upload mapping: data starts flowing on the next ordered packet.
+    return;
+  }
+  auto sub = std::make_shared<HierSubscribe>();
+  sub->stream_id = stream;
+  net_->send(node_id(), resp.l2, std::move(sub));
+}
+
+void HierNode::handle_subscribe(NodeId from, const HierSubscribe& req) {
+  fib_.add_node_subscriber(req.stream_id, from);
+  sender_for(from);
+
+  // Serve cached content immediately so the downstream node's GoP cache
+  // warms up (hierarchical caching, §2.2).
+  if (packet_cache_.has_content(req.stream_id)) {
+    overlay::LinkSender& snd = sender_for(from);
+    for (const auto& pkt : packet_cache_.startup_packets(req.stream_id)) {
+      auto clone = std::make_shared<RtpPacket>(*pkt);
+      clone->cdn_ingress_time = kNever;
+      clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+      snd.send_media(std::move(clone));
+    }
+  }
+  if (cfg_.role != HierRole::kCenter) {
+    subscribe_upstream(req.stream_id);
+  }
+}
+
+void HierNode::handle_unsubscribe(NodeId from, const HierUnsubscribe& req) {
+  fib_.remove_node_subscriber(req.stream_id, from);
+  maybe_release_stream(req.stream_id);
+}
+
+void HierNode::maybe_release_stream(StreamId stream) {
+  const overlay::StreamFib::Entry* entry = fib_.find(stream);
+  if (entry == nullptr || entry->locally_produced) return;
+  if (entry->has_subscribers()) return;
+  if (cfg_.role == HierRole::kCenter) return;  // the center keeps streams
+  if (linger_timers_.count(stream) != 0) return;
+  linger_timers_[stream] = net_->loop()->schedule_after(
+      cfg_.unsubscribe_linger, [this, stream] {
+        linger_timers_.erase(stream);
+        const overlay::StreamFib::Entry* e = fib_.find(stream);
+        if (e == nullptr || e->locally_produced || e->has_subscribers()) {
+          return;
+        }
+        release_stream(stream);
+      });
+}
+
+void HierNode::release_stream(StreamId stream) {
+  const auto upit = stream_upstream_.find(stream);
+  if (upit != stream_upstream_.end()) {
+    auto unsub = std::make_shared<HierUnsubscribe>();
+    unsub->stream_id = stream;
+    net_->send(node_id(), upit->second, std::move(unsub));
+    const auto rit = receivers_.find(upit->second);
+    if (rit != receivers_.end()) rit->second->forget_stream(stream);
+    stream_upstream_.erase(upit);
+  }
+  for (auto& [peer, snd] : senders_) snd->forget_stream(stream);
+  packet_cache_.forget_stream(stream);
+  fib_.erase(stream);
+  pending_views_.erase(stream);
+  const auto lt = linger_timers_.find(stream);
+  if (lt != linger_timers_.end()) {
+    net_->loop()->cancel(lt->second);
+    linger_timers_.erase(lt);
+  }
+}
+
+// ---------------------------------------------------------------- plumbing
+
+bool HierNode::carries_stream(StreamId s) const {
+  const overlay::StreamFib::Entry* e = fib_.find(s);
+  if (e != nullptr && e->locally_produced) return true;
+  // A FIB entry only appears once the first subscriber attaches; what
+  // matters here is the live upstream subscription plus cached content.
+  return stream_upstream_.count(s) != 0 && packet_cache_.has_content(s);
+}
+
+overlay::LinkSender& HierNode::sender_for(NodeId peer, bool client) {
+  auto it = senders_.find(peer);
+  if (it == senders_.end()) {
+    it = senders_
+             .emplace(peer, std::make_unique<overlay::LinkSender>(
+                                net_, node_id(), peer,
+                                client ? cfg_.client_sender : cfg_.sender))
+             .first;
+  }
+  return *it->second;
+}
+
+overlay::LinkReceiver& HierNode::receiver_for(NodeId peer) {
+  auto it = receivers_.find(peer);
+  if (it == receivers_.end()) {
+    it = receivers_
+             .emplace(peer,
+                      std::make_unique<overlay::LinkReceiver>(
+                          net_, node_id(), peer,
+                          [this](const RtpPacketPtr& pkt) {
+                            // Hier forwards only the ordered output and
+                            // serves pending viewers once content lands.
+                            forward_ordered(pkt);
+                            auto pvit = pending_views_.find(pkt->stream_id);
+                            if (pvit != pending_views_.end() &&
+                                carries_stream(pkt->stream_id)) {
+                              auto waiting = std::move(pvit->second);
+                              pending_views_.erase(pvit);
+                              for (auto& pv : waiting) {
+                                attach_client(pv.client, pkt->stream_id,
+                                              pv.session);
+                              }
+                            }
+                          },
+                          [](StreamId) { /* gap: nothing to abandon */ },
+                          cfg_.receiver))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace livenet::hier

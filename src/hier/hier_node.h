@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hier/messages.h"
+#include "media/framer.h"
+#include "overlay/link_receiver.h"
+#include "overlay/link_sender.h"
+#include "overlay/messages.h"
+#include "overlay/packet_cache.h"
+#include "overlay/records.h"
+#include "overlay/stream_fib.h"
+#include "sim/network.h"
+#include "sim/sim_node.h"
+
+// A node of the Hier baseline (paper §2.2, Figure 1): Alibaba's
+// first-generation hierarchical CDN. Streams flow broadcaster -> L1 ->
+// L2 -> streaming center -> L2 -> L1 -> viewer (fixed 4-hop CDN paths).
+//
+// The decisive contrast with LiveNet's data plane: a Hier hop runs the
+// whole application stack, so a packet is forwarded only after it has
+// been received *in order* (RTMP-over-TCP semantics) and has paid the
+// full-stack processing delay — giving head-of-line blocking under loss
+// and a higher per-hop latency floor, which is exactly what the paper's
+// fast path eliminates.
+namespace livenet::hier {
+
+enum class HierRole { kL1, kL2, kCenter };
+
+struct HierNodeConfig {
+  HierRole role = HierRole::kL1;
+  Duration full_stack_delay = 20 * kMs;  ///< per-hop processing latency
+  Duration center_extra_delay = 10 * kMs;  ///< media processing at center
+  Duration unsubscribe_linger = 5 * kSec;
+  std::size_t packet_cache_gops = 2;
+  /// Node-to-node transport config. Hier runs RTMP over TCP between
+  /// nodes: sending is not media-paced — TCP grabs the available link
+  /// bandwidth — so the default floors the pacing rate high.
+  overlay::LinkSender::Config sender;
+  /// Client-facing (last mile) transport: bandwidth-adaptive.
+  overlay::LinkSender::Config client_sender;
+  overlay::LinkReceiver::Config receiver;
+};
+
+class HierNode final : public sim::SimNode {
+ public:
+  HierNode(sim::Network* net, overlay::OverlayMetrics* metrics)
+      : HierNode(net, metrics, HierNodeConfig()) {}
+  HierNode(sim::Network* net, overlay::OverlayMetrics* metrics,
+           const HierNodeConfig& cfg);
+  ~HierNode() override;
+
+  void on_message(sim::NodeId from, const sim::MessagePtr& msg) override;
+
+  /// L1: the VDN-style controller used for L2 mapping. L2: the center.
+  void set_controller(sim::NodeId controller) { controller_ = controller; }
+  void set_parent(sim::NodeId parent) { parent_ = parent; }
+
+  void set_location(int country) { country_ = country; }
+  int location() const { return country_; }
+
+  HierRole role() const { return cfg_.role; }
+  const overlay::StreamFib& fib() const { return fib_; }
+  bool carries_stream(media::StreamId s) const;
+  const overlay::PacketGopCache& packet_cache() const { return packet_cache_; }
+  bool has_upstream(media::StreamId s) const { return stream_upstream_.count(s) != 0; }
+
+ private:
+  struct PendingView {
+    sim::NodeId client = sim::kNoNode;
+    overlay::ViewSession* session = nullptr;
+  };
+  struct ClientViewState {
+    overlay::ViewSession* session = nullptr;
+    media::StreamId stream = media::kNoStream;
+  };
+
+  void handle_rtp(sim::NodeId from, const media::RtpPacketPtr& pkt);
+  void forward_ordered(const media::RtpPacketPtr& pkt);
+  void handle_view_request(sim::NodeId client,
+                           const overlay::ViewRequest& req);
+  void handle_view_stop(sim::NodeId client, const overlay::ViewStop& msg);
+  void handle_publish(sim::NodeId client, const overlay::PublishRequest& req);
+  void handle_publish_stop(sim::NodeId client,
+                           const overlay::PublishStop& msg);
+  void handle_subscribe(sim::NodeId from, const HierSubscribe& req);
+  void handle_unsubscribe(sim::NodeId from, const HierUnsubscribe& req);
+  void handle_map_response(const MapResponse& resp);
+
+  void attach_client(sim::NodeId client, media::StreamId stream,
+                     overlay::ViewSession* session);
+  void subscribe_upstream(media::StreamId stream);
+  void maybe_release_stream(media::StreamId stream);
+  void release_stream(media::StreamId stream);
+
+  overlay::LinkSender& sender_for(sim::NodeId peer, bool client = false);
+  overlay::LinkReceiver& receiver_for(sim::NodeId peer);
+  Duration hop_processing_delay() const;
+
+  sim::Network* net_;
+  overlay::OverlayMetrics* metrics_;
+  HierNodeConfig cfg_;
+  sim::NodeId controller_ = sim::kNoNode;
+  sim::NodeId parent_ = sim::kNoNode;  ///< L2 for L1 (default), center for L2
+  int country_ = -1;
+
+  overlay::StreamFib fib_;
+  overlay::PacketGopCache packet_cache_;
+  std::unordered_map<sim::NodeId, std::unique_ptr<overlay::LinkSender>>
+      senders_;
+  std::unordered_map<sim::NodeId, std::unique_ptr<overlay::LinkReceiver>>
+      receivers_;
+  std::unordered_map<sim::NodeId, ClientViewState> client_views_;
+  std::unordered_map<media::StreamId, std::vector<PendingView>>
+      pending_views_;
+  std::unordered_map<std::uint64_t, media::StreamId> pending_maps_;
+  std::unordered_map<media::StreamId, sim::NodeId> stream_upstream_;
+  std::unordered_map<media::StreamId, sim::EventId> linger_timers_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace livenet::hier

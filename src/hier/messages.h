@@ -1,0 +1,70 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "media/frame.h"
+#include "sim/message.h"
+
+// Control messages of the Hier baseline (paper §2.2): the VDN-style
+// centralized controller maps L1 nodes to L2 nodes per stream; L1/L2
+// nodes subscribe upward through the fixed tree.
+namespace livenet::hier {
+
+/// L1 -> controller: which L2 should this L1 use for `stream`?
+class MapRequest final : public sim::Message {
+ public:
+  std::uint64_t request_id = 0;
+  media::StreamId stream_id = media::kNoStream;
+  sim::NodeId l1 = sim::kNoNode;
+
+  std::size_t wire_size() const override { return 32; }
+  std::string describe() const override {
+    std::ostringstream ss;
+    ss << "HIERMAP? s" << stream_id << " l1=" << l1;
+    return ss.str();
+  }
+};
+
+/// Controller -> L1: the assigned L2.
+class MapResponse final : public sim::Message {
+ public:
+  std::uint64_t request_id = 0;
+  media::StreamId stream_id = media::kNoStream;
+  sim::NodeId l2 = sim::kNoNode;
+
+  std::size_t wire_size() const override { return 32; }
+  std::string describe() const override {
+    std::ostringstream ss;
+    ss << "HIERMAP s" << stream_id << " l2=" << l2;
+    return ss.str();
+  }
+};
+
+/// Downstream node -> upstream node: subscribe to a stream.
+class HierSubscribe final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+
+  std::size_t wire_size() const override { return 16; }
+  std::string describe() const override {
+    std::ostringstream ss;
+    ss << "HIERSUB s" << stream_id;
+    return ss.str();
+  }
+};
+
+/// Downstream node -> upstream node: no more subscribers here.
+class HierUnsubscribe final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+
+  std::size_t wire_size() const override { return 16; }
+  std::string describe() const override {
+    std::ostringstream ss;
+    ss << "HIERUNSUB s" << stream_id;
+    return ss.str();
+  }
+};
+
+}  // namespace livenet::hier

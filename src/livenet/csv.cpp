@@ -1,0 +1,80 @@
+#include "livenet/csv.h"
+
+namespace livenet {
+
+namespace {
+
+int country_of(const std::map<sim::NodeId, int>& m, sim::NodeId n) {
+  const auto it = m.find(n);
+  return it != m.end() ? it->second : -1;
+}
+
+int stream_country(const std::map<media::StreamId, int>& m,
+                   media::StreamId s) {
+  const auto it = m.find(s);
+  return it != m.end() ? it->second : -1;
+}
+
+}  // namespace
+
+void write_sessions_csv(const ScenarioResult& r, std::ostream& os) {
+  os << "request_time_s,stream,consumer,consumer_country,producer_country,"
+        "local_hit,last_resort,path_length,cdn_delay_ms_mean,"
+        "cdn_delay_samples,first_packet_delay_ms,path_response_rtt_ms,"
+        "path_switches,bitrate_downgrades,costream_switches,failed,"
+        "end_time_s\n";
+  for (const auto& s : r.overlay.sessions()) {
+    os << to_sec(s.request_time) << ',' << s.stream << ',' << s.consumer
+       << ',' << country_of(r.node_country, s.consumer) << ','
+       << stream_country(r.stream_country, s.stream) << ','
+       << (s.local_hit ? 1 : 0) << ',' << (s.last_resort ? 1 : 0) << ','
+       << s.path_length << ',' << s.cdn_delay_ms.mean() << ','
+       << s.cdn_delay_ms.count() << ','
+       << (s.first_packet_delay() == kNever
+               ? -1.0
+               : to_ms(s.first_packet_delay()))
+       << ','
+       << (s.path_response_rtt == kNever ? -1.0 : to_ms(s.path_response_rtt))
+       << ',' << s.path_switches << ',' << s.bitrate_downgrades << ','
+       << s.costream_switches << ',' << (s.failed ? 1 : 0) << ','
+       << (s.end_time == kNever ? -1.0 : to_sec(s.end_time)) << '\n';
+  }
+}
+
+void write_views_csv(const ScenarioResult& r, std::ostream& os) {
+  os << "view_start_s,stream,viewer,consumer,startup_delay_ms,fast_startup,"
+        "stalls,dead_air_stalls,total_stall_ms,streaming_delay_ms_mean,"
+        "header_ext_delay_ms_mean,frames_displayed,frames_skipped,failed,"
+        "completed\n";
+  for (const auto& v : r.clients.records()) {
+    os << to_sec(v.view_start) << ',' << v.stream << ',' << v.viewer << ','
+       << v.consumer << ','
+       << (v.startup_delay() == kNever ? -1.0 : to_ms(v.startup_delay()))
+       << ',' << (v.fast_startup() ? 1 : 0) << ',' << v.stalls << ','
+       << v.dead_air_stalls << ',' << to_ms(v.total_stall_time) << ','
+       << v.streaming_delay_ms.mean() << ',' << v.header_ext_delay_ms.mean()
+       << ',' << v.frames_displayed << ',' << v.frames_skipped << ','
+       << (v.view_failed ? 1 : 0) << ',' << (v.completed ? 1 : 0) << '\n';
+  }
+}
+
+void write_path_requests_csv(const ScenarioResult& r, std::ostream& os) {
+  os << "arrival_s,hour,response_time_ms,last_resort,stream_known\n";
+  for (const auto& q : r.brain.path_requests) {
+    os << to_sec(q.arrival) << ',' << r.hour_of(q.arrival) << ','
+       << to_ms(q.response_time) << ',' << (q.last_resort ? 1 : 0) << ','
+       << (q.stream_known ? 1 : 0) << '\n';
+  }
+}
+
+void write_timeline_csv(const ScenarioResult& r, std::ostream& os) {
+  os << "t_s,day,hour,bytes_delta,measured_loss,arrival_rate,"
+        "concurrent_viewers\n";
+  for (const auto& t : r.timeline) {
+    os << to_sec(t.t) << ',' << t.day << ',' << t.hour << ','
+       << t.bytes_delta << ',' << t.measured_loss << ',' << t.arrival_rate
+       << ',' << t.concurrent_viewers << '\n';
+  }
+}
+
+}  // namespace livenet

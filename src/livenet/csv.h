@@ -1,0 +1,25 @@
+#pragma once
+
+#include <ostream>
+
+#include "livenet/scenario.h"
+
+// CSV exporters for ScenarioResult: one row per consumer session, per
+// view (client QoE), per brain path request, and per timeline sample.
+// Meant for downstream analysis/plotting of experiment runs without
+// touching the C++ aggregation helpers.
+namespace livenet {
+
+/// Consumer-node session log (the paper's first data source).
+void write_sessions_csv(const ScenarioResult& r, std::ostream& os);
+
+/// Client QoE log (the paper's second data source).
+void write_views_csv(const ScenarioResult& r, std::ostream& os);
+
+/// Path Decision log (the paper's third data source; LiveNet only).
+void write_path_requests_csv(const ScenarioResult& r, std::ostream& os);
+
+/// Hourly system counters (throughput, loss, concurrency).
+void write_timeline_csv(const ScenarioResult& r, std::ostream& os);
+
+}  // namespace livenet

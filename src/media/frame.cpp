@@ -1,0 +1,15 @@
+#include "media/frame.h"
+
+namespace livenet::media {
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kI: return "I";
+    case FrameType::kP: return "P";
+    case FrameType::kB: return "B";
+    case FrameType::kAudio: return "A";
+  }
+  return "?";
+}
+
+}  // namespace livenet::media

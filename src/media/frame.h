@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+// Video/audio frame model.
+//
+// LiveNet never decodes media; what the transport sees is the frame
+// *structure*: types (I/P/B/audio), sizes, timestamps and GoP
+// boundaries. That structure drives every mechanism the paper
+// describes — GoP caching, proactive frame dropping (unreferenced B
+// first, then P, then the whole GoP), and I-frame-aware pacing.
+namespace livenet::media {
+
+/// Stream identifier. Each simulcast bitrate version of a broadcast is
+/// its own stream with a unique id (paper §5.2).
+using StreamId = std::uint64_t;
+inline constexpr StreamId kNoStream = 0;
+
+enum class FrameType : std::uint8_t {
+  kI,      ///< intra-coded; starts a GoP; largest
+  kP,      ///< predicted; referenced by later frames
+  kB,      ///< bi-predicted; may be unreferenced (droppable first)
+  kAudio,  ///< audio frame; prioritized over video in the pacer
+};
+
+const char* to_string(FrameType t);
+
+struct Frame {
+  StreamId stream_id = kNoStream;
+  std::uint64_t frame_id = 0;  ///< monotonic per stream
+  std::uint64_t gop_id = 0;    ///< monotonic per stream; I frame starts it
+  FrameType type = FrameType::kP;
+  bool referenced = true;      ///< false only for droppable B frames
+  std::size_t size_bytes = 0;
+  Time capture_time = 0;       ///< virtual time the broadcaster captured it
+  Duration delay_ext_us = 0;   ///< accumulated delay header extension (from
+                               ///< the frame's first packet, at reassembly)
+
+  bool is_keyframe() const { return type == FrameType::kI; }
+  bool is_audio() const { return type == FrameType::kAudio; }
+};
+
+/// A group of pictures: one I frame plus dependent frames, the caching
+/// unit of the whole system (§5.1: "packets are decoded into GoPs. The
+/// most recent GoPs are cached to facilitate fast startup").
+struct Gop {
+  std::uint64_t gop_id = 0;
+  std::vector<Frame> frames;
+
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& f : frames) n += f.size_bytes;
+    return n;
+  }
+  bool starts_with_keyframe() const {
+    return !frames.empty() && frames.front().is_keyframe();
+  }
+};
+
+}  // namespace livenet::media

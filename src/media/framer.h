@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "media/frame.h"
+#include "media/rtp.h"
+
+// Framing Control (paper Fig. 7): reassembles frames from the ordered
+// RTP packet stream the slow path delivers, and reports frame-level
+// damage when a hole could not be recovered.
+namespace livenet::media {
+
+class Framer {
+ public:
+  using FrameCallback = std::function<void(const Frame&)>;
+
+  /// `on_frame` fires once per fully reassembled frame, in decode order.
+  explicit Framer(FrameCallback on_frame) : on_frame_(std::move(on_frame)) {}
+
+  /// Feeds the next packet. Packets must arrive in seq order (the
+  /// receive buffer guarantees this); a packet belonging to a newer
+  /// frame while an older frame is incomplete marks the older frame
+  /// damaged (its packets were lost beyond recovery).
+  void on_packet(const RtpPacket& pkt);
+
+  /// Explicit notification that the stream skipped over a hole (the
+  /// receive buffer gave up on recovery). Abandons the current frame.
+  void on_gap();
+
+  std::uint64_t frames_completed() const { return frames_completed_; }
+  std::uint64_t frames_damaged() const { return frames_damaged_; }
+
+ private:
+  void abandon_current();
+
+  FrameCallback on_frame_;
+  bool assembling_ = false;
+  std::uint64_t cur_frame_id_ = 0;
+  Frame cur_frame_{};
+  std::uint32_t frags_seen_ = 0;
+  std::uint32_t frags_expected_ = 0;
+  std::uint64_t frames_completed_ = 0;
+  std::uint64_t frames_damaged_ = 0;
+};
+
+}  // namespace livenet::media

@@ -1,0 +1,37 @@
+#include "media/gop_cache.h"
+
+namespace livenet::media {
+
+void GopCache::add_frame(const Frame& frame) {
+  if (frame.is_audio()) return;  // audio is not GoP-cached
+  if (frame.is_keyframe()) {
+    Gop g;
+    g.gop_id = frame.gop_id;
+    gops_.push_back(std::move(g));
+    while (gops_.size() > max_gops_ + 1) gops_.pop_front();
+  }
+  if (gops_.empty()) return;  // waiting for the first I frame
+  gops_.back().frames.push_back(frame);
+}
+
+std::size_t GopCache::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& g : gops_) n += g.total_bytes();
+  return n;
+}
+
+std::vector<Frame> GopCache::startup_frames() const {
+  if (gops_.empty()) return {};
+  return gops_.back().frames;
+}
+
+std::uint64_t GopCache::latest_frame_id() const {
+  if (gops_.empty() || gops_.back().frames.empty()) return 0;
+  return gops_.back().frames.back().frame_id;
+}
+
+std::uint64_t GopCache::latest_gop_id() const {
+  return gops_.empty() ? 0 : gops_.back().gop_id;
+}
+
+}  // namespace livenet::media

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "media/frame.h"
+
+// Per-stream GoP cache (paper §5.1): every overlay node caches the most
+// recent groups of pictures so that a newly arriving viewer can start
+// playback immediately from the latest I frame instead of waiting for
+// the next keyframe — the mechanism behind the paper's 95% fast-startup
+// ratio and the Figure 9 analysis.
+namespace livenet::media {
+
+class GopCache {
+ public:
+  /// Keeps at most `max_gops` complete GoPs plus the one in progress.
+  explicit GopCache(std::size_t max_gops = 3) : max_gops_(max_gops) {}
+
+  /// Appends a reassembled frame. An I frame opens a new GoP; frames
+  /// before the first I frame are discarded (a decoder could not use
+  /// them).
+  void add_frame(const Frame& frame);
+
+  bool empty() const { return gops_.empty(); }
+  std::size_t gop_count() const { return gops_.size(); }
+  std::size_t total_bytes() const;
+
+  /// Frames from the start (I frame) of the newest GoP through the most
+  /// recent frame — exactly what is burst to a new subscriber for fast
+  /// startup.
+  std::vector<Frame> startup_frames() const;
+
+  /// Most recent cached frame id (0 if empty).
+  std::uint64_t latest_frame_id() const;
+
+  /// Latest complete-or-partial GoP id (0 if empty).
+  std::uint64_t latest_gop_id() const;
+
+  void clear() { gops_.clear(); }
+
+ private:
+  std::size_t max_gops_;
+  std::deque<Gop> gops_;  // oldest first; back() may be in progress
+};
+
+}  // namespace livenet::media

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "media/frame.h"
+#include "media/rtp.h"
+#include "util/time.h"
+
+// Frame-level jitter buffer for clients (the WebRTC-style receiver-side
+// frame assembler). Unlike the strictly-sequential Framer used on the
+// slow path (whose input is already ordered), the client's inbound
+// stream can be frame-interleaved: the consumer's fast path forwards
+// packets in arrival order, and upstream retransmissions or
+// subscription seams deliver older frames after newer ones. The jitter
+// framer assembles any number of frames concurrently and emits them in
+// frame order, skipping a frame only after a deadline.
+namespace livenet::media {
+
+class JitterFramer {
+ public:
+  struct Config {
+    Duration assembly_deadline = 280 * kMs;  ///< give up on a frame after
+    std::size_t max_pending_frames = 256;    ///< memory bound
+  };
+
+  using FrameCallback = std::function<void(const Frame&)>;
+
+  JitterFramer(FrameCallback on_frame)
+      : JitterFramer(std::move(on_frame), Config()) {}
+  JitterFramer(FrameCallback on_frame, const Config& cfg)
+      : cfg_(cfg), on_frame_(std::move(on_frame)) {}
+
+  /// Feeds a packet (any order). `now` drives assembly deadlines.
+  void on_packet(const RtpPacket& pkt, Time now);
+
+  /// Emits everything emittable; call periodically so a stalled head
+  /// frame is eventually skipped even if no new packets arrive.
+  void flush(Time now);
+
+  std::uint64_t frames_completed() const { return frames_completed_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct Pending {
+    Frame frame;
+    std::uint32_t frags_seen = 0;
+    std::uint32_t frags_expected = 0;
+    Time first_seen = kNever;
+    bool complete() const { return frags_seen >= frags_expected; }
+  };
+
+  void emit_ready(Time now);
+
+  Config cfg_;
+  FrameCallback on_frame_;
+  std::map<std::uint64_t, Pending> pending_;  ///< by frame id
+  std::uint64_t next_emit_ = 0;  ///< emit frames with id >= this
+  std::uint64_t frames_completed_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace livenet::media

@@ -1,0 +1,34 @@
+#include "media/packetizer.h"
+
+namespace livenet::media {
+
+std::vector<std::shared_ptr<RtpPacket>> Packetizer::packetize(
+    const Frame& frame, Duration initial_delay_ext) {
+  std::vector<std::shared_ptr<RtpPacket>> out;
+  const std::size_t size = std::max<std::size_t>(frame.size_bytes, 1);
+  const auto frags =
+      static_cast<std::uint32_t>((size + mtu_ - 1) / mtu_);
+  out.reserve(frags);
+  Seq& counter =
+      frame.is_audio() ? next_audio_seq_ : next_video_seq_;
+  std::size_t remaining = size;
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    auto pkt = std::make_shared<RtpPacket>();
+    pkt->stream_id = stream_id_;
+    pkt->seq = counter++;
+    pkt->frame_id = frame.frame_id;
+    pkt->gop_id = frame.gop_id;
+    pkt->frame_type = frame.type;
+    pkt->referenced = frame.referenced;
+    pkt->frag_index = i;
+    pkt->frag_count = frags;
+    pkt->payload_bytes = std::min(remaining, mtu_);
+    pkt->capture_time = frame.capture_time;
+    pkt->delay_ext_us = initial_delay_ext;
+    remaining -= pkt->payload_bytes;
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+}  // namespace livenet::media

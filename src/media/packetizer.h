@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "media/frame.h"
+#include "media/rtp.h"
+
+// Producer-side packetization: splits frames into MTU-sized RTP packets
+// and assigns the per-stream sequence numbers that every downstream
+// mechanism (loss detection, NACK, framing) keys on.
+namespace livenet::media {
+
+class Packetizer {
+ public:
+  explicit Packetizer(StreamId stream_id, std::size_t mtu = kMtuPayloadBytes)
+      : stream_id_(stream_id), mtu_(mtu) {}
+
+  /// Packetizes one frame; `now` stamps the first value of the delay
+  /// header extension chain (encode + producer queueing is added by the
+  /// caller via initial_delay_ext). Audio and video frames draw from
+  /// independent sequence spaces (separate RTP flows, as in WebRTC —
+  /// the pacer reorders audio ahead of video, which must not register
+  /// as video loss).
+  std::vector<std::shared_ptr<RtpPacket>> packetize(
+      const Frame& frame, Duration initial_delay_ext = 0);
+
+  Seq next_seq() const { return next_video_seq_; }
+  Seq next_audio_seq() const { return next_audio_seq_; }
+
+ private:
+  StreamId stream_id_;
+  std::size_t mtu_;
+  Seq next_video_seq_ = 1;  // 0 reserved as "before first packet"
+  Seq next_audio_seq_ = 1;
+};
+
+}  // namespace livenet::media

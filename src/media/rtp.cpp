@@ -1,0 +1,34 @@
+#include "media/rtp.h"
+
+#include <sstream>
+
+namespace livenet::media {
+
+std::string RtpPacket::describe() const {
+  std::ostringstream ss;
+  ss << (is_rtx ? "RTX" : "RTP") << " s" << stream_id << " #" << seq << " "
+     << to_string(frame_type) << " f" << frame_id << " frag" << frag_index
+     << "/" << frag_count;
+  return ss.str();
+}
+
+std::shared_ptr<RtpPacket> RtpPacket::clone_with_delay(
+    Duration added_delay) const {
+  auto copy = std::make_shared<RtpPacket>(*this);
+  copy->delay_ext_us += added_delay;
+  return copy;
+}
+
+std::string NackMessage::describe() const {
+  std::ostringstream ss;
+  ss << "NACK s" << stream_id << " x" << missing.size();
+  return ss.str();
+}
+
+std::string CcFeedbackMessage::describe() const {
+  std::ostringstream ss;
+  ss << "CCFB remb=" << remb_bps << " loss=" << loss_fraction;
+  return ss.str();
+}
+
+}  // namespace livenet::media

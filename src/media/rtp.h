@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "media/frame.h"
+#include "sim/message.h"
+#include "util/time.h"
+
+// RTP/RTCP packet model.
+//
+// RtpPacket mirrors the on-wire unit the paper's overlay forwards: an
+// RTP packet carrying one fragment of a frame, extended with the delay
+// header extension the paper uses to measure streaming delay (§6.1: the
+// broadcaster seeds the field; every hop adds its processing time plus
+// half the next hop's RTT; the client adds buffering and decode time).
+namespace livenet::media {
+
+inline constexpr std::size_t kRtpHeaderBytes = 12 + 8;  // header + delay ext
+inline constexpr std::size_t kMtuPayloadBytes = 1200;
+
+using Seq = std::uint64_t;  ///< per-stream RTP sequence number
+
+class RtpPacket final : public sim::Message {
+ public:
+  StreamId stream_id = kNoStream;
+  Seq seq = 0;             ///< per-stream, assigned by the producer
+  std::uint64_t frame_id = 0;
+  std::uint64_t gop_id = 0;
+  FrameType frame_type = FrameType::kP;
+  bool referenced = true;  ///< from the carried frame
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 1;
+  std::size_t payload_bytes = 0;
+  Time capture_time = 0;   ///< broadcaster capture timestamp
+  Duration delay_ext_us = 0;  ///< accumulated delay header extension
+  bool is_rtx = false;     ///< retransmission of an earlier packet
+
+  // Measurement fields (stand-ins for per-hop log correlation in the
+  // production system; they do not influence forwarding decisions).
+  Time cdn_ingress_time = kNever;  ///< producer stamped CDN entry time
+  std::uint8_t cdn_hops = 0;       ///< overlay hops traversed so far
+
+  /// Per-hop departure timestamp used by the receiver-side GCC delay
+  /// estimator (the abs-send-time RTP extension in WebRTC). Mutable
+  /// because the sending pacer stamps it at the instant of transmission;
+  /// by then each hop's clone is owned by exactly one sender pipeline.
+  mutable Time hop_send_time = kNever;
+
+  bool marker() const { return frag_index + 1 == frag_count; }
+  bool is_audio() const { return frame_type == FrameType::kAudio; }
+  bool is_keyframe_packet() const { return frame_type == FrameType::kI; }
+
+  std::size_t wire_size() const override {
+    return kRtpHeaderBytes + payload_bytes;
+  }
+  std::string describe() const override;
+
+  /// Copies this packet adjusting the delay extension; used by
+  /// forwarding hops (the payload is conceptually shared — the struct
+  /// copy stands in for the header rewrite a real node performs).
+  std::shared_ptr<RtpPacket> clone_with_delay(Duration added_delay) const;
+};
+
+using RtpPacketPtr = std::shared_ptr<const RtpPacket>;
+
+/// RTCP NACK: sequence numbers of detected holes, sent to the upstream
+/// node which retransmits from its send history (§5.1, 50 ms scan).
+/// Audio and video are separate RTP flows with independent sequence
+/// spaces (as in WebRTC), so the NACK names the flow kind.
+class NackMessage final : public sim::Message {
+ public:
+  StreamId stream_id = kNoStream;
+  bool audio = false;
+  std::vector<Seq> missing;
+
+  std::size_t wire_size() const override { return 16 + 4 * missing.size(); }
+  std::string describe() const override;
+};
+
+/// RTCP receiver feedback for congestion control, one per upstream
+/// neighbor (not per stream): carries the delay-based rate estimate
+/// computed on the receiver side of GCC (REMB-style) and the measured
+/// loss fraction for the sender-side loss-based controller.
+class CcFeedbackMessage final : public sim::Message {
+ public:
+  double remb_bps = 0.0;       ///< receiver-estimated max bitrate
+  double loss_fraction = 0.0;  ///< loss observed since last feedback
+  std::uint64_t packets_observed = 0;
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+}  // namespace livenet::media

@@ -1,0 +1,88 @@
+#include "media/video_source.h"
+
+#include <cmath>
+
+namespace livenet::media {
+
+VideoSource::VideoSource(StreamId stream_id, const VideoSourceConfig& cfg,
+                         Rng rng)
+    : stream_id_(stream_id), cfg_(cfg), rng_(rng) {}
+
+double VideoSource::mean_frame_size(FrameType t) const {
+  // Distribute the per-GoP byte budget across frames by weight.
+  const double gop_seconds =
+      static_cast<double>(cfg_.gop_frames) / cfg_.fps;
+  const double gop_bytes = cfg_.bitrate_bps * gop_seconds / 8.0;
+
+  // Count frames of each type in one GoP under the configured pattern.
+  double n_i = 1.0;
+  double n_total_non_i = static_cast<double>(cfg_.gop_frames) - 1.0;
+  double n_b = 0.0, n_p = n_total_non_i;
+  if (cfg_.b_per_p > 0) {
+    const double group = 1.0 + static_cast<double>(cfg_.b_per_p);
+    n_p = std::floor(n_total_non_i / group);
+    n_b = n_total_non_i - n_p;
+  }
+  const double total_weight =
+      n_i * cfg_.i_frame_weight + n_p * 1.0 + n_b * cfg_.b_frame_weight;
+  const double unit = gop_bytes / total_weight;
+  switch (t) {
+    case FrameType::kI: return unit * cfg_.i_frame_weight;
+    case FrameType::kP: return unit;
+    case FrameType::kB: return unit * cfg_.b_frame_weight;
+    case FrameType::kAudio: return 0.0;
+  }
+  return 0.0;
+}
+
+FrameType VideoSource::next_type() {
+  if (pos_in_gop_ == 0) return FrameType::kI;
+  if (b_run_ > 0) {
+    --b_run_;
+    return FrameType::kB;
+  }
+  if (cfg_.b_per_p > 0) b_run_ = cfg_.b_per_p;
+  return FrameType::kP;
+}
+
+Frame VideoSource::next_frame(Time now) {
+  const FrameType type = next_type();
+  Frame f;
+  f.stream_id = stream_id_;
+  f.frame_id = next_frame_id_++;
+  f.type = type;
+  f.referenced = (type != FrameType::kB);
+  f.capture_time = now;
+  if (type == FrameType::kI) {
+    ++gop_id_;
+  }
+  f.gop_id = gop_id_;
+
+  const double mean = mean_frame_size(type);
+  // Lognormal multiplicative jitter with mean 1.
+  const double sigma = cfg_.size_jitter_sigma;
+  const double mult =
+      sigma > 0.0 ? rng_.lognormal(-0.5 * sigma * sigma, sigma) : 1.0;
+  f.size_bytes = static_cast<std::size_t>(std::max(64.0, mean * mult));
+
+  ++pos_in_gop_;
+  if (pos_in_gop_ >= cfg_.gop_frames) {
+    pos_in_gop_ = 0;
+    b_run_ = 0;
+  }
+  return f;
+}
+
+Frame AudioSource::next_frame(Time now) {
+  Frame f;
+  f.stream_id = stream_id_;
+  f.frame_id = next_frame_id_++;
+  f.gop_id = 0;
+  f.type = FrameType::kAudio;
+  f.referenced = true;
+  f.capture_time = now;
+  f.size_bytes = cfg_.frame_bytes;
+  return f;
+}
+
+}  // namespace livenet::media

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "media/rtp.h"
+#include "util/time.h"
+
+// Proactive frame dropping (paper §5.2): when a per-client send queue
+// builds up faster than it drains, the consumer node drops frames
+// rather than letting the queue grow: first unreferenced B frames
+// ("only causes short blurring"), then P frames, and finally the whole
+// GoP. Used to combat bandwidth variation on mobile last miles.
+namespace livenet::overlay {
+
+class FrameDropper {
+ public:
+  struct Config {
+    Duration drop_b_above = 300 * kMs;    ///< queue drain time thresholds
+    Duration drop_p_above = 600 * kMs;
+    Duration drop_gop_above = 1200 * kMs;
+  };
+
+  FrameDropper() : FrameDropper(Config()) {}
+  explicit FrameDropper(const Config& cfg) : cfg_(cfg) {}
+
+  /// Decides whether to forward `pkt` given the client queue's current
+  /// drain time. Stateful: dropping a P frame poisons the rest of its
+  /// GoP (later frames reference it), and a dropped GoP stays dropped
+  /// until the next keyframe.
+  bool should_forward(const media::RtpPacket& pkt, Duration queue_drain);
+
+  std::uint64_t b_dropped() const { return b_dropped_; }
+  std::uint64_t p_dropped() const { return p_dropped_; }
+  std::uint64_t gop_dropped() const { return gop_dropped_; }
+  std::uint64_t total_dropped() const {
+    return b_dropped_ + p_dropped_ + gop_dropped_;
+  }
+
+  /// True while the dropper is consistently above the B threshold; the
+  /// consumer uses this as the signal to switch the client to a lower
+  /// simulcast bitrate.
+  bool under_pressure() const { return pressure_; }
+
+ private:
+  Config cfg_;
+  std::uint64_t dropping_gop_id_ = 0;   ///< GoP being suppressed entirely
+  std::uint64_t poisoned_gop_id_ = 0;   ///< GoP with a dropped P frame
+  std::uint64_t poisoned_from_frame_ = 0;
+  std::uint64_t b_dropped_ = 0;
+  std::uint64_t p_dropped_ = 0;
+  std::uint64_t gop_dropped_ = 0;
+  bool pressure_ = false;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,52 @@
+#include "overlay/link_receiver.h"
+
+namespace livenet::overlay {
+
+LinkReceiver::LinkReceiver(sim::Network* net, sim::NodeId self,
+                           sim::NodeId peer, DeliverFn deliver, GapFn gap,
+                           const Config& cfg)
+    : net_(net), self_(self), peer_(peer), cfg_(cfg),
+      gcc_(cfg.gcc_start_rate_bps),
+      buffer_(
+          net->loop(), std::move(deliver), std::move(gap),
+          [this](media::StreamId stream, bool audio,
+                 const std::vector<media::Seq>& m) {
+            auto nack = std::make_shared<media::NackMessage>();
+            nack->stream_id = stream;
+            nack->audio = audio;
+            nack->missing = m;
+            net_->send(self_, peer_, std::move(nack));
+          },
+          cfg.buffer) {}
+
+LinkReceiver::~LinkReceiver() {
+  if (feedback_timer_ != sim::kInvalidEvent) {
+    net_->loop()->cancel(feedback_timer_);
+  }
+}
+
+void LinkReceiver::on_rtp(const media::RtpPacketPtr& pkt) {
+  const Time now = net_->loop()->now();
+  if (pkt->hop_send_time != kNever) {
+    gcc_.on_packet(pkt->hop_send_time, now, pkt->wire_size());
+  }
+  buffer_.on_packet(pkt);
+  if (feedback_timer_ == sim::kInvalidEvent) {
+    feedback_timer_ = net_->loop()->schedule_after(
+        cfg_.feedback_interval, [this] { send_feedback(); });
+  }
+}
+
+void LinkReceiver::send_feedback() {
+  feedback_timer_ = sim::kInvalidEvent;
+  auto fb = std::make_shared<media::CcFeedbackMessage>();
+  fb->remb_bps = gcc_.remb_bps();
+  fb->loss_fraction = buffer_.take_loss_fraction();
+  net_->send(self_, peer_, std::move(fb));
+  // Keep reporting while the link is active; the timer re-arms on the
+  // next packet if we stop here after an idle interval.
+  feedback_timer_ = net_->loop()->schedule_after(cfg_.feedback_interval,
+                                                 [this] { send_feedback(); });
+}
+
+}  // namespace livenet::overlay

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "media/rtp.h"
+#include "sim/network.h"
+#include "transport/gcc.h"
+#include "transport/receive_buffer.h"
+
+// Receiver half of one overlay hop (one upstream peer -> this node):
+// the slow path's receive buffer (ordering, hole detection, NACK
+// emission) and the receiver side of GCC, which periodically feeds a
+// REMB + loss feedback message back to the upstream sender.
+namespace livenet::overlay {
+
+class LinkReceiver {
+ public:
+  struct Config {
+    transport::ReceiveBuffer::Config buffer;
+    Duration feedback_interval = 100 * kMs;
+    double gcc_start_rate_bps = 20e6;
+  };
+
+  /// `deliver` receives packets in seq order per stream (the slow-path
+  /// output that feeds framing + GoP caching); `gap` signals an
+  /// unrecoverable hole in a stream.
+  using DeliverFn = std::function<void(const media::RtpPacketPtr&)>;
+  using GapFn = std::function<void(media::StreamId)>;
+
+  LinkReceiver(sim::Network* net, sim::NodeId self, sim::NodeId peer,
+               DeliverFn deliver, GapFn gap)
+      : LinkReceiver(net, self, peer, std::move(deliver), std::move(gap),
+                     Config()) {}
+  LinkReceiver(sim::Network* net, sim::NodeId self, sim::NodeId peer,
+               DeliverFn deliver, GapFn gap, const Config& cfg);
+  ~LinkReceiver();
+  LinkReceiver(const LinkReceiver&) = delete;
+  LinkReceiver& operator=(const LinkReceiver&) = delete;
+
+  /// Slow-path entry: feeds GCC and the receive buffer.
+  void on_rtp(const media::RtpPacketPtr& pkt);
+
+  void forget_stream(media::StreamId stream) {
+    buffer_.forget_stream(stream);
+  }
+
+  sim::NodeId peer() const { return peer_; }
+  const transport::ReceiveBuffer& buffer() const { return buffer_; }
+  std::vector<media::RtpPacketPtr> buffered_packets(
+      media::StreamId stream) const {
+    return buffer_.buffered_packets(stream);
+  }
+  double remb_bps() const { return gcc_.remb_bps(); }
+
+ private:
+  void send_feedback();
+
+  sim::Network* net_;
+  sim::NodeId self_;
+  sim::NodeId peer_;
+  Config cfg_;
+  transport::GccReceiver gcc_;
+  transport::ReceiveBuffer buffer_;
+  sim::EventId feedback_timer_ = sim::kInvalidEvent;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,56 @@
+#include "overlay/link_sender.h"
+
+namespace livenet::overlay {
+
+LinkSender::LinkSender(sim::Network* net, sim::NodeId self, sim::NodeId peer,
+                       const Config& cfg)
+    : net_(net), self_(self), peer_(peer), history_(cfg.history),
+      gcc_(cfg.gcc),
+      pacer_(net->loop(),
+             [this](const media::RtpPacketPtr& pkt) {
+               // Stamp the per-hop departure time for the peer's GCC
+               // delay estimator, then put the packet on the wire.
+               pkt->hop_send_time = net_->loop()->now();
+               net_->send(self_, peer_, pkt);
+             },
+             cfg.pacer) {
+  pacer_.set_rate_bps(gcc_.pacing_rate_bps());
+}
+
+void LinkSender::send_media(const media::RtpPacketPtr& pkt) {
+  history_.record(pkt, net_->loop()->now());
+  pacer_.enqueue(pkt);
+}
+
+std::vector<media::Seq> LinkSender::on_nack(
+    media::StreamId stream, bool audio,
+    const std::vector<media::Seq>& seqs) {
+  std::vector<media::Seq> unserved;
+  const Time now = net_->loop()->now();
+  for (const media::Seq seq : seqs) {
+    const media::RtpPacketPtr orig = history_.lookup(stream, audio, seq, now);
+    if (!orig) {
+      unserved.push_back(seq);
+      continue;
+    }
+    auto rtx = std::make_shared<media::RtpPacket>(*orig);
+    rtx->is_rtx = true;
+    ++rtx_sent_;
+    pacer_.enqueue(std::move(rtx));
+  }
+  return unserved;
+}
+
+void LinkSender::send_rtx(const media::RtpPacketPtr& pkt) {
+  auto rtx = std::make_shared<media::RtpPacket>(*pkt);
+  rtx->is_rtx = true;
+  ++rtx_sent_;
+  pacer_.enqueue(std::move(rtx));
+}
+
+void LinkSender::on_cc_feedback(double remb_bps, double loss_fraction) {
+  gcc_.on_feedback(remb_bps, loss_fraction);
+  pacer_.set_rate_bps(gcc_.pacing_rate_bps());
+}
+
+}  // namespace livenet::overlay

@@ -1,0 +1,130 @@
+#include "overlay/messages.h"
+
+#include <sstream>
+
+namespace livenet::overlay {
+
+std::string SubscribeRequest::describe() const {
+  std::ostringstream ss;
+  ss << "SUB s" << stream_id << " rem=" << remaining_reverse_path.size();
+  return ss.str();
+}
+
+std::string SubscribeAck::describe() const {
+  std::ostringstream ss;
+  ss << "SUBACK s" << stream_id << (ok ? " ok" : " fail")
+     << (cache_hit ? " hit" : "");
+  return ss.str();
+}
+
+std::string UnsubscribeRequest::describe() const {
+  std::ostringstream ss;
+  ss << "UNSUB s" << stream_id;
+  return ss.str();
+}
+
+std::string PublishRequest::describe() const {
+  std::ostringstream ss;
+  ss << "PUBLISH s" << stream_id << " c" << client_id;
+  return ss.str();
+}
+
+std::string ViewRequest::describe() const {
+  std::ostringstream ss;
+  ss << "VIEW s" << stream_id << " c" << client_id;
+  return ss.str();
+}
+
+std::string PublishStop::describe() const {
+  std::ostringstream ss;
+  ss << "PUBSTOP s" << stream_id << " c" << client_id;
+  return ss.str();
+}
+
+std::string StreamSwitchNotice::describe() const {
+  std::ostringstream ss;
+  ss << "COSWITCH s" << from_stream << "->s" << to_stream;
+  return ss.str();
+}
+
+std::string ViewStop::describe() const {
+  std::ostringstream ss;
+  ss << "VIEWSTOP s" << stream_id << " c" << client_id;
+  return ss.str();
+}
+
+std::string ViewAck::describe() const {
+  std::ostringstream ss;
+  ss << "VIEWACK s" << stream_id << (ok ? " ok" : " fail");
+  return ss.str();
+}
+
+std::string ClientQualityReport::describe() const {
+  std::ostringstream ss;
+  ss << "QREP s" << stream_id << " stalls=" << stalls_since_last;
+  return ss.str();
+}
+
+std::string PathRequest::describe() const {
+  std::ostringstream ss;
+  ss << "PATHREQ s" << stream_id << " dst=" << consumer;
+  return ss.str();
+}
+
+std::size_t PathResponse::wire_size() const {
+  std::size_t n = 32;
+  for (const auto& p : paths) n += 8 + 4 * p.size();
+  return n;
+}
+
+std::string PathResponse::describe() const {
+  std::ostringstream ss;
+  ss << "PATHRESP s" << stream_id << " n=" << paths.size()
+     << (last_resort ? " last-resort" : "");
+  return ss.str();
+}
+
+std::size_t PathPush::wire_size() const {
+  std::size_t n = 16;
+  for (const auto& p : paths) n += 8 + 4 * p.size();
+  return n;
+}
+
+std::string PathPush::describe() const {
+  std::ostringstream ss;
+  ss << "PATHPUSH s" << stream_id << " n=" << paths.size();
+  return ss.str();
+}
+
+std::string ProducerMigrate::describe() const {
+  std::ostringstream ss;
+  ss << "PRODMIGRATE n=" << streams.size() << " old=" << old_producer;
+  return ss.str();
+}
+
+std::string ProducerRelayInstruction::describe() const {
+  std::ostringstream ss;
+  ss << "PRODRELAY s" << stream_id << " new=" << new_producer;
+  return ss.str();
+}
+
+std::string StreamRegister::describe() const {
+  std::ostringstream ss;
+  ss << "STREAMREG s" << stream_id << " prod=" << producer
+     << (active ? " up" : " down");
+  return ss.str();
+}
+
+std::string NodeStateReport::describe() const {
+  std::ostringstream ss;
+  ss << "REPORT n" << node << " links=" << links.size();
+  return ss.str();
+}
+
+std::string OverloadAlarm::describe() const {
+  std::ostringstream ss;
+  ss << "OVERLOAD n" << node << " load=" << node_load;
+  return ss.str();
+}
+
+}  // namespace livenet::overlay

@@ -1,0 +1,256 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/frame.h"
+#include "overlay/path.h"
+#include "sim/message.h"
+#include "util/time.h"
+
+// Control-plane and overlay-internal messages: the subscription
+// protocol used to establish paths hop by hop (paper §4.4, "Overlay
+// Path Establishment"), client view/publish requests, and the messages
+// exchanged with the Streaming Brain (path lookup, stream registration,
+// state reports, overload alarms).
+namespace livenet::overlay {
+
+using ClientId = std::uint64_t;
+
+// ------------------------------------------------------------- data plane
+
+/// Hop-by-hop subscription: sent on the reverse route toward the
+/// producer. `remaining_reverse_path` lists the nodes still to walk
+/// (next hop first). A node that already carries the stream stops the
+/// backtracking (cache hit) — the source of the long-chain problem.
+class SubscribeRequest final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  std::vector<sim::NodeId> remaining_reverse_path;
+
+  std::size_t wire_size() const override {
+    return 32 + 4 * remaining_reverse_path.size();
+  }
+  std::string describe() const override;
+};
+
+/// Flows back downstream once the subscription anchored (at the
+/// producer or at a cache-hit relay). `cache_hit` is true if an
+/// intermediate node already carried the stream.
+class SubscribeAck final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  bool ok = true;
+  bool cache_hit = false;
+  int upstream_chain_hops = 0;  ///< hops from the anchor to this node
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+/// Sent upstream when the last subscriber/viewer of a stream leaves.
+class UnsubscribeRequest final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+
+  std::size_t wire_size() const override { return 16; }
+  std::string describe() const override;
+};
+
+// ------------------------------------------------------------ client side
+
+/// Broadcaster -> producer node: announce a stream (one per simulcast
+/// version).
+class PublishRequest final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  ClientId client_id = 0;
+  double bitrate_bps = 0.0;
+
+  std::size_t wire_size() const override { return 32; }
+  std::string describe() const override;
+};
+
+/// Viewer -> consumer node: start viewing a stream. The consumer runs
+/// Algorithm 1 (local hit or path lookup + establishment).
+/// `fallback_versions` lists lower-bitrate simulcast versions of the
+/// same broadcast (from the app manifest), best first — the consumer
+/// uses them for delegated bitrate selection (§5.2, "Thin Clients").
+class ViewRequest final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  ClientId client_id = 0;
+  std::vector<media::StreamId> fallback_versions;
+
+  std::size_t wire_size() const override {
+    return 24 + 8 * fallback_versions.size();
+  }
+  std::string describe() const override;
+};
+
+/// Broadcaster -> producer node: the stream ended.
+class PublishStop final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  ClientId client_id = 0;
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+/// App/producer -> consumer nodes: a broadcast switched to a co-stream
+/// (§5.2, "Seamless Stream Switching"): consumers resubscribe viewers
+/// of `from_stream` to `to_stream` on their behalf, flipping each
+/// client once a complete GoP of the new stream is available.
+class StreamSwitchNotice final : public sim::Message {
+ public:
+  media::StreamId from_stream = media::kNoStream;
+  media::StreamId to_stream = media::kNoStream;
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+/// Viewer -> consumer node: stop viewing.
+class ViewStop final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  ClientId client_id = 0;
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+/// Consumer node -> viewer: the view is active (first control response;
+/// media follows on the same access link).
+class ViewAck final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  bool ok = true;
+
+  std::size_t wire_size() const override { return 16; }
+  std::string describe() const override;
+};
+
+/// Viewer -> consumer node: periodic QoE report (stall count since last
+/// report); drives the quality-based path switching of §4.4.
+class ClientQualityReport final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  ClientId client_id = 0;
+  std::uint32_t stalls_since_last = 0;
+  std::uint32_t skips_since_last = 0;  ///< unrecoverable frame gaps
+  Duration avg_delay_us = 0;
+
+  std::size_t wire_size() const override { return 32; }
+  std::string describe() const override;
+};
+
+// ---------------------------------------------------------- brain traffic
+
+/// Consumer -> Brain: path lookup for a stream (Algorithm 1, GetPath).
+class PathRequest final : public sim::Message {
+ public:
+  std::uint64_t request_id = 0;
+  media::StreamId stream_id = media::kNoStream;
+  sim::NodeId consumer = sim::kNoNode;
+
+  std::size_t wire_size() const override { return 32; }
+  std::string describe() const override;
+};
+
+/// Brain -> consumer: candidate paths ordered by preference (3 in the
+/// paper's implementation), or empty on failure (unknown stream).
+class PathResponse final : public sim::Message {
+ public:
+  std::uint64_t request_id = 0;
+  media::StreamId stream_id = media::kNoStream;
+  std::vector<Path> paths;
+  bool last_resort = false;  ///< served from the last-resort pool
+
+  std::size_t wire_size() const override;
+  std::string describe() const override;
+};
+
+/// Brain -> nodes: proactive push of paths for popular broadcasters
+/// (§4.4: "for popular broadcasters, up-to-date overlay paths are
+/// proactively pushed to all overlay nodes in advance").
+class PathPush final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  std::vector<Path> paths;
+
+  std::size_t wire_size() const override;
+  std::string describe() const override;
+};
+
+/// New producer -> Brain (relayed from the broadcaster): the
+/// broadcaster moved; the old producer should become a relay fed by the
+/// new producer so existing downstream paths keep working (§7.1,
+/// "Mobility Support").
+class ProducerMigrate final : public sim::Message {
+ public:
+  std::vector<media::StreamId> streams;
+  sim::NodeId old_producer = sim::kNoNode;
+
+  std::size_t wire_size() const override { return 16 + 8 * streams.size(); }
+  std::string describe() const override;
+};
+
+/// Brain -> old producer: subscribe to the new producer for `stream`
+/// and keep serving your existing subscribers.
+class ProducerRelayInstruction final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  sim::NodeId new_producer = sim::kNoNode;
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+/// Producer -> Brain: stream (de)registration for the SIB.
+class StreamRegister final : public sim::Message {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  sim::NodeId producer = sim::kNoNode;
+  bool active = true;  ///< false: stream ended
+
+  std::size_t wire_size() const override { return 24; }
+  std::string describe() const override;
+};
+
+/// Measured state of one overlay link, as reported to Global Discovery.
+struct LinkReport {
+  sim::NodeId to = sim::kNoNode;
+  Duration rtt = 0;
+  double loss_rate = 0.0;
+  double utilization = 0.0;
+  bool actively_measured = false;  ///< true: UDP-ping, false: transport stats
+};
+
+/// Node -> Brain: periodic (1-minute) local view report.
+class NodeStateReport final : public sim::Message {
+ public:
+  sim::NodeId node = sim::kNoNode;
+  double node_load = 0.0;  ///< combined streams/CPU/memory metric, [0,1]
+  std::vector<LinkReport> links;
+
+  std::size_t wire_size() const override { return 32 + 24 * links.size(); }
+  std::string describe() const override;
+};
+
+/// Node -> Brain: real-time overload alarm (utilization >= target).
+class OverloadAlarm final : public sim::Message {
+ public:
+  sim::NodeId node = sim::kNoNode;
+  double node_load = 0.0;
+  std::vector<sim::NodeId> overloaded_links;  ///< peers of hot links
+
+  std::size_t wire_size() const override {
+    return 24 + 4 * overloaded_links.size();
+  }
+  std::string describe() const override;
+};
+
+}  // namespace livenet::overlay

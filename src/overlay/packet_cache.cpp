@@ -1,0 +1,60 @@
+#include "overlay/packet_cache.h"
+
+#include <algorithm>
+
+namespace livenet::overlay {
+
+void PacketGopCache::add(const media::RtpPacketPtr& pkt) {
+  if (pkt->is_audio()) return;  // only video is GoP-cached
+  auto& sc = streams_[pkt->stream_id];
+  if (pkt->is_keyframe_packet() && pkt->frag_index == 0) {
+    sc.keyframe_starts.push_back(sc.packets.size());
+  }
+  sc.packets.push_back(pkt);
+  prune(sc);
+}
+
+void PacketGopCache::prune(StreamCache& sc) {
+  while (sc.keyframe_starts.size() > max_gops_) {
+    // Drop everything before the second-oldest keyframe boundary.
+    sc.keyframe_starts.pop_front();
+    const std::size_t cut = sc.keyframe_starts.front();
+    sc.packets.erase(sc.packets.begin(),
+                     sc.packets.begin() + static_cast<std::ptrdiff_t>(cut));
+    for (auto& idx : sc.keyframe_starts) idx -= cut;
+  }
+}
+
+bool PacketGopCache::has_content(media::StreamId stream) const {
+  const auto it = streams_.find(stream);
+  return it != streams_.end() && !it->second.keyframe_starts.empty();
+}
+
+std::vector<media::RtpPacketPtr> PacketGopCache::startup_packets(
+    media::StreamId stream) const {
+  const auto it = streams_.find(stream);
+  if (it == streams_.end() || it->second.keyframe_starts.empty()) return {};
+  const auto& sc = it->second;
+  const std::size_t start = sc.keyframe_starts.back();
+  return {sc.packets.begin() + static_cast<std::ptrdiff_t>(start),
+          sc.packets.end()};
+}
+
+media::RtpPacketPtr PacketGopCache::find_packet(media::StreamId stream,
+                                                media::Seq seq) const {
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) return nullptr;
+  const auto& pkts = it->second.packets;
+  const auto pit = std::lower_bound(
+      pkts.begin(), pkts.end(), seq,
+      [](const media::RtpPacketPtr& p, media::Seq s) { return p->seq < s; });
+  if (pit == pkts.end() || (*pit)->seq != seq) return nullptr;
+  return *pit;
+}
+
+std::size_t PacketGopCache::cached_packets(media::StreamId stream) const {
+  const auto it = streams_.find(stream);
+  return it != streams_.end() ? it->second.packets.size() : 0;
+}
+
+}  // namespace livenet::overlay

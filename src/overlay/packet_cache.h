@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "media/rtp.h"
+
+// Packet-granularity GoP cache. The frame-level media::GopCache answers
+// "what content do we have"; this cache holds the actual RTP packets
+// (in seq order, as delivered by the slow path) so that a node can
+// burst everything from the latest I-frame boundary to a new subscriber
+// — the fast-startup mechanism of §5.1 and the cache-hit response
+// during path establishment in §4.4.
+namespace livenet::overlay {
+
+class PacketGopCache {
+ public:
+  /// Keeps packets covering at most `max_gops` GoP boundaries.
+  explicit PacketGopCache(std::size_t max_gops = 2) : max_gops_(max_gops) {}
+
+  /// Adds an in-order packet (slow-path delivery order).
+  void add(const media::RtpPacketPtr& pkt);
+
+  /// True once at least one keyframe boundary is cached for the stream.
+  bool has_content(media::StreamId stream) const;
+
+  /// Packets from the newest I-frame start through the newest packet.
+  std::vector<media::RtpPacketPtr> startup_packets(
+      media::StreamId stream) const;
+
+  /// Looks up a cached packet by sequence number (binary search over
+  /// the seq-ordered cache). Serves NACK-recovery fallbacks.
+  media::RtpPacketPtr find_packet(media::StreamId stream,
+                                  media::Seq seq) const;
+
+  void forget_stream(media::StreamId stream) { streams_.erase(stream); }
+
+  std::size_t cached_packets(media::StreamId stream) const;
+
+ private:
+  struct StreamCache {
+    std::deque<media::RtpPacketPtr> packets;  // seq order
+    std::deque<std::size_t> keyframe_starts;  // indices into packets
+  };
+
+  void prune(StreamCache& sc);
+
+  std::size_t max_gops_;
+  std::unordered_map<media::StreamId, StreamCache> streams_;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,16 @@
+#include "overlay/path.h"
+
+#include <sstream>
+
+namespace livenet::overlay {
+
+std::string to_string(const Path& p) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) ss << "->";
+    ss << p[i];
+  }
+  return ss.str();
+}
+
+}  // namespace livenet::overlay

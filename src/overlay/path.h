@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+
+// Overlay path representation shared by the data plane and the
+// Streaming Brain. A path lists the overlay nodes from the producer to
+// the consumer, both endpoints included. "Path length" in the paper is
+// the hop count, i.e. nodes - 1 (a 0-length path is a single node that
+// is both producer and consumer).
+namespace livenet::overlay {
+
+using Path = std::vector<sim::NodeId>;
+
+/// Hop count of a path (0 for a single-node path; -1 for an empty one).
+inline int path_length(const Path& p) {
+  return static_cast<int>(p.size()) - 1;
+}
+
+std::string to_string(const Path& p);
+
+}  // namespace livenet::overlay

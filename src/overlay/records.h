@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "media/frame.h"
+#include "sim/message.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+// Measurement records produced by the data plane, mirroring the paper's
+// evaluation data sources (§6.1): the first source is "logged at CDN
+// consumer nodes, where each log corresponds to a stream [view]" with
+// path length, CDN path delay, first-packet delay and a local-hit
+// indicator. (The client-side QoE log lives in client/records.h; the
+// Brain's path-request log lives with the Path Decision module.)
+namespace livenet::overlay {
+
+struct ViewSession {
+  // Identity.
+  media::StreamId stream = media::kNoStream;
+  sim::NodeId consumer = sim::kNoNode;
+  sim::NodeId client = sim::kNoNode;
+
+  // Consumer-node log fields (paper's first data source).
+  Time request_time = kNever;
+  bool local_hit = false;    ///< path info already on the node
+  bool last_resort = false;  ///< served via a last-resort path
+  Time first_packet_time = kNever;
+  int path_length = -1;      ///< overlay hops actually traversed (latest)
+  OnlineStats cdn_delay_ms;  ///< per-packet ingress->egress delay samples
+  Duration path_response_rtt = kNever;  ///< consumer-observed lookup RTT
+  int path_switches = 0;     ///< quality-triggered re-routes
+  int bitrate_downgrades = 0;  ///< consumer-delegated simulcast switches
+  int costream_switches = 0;   ///< seamless co-stream flips
+  bool failed = false;
+  Time end_time = kNever;
+
+  Duration first_packet_delay() const {
+    return (first_packet_time == kNever || request_time == kNever)
+               ? kNever
+               : first_packet_time - request_time;
+  }
+};
+
+/// Append-only collector shared by all overlay nodes of one experiment.
+/// Deque: records keep stable addresses, so consumer nodes hold a
+/// pointer to the session they are updating.
+class OverlayMetrics {
+ public:
+  ViewSession& new_session() { return sessions_.emplace_back(); }
+  const std::deque<ViewSession>& sessions() const { return sessions_; }
+  std::deque<ViewSession>& sessions() { return sessions_; }
+
+ private:
+  std::deque<ViewSession> sessions_;
+};
+
+}  // namespace livenet::overlay

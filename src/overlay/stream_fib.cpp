@@ -1,0 +1,24 @@
+#include "overlay/stream_fib.h"
+
+namespace livenet::overlay {
+
+void StreamFib::remove_node_subscriber(media::StreamId s, sim::NodeId n) {
+  const auto it = map_.find(s);
+  if (it == map_.end()) return;
+  it->second.subscriber_nodes.erase(n);
+}
+
+void StreamFib::remove_client_subscriber(media::StreamId s, ClientId c) {
+  const auto it = map_.find(s);
+  if (it == map_.end()) return;
+  it->second.subscriber_clients.erase(c);
+}
+
+std::vector<media::StreamId> StreamFib::streams() const {
+  std::vector<media::StreamId> out;
+  out.reserve(map_.size());
+  for (const auto& [s, e] : map_) out.push_back(s);
+  return out;
+}
+
+}  // namespace livenet::overlay

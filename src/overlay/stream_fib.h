@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "media/frame.h"
+#include "overlay/messages.h"
+#include "sim/message.h"
+
+// Stream Forwarding Information Base (paper §5.1): for each stream, the
+// set of downstream overlay nodes and locally attached clients that
+// subscribed to it. Updated by subscription/unsubscription requests;
+// consulted by the fast path on every packet.
+namespace livenet::overlay {
+
+class StreamFib {
+ public:
+  struct Entry {
+    std::unordered_set<sim::NodeId> subscriber_nodes;
+    std::unordered_set<ClientId> subscriber_clients;
+    sim::NodeId upstream = sim::kNoNode;  ///< where we receive it from
+    bool locally_produced = false;        ///< this node is the producer
+
+    bool has_subscribers() const {
+      return !subscriber_nodes.empty() || !subscriber_clients.empty();
+    }
+  };
+
+  bool contains(media::StreamId s) const { return map_.count(s) != 0; }
+
+  Entry& entry(media::StreamId s) { return map_[s]; }
+  const Entry* find(media::StreamId s) const {
+    const auto it = map_.find(s);
+    return it != map_.end() ? &it->second : nullptr;
+  }
+
+  void add_node_subscriber(media::StreamId s, sim::NodeId n) {
+    map_[s].subscriber_nodes.insert(n);
+  }
+  void add_client_subscriber(media::StreamId s, ClientId c) {
+    map_[s].subscriber_clients.insert(c);
+  }
+  void remove_node_subscriber(media::StreamId s, sim::NodeId n);
+  void remove_client_subscriber(media::StreamId s, ClientId c);
+  void erase(media::StreamId s) { map_.erase(s); }
+
+  std::size_t stream_count() const { return map_.size(); }
+
+  std::vector<media::StreamId> streams() const;
+
+ private:
+  std::unordered_map<media::StreamId, Entry> map_;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,62 @@
+#include "sim/event_loop.h"
+
+#include "util/logging.h"
+
+namespace livenet::sim {
+
+EventId EventLoop::schedule_at(Time when, Callback cb) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+EventId EventLoop::schedule_after(Duration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void EventLoop::cancel(EventId id) { live_.erase(id); }
+
+void EventLoop::prune() {
+  while (!queue_.empty() && live_.find(queue_.top().id) == live_.end()) {
+    queue_.pop();
+  }
+}
+
+bool EventLoop::dispatch_next() {
+  prune();
+  if (queue_.empty()) return false;
+  // Moving out of top() requires const_cast; the element is popped
+  // immediately afterwards so the moved-from state is never observed.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  live_.erase(ev.id);
+  now_ = ev.when;
+  Logger::set_now(now_);
+  ++dispatched_;
+  ev.cb();
+  return true;
+}
+
+void EventLoop::run_until(Time until_time) {
+  for (;;) {
+    prune();
+    if (queue_.empty() || queue_.top().when > until_time) break;
+    dispatch_next();
+  }
+  if (now_ < until_time) {
+    now_ = until_time;
+    Logger::set_now(now_);
+  }
+}
+
+void EventLoop::run() {
+  while (dispatch_next()) {
+  }
+}
+
+bool EventLoop::step() { return dispatch_next(); }
+
+}  // namespace livenet::sim

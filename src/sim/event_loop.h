@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+// Discrete-event simulation core.
+//
+// The event loop owns virtual time. Components schedule callbacks at
+// absolute times or after delays; run() dispatches them in (time, FIFO)
+// order. Events scheduled for the same instant run in the order they
+// were scheduled, which keeps whole-system runs deterministic.
+namespace livenet::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is O(1): the
+/// event stays in the queue but is skipped on pop.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules cb at absolute time `when` (clamped to >= now). Returns a
+  /// handle usable with cancel().
+  EventId schedule_at(Time when, Callback cb);
+
+  /// Schedules cb `delay` after now (delay clamped to >= 0).
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs until the queue drains or until_time is passed (whichever is
+  /// first). Events at exactly until_time still run, and now() advances
+  /// to until_time even if the queue drains earlier.
+  void run_until(Time until_time);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Dispatches at most one event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events dispatched so far (for tests / sanity checks).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Pending (non-cancelled) events.
+  std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-breaker: FIFO within the same instant
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_next();
+  void prune();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;  // scheduled and not yet run/cancelled
+};
+
+}  // namespace livenet::sim

@@ -1,0 +1,76 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace livenet::sim {
+
+Link::Link(EventLoop* loop, NodeId src, NodeId dst, const LinkConfig& cfg,
+           Rng rng)
+    : loop_(loop), src_(src), dst_(dst), cfg_(cfg), rng_(rng) {}
+
+std::size_t Link::backlog_bytes() const {
+  const Time now = loop_->now();
+  if (busy_until_ <= now) return 0;
+  const double secs = to_sec(busy_until_ - now);
+  return static_cast<std::size_t>(secs * cfg_.bandwidth_bps / 8.0);
+}
+
+SendResult Link::send(std::size_t bytes) {
+  roll_bin();
+  ++stats_.packets_sent;
+
+  // Tail drop when the transmit queue is over the configured limit.
+  if (backlog_bytes() > cfg_.queue_limit_bytes) {
+    ++stats_.packets_dropped;
+    return SendResult{};
+  }
+
+  const Time now = loop_->now();
+  const auto serialization =
+      static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                            cfg_.bandwidth_bps * static_cast<double>(kSec));
+  busy_until_ = std::max(busy_until_, now) + serialization;
+  stats_.bytes_sent += bytes;
+  bin_bytes_ += bytes;
+
+  // Random wire loss (applied after the packet occupied the transmitter,
+  // as a real lost packet would).
+  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+    ++stats_.packets_lost;
+    return SendResult{};
+  }
+
+  Duration jitter = 0;
+  if (cfg_.jitter_stddev > 0) {
+    jitter = static_cast<Duration>(
+        std::abs(rng_.normal(0.0, static_cast<double>(cfg_.jitter_stddev))));
+  }
+  ++stats_.packets_delivered;
+  return SendResult{true, busy_until_ + cfg_.propagation_delay + jitter};
+}
+
+void Link::roll_bin() const {
+  const Time now = loop_->now();
+  while (now - bin_start_ >= kBin) {
+    const double capacity_bytes = cfg_.bandwidth_bps / 8.0 * to_sec(kBin);
+    const double bin_util =
+        capacity_bytes > 0.0 ? static_cast<double>(bin_bytes_) / capacity_bytes
+                             : 0.0;
+    util_ewma_ = 0.5 * util_ewma_ + 0.5 * std::min(1.0, bin_util);
+    bin_bytes_ = 0;
+    bin_start_ += kBin;
+    // Fast-forward over long idle gaps instead of iterating bin by bin.
+    if (now - bin_start_ >= 32 * kBin) {
+      util_ewma_ = 0.0;
+      bin_start_ = now - (now % kBin);
+    }
+  }
+}
+
+double Link::utilization() const {
+  roll_bin();
+  return util_ewma_;
+}
+
+}  // namespace livenet::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+// Messages exchanged between simulated nodes.
+//
+// The simulator treats payloads as opaque: a Message carries only its
+// wire size (which drives serialization delay and bandwidth accounting)
+// and a runtime type used by receivers to dispatch. Higher layers
+// subclass Message (RtpPacket, NackMessage, SubscribeRequest, ...).
+//
+// Messages are immutable once sent and are shared by reference count:
+// the fast path forwards the *same* packet object to many subscribers,
+// mirroring the zero-copy forwarding the paper's nodes implement.
+namespace livenet::sim {
+
+/// Node identifier within a Network. Dense, assigned at registration.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Wire size in bytes (headers + payload), used for link transmission
+  /// time and utilization accounting.
+  virtual std::size_t wire_size() const = 0;
+
+  /// Human-readable type tag for logs and traces.
+  virtual std::string describe() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace livenet::sim

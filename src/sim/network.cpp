@@ -1,0 +1,69 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace livenet::sim {
+
+NodeId Network::add_node(SimNode* node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(node);
+  node->set_node_id(id);
+  return id;
+}
+
+Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg) {
+  auto link_ptr = std::make_unique<Link>(loop_, src, dst, cfg, rng_.fork());
+  Link* raw = link_ptr.get();
+  const auto k = key(src, dst);
+  const bool existed = links_.find(k) != links_.end();
+  links_[k] = std::move(link_ptr);
+  if (!existed) adjacency_[src].push_back(dst);
+  return raw;
+}
+
+void Network::add_bidi_link(NodeId a, NodeId b, const LinkConfig& cfg) {
+  add_link(a, b, cfg);
+  add_link(b, a, cfg);
+}
+
+bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
+  Link* l = link(src, dst);
+  if (l == nullptr) {
+    LIVENET_LOG(kWarn) << "send: no link " << src << "->" << dst << " for "
+                       << msg->describe();
+    return false;
+  }
+  const SendResult res = l->send(msg->wire_size());
+  if (!res.delivered) return false;
+  SimNode* receiver = node(dst);
+  loop_->schedule_at(res.arrival_time,
+                     [receiver, src, msg = std::move(msg)]() {
+                       receiver->on_message(src, msg);
+                     });
+  return true;
+}
+
+Link* Network::link(NodeId src, NodeId dst) {
+  const auto it = links_.find(key(src, dst));
+  return it != links_.end() ? it->second.get() : nullptr;
+}
+
+const Link* Network::link(NodeId src, NodeId dst) const {
+  const auto it = links_.find(key(src, dst));
+  return it != links_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<NodeId> Network::neighbors(NodeId src) const {
+  const auto it = adjacency_.find(src);
+  return it != adjacency_.end() ? it->second : std::vector<NodeId>{};
+}
+
+std::uint64_t Network::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& [k, l] : links_) total += l->stats().bytes_sent;
+  return total;
+}
+
+}  // namespace livenet::sim

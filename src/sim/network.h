@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "sim/message.h"
+#include "sim/sim_node.h"
+#include "util/rng.h"
+
+// The simulated network: a registry of nodes and directed links plus the
+// delivery machinery. send() runs the packet through the link model and
+// schedules the receiver's on_message() upcall at the computed arrival
+// time.
+namespace livenet::sim {
+
+class Network {
+ public:
+  explicit Network(EventLoop* loop, std::uint64_t seed = 1)
+      : loop_(loop), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; assigns and returns its NodeId. The Network does
+  /// not own the node; callers keep it alive for the Network's lifetime.
+  NodeId add_node(SimNode* node);
+
+  /// Creates a directed link src -> dst. Replaces any existing link on
+  /// that pair.
+  Link* add_link(NodeId src, NodeId dst, const LinkConfig& cfg);
+
+  /// Creates both directions with the same configuration.
+  void add_bidi_link(NodeId a, NodeId b, const LinkConfig& cfg);
+
+  /// Sends msg from src to dst over the configured link. Returns false
+  /// if no link exists or the packet was dropped/lost. On success the
+  /// receiver's on_message runs at the arrival time.
+  bool send(NodeId src, NodeId dst, MessagePtr msg);
+
+  /// Link accessor (nullptr if absent).
+  Link* link(NodeId src, NodeId dst);
+  const Link* link(NodeId src, NodeId dst) const;
+
+  /// Neighbors reachable via an outgoing link from `src`.
+  std::vector<NodeId> neighbors(NodeId src) const;
+
+  SimNode* node(NodeId id) { return id >= 0 && static_cast<std::size_t>(id) < nodes_.size() ? nodes_[static_cast<std::size_t>(id)] : nullptr; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  EventLoop* loop() { return loop_; }
+
+  /// Total bytes accepted across all links (throughput accounting).
+  std::uint64_t total_bytes_sent() const;
+
+ private:
+  static std::uint64_t key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  EventLoop* loop_;
+  Rng rng_;
+  std::vector<SimNode*> nodes_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace livenet::sim

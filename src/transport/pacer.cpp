@@ -1,0 +1,84 @@
+#include "transport/pacer.h"
+
+#include <algorithm>
+
+namespace livenet::transport {
+
+using media::RtpPacketPtr;
+
+Pacer::Pacer(sim::EventLoop* loop, SendFn send, const Config& cfg)
+    : loop_(loop), send_(std::move(send)), cfg_(cfg) {}
+
+Pacer::~Pacer() {
+  if (timer_ != sim::kInvalidEvent) loop_->cancel(timer_);
+}
+
+void Pacer::enqueue(RtpPacketPtr pkt) {
+  const std::size_t sz = pkt->wire_size();
+  if (queue_bytes_ + sz > cfg_.max_queue_bytes && !pkt->is_audio()) {
+    // Overflow: video (and rtx) beyond the cap is dropped; loss recovery
+    // upstream of the receiver deals with the hole.
+    ++packets_dropped_;
+    return;
+  }
+  queue_bytes_ += sz;
+  if (pkt->is_audio()) {
+    audio_q_.push_back(std::move(pkt));
+  } else if (pkt->is_rtx) {
+    rtx_q_.push_back(std::move(pkt));
+  } else {
+    video_q_.push_back(std::move(pkt));
+  }
+  arm();
+}
+
+void Pacer::set_rate_bps(double bps) {
+  cfg_.rate_bps = std::max(bps, 1e3);
+}
+
+Duration Pacer::drain_time() const {
+  return static_cast<Duration>(static_cast<double>(queue_bytes_) * 8.0 /
+                               cfg_.rate_bps * static_cast<double>(kSec));
+}
+
+media::RtpPacketPtr Pacer::pop_next() {
+  auto take = [this](std::deque<RtpPacketPtr>& q) {
+    RtpPacketPtr p = std::move(q.front());
+    q.pop_front();
+    queue_bytes_ -= p->wire_size();
+    return p;
+  };
+  if (!audio_q_.empty()) return take(audio_q_);
+  if (!rtx_q_.empty()) return take(rtx_q_);
+  if (!video_q_.empty()) return take(video_q_);
+  return nullptr;
+}
+
+void Pacer::arm() {
+  if (timer_ != sim::kInvalidEvent) return;
+  if (queue_packets() == 0) return;
+  const Time now = loop_->now();
+  // Allow a bounded idle credit so a long-quiet pacer does not burst.
+  next_send_ok_ = std::max(next_send_ok_, now - cfg_.max_burst);
+  timer_ = loop_->schedule_at(std::max(next_send_ok_, now), [this] {
+    timer_ = sim::kInvalidEvent;
+    fire();
+  });
+}
+
+void Pacer::fire() {
+  RtpPacketPtr pkt = pop_next();
+  if (!pkt) return;
+  const double gain =
+      pkt->frame_type == media::FrameType::kI ? cfg_.i_frame_gain : 1.0;
+  const auto interval = static_cast<Duration>(
+      static_cast<double>(pkt->wire_size()) * 8.0 /
+      (cfg_.rate_bps * gain) * static_cast<double>(kSec));
+  const Time now = loop_->now();
+  next_send_ok_ = std::max(next_send_ok_, now) + interval;
+  ++packets_sent_;
+  send_(pkt);
+  arm();
+}
+
+}  // namespace livenet::transport

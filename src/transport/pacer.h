@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "media/rtp.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+
+// Priority-aware pacer (paper §5.2, "Priority-Aware Data Sending").
+//
+// One pacer drives each outgoing link of an overlay node. The fast path
+// enqueues packets here; the slow path's GCC instance sets the pacing
+// rate. Priorities: audio first (avoids head-of-line blocking behind
+// large video frames), then retransmissions ("retransmitted packets
+// have a higher sending priority than the packets in the send queue"),
+// then video. I-frame packets are sent with a pacing gain of 1.5 to
+// drain the large keyframe quickly.
+namespace livenet::transport {
+
+class Pacer {
+ public:
+  struct Config {
+    double rate_bps = 10e6;
+    double i_frame_gain = 1.5;  ///< pacing gain while sending I frames
+    std::size_t max_queue_bytes = 8 * 1024 * 1024;  ///< hard cap; drops video
+    Duration max_burst = 1 * kMs;  ///< idle credit the pacer may burn
+  };
+
+  using SendFn = std::function<void(const media::RtpPacketPtr&)>;
+
+  Pacer(sim::EventLoop* loop, SendFn send) : Pacer(loop, std::move(send), Config()) {}
+  Pacer(sim::EventLoop* loop, SendFn send, const Config& cfg);
+  ~Pacer();
+  Pacer(const Pacer&) = delete;
+  Pacer& operator=(const Pacer&) = delete;
+
+  /// Enqueues a packet; priority class is derived from the packet
+  /// (audio / rtx / video).
+  void enqueue(media::RtpPacketPtr pkt);
+
+  /// Updates the pacing rate (called by the GCC sender on feedback).
+  void set_rate_bps(double bps);
+  double rate_bps() const { return cfg_.rate_bps; }
+
+  /// Total bytes waiting across all priority queues.
+  std::size_t queue_bytes() const { return queue_bytes_; }
+  std::size_t queue_packets() const {
+    return audio_q_.size() + rtx_q_.size() + video_q_.size();
+  }
+
+  /// Time to drain the current queue at the current rate — the signal
+  /// the consumer's frame dropper watches.
+  Duration drain_time() const;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  void arm();
+  void fire();
+  media::RtpPacketPtr pop_next();
+
+  sim::EventLoop* loop_;
+  SendFn send_;
+  Config cfg_;
+  std::deque<media::RtpPacketPtr> audio_q_;
+  std::deque<media::RtpPacketPtr> rtx_q_;
+  std::deque<media::RtpPacketPtr> video_q_;
+  std::size_t queue_bytes_ = 0;
+  Time next_send_ok_ = 0;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace livenet::transport

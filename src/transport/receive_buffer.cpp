@@ -1,0 +1,172 @@
+#include "transport/receive_buffer.h"
+
+#include <algorithm>
+
+namespace livenet::transport {
+
+using media::RtpPacketPtr;
+using media::Seq;
+using media::StreamId;
+
+ReceiveBuffer::ReceiveBuffer(sim::EventLoop* loop, DeliverFn deliver,
+                             GapFn gap, NackFn nack, const Config& cfg)
+    : loop_(loop), deliver_(std::move(deliver)), gap_(std::move(gap)),
+      nack_(std::move(nack)), cfg_(cfg) {}
+
+ReceiveBuffer::~ReceiveBuffer() {
+  if (scan_timer_ != sim::kInvalidEvent) loop_->cancel(scan_timer_);
+}
+
+void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
+  ++received_since_fb_;
+  auto& st = streams_[flow_key(pkt->stream_id, pkt->is_audio())];
+  if (!st.started) {
+    // First packet of this stream from this upstream: sync to it.
+    st.started = true;
+    st.next_expected = pkt->seq;
+  }
+  if (pkt->seq < st.next_expected) {
+    ++duplicates_;
+    return;
+  }
+  if (st.buffered.count(pkt->seq) != 0) {
+    ++duplicates_;
+    return;
+  }
+
+  if (pkt->seq > st.next_expected) {
+    // Mark newly discovered holes.
+    const Seq scan_from =
+        st.buffered.empty() ? st.next_expected
+                            : std::max(st.next_expected,
+                                       st.buffered.rbegin()->first + 1);
+    for (Seq s = scan_from; s < pkt->seq; ++s) {
+      if (st.buffered.count(s) == 0 && st.missing.count(s) == 0) {
+        st.missing.emplace(s, MissInfo{loop_->now(), kNever, 0});
+        ++holes_since_fb_;
+      }
+    }
+  }
+  st.missing.erase(pkt->seq);
+  st.buffered.emplace(pkt->seq, pkt);
+  drain_in_order(st);
+
+  // Bound the out-of-order buffer: if it overflows, force-skip to its
+  // start (treat the unrecovered range as a gap).
+  if (st.buffered.size() > cfg_.max_buffered) {
+    const Seq first_buffered = st.buffered.begin()->first;
+    for (Seq s = st.next_expected; s < first_buffered; ++s) {
+      st.missing.erase(s);
+    }
+    st.next_expected = first_buffered;
+    ++gaps_;
+    gap_(pkt->stream_id);
+    drain_in_order(st);
+  }
+
+  if (scan_timer_ == sim::kInvalidEvent) {
+    scan_timer_ = loop_->schedule_after(cfg_.nack_interval, [this] {
+      scan_timer_ = sim::kInvalidEvent;
+      scan();
+    });
+  }
+}
+
+void ReceiveBuffer::drain_in_order(StreamState& st) {
+  auto it = st.buffered.find(st.next_expected);
+  while (it != st.buffered.end()) {
+    deliver_(it->second);
+    ++delivered_;
+    st.buffered.erase(it);
+    ++st.next_expected;
+    it = st.buffered.find(st.next_expected);
+  }
+}
+
+void ReceiveBuffer::scan() {
+  const Time now = loop_->now();
+  bool any_pending = false;
+  for (auto& [key, st] : streams_) {
+    const media::StreamId stream = key / 2;
+    const bool audio = (key & 1) != 0;
+    std::vector<Seq> to_nack;
+    std::vector<Seq> to_abandon;
+    for (auto& [seq, info] : st.missing) {
+      if (now - info.first_missed >= cfg_.giveup_after ||
+          info.nacks >= cfg_.max_nacks_per_seq) {
+        to_abandon.push_back(seq);
+        continue;
+      }
+      if (info.last_nack == kNever ||
+          now - info.last_nack >= cfg_.nack_interval) {
+        to_nack.push_back(seq);
+        info.last_nack = now;
+        ++info.nacks;
+      }
+    }
+    if (!to_nack.empty()) {
+      ++nacks_sent_;
+      nack_(stream, audio, to_nack);
+    }
+    if (!to_abandon.empty()) {
+      // Skip over abandoned holes: advance next_expected past each
+      // abandoned seq when it is the blocking one.
+      for (Seq s : to_abandon) st.missing.erase(s);
+      bool skipped = false;
+      while (!st.missing.empty() || !st.buffered.empty()) {
+        if (st.buffered.count(st.next_expected) != 0) {
+          drain_in_order(st);
+          continue;
+        }
+        if (st.missing.count(st.next_expected) != 0) break;  // still hoping
+        // next_expected is neither buffered nor tracked-missing: it was
+        // abandoned; skip it.
+        if (st.buffered.empty()) break;
+        ++st.next_expected;
+        skipped = true;
+      }
+      if (skipped) {
+        ++gaps_;
+        gap_(stream);
+      }
+    }
+    if (!st.missing.empty()) any_pending = true;
+  }
+  if (any_pending && scan_timer_ == sim::kInvalidEvent) {
+    scan_timer_ = loop_->schedule_after(cfg_.nack_interval, [this] {
+      scan_timer_ = sim::kInvalidEvent;
+      scan();
+    });
+  }
+}
+
+std::vector<RtpPacketPtr> ReceiveBuffer::buffered_packets(
+    StreamId stream) const {
+  std::vector<RtpPacketPtr> out;
+  for (const bool audio : {false, true}) {
+    const auto it = streams_.find(flow_key(stream, audio));
+    if (it == streams_.end()) continue;
+    for (const auto& [seq, pkt] : it->second.buffered) {
+      out.push_back(pkt);
+    }
+  }
+  return out;
+}
+
+void ReceiveBuffer::forget_stream(StreamId stream) {
+  streams_.erase(flow_key(stream, false));
+  streams_.erase(flow_key(stream, true));
+}
+
+double ReceiveBuffer::take_loss_fraction() {
+  const std::uint64_t expected = received_since_fb_ + holes_since_fb_;
+  const double frac =
+      expected > 0
+          ? static_cast<double>(holes_since_fb_) / static_cast<double>(expected)
+          : 0.0;
+  holes_since_fb_ = 0;
+  received_since_fb_ = 0;
+  return frac;
+}
+
+}  // namespace livenet::transport

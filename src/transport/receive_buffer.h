@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "media/rtp.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+
+// Slow-path RTP receive buffer with hole detection (paper §5.1): "each
+// node examines holes in the sequence numbers of the received RTP
+// packets every 50 ms and sends the sequence numbers of the lost
+// packets to the upstream node in RTCP NACK messages."
+//
+// One ReceiveBuffer instance handles all streams arriving from one
+// upstream neighbor. It delivers packets to the framing layer in seq
+// order, emits NACK lists on a 50 ms scan, and gives up on holes older
+// than a deadline (delivering a gap notification so framing can discard
+// the damaged frame).
+namespace livenet::transport {
+
+class ReceiveBuffer {
+ public:
+  struct Config {
+    Duration nack_interval = 50 * kMs;  ///< hole scan period
+    Duration giveup_after = 500 * kMs;  ///< abandon recovery beyond this
+    int max_nacks_per_seq = 8;          ///< retry bound per missing seq
+    std::size_t max_buffered = 4096;    ///< out-of-order packets per stream
+  };
+
+  /// Ordered delivery upcall (packet is the original or a recovered
+  /// retransmission). Ordering is per flow: audio and video of a stream
+  /// are independent RTP flows with their own sequence spaces.
+  using DeliverFn = std::function<void(const media::RtpPacketPtr&)>;
+  /// Unrecoverable hole: the (video or audio) flow skipped ahead.
+  using GapFn = std::function<void(media::StreamId)>;
+  /// NACK transmission upcall: send `missing` of the given flow
+  /// (audio=true/false) to the upstream node.
+  using NackFn = std::function<void(media::StreamId, bool,
+                                    const std::vector<media::Seq>&)>;
+
+  ReceiveBuffer(sim::EventLoop* loop, DeliverFn deliver, GapFn gap,
+                NackFn nack)
+      : ReceiveBuffer(loop, std::move(deliver), std::move(gap),
+                      std::move(nack), Config()) {}
+  ReceiveBuffer(sim::EventLoop* loop, DeliverFn deliver, GapFn gap,
+                NackFn nack, const Config& cfg);
+  ~ReceiveBuffer();
+  ReceiveBuffer(const ReceiveBuffer&) = delete;
+  ReceiveBuffer& operator=(const ReceiveBuffer&) = delete;
+
+  void on_packet(const media::RtpPacketPtr& pkt);
+
+  /// Drops all state for a stream.
+  void forget_stream(media::StreamId stream);
+
+  /// Packets buffered beyond the in-order head (both flows, seq order):
+  /// content that has arrived but is blocked behind a recovery hole.
+  /// Used to shrink the cache-burst seam when serving new subscribers.
+  std::vector<media::RtpPacketPtr> buffered_packets(
+      media::StreamId stream) const;
+
+  std::uint64_t packets_delivered() const { return delivered_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t gaps() const { return gaps_; }
+  std::uint64_t nacks_sent() const { return nacks_sent_; }
+
+  /// Loss fraction observed since the last call (holes first detected /
+  /// packets expected); used for CC feedback.
+  double take_loss_fraction();
+
+ private:
+  struct MissInfo {
+    Time first_missed = 0;
+    Time last_nack = kNever;
+    int nacks = 0;
+  };
+  struct StreamState {
+    bool started = false;
+    media::Seq next_expected = 0;
+    std::map<media::Seq, media::RtpPacketPtr> buffered;
+    std::map<media::Seq, MissInfo> missing;
+  };
+
+  void scan();
+  void drain_in_order(StreamState& st);
+
+  /// Flow key: stream id + media kind (audio/video are separate flows).
+  static std::uint64_t flow_key(media::StreamId s, bool audio) {
+    return s * 2 + (audio ? 1 : 0);
+  }
+
+  sim::EventLoop* loop_;
+  DeliverFn deliver_;
+  GapFn gap_;
+  NackFn nack_;
+  Config cfg_;
+  std::unordered_map<std::uint64_t, StreamState> streams_;
+  sim::EventId scan_timer_ = sim::kInvalidEvent;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t gaps_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t holes_since_fb_ = 0;
+  std::uint64_t received_since_fb_ = 0;
+};
+
+}  // namespace livenet::transport

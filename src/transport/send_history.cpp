@@ -1,0 +1,44 @@
+#include "transport/send_history.h"
+
+namespace livenet::transport {
+
+void SendHistory::record(const media::RtpPacketPtr& pkt, Time now) {
+  prune(now);
+  const Key k{flow_id(pkt->stream_id, pkt->is_audio()), pkt->seq};
+  by_key_[k] = {pkt, now};
+  fifo_.emplace_back(now, k);
+}
+
+media::RtpPacketPtr SendHistory::lookup(media::StreamId stream, bool audio,
+                                        media::Seq seq, Time now) {
+  prune(now);
+  const auto it = by_key_.find(Key{flow_id(stream, audio), seq});
+  if (it == by_key_.end()) return nullptr;
+  return it->second.first;
+}
+
+void SendHistory::forget_stream(media::StreamId stream) {
+  // Lazy: entries are dropped on prune; here we only remove the map
+  // entries so lookups fail immediately.
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    if (it->first.stream / 2 == stream) {
+      it = by_key_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SendHistory::prune(Time now) {
+  while (!fifo_.empty() && (fifo_.front().first < now - cfg_.max_age ||
+                            fifo_.size() > cfg_.max_packets)) {
+    const auto& [t, k] = fifo_.front();
+    const auto it = by_key_.find(k);
+    // Only erase if this FIFO entry is the latest record for the key
+    // (a re-recorded packet leaves a stale FIFO entry behind).
+    if (it != by_key_.end() && it->second.second == t) by_key_.erase(it);
+    fifo_.pop_front();
+  }
+}
+
+}  // namespace livenet::transport

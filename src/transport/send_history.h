@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "media/rtp.h"
+#include "util/time.h"
+
+// Bounded history of recently sent packets, used by the slow path's
+// loss-recovery module to answer NACKs from the downstream node
+// (paper §5.1: "The lost packets will then be retransmitted by the loss
+// recovery module in the upstream node").
+namespace livenet::transport {
+
+class SendHistory {
+ public:
+  struct Config {
+    Duration max_age = 2 * kSec;        ///< drop entries older than this
+    std::size_t max_packets = 100000;   ///< hard bound on memory
+  };
+
+  SendHistory() : SendHistory(Config()) {}
+  explicit SendHistory(const Config& cfg) : cfg_(cfg) {}
+
+  /// Records a sent packet (keyed by stream + flow kind + seq).
+  void record(const media::RtpPacketPtr& pkt, Time now);
+
+  /// Looks up a packet for retransmission; nullptr if expired/unknown.
+  media::RtpPacketPtr lookup(media::StreamId stream, bool audio,
+                             media::Seq seq, Time now);
+
+  /// Drops all state for a stream (unsubscribe / stream end).
+  void forget_stream(media::StreamId stream);
+
+  std::size_t size() const { return by_key_.size(); }
+
+ private:
+  static std::uint64_t key_hash(media::StreamId stream, media::Seq seq) {
+    // Streams and seqs are both dense counters; mix them.
+    return stream * 0x9E3779B97F4A7C15ull ^ seq;
+  }
+
+  struct Key {
+    media::StreamId stream;  ///< stream*2 + audio-flag (flow id)
+    media::Seq seq;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const {
+      return key_hash(k.stream, k.seq);
+    }
+  };
+  static media::StreamId flow_id(media::StreamId stream, bool audio) {
+    return stream * 2 + (audio ? 1 : 0);
+  }
+
+  void prune(Time now);
+
+  Config cfg_;
+  std::unordered_map<Key, std::pair<media::RtpPacketPtr, Time>, KeyHasher>
+      by_key_;
+  std::deque<std::pair<Time, Key>> fifo_;
+};
+
+}  // namespace livenet::transport

@@ -1,0 +1,19 @@
+#include "util/logging.h"
+
+#include <array>
+#include <cstdio>
+
+namespace livenet {
+
+namespace {
+constexpr std::array<const char*, 6> kNames = {"TRACE", "DEBUG", "INFO",
+                                               "WARN",  "ERROR", "OFF"};
+}  // namespace
+
+void Logger::write(LogLevel lvl, const std::string& msg) {
+  if (lvl < level_) return;
+  std::fprintf(stderr, "[%10.3fms %s] %s\n", to_ms(now_),
+               kNames[static_cast<int>(lvl)], msg.c_str());
+}
+
+}  // namespace livenet

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/time.h"
+
+// Minimal leveled logging for the simulator. Logging is compiled in but
+// disabled by default (level = Warn) so that hot paths stay quiet; tests
+// and examples raise the level when debugging.
+namespace livenet {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Not thread-safe by design: the simulator is
+/// single-threaded (a discrete-event loop), and benchmarks set the level
+/// once before running.
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+
+  /// Attaches the current virtual time to log lines (set by EventLoop).
+  static void set_now(Time now) { now_ = now; }
+
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static inline LogLevel level_ = LogLevel::kWarn;
+  static inline Time now_ = 0;
+};
+
+/// Stream-style log statement builder:
+///   LOG(kInfo) << "node " << id << " overloaded";
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel lvl) : lvl_(lvl) {}
+  ~LogStatement() { Logger::write(lvl_, ss_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream ss_;
+};
+
+}  // namespace livenet
+
+#define LIVENET_LOG(lvl)                              \
+  if (::livenet::Logger::level() <= ::livenet::LogLevel::lvl) \
+  ::livenet::LogStatement(::livenet::LogLevel::lvl)

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+// Virtual-time primitives shared by the whole simulation.
+//
+// All simulated time is expressed as a signed 64-bit count of
+// microseconds since the start of the simulation. A signed type is used
+// so that time differences (which may be negative, e.g. inter-arrival
+// deltas in the GCC trendline filter) use the same representation.
+namespace livenet {
+
+/// A point in virtual time, in microseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of virtual time, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kUs = 1;
+inline constexpr Duration kMs = 1000 * kUs;
+inline constexpr Duration kSec = 1000 * kMs;
+inline constexpr Duration kMin = 60 * kSec;
+inline constexpr Duration kHour = 60 * kMin;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// Sentinel for "no time set".
+inline constexpr Time kNever = -1;
+
+/// Converts a virtual time to fractional milliseconds (for reporting).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / kMs; }
+
+/// Converts a virtual time to fractional seconds (for reporting).
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / kSec; }
+
+}  // namespace livenet

@@ -1,0 +1,52 @@
+#include "workload/patterns.h"
+
+#include <cmath>
+
+namespace livenet::workload {
+
+double DiurnalCurve::at_hour(double hour) const {
+  // Two-cosine blend: deep trough ~4:30 am, main peak ~9 pm with a
+  // small mid-day shoulder — the classic consumer-traffic shape.
+  constexpr double kPi = 3.14159265358979323846;
+  const double main = 0.5 * (1.0 - std::cos(2.0 * kPi * (hour - 4.5) / 24.0));
+  const double evening =
+      std::exp(-0.5 * std::pow((hour - 21.0) / 2.5, 2.0)) +
+      std::exp(-0.5 * std::pow((hour - 21.0 - 24.0) / 2.5, 2.0));
+  const double shape = 0.6 * main + 0.4 * evening;
+  return trough_ + (peak_ - trough_) * std::min(1.0, shape);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_.push_back(total);
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+double DemandModel::rate_at(Time t) const {
+  double rate = base_ * diurnal_.at(t, day_length_);
+  for (const auto& w : windows_) {
+    if (w.contains(t)) rate *= w.multiplier;
+  }
+  return rate;
+}
+
+}  // namespace livenet::workload

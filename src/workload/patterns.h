@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+// Load patterns. Substitutes for the Taobao Live production traces: a
+// diurnal curve with the evening peak the paper observes (hit ratio and
+// loss peak between 8 pm and 11 pm), a Zipf popularity distribution
+// over streams, and flash-crowd windows for the Double-12 case study.
+namespace livenet::workload {
+
+/// Smooth diurnal multiplier over a (possibly compressed) day.
+/// hour 0-24 -> multiplier in [trough, peak], lowest around 4-5 am,
+/// highest around 9 pm.
+class DiurnalCurve {
+ public:
+  DiurnalCurve(double trough = 0.25, double peak = 1.0)
+      : trough_(trough), peak_(peak) {}
+
+  double at_hour(double hour) const;
+
+  /// Maps virtual time to hour-of-day given a (compressed) day length.
+  double hour_of(Time t, Duration day_length) const {
+    const double day_pos =
+        static_cast<double>(t % day_length) / static_cast<double>(day_length);
+    return day_pos * 24.0;
+  }
+  double at(Time t, Duration day_length) const {
+    return at_hour(hour_of(t, day_length));
+  }
+
+ private:
+  double trough_;
+  double peak_;
+};
+
+/// Zipf(s) sampler over ranks [0, n): rank 0 is the most popular.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// A time window with a demand multiplier (flash sale / Double 12).
+struct FlashWindow {
+  Time start = 0;
+  Time end = 0;
+  double multiplier = 1.0;
+
+  bool contains(Time t) const { return t >= start && t < end; }
+};
+
+/// Combined demand model: base rate x diurnal x flash windows.
+class DemandModel {
+ public:
+  DemandModel(double base_rate_per_sec, DiurnalCurve diurnal,
+              Duration day_length)
+      : base_(base_rate_per_sec), diurnal_(diurnal),
+        day_length_(day_length) {}
+
+  void add_flash(const FlashWindow& w) { windows_.push_back(w); }
+
+  double rate_at(Time t) const;
+  Duration day_length() const { return day_length_; }
+  double hour_of(Time t) const { return diurnal_.hour_of(t, day_length_); }
+
+ private:
+  double base_;
+  DiurnalCurve diurnal_;
+  Duration day_length_;
+  std::vector<FlashWindow> windows_;
+};
+
+}  // namespace livenet::workload

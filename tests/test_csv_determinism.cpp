@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "livenet/csv.h"
+#include "livenet/defaults.h"
+#include "livenet/report.h"
+
+// Whole-system determinism (the reproducibility contract: identical
+// seeds produce bit-identical experiments) and the CSV exporters.
+namespace livenet {
+namespace {
+
+ScenarioResult tiny_run(std::uint64_t seed) {
+  SystemConfig sys_cfg = paper_system_config(seed);
+  sys_cfg.countries = 2;
+  sys_cfg.nodes_per_country = 3;
+  ScenarioConfig scn;
+  scn.duration = 40 * kSec;
+  scn.day_length = 20 * kSec;
+  scn.broadcasts = 3;
+  scn.viewer_rate_peak = 1.0;
+  scn.mean_view_time = 10 * kSec;
+  scn.seed = seed;
+  LiveNetSystem system(sys_cfg);
+  ScenarioRunner runner(system, scn);
+  return runner.run();
+}
+
+std::string all_csv(const ScenarioResult& r) {
+  std::ostringstream os;
+  write_sessions_csv(r, os);
+  write_views_csv(r, os);
+  write_path_requests_csv(r, os);
+  write_timeline_csv(r, os);
+  return os.str();
+}
+
+TEST(Determinism, IdenticalSeedsProduceIdenticalRuns) {
+  const std::string a = all_csv(tiny_run(101));
+  const std::string b = all_csv(tiny_run(101));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const std::string a = all_csv(tiny_run(101));
+  const std::string b = all_csv(tiny_run(202));
+  EXPECT_NE(a, b);
+}
+
+TEST(Csv, SessionsRowsMatchRecordCount) {
+  const ScenarioResult r = tiny_run(7);
+  std::ostringstream os;
+  write_sessions_csv(r, os);
+  const std::string out = os.str();
+  const auto rows = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows),
+            r.overlay.sessions().size() + 1);  // + header
+  EXPECT_NE(out.find("cdn_delay_ms_mean"), std::string::npos);
+}
+
+TEST(Csv, ViewsRowsMatchRecordCount) {
+  const ScenarioResult r = tiny_run(7);
+  std::ostringstream os;
+  write_views_csv(r, os);
+  const std::string out = os.str();
+  const auto rows = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), r.clients.records().size() + 1);
+}
+
+TEST(Csv, TimelineAndPathRequestsNonEmpty) {
+  const ScenarioResult r = tiny_run(7);
+  std::ostringstream t, p;
+  write_timeline_csv(r, t);
+  write_path_requests_csv(r, p);
+  const std::string ts = t.str(), ps = p.str();
+  EXPECT_GT(std::count(ts.begin(), ts.end(), '\n'), 2);
+  EXPECT_GT(std::count(ps.begin(), ps.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace livenet

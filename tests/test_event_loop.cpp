@@ -1,0 +1,115 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace livenet::sim {
+namespace {
+
+TEST(EventLoop, DispatchesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, FifoWithinSameInstant) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  Time fired_at = kNever;
+  loop.schedule_at(50, [&] {
+    loop.schedule_after(25, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EventLoop, CancelPreventsDispatch) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.schedule_at(10, [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.dispatched(), 0u);
+}
+
+TEST(EventLoop, CancelIsIdempotentAndSafeAfterRun) {
+  EventLoop loop;
+  int count = 0;
+  const EventId id = loop.schedule_at(5, [&] { ++count; });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  loop.cancel(id);  // already ran: must be a no-op
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryInclusive) {
+  EventLoop loop;
+  std::vector<Time> fired;
+  loop.schedule_at(10, [&] { fired.push_back(10); });
+  loop.schedule_at(20, [&] { fired.push_back(20); });
+  loop.schedule_at(21, [&] { fired.push_back(21); });
+  loop.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(loop.now(), 20);
+  loop.run();
+  EXPECT_EQ(fired.back(), 21);
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeWithEmptyQueue) {
+  EventLoop loop;
+  loop.run_until(1000);
+  EXPECT_EQ(loop.now(), 1000);
+}
+
+TEST(EventLoop, CancelledHeadDoesNotLeakPastRunUntil) {
+  EventLoop loop;
+  bool late_fired = false;
+  const EventId id = loop.schedule_at(10, [] {});
+  loop.schedule_at(50, [&] { late_fired = true; });
+  loop.cancel(id);
+  loop.run_until(20);
+  EXPECT_FALSE(late_fired);  // the event at 50 must not run early
+  EXPECT_EQ(loop.now(), 20);
+}
+
+TEST(EventLoop, PastDeadlineClampsToNow) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run();
+  Time fired_at = kNever;
+  loop.schedule_at(10, [&] { fired_at = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventLoop, EventsScheduledDuringDispatchRun) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.now(), 9);
+}
+
+}  // namespace
+}  // namespace livenet::sim

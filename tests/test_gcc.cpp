@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "transport/gcc.h"
+
+namespace livenet::transport {
+namespace {
+
+TEST(RateMeter, ComputesWindowedRate) {
+  RateMeter m(1 * kSec);
+  for (int i = 0; i < 10; ++i) {
+    m.add(i * 100 * kMs, 12500);  // 12.5 KB every 100 ms = 1 Mbps
+  }
+  EXPECT_NEAR(m.rate_bps(900 * kMs), 1e6, 1e5);
+}
+
+TEST(RateMeter, EvictsOldSamples) {
+  RateMeter m(500 * kMs);
+  m.add(0, 100000);
+  EXPECT_GT(m.rate_bps(100 * kMs), 0.0);
+  EXPECT_EQ(m.rate_bps(10 * kSec), 0.0);
+}
+
+TEST(InterArrival, EmitsDeltasBetweenGroups) {
+  InterArrival ia;
+  // Group 1: packets at send 0..2ms; group 2 at 10..12ms; group 3 at 20.
+  EXPECT_FALSE(ia.on_packet(0, 100).has_value());
+  EXPECT_FALSE(ia.on_packet(2 * kMs, 2 * kMs + 100).has_value());
+  EXPECT_FALSE(ia.on_packet(10 * kMs, 10 * kMs + 150).has_value());
+  const auto d = ia.on_packet(20 * kMs, 20 * kMs + 150);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->send_delta, 8 * kMs);          // 10ms - 2ms
+  EXPECT_EQ(d->arrival_delta, 8 * kMs + 50);  // extra 50us of queueing
+}
+
+TEST(Trendline, DetectsSustainedQueueGrowth) {
+  TrendlineEstimator t;
+  // Arrival delta exceeds send delta by 2 ms per group: a clear ramp.
+  Time arrival = 0;
+  for (int i = 0; i < 60; ++i) {
+    arrival += 7 * kMs;
+    t.update(5 * kMs, 7 * kMs, arrival);
+  }
+  EXPECT_EQ(t.state(), BandwidthUsage::kOverusing);
+  EXPECT_GT(t.trend(), 0.0);
+}
+
+TEST(Trendline, StaysNormalOnStableDelay) {
+  TrendlineEstimator t;
+  Time arrival = 0;
+  for (int i = 0; i < 60; ++i) {
+    arrival += 5 * kMs;
+    t.update(5 * kMs, 5 * kMs, arrival);
+  }
+  EXPECT_EQ(t.state(), BandwidthUsage::kNormal);
+}
+
+TEST(Trendline, DetectsDrainingQueueAsUnderuse) {
+  TrendlineEstimator t;
+  Time arrival = 0;
+  for (int i = 0; i < 60; ++i) {
+    arrival += 3 * kMs;
+    t.update(5 * kMs, 3 * kMs, arrival);
+  }
+  EXPECT_EQ(t.state(), BandwidthUsage::kUnderusing);
+}
+
+TEST(Aimd, DecreasesOnOveruse) {
+  AimdRateControl aimd(10e6);
+  const double r =
+      aimd.update(BandwidthUsage::kOverusing, 8e6, true, 1 * kSec);
+  EXPECT_NEAR(r, 0.85 * 8e6, 1.0);
+}
+
+TEST(Aimd, IncreasesWhenNormal) {
+  AimdRateControl aimd(1e6);
+  double r = 1e6;
+  Time now = 0;
+  for (int i = 0; i < 20; ++i) {
+    now += 100 * kMs;
+    r = aimd.update(BandwidthUsage::kNormal, 2e6, true, now);
+  }
+  EXPECT_GT(r, 1e6);
+}
+
+TEST(Aimd, HoldsOnUnderuse) {
+  AimdRateControl aimd(5e6);
+  const double before =
+      aimd.update(BandwidthUsage::kNormal, 5e6, true, 100 * kMs);
+  const double after =
+      aimd.update(BandwidthUsage::kUnderusing, 5e6, true, 200 * kMs);
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(Aimd, NeverBelowMinRate) {
+  AimdRateControl aimd(100e3);
+  double r = 100e3;
+  for (int i = 1; i <= 50; ++i) {
+    r = aimd.update(BandwidthUsage::kOverusing, 1e3, true,
+                    static_cast<Time>(i) * 100 * kMs);
+  }
+  EXPECT_GE(r, 64e3);
+}
+
+TEST(GccSender, PacingRateIsMinOfLossAndDelayEstimates) {
+  GccSender::Config cfg;
+  cfg.start_rate_bps = 10e6;
+  GccSender s(cfg);
+  s.on_feedback(4e6, 0.0);  // REMB below loss-based estimate
+  EXPECT_NEAR(s.pacing_rate_bps(), 4e6, 1e3);
+}
+
+TEST(GccSender, HighLossCutsRate) {
+  GccSender::Config cfg;
+  cfg.start_rate_bps = 10e6;
+  GccSender s(cfg);
+  const double before = s.pacing_rate_bps();
+  s.on_feedback(100e6, 0.3);  // 30% loss
+  EXPECT_LT(s.pacing_rate_bps(), before);
+}
+
+TEST(GccSender, LowLossProbesUp) {
+  GccSender::Config cfg;
+  cfg.start_rate_bps = 10e6;
+  GccSender s(cfg);
+  for (int i = 0; i < 10; ++i) s.on_feedback(100e6, 0.0);
+  EXPECT_GT(s.pacing_rate_bps(), 10e6);
+}
+
+TEST(GccReceiver, ConvergesTowardIncomingRateUnderOveruse) {
+  GccReceiver rx(20e6);
+  // Feed a 2 Mbps flow whose arrival times show growing queueing: the
+  // REMB should fall toward ~0.85x the measured incoming rate.
+  Time send = 0, arrival = 0;
+  for (int i = 0; i < 400; ++i) {
+    send += 6 * kMs;
+    arrival = send + static_cast<Time>(i) * 1200;  // steep delay ramp
+    rx.on_packet(send, arrival, 1500);
+  }
+  EXPECT_LT(rx.remb_bps(), 20e6);
+}
+
+}  // namespace
+}  // namespace livenet::transport

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "livenet/system.h"
+
+// End-to-end LiveNet: broadcaster -> producer -> (relay) -> consumer ->
+// viewer, with the Streaming Brain computing the paths.
+namespace livenet {
+namespace {
+
+SystemConfig small_system() {
+  SystemConfig cfg;
+  cfg.countries = 2;
+  cfg.nodes_per_country = 3;  // 1 backbone (relay-only) + 2 edges each
+  cfg.dns_candidates = 1;     // deterministic nearest-edge mapping
+  cfg.last_resort_nodes = 1;
+  cfg.brain.routing_interval = 5 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+client::BroadcasterConfig one_version() {
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;  // 1-second GoPs: fast cache warmup in tests
+  vc.bitrate_bps = 1e6;
+  bc.versions.push_back(vc);
+  return bc;
+}
+
+struct World {
+  LiveNetSystem system;
+  client::ClientMetrics client_metrics;
+  client::Broadcaster broadcaster;
+  workload::GeoSite bsite;
+
+  explicit World(const SystemConfig& cfg = small_system())
+      : system(cfg), broadcaster(&system.network(), 99, one_version()) {
+    system.build_once();
+    system.start();
+    bsite = system.geo().sample_site(0);
+    const auto producer = system.attach_client(&broadcaster, bsite);
+    broadcaster.start(producer, {1});
+    (void)producer;
+  }
+};
+
+TEST(LiveNetIntegration, ViewerReceivesAndPlaysStream) {
+  World w;
+  w.system.loop().run_until(6 * kSec);  // routing cycle + GoP warmup
+
+  client::Viewer viewer(&w.system.network(), &w.client_metrics);
+  const auto vsite = w.system.geo().sample_site(1);  // other country
+  w.system.attach_client(&viewer, vsite);
+  viewer.start_view(w.system.map_client_to_edge(vsite), 1);
+  w.system.loop().run_until(16 * kSec);
+  viewer.stop_view();
+  w.system.loop().run_until(17 * kSec);
+
+  ASSERT_EQ(w.client_metrics.records().size(), 1u);
+  const auto& rec = w.client_metrics.records().front();
+  EXPECT_FALSE(rec.view_failed);
+  EXPECT_GT(rec.frames_displayed, 100u);
+  ASSERT_NE(rec.startup_delay(), kNever);
+  EXPECT_LT(rec.startup_delay(), 2 * kSec);
+  EXPECT_GT(rec.streaming_delay_ms.mean(), 300.0);   // >= playback buffer
+  EXPECT_LT(rec.streaming_delay_ms.mean(), 2000.0);
+
+  ASSERT_EQ(w.system.sessions().sessions().size(), 1u);
+  const auto& sess = w.system.sessions().sessions().front();
+  EXPECT_GE(sess.path_length, 1);
+  EXPECT_LE(sess.path_length, 3);
+  EXPECT_GT(sess.cdn_delay_ms.count(), 0u);
+  EXPECT_FALSE(sess.local_hit);
+  EXPECT_NE(sess.first_packet_delay(), kNever);
+
+  EXPECT_FALSE(w.system.brain().metrics().path_requests.empty());
+}
+
+TEST(LiveNetIntegration, SecondViewerOnSameConsumerIsLocalHit) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+
+  const auto vsite = w.system.geo().sample_site(1);
+  const auto consumer = w.system.map_client_to_edge(vsite);
+
+  client::Viewer v1(&w.system.network(), &w.client_metrics);
+  w.system.attach_client(&v1, vsite);
+  v1.start_view(consumer, 1);
+  w.system.loop().run_until(9 * kSec);
+
+  client::Viewer v2(&w.system.network(), &w.client_metrics);
+  w.system.attach_client(&v2, vsite);
+  v2.start_view(consumer, 1);
+  w.system.loop().run_until(12 * kSec);
+
+  const auto& sessions = w.system.sessions().sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_FALSE(sessions[0].local_hit);
+  EXPECT_TRUE(sessions[1].local_hit);
+  // The local hit starts from the GoP cache: startup must be fast.
+  const auto& rec2 = w.client_metrics.records()[1];
+  ASSERT_NE(rec2.startup_delay(), kNever);
+  EXPECT_LT(rec2.startup_delay(), 1 * kSec);
+}
+
+TEST(LiveNetIntegration, ViewerAtProducerNodeGetsZeroLengthPath) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+
+  client::Viewer viewer(&w.system.network(), &w.client_metrics);
+  // Same site as the broadcaster: DNS maps to the same node.
+  w.system.attach_client(&viewer, w.bsite);
+  viewer.start_view(w.system.map_client_to_edge(w.bsite), 1);
+  w.system.loop().run_until(10 * kSec);
+
+  ASSERT_EQ(w.system.sessions().sessions().size(), 1u);
+  const auto& sess = w.system.sessions().sessions().front();
+  EXPECT_EQ(sess.path_length, 0);
+  EXPECT_TRUE(sess.local_hit);  // producer carries its own stream
+  EXPECT_GT(w.client_metrics.records().front().frames_displayed, 50u);
+}
+
+TEST(LiveNetIntegration, StreamReleasedAfterViewersLeave) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+
+  const auto vsite = w.system.geo().sample_site(1);
+  const auto consumer_id = w.system.map_client_to_edge(vsite);
+  client::Viewer viewer(&w.system.network(), &w.client_metrics);
+  w.system.attach_client(&viewer, vsite);
+  viewer.start_view(consumer_id, 1);
+  w.system.loop().run_until(10 * kSec);
+  EXPECT_TRUE(w.system.node(consumer_id).fib().contains(1));
+
+  viewer.stop_view();
+  // Past the unsubscribe linger (5 s default).
+  w.system.loop().run_until(20 * kSec);
+  EXPECT_FALSE(w.system.node(consumer_id).fib().contains(1));
+}
+
+TEST(LiveNetIntegration, PublishStopDeregistersFromBrain) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+  EXPECT_NE(w.system.brain().sib().producer_of(1), sim::kNoNode);
+  w.broadcaster.stop();
+  w.system.loop().run_until(8 * kSec);
+  EXPECT_EQ(w.system.brain().sib().producer_of(1), sim::kNoNode);
+}
+
+TEST(LiveNetIntegration, UnknownStreamFailsView) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+  client::Viewer viewer(&w.system.network(), &w.client_metrics);
+  const auto vsite = w.system.geo().sample_site(1);
+  w.system.attach_client(&viewer, vsite);
+  viewer.start_view(w.system.map_client_to_edge(vsite), 777);
+  w.system.loop().run_until(8 * kSec);
+  ASSERT_EQ(w.client_metrics.records().size(), 1u);
+  EXPECT_TRUE(w.client_metrics.records().front().view_failed);
+}
+
+TEST(LiveNetIntegration, DelayHeaderExtensionApproximatesTrueDelay) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+  client::Viewer viewer(&w.system.network(), &w.client_metrics);
+  const auto vsite = w.system.geo().sample_site(1);
+  w.system.attach_client(&viewer, vsite);
+  viewer.start_view(w.system.map_client_to_edge(vsite), 1);
+  w.system.loop().run_until(16 * kSec);
+
+  const auto& rec = w.client_metrics.records().front();
+  ASSERT_GT(rec.header_ext_delay_ms.count(), 2u);
+  // The header-extension estimate should land within ~40% of the
+  // clock-measured streaming delay (it omits some queueing terms).
+  const double ratio =
+      rec.header_ext_delay_ms.mean() / rec.streaming_delay_ms.mean();
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace livenet

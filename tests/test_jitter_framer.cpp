@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "media/jitter_framer.h"
+#include "media/packetizer.h"
+#include "util/rng.h"
+
+namespace livenet::media {
+namespace {
+
+std::vector<std::shared_ptr<RtpPacket>> make_frames(int n_frames,
+                                                    std::size_t bytes) {
+  Packetizer p(1);
+  std::vector<std::shared_ptr<RtpPacket>> out;
+  for (int i = 1; i <= n_frames; ++i) {
+    Frame f;
+    f.stream_id = 1;
+    f.frame_id = static_cast<std::uint64_t>(i);
+    f.gop_id = 1;
+    f.type = i == 1 ? FrameType::kI : FrameType::kP;
+    f.size_bytes = bytes;
+    f.capture_time = static_cast<Time>(i) * 40 * kMs;
+    for (auto& pkt : p.packetize(f)) out.push_back(pkt);
+  }
+  return out;
+}
+
+TEST(JitterFramer, InOrderStreamEmitsEverything) {
+  std::vector<std::uint64_t> emitted;
+  JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
+  for (const auto& pkt : make_frames(10, 3000)) {
+    jf.on_packet(*pkt, 0);
+  }
+  ASSERT_EQ(emitted.size(), 10u);
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    EXPECT_EQ(emitted[i], i + 1);
+  }
+  EXPECT_EQ(jf.frames_dropped(), 0u);
+}
+
+TEST(JitterFramer, FrameInterleavingReassembles) {
+  // Fragments of frames 1 and 2 fully interleaved: both must complete.
+  std::vector<std::uint64_t> emitted;
+  JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
+  const auto pkts = make_frames(2, 3000);  // 3 frags per frame
+  // Order: f1.0, f2.0, f1.1, f2.1, f1.2, f2.2
+  const std::size_t order[] = {0, 3, 1, 4, 2, 5};
+  for (const auto idx : order) jf.on_packet(*pkts[idx], 0);
+  EXPECT_EQ(emitted, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(JitterFramer, LateFragmentStillCompletesFrame) {
+  // Frame 1 missing a fragment; frames 2..4 complete meanwhile; the
+  // late fragment arrives before the deadline: all emitted in order.
+  std::vector<std::uint64_t> emitted;
+  JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
+  const auto pkts = make_frames(4, 3000);
+  for (const auto& pkt : pkts) {
+    if (pkt->frame_id == 1 && pkt->frag_index == 1) continue;  // delay it
+    jf.on_packet(*pkt, 10 * kMs);
+  }
+  EXPECT_TRUE(emitted.empty());  // in-order: nothing may pass frame 1
+  jf.on_packet(*pkts[1], 200 * kMs);  // the late RTX lands
+  EXPECT_EQ(emitted, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(jf.frames_dropped(), 0u);
+}
+
+TEST(JitterFramer, HeadSkippedAfterDeadline) {
+  std::vector<std::uint64_t> emitted;
+  JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
+  const auto pkts = make_frames(3, 3000);
+  for (const auto& pkt : pkts) {
+    if (pkt->frame_id == 1 && pkt->frag_index == 1) continue;  // lost
+    jf.on_packet(*pkt, 0);
+  }
+  EXPECT_TRUE(emitted.empty());
+  jf.flush(1 * kSec);  // past the assembly deadline
+  EXPECT_EQ(emitted, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(jf.frames_dropped(), 1u);
+}
+
+TEST(JitterFramer, AudioBypassesOrdering) {
+  std::vector<std::uint64_t> video, audio;
+  JitterFramer jf([&](const Frame& f) {
+    (f.is_audio() ? audio : video).push_back(f.frame_id);
+  });
+  const auto pkts = make_frames(2, 3000);
+  jf.on_packet(*pkts[0], 0);  // incomplete video frame 1
+  auto a = std::make_shared<RtpPacket>();
+  a->stream_id = 1;
+  a->frame_id = 7;
+  a->frame_type = FrameType::kAudio;
+  a->payload_bytes = 160;
+  jf.on_packet(*a, 0);
+  EXPECT_EQ(audio, (std::vector<std::uint64_t>{7}));  // immediate
+  EXPECT_TRUE(video.empty());
+}
+
+TEST(JitterFramer, DuplicateOfEmittedFrameIgnored) {
+  std::vector<std::uint64_t> emitted;
+  JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
+  const auto pkts = make_frames(1, 2000);
+  for (const auto& pkt : pkts) jf.on_packet(*pkt, 0);
+  ASSERT_EQ(emitted.size(), 1u);
+  for (const auto& pkt : pkts) jf.on_packet(*pkt, 0);  // replay
+  EXPECT_EQ(emitted.size(), 1u);
+}
+
+TEST(JitterFramer, RandomArrivalOrderEmitsAllInOrder) {
+  Rng rng(42);
+  std::vector<std::uint64_t> emitted;
+  JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
+  auto pkts = make_frames(30, 4000);
+  // Bounded shuffle (reorder window ~8 packets).
+  for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+    const std::size_t j = i + rng.index(9);
+    if (j < pkts.size()) std::swap(pkts[i], pkts[j]);
+  }
+  Time t = 0;
+  for (const auto& pkt : pkts) jf.on_packet(*pkt, t += kMs);
+  jf.flush(10 * kSec);
+  EXPECT_EQ(emitted.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(emitted.begin(), emitted.end()));
+}
+
+TEST(JitterFramer, PendingBoundEnforced) {
+  JitterFramer::Config cfg;
+  cfg.max_pending_frames = 8;
+  cfg.assembly_deadline = 100 * kSec;  // never expire by time
+  int emitted = 0;
+  JitterFramer jf([&](const Frame&) { ++emitted; }, cfg);
+  // 100 incomplete frames (first fragment only, 3 frags expected).
+  const auto pkts = make_frames(100, 3000);
+  for (const auto& pkt : pkts) {
+    if (pkt->frag_index == 0) jf.on_packet(*pkt, 0);
+  }
+  EXPECT_GT(jf.frames_dropped(), 80u);
+  EXPECT_EQ(emitted, 0);
+}
+
+}  // namespace
+}  // namespace livenet::media

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/network.h"
+
+namespace livenet::sim {
+namespace {
+
+class Probe final : public SimNode {
+ public:
+  void on_message(NodeId from, const MessagePtr& msg) override {
+    arrivals.emplace_back(from, msg);
+  }
+  std::vector<std::pair<NodeId, MessagePtr>> arrivals;
+};
+
+class Blob final : public Message {
+ public:
+  explicit Blob(std::size_t n) : n_(n) {}
+  std::size_t wire_size() const override { return n_; }
+  std::string describe() const override { return "blob"; }
+
+ private:
+  std::size_t n_;
+};
+
+LinkConfig fast_link() {
+  LinkConfig lc;
+  lc.propagation_delay = 10 * kMs;
+  lc.bandwidth_bps = 8e6;  // 1 byte/us
+  lc.loss_rate = 0.0;
+  lc.jitter_stddev = 0;
+  return lc;
+}
+
+TEST(Link, DeliveryTimeIsSerializationPlusPropagation) {
+  EventLoop loop;
+  Link link(&loop, 0, 1, fast_link(), Rng(1));
+  const SendResult r = link.send(1000);  // 1000 us serialization
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.arrival_time, 1000 + 10 * kMs);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  EventLoop loop;
+  Link link(&loop, 0, 1, fast_link(), Rng(1));
+  const SendResult a = link.send(1000);
+  const SendResult b = link.send(1000);
+  ASSERT_TRUE(a.delivered);
+  ASSERT_TRUE(b.delivered);
+  EXPECT_EQ(b.arrival_time - a.arrival_time, 1000);  // serialization gap
+}
+
+TEST(Link, LossRateApproximatelyRespected) {
+  EventLoop loop;
+  LinkConfig lc = fast_link();
+  lc.loss_rate = 0.1;
+  Link link(&loop, 0, 1, lc, Rng(99));
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!link.send(100).delivered) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.1, 0.01);
+  EXPECT_EQ(link.stats().packets_lost, static_cast<std::uint64_t>(lost));
+}
+
+TEST(Link, QueueOverflowDropsTail) {
+  EventLoop loop;
+  LinkConfig lc = fast_link();
+  lc.queue_limit_bytes = 5000;
+  Link link(&loop, 0, 1, lc, Rng(1));
+  int dropped = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!link.send(1000).delivered) ++dropped;
+  }
+  EXPECT_GT(dropped, 80);  // only ~6 packets fit before the cap
+  EXPECT_EQ(link.stats().packets_dropped,
+            static_cast<std::uint64_t>(dropped));
+}
+
+TEST(Link, UtilizationReflectsLoad) {
+  EventLoop loop;
+  LinkConfig lc = fast_link();  // 1 MB/s capacity
+  Link link(&loop, 0, 1, lc, Rng(1));
+  // Send 0.5 MB in the first second -> ~50% bin utilization, halved by
+  // the EWMA right after the bin closes.
+  for (int i = 0; i < 500; ++i) link.send(1000);
+  loop.schedule_at(1 * kSec + 100 * kMs, [] {});
+  loop.run();
+  EXPECT_NEAR(link.utilization(), 0.25, 0.05);
+  EXPECT_LE(link.utilization(), 1.0);
+}
+
+TEST(Link, UtilizationDecaysWhenIdle) {
+  EventLoop loop;
+  Link link(&loop, 0, 1, fast_link(), Rng(1));
+  for (int i = 0; i < 500; ++i) link.send(1000);
+  loop.schedule_at(60 * kSec, [] {});
+  loop.run();
+  EXPECT_NEAR(link.utilization(), 0.0, 1e-9);
+}
+
+TEST(Network, DeliversToReceiverWithSource) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a, b;
+  const NodeId ida = net.add_node(&a);
+  const NodeId idb = net.add_node(&b);
+  net.add_bidi_link(ida, idb, fast_link());
+  EXPECT_TRUE(net.send(ida, idb, std::make_shared<Blob>(100)));
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, ida);
+  EXPECT_TRUE(a.arrivals.empty());
+}
+
+TEST(Network, SendWithoutLinkFails) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a, b;
+  const NodeId ida = net.add_node(&a);
+  const NodeId idb = net.add_node(&b);
+  EXPECT_FALSE(net.send(ida, idb, std::make_shared<Blob>(100)));
+}
+
+TEST(Network, NeighborsTracksOutgoingLinks) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe n0, n1, n2;
+  net.add_node(&n0);
+  net.add_node(&n1);
+  net.add_node(&n2);
+  net.add_link(0, 1, fast_link());
+  net.add_link(0, 2, fast_link());
+  const auto nb = net.neighbors(0);
+  EXPECT_EQ(nb.size(), 2u);
+  EXPECT_TRUE(net.link(0, 1) != nullptr);
+  EXPECT_TRUE(net.link(1, 0) == nullptr);
+}
+
+TEST(Network, ReplacingLinkKeepsSingleAdjacencyEntry) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe n0, n1;
+  net.add_node(&n0);
+  net.add_node(&n1);
+  net.add_link(0, 1, fast_link());
+  net.add_link(0, 1, fast_link());
+  EXPECT_EQ(net.neighbors(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace livenet::sim

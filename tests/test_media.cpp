@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "media/framer.h"
+#include "media/gop_cache.h"
+#include "media/packetizer.h"
+#include "media/video_source.h"
+
+namespace livenet::media {
+namespace {
+
+Frame make_frame(StreamId s, std::uint64_t id, FrameType t,
+                 std::size_t bytes, std::uint64_t gop = 1) {
+  Frame f;
+  f.stream_id = s;
+  f.frame_id = id;
+  f.gop_id = gop;
+  f.type = t;
+  f.size_bytes = bytes;
+  f.capture_time = static_cast<Time>(id) * 33 * kMs;
+  return f;
+}
+
+TEST(Packetizer, FragmentsLargeFrame) {
+  Packetizer p(1);
+  const auto pkts = p.packetize(make_frame(1, 1, FrameType::kI, 5000));
+  ASSERT_EQ(pkts.size(), 5u);  // ceil(5000/1200)
+  std::size_t total = 0;
+  for (const auto& pkt : pkts) total += pkt->payload_bytes;
+  EXPECT_EQ(total, 5000u);
+  EXPECT_TRUE(pkts.back()->marker());
+  EXPECT_FALSE(pkts.front()->marker());
+}
+
+TEST(Packetizer, SequenceNumbersAreContiguousAcrossFrames) {
+  Packetizer p(1);
+  const auto a = p.packetize(make_frame(1, 1, FrameType::kI, 2500));
+  const auto b = p.packetize(make_frame(1, 2, FrameType::kP, 800));
+  EXPECT_EQ(a.front()->seq, 1u);
+  EXPECT_EQ(a.back()->seq, 3u);
+  EXPECT_EQ(b.front()->seq, 4u);
+}
+
+TEST(Packetizer, TinyFrameGetsOnePacket) {
+  Packetizer p(1);
+  const auto pkts = p.packetize(make_frame(1, 1, FrameType::kAudio, 100));
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_TRUE(pkts[0]->marker());
+  EXPECT_TRUE(pkts[0]->is_audio());
+}
+
+TEST(Framer, ReassemblesInOrderPackets) {
+  std::vector<Frame> out;
+  Framer f([&](const Frame& fr) { out.push_back(fr); });
+  Packetizer p(1);
+  for (const auto& pkt : p.packetize(make_frame(1, 1, FrameType::kI, 3000))) {
+    f.on_packet(*pkt);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size_bytes, 3000u);
+  EXPECT_EQ(out[0].type, FrameType::kI);
+  EXPECT_EQ(f.frames_completed(), 1u);
+}
+
+TEST(Framer, GapAbandonsCurrentFrame) {
+  std::vector<Frame> out;
+  Framer f([&](const Frame& fr) { out.push_back(fr); });
+  Packetizer p(1);
+  const auto pkts = p.packetize(make_frame(1, 1, FrameType::kI, 3000));
+  f.on_packet(*pkts[0]);
+  f.on_gap();
+  for (const auto& pkt : p.packetize(make_frame(1, 2, FrameType::kP, 500))) {
+    f.on_packet(*pkt);
+  }
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].frame_id, 2u);
+  EXPECT_EQ(f.frames_damaged(), 1u);
+}
+
+TEST(Framer, NewFrameWhileIncompleteCountsDamage) {
+  std::vector<Frame> out;
+  Framer f([&](const Frame& fr) { out.push_back(fr); });
+  Packetizer p(1);
+  const auto a = p.packetize(make_frame(1, 1, FrameType::kI, 3000));
+  const auto b = p.packetize(make_frame(1, 2, FrameType::kP, 500));
+  f.on_packet(*a[0]);  // frame 1 incomplete
+  f.on_packet(*b[0]);  // frame 2 begins
+  EXPECT_EQ(f.frames_damaged(), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].frame_id, 2u);
+}
+
+TEST(Framer, CarriesDelayExtensionFromFirstPacket) {
+  Frame got;
+  Framer f([&](const Frame& fr) { got = fr; });
+  Packetizer p(1);
+  for (const auto& pkt :
+       p.packetize(make_frame(1, 1, FrameType::kI, 2000), 1234)) {
+    f.on_packet(*pkt);
+  }
+  EXPECT_EQ(got.delay_ext_us, 1234);
+}
+
+TEST(GopCache, DiscardsFramesBeforeFirstKeyframe) {
+  GopCache c(2);
+  c.add_frame(make_frame(1, 1, FrameType::kP, 100, 0));
+  EXPECT_TRUE(c.empty());
+  c.add_frame(make_frame(1, 2, FrameType::kI, 100, 1));
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(GopCache, EvictsOldGops) {
+  GopCache c(2);
+  for (std::uint64_t g = 1; g <= 5; ++g) {
+    c.add_frame(make_frame(1, g * 10, FrameType::kI, 100, g));
+    c.add_frame(make_frame(1, g * 10 + 1, FrameType::kP, 50, g));
+  }
+  EXPECT_LE(c.gop_count(), 3u);  // max_gops complete + in-progress
+  EXPECT_EQ(c.latest_gop_id(), 5u);
+}
+
+TEST(GopCache, StartupFramesBeginAtLatestKeyframe) {
+  GopCache c(3);
+  c.add_frame(make_frame(1, 1, FrameType::kI, 100, 1));
+  c.add_frame(make_frame(1, 2, FrameType::kP, 50, 1));
+  c.add_frame(make_frame(1, 3, FrameType::kI, 100, 2));
+  c.add_frame(make_frame(1, 4, FrameType::kP, 50, 2));
+  const auto frames = c.startup_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].frame_id, 3u);
+  EXPECT_TRUE(frames[0].is_keyframe());
+}
+
+TEST(GopCache, IgnoresAudio) {
+  GopCache c(2);
+  c.add_frame(make_frame(1, 1, FrameType::kI, 100, 1));
+  c.add_frame(make_frame(1, 2, FrameType::kAudio, 100, 0));
+  EXPECT_EQ(c.startup_frames().size(), 1u);
+}
+
+TEST(VideoSource, GopPatternStartsWithKeyframe) {
+  VideoSourceConfig cfg;
+  cfg.gop_frames = 10;
+  VideoSource src(1, cfg, Rng(1));
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 10; ++i) {
+      const Frame f = src.next_frame(0);
+      if (i == 0) {
+        EXPECT_EQ(f.type, FrameType::kI);
+      } else {
+        EXPECT_NE(f.type, FrameType::kI);
+      }
+      EXPECT_EQ(f.gop_id, static_cast<std::uint64_t>(g + 1));
+    }
+  }
+}
+
+TEST(VideoSource, BitrateApproximatelyConserved) {
+  VideoSourceConfig cfg;
+  cfg.fps = 30;
+  cfg.gop_frames = 30;
+  cfg.bitrate_bps = 2e6;
+  VideoSource src(1, cfg, Rng(5));
+  std::size_t bytes = 0;
+  const int frames = 30 * 30;  // 30 seconds
+  for (int i = 0; i < frames; ++i) bytes += src.next_frame(0).size_bytes;
+  const double bps = static_cast<double>(bytes) * 8.0 / 30.0;
+  EXPECT_NEAR(bps, 2e6, 2e5);
+}
+
+TEST(VideoSource, IFramesAreLarger) {
+  VideoSourceConfig cfg;
+  cfg.gop_frames = 30;
+  cfg.size_jitter_sigma = 0.0;
+  VideoSource src(1, cfg, Rng(1));
+  const Frame i_frame = src.next_frame(0);
+  const Frame p_frame = src.next_frame(0);
+  EXPECT_GT(i_frame.size_bytes, 4 * p_frame.size_bytes);
+}
+
+TEST(VideoSource, BFramePatternMarksUnreferenced) {
+  VideoSourceConfig cfg;
+  cfg.gop_frames = 10;
+  cfg.b_per_p = 2;
+  VideoSource src(1, cfg, Rng(1));
+  int b_count = 0, unref = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Frame f = src.next_frame(0);
+    if (f.type == FrameType::kB) {
+      ++b_count;
+      if (!f.referenced) ++unref;
+    }
+  }
+  EXPECT_GT(b_count, 0);
+  EXPECT_EQ(b_count, unref);
+}
+
+TEST(AudioSource, ConstantRate) {
+  AudioSource src(1, AudioSourceConfig{});
+  const Frame f = src.next_frame(100);
+  EXPECT_EQ(f.type, FrameType::kAudio);
+  EXPECT_EQ(f.size_bytes, 160u);
+  EXPECT_EQ(src.frame_interval(), 20 * kMs);
+}
+
+}  // namespace
+}  // namespace livenet::media

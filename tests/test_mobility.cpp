@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "livenet/system.h"
+
+// Broadcaster mobility (§7.1): when the broadcaster re-homes to a new
+// producer node, the old producer becomes a relay fed by the new one —
+// viewers keep playing and no downstream path changes.
+namespace livenet {
+namespace {
+
+TEST(BroadcasterMobility, OldProducerBecomesRelayAndViewersKeepPlaying) {
+  SystemConfig cfg;
+  cfg.countries = 2;
+  cfg.nodes_per_country = 3;
+  cfg.dns_candidates = 1;
+  cfg.brain.routing_interval = 5 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 2024;
+  LiveNetSystem sys(cfg);
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 8, bc);
+  sys.build_once();
+  sys.start();
+
+  const auto bsite = sys.geo().sample_site(0);
+  const auto old_producer = sys.attach_client(&bcast, bsite);
+  bcast.start(old_producer, {1});
+  sys.loop().run_until(6 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto vsite = sys.geo().sample_site(1);
+  const auto consumer = sys.attach_client(&viewer, vsite);
+  viewer.start_view(consumer, 1);
+  sys.loop().run_until(14 * kSec);
+  const auto frames_before = qoe.records().front().frames_displayed;
+  ASSERT_GT(frames_before, 50u);
+  const auto* consumer_entry = sys.node(consumer).fib().find(1);
+  ASSERT_NE(consumer_entry, nullptr);
+  const auto consumer_upstream = consumer_entry->upstream;
+
+  // The broadcaster moves to a different edge in its country.
+  sim::NodeId new_producer = sim::kNoNode;
+  for (const auto n : sys.edge_nodes()) {
+    if (n != old_producer && sys.country_of_node(n) == 0) {
+      new_producer = n;
+      break;
+    }
+  }
+  ASSERT_NE(new_producer, sim::kNoNode);
+  sim::LinkConfig access;
+  access.propagation_delay = 15 * kMs;
+  access.bandwidth_bps = 20e6;
+  sys.network().add_bidi_link(bcast.node_id(), new_producer, access);
+  bcast.migrate(new_producer);
+  sys.loop().run_until(30 * kSec);
+
+  // The old producer now relays: no longer locally producing, fed by
+  // the new producer.
+  const auto* old_entry = sys.node(old_producer).fib().find(1);
+  ASSERT_NE(old_entry, nullptr);
+  EXPECT_FALSE(old_entry->locally_produced);
+  EXPECT_EQ(old_entry->upstream, new_producer);
+
+  // The new producer registered in the SIB.
+  EXPECT_EQ(sys.brain().sib().producer_of(1), new_producer);
+
+  // The viewer never resubscribed and kept playing through the move,
+  // and its consumer's upstream did not change (§7.1: "the existing
+  // overlay paths do not need to change").
+  const auto& rec = qoe.records().front();
+  EXPECT_GT(rec.frames_displayed, frames_before + 250);
+  const auto* entry_after = sys.node(consumer).fib().find(1);
+  ASSERT_NE(entry_after, nullptr);
+  if (consumer_upstream != old_producer) {
+    EXPECT_EQ(entry_after->upstream, consumer_upstream);
+  }
+  // Path length grew by the extra relay hop (new producer -> old).
+  const auto& sess = sys.sessions().sessions().front();
+  EXPECT_GE(sess.path_length, 1);
+}
+
+}  // namespace
+}  // namespace livenet

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "overlay/frame_dropper.h"
+#include "overlay/messages.h"
+#include "overlay/packet_cache.h"
+#include "overlay/path.h"
+#include "overlay/stream_fib.h"
+
+// Unit tests for the overlay building blocks that are not covered by
+// the end-to-end integration suites.
+namespace livenet::overlay {
+namespace {
+
+using media::FrameType;
+using media::RtpPacket;
+
+std::shared_ptr<RtpPacket> pkt(media::StreamId s, media::Seq seq,
+                               FrameType t, std::uint64_t frame,
+                               std::uint64_t gop, std::uint32_t frag = 0,
+                               std::uint32_t frags = 1,
+                               bool referenced = true) {
+  auto p = std::make_shared<RtpPacket>();
+  p->stream_id = s;
+  p->seq = seq;
+  p->frame_type = t;
+  p->frame_id = frame;
+  p->gop_id = gop;
+  p->frag_index = frag;
+  p->frag_count = frags;
+  p->referenced = referenced;
+  p->payload_bytes = 1000;
+  return p;
+}
+
+// -------------------------------------------------------------- StreamFib
+
+TEST(StreamFib, SubscribersAccumulateAndRemove) {
+  StreamFib fib;
+  fib.add_node_subscriber(1, 10);
+  fib.add_node_subscriber(1, 11);
+  fib.add_client_subscriber(1, 100);
+  const auto* e = fib.find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->subscriber_nodes.size(), 2u);
+  EXPECT_TRUE(e->has_subscribers());
+
+  fib.remove_node_subscriber(1, 10);
+  fib.remove_node_subscriber(1, 10);  // idempotent
+  fib.remove_client_subscriber(1, 100);
+  EXPECT_EQ(fib.find(1)->subscriber_nodes.size(), 1u);
+  fib.remove_node_subscriber(1, 11);
+  EXPECT_FALSE(fib.find(1)->has_subscribers());
+}
+
+TEST(StreamFib, RemoveOnUnknownStreamIsNoop) {
+  StreamFib fib;
+  fib.remove_node_subscriber(42, 1);
+  fib.remove_client_subscriber(42, 1);
+  EXPECT_FALSE(fib.contains(42));
+}
+
+TEST(StreamFib, DuplicateSubscriberStoredOnce) {
+  StreamFib fib;
+  fib.add_node_subscriber(1, 10);
+  fib.add_node_subscriber(1, 10);
+  EXPECT_EQ(fib.find(1)->subscriber_nodes.size(), 1u);
+}
+
+// --------------------------------------------------------- PacketGopCache
+
+TEST(PacketGopCache, StartupBeginsAtNewestKeyframe) {
+  PacketGopCache cache(2);
+  media::Seq seq = 1;
+  for (std::uint64_t gop = 1; gop <= 3; ++gop) {
+    cache.add(pkt(1, seq++, FrameType::kI, gop * 10, gop));
+    cache.add(pkt(1, seq++, FrameType::kP, gop * 10 + 1, gop));
+  }
+  const auto burst = cache.startup_packets(1);
+  ASSERT_EQ(burst.size(), 2u);
+  EXPECT_EQ(burst[0]->gop_id, 3u);
+  EXPECT_TRUE(burst[0]->is_keyframe_packet());
+}
+
+TEST(PacketGopCache, PrunesToMaxGops) {
+  PacketGopCache cache(2);
+  media::Seq seq = 1;
+  for (std::uint64_t gop = 1; gop <= 10; ++gop) {
+    cache.add(pkt(1, seq++, FrameType::kI, gop * 10, gop));
+    for (int i = 0; i < 20; ++i) {
+      cache.add(pkt(1, seq++, FrameType::kP, gop * 10 + 1, gop));
+    }
+  }
+  EXPECT_LE(cache.cached_packets(1), 2u * 21u);
+}
+
+TEST(PacketGopCache, FindPacketBinarySearch) {
+  PacketGopCache cache(3);
+  for (media::Seq s = 10; s <= 50; ++s) {
+    cache.add(pkt(1, s, s == 10 ? FrameType::kI : FrameType::kP, s, 1));
+  }
+  ASSERT_NE(cache.find_packet(1, 30), nullptr);
+  EXPECT_EQ(cache.find_packet(1, 30)->seq, 30u);
+  EXPECT_EQ(cache.find_packet(1, 9), nullptr);
+  EXPECT_EQ(cache.find_packet(1, 51), nullptr);
+  EXPECT_EQ(cache.find_packet(2, 30), nullptr);
+}
+
+TEST(PacketGopCache, AudioNeverCached) {
+  PacketGopCache cache(2);
+  cache.add(pkt(1, 1, FrameType::kAudio, 1, 0));
+  EXPECT_FALSE(cache.has_content(1));
+  EXPECT_EQ(cache.cached_packets(1), 0u);
+}
+
+TEST(PacketGopCache, ForgetStreamDropsState) {
+  PacketGopCache cache(2);
+  cache.add(pkt(1, 1, FrameType::kI, 1, 1));
+  EXPECT_TRUE(cache.has_content(1));
+  cache.forget_stream(1);
+  EXPECT_FALSE(cache.has_content(1));
+}
+
+// ------------------------------------------------------------ FrameDropper
+
+TEST(FrameDropper, ForwardsEverythingWhenQueueHealthy) {
+  FrameDropper d;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(d.should_forward(*pkt(1, static_cast<media::Seq>(i),
+                                      FrameType::kP, i, 1),
+                                 10 * kMs));
+  }
+  EXPECT_EQ(d.p_dropped(), 0u);
+  EXPECT_FALSE(d.under_pressure());
+}
+
+TEST(FrameDropper, DropsUnreferencedBFirst) {
+  FrameDropper d;
+  const auto b_unref =
+      pkt(1, 1, FrameType::kB, 5, 1, 0, 1, /*referenced=*/false);
+  const auto b_ref = pkt(1, 2, FrameType::kB, 6, 1, 0, 1, true);
+  const auto p = pkt(1, 3, FrameType::kP, 7, 1);
+  EXPECT_FALSE(d.should_forward(*b_unref, 400 * kMs));
+  EXPECT_TRUE(d.should_forward(*b_ref, 400 * kMs));
+  EXPECT_TRUE(d.should_forward(*p, 400 * kMs));
+  EXPECT_EQ(d.b_dropped(), 1u);
+}
+
+TEST(FrameDropper, DroppedPPoisonsRestOfGop) {
+  FrameDropper d;
+  EXPECT_FALSE(d.should_forward(*pkt(1, 1, FrameType::kP, 10, 2), 700 * kMs));
+  // Later frame of the same GoP: dropped even though the queue drained.
+  EXPECT_FALSE(d.should_forward(*pkt(1, 2, FrameType::kP, 11, 2), 10 * kMs));
+  // The next GoP's keyframe resets the state.
+  EXPECT_TRUE(d.should_forward(*pkt(1, 3, FrameType::kI, 20, 3), 10 * kMs));
+  EXPECT_TRUE(d.should_forward(*pkt(1, 4, FrameType::kP, 21, 3), 10 * kMs));
+}
+
+TEST(FrameDropper, WholeGopDroppedAboveTopThreshold) {
+  FrameDropper d;
+  EXPECT_FALSE(d.should_forward(*pkt(1, 1, FrameType::kP, 10, 2), 1500 * kMs));
+  EXPECT_FALSE(d.should_forward(*pkt(1, 2, FrameType::kP, 11, 2), 10 * kMs));
+  EXPECT_GT(d.gop_dropped(), 0u);
+  EXPECT_TRUE(d.should_forward(*pkt(1, 3, FrameType::kI, 20, 3), 10 * kMs));
+}
+
+TEST(FrameDropper, AudioAlwaysForwarded) {
+  FrameDropper d;
+  EXPECT_TRUE(d.should_forward(*pkt(1, 1, FrameType::kAudio, 1, 0),
+                               10 * kSec));
+}
+
+TEST(FrameDropper, PressureSignalTracksQueue) {
+  FrameDropper d;
+  d.should_forward(*pkt(1, 1, FrameType::kP, 1, 1), 400 * kMs);
+  EXPECT_TRUE(d.under_pressure());
+  d.should_forward(*pkt(1, 2, FrameType::kP, 2, 1), 10 * kMs);
+  EXPECT_FALSE(d.under_pressure());
+}
+
+// ------------------------------------------------------------------- Path
+
+TEST(Path, LengthAndToString) {
+  EXPECT_EQ(path_length({}), -1);
+  EXPECT_EQ(path_length({5}), 0);
+  EXPECT_EQ(path_length({1, 2, 3}), 2);
+  EXPECT_EQ(to_string({1, 2, 3}), "1->2->3");
+}
+
+// --------------------------------------------------------------- messages
+
+TEST(Messages, WireSizesScaleWithContent) {
+  SubscribeRequest sub;
+  const auto base = sub.wire_size();
+  sub.remaining_reverse_path = {1, 2, 3};
+  EXPECT_GT(sub.wire_size(), base);
+
+  PathResponse resp;
+  const auto rbase = resp.wire_size();
+  resp.paths = {{1, 2, 3}, {1, 4, 3}};
+  EXPECT_GT(resp.wire_size(), rbase);
+
+  media::NackMessage nack;
+  const auto nbase = nack.wire_size();
+  nack.missing = {1, 2, 3, 4};
+  EXPECT_EQ(nack.wire_size(), nbase + 16);
+}
+
+TEST(Messages, DescribeIsNonEmptyForAllTypes) {
+  EXPECT_FALSE(SubscribeRequest{}.describe().empty());
+  EXPECT_FALSE(SubscribeAck{}.describe().empty());
+  EXPECT_FALSE(UnsubscribeRequest{}.describe().empty());
+  EXPECT_FALSE(PublishRequest{}.describe().empty());
+  EXPECT_FALSE(PublishStop{}.describe().empty());
+  EXPECT_FALSE(ViewRequest{}.describe().empty());
+  EXPECT_FALSE(ViewStop{}.describe().empty());
+  EXPECT_FALSE(ViewAck{}.describe().empty());
+  EXPECT_FALSE(ClientQualityReport{}.describe().empty());
+  EXPECT_FALSE(PathRequest{}.describe().empty());
+  EXPECT_FALSE(PathResponse{}.describe().empty());
+  EXPECT_FALSE(PathPush{}.describe().empty());
+  EXPECT_FALSE(StreamRegister{}.describe().empty());
+  EXPECT_FALSE(NodeStateReport{}.describe().empty());
+  EXPECT_FALSE(OverloadAlarm{}.describe().empty());
+  EXPECT_FALSE(StreamSwitchNotice{}.describe().empty());
+}
+
+}  // namespace
+}  // namespace livenet::overlay

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "hier/hier_control.h"
+#include "livenet/system.h"
+
+// Proactive path push for popular broadcasters (§4.4) and the VDN-style
+// Hier controller's mapping policy.
+namespace livenet {
+namespace {
+
+TEST(ProactivePush, PopularStreamPathsArriveBeforeViewers) {
+  SystemConfig cfg;
+  cfg.countries = 2;
+  cfg.nodes_per_country = 3;
+  cfg.dns_candidates = 1;
+  cfg.brain.routing_interval = 4 * kSec;
+  cfg.brain.push_top_n = 2;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 55;
+  LiveNetSystem sys(cfg);
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 5, bc);
+  sys.build_once();
+  sys.start();
+  const auto bsite = sys.geo().sample_site(0);
+  bcast.start(sys.attach_client(&bcast, bsite), {1});
+
+  // Mark the stream popular (campaign notified in advance, §4.4);
+  // after the next routing cycle every node holds pushed paths.
+  sys.brain().mark_popular(1);
+  sys.loop().run_until(10 * kSec);
+
+  // A first-ever viewer at a node that never served this stream: the
+  // pushed path makes it a local (path-information) hit with no
+  // Brain round trip.
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto vsite = sys.geo().sample_site(1);
+  const auto consumer = sys.attach_client(&viewer, vsite);
+  const auto requests_before = sys.brain().metrics().path_requests.size();
+  viewer.start_view(consumer, 1);
+  sys.loop().run_until(16 * kSec);
+
+  ASSERT_EQ(sys.sessions().sessions().size(), 1u);
+  const auto& sess = sys.sessions().sessions().front();
+  EXPECT_TRUE(sess.local_hit);
+  EXPECT_EQ(sys.brain().metrics().path_requests.size(), requests_before);
+  EXPECT_GT(qoe.records().front().frames_displayed, 50u);
+  // Startup benefited: no lookup round trip in the critical path.
+  EXPECT_LT(qoe.records().front().startup_delay(), 1500 * kMs);
+}
+
+TEST(HierControl, AffinityPreferredUnderBalancedLoad) {
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  hier::HierControl ctrl(&net);
+  ctrl.set_l2_nodes({10, 11, 12});
+  ctrl.set_affinity(1, 11);
+
+  // Drive pick_l2 via the message interface.
+  class Probe final : public sim::SimNode {
+   public:
+    void on_message(sim::NodeId, const sim::MessagePtr& msg) override {
+      if (auto resp =
+              std::dynamic_pointer_cast<const hier::MapResponse>(msg)) {
+        l2s.push_back(resp->l2);
+      }
+    }
+    std::vector<sim::NodeId> l2s;
+  };
+  Probe l1;
+  const auto ctrl_id = net.add_node(&ctrl);
+  const auto l1_id = net.add_node(&l1);
+  sim::LinkConfig lc;
+  lc.propagation_delay = 1 * kMs;
+  net.add_bidi_link(ctrl_id, l1_id, lc);
+
+  for (int i = 0; i < 5; ++i) {
+    auto req = std::make_shared<hier::MapRequest>();
+    req->request_id = static_cast<std::uint64_t>(i + 1);
+    req->stream_id = static_cast<media::StreamId>(i + 1);
+    req->l1 = 1;
+    net.send(l1_id, ctrl_id, req);
+  }
+  loop.run_until(1 * kSec);
+  ASSERT_EQ(l1.l2s.size(), 5u);
+  for (const auto l2 : l1.l2s) {
+    EXPECT_EQ(l2, 11);  // balanced load: geographic affinity wins
+  }
+}
+
+TEST(HierControl, SkewedLoadFallsBackToLeastLoaded) {
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  hier::HierControl ctrl(&net);
+  ctrl.set_l2_nodes({10, 11});
+  ctrl.set_affinity(1, 11);
+
+  class Probe final : public sim::SimNode {
+   public:
+    void on_message(sim::NodeId, const sim::MessagePtr& msg) override {
+      if (auto resp =
+              std::dynamic_pointer_cast<const hier::MapResponse>(msg)) {
+        l2s.push_back(resp->l2);
+      }
+    }
+    std::vector<sim::NodeId> l2s;
+  };
+  Probe l1;
+  const auto ctrl_id = net.add_node(&ctrl);
+  const auto l1_id = net.add_node(&l1);
+  sim::LinkConfig lc;
+  lc.propagation_delay = 1 * kMs;
+  net.add_bidi_link(ctrl_id, l1_id, lc);
+
+  // Many distinct streams from the same L1: once the affine L2's
+  // assignment count runs far ahead, the controller spills to the
+  // least-loaded alternative.
+  for (int i = 0; i < 40; ++i) {
+    auto req = std::make_shared<hier::MapRequest>();
+    req->request_id = static_cast<std::uint64_t>(i + 1);
+    req->stream_id = static_cast<media::StreamId>(i + 1);
+    req->l1 = 1;
+    net.send(l1_id, ctrl_id, req);
+  }
+  loop.run_until(2 * kSec);
+  ASSERT_EQ(l1.l2s.size(), 40u);
+  int spilled = 0;
+  for (const auto l2 : l1.l2s) {
+    if (l2 == 10) ++spilled;
+  }
+  EXPECT_GT(spilled, 5);  // load balancing engaged
+}
+
+}  // namespace
+}  // namespace livenet

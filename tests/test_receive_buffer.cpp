@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "transport/receive_buffer.h"
+#include "transport/send_history.h"
+
+namespace livenet::transport {
+namespace {
+
+using media::RtpPacket;
+using media::RtpPacketPtr;
+using media::Seq;
+using media::StreamId;
+
+std::shared_ptr<RtpPacket> pkt(StreamId s, Seq seq) {
+  auto p = std::make_shared<RtpPacket>();
+  p->stream_id = s;
+  p->seq = seq;
+  p->payload_bytes = 1000;
+  return p;
+}
+
+struct Harness {
+  sim::EventLoop loop;
+  std::vector<Seq> delivered;
+  std::vector<std::vector<Seq>> nacks;
+  int gaps = 0;
+  std::unique_ptr<ReceiveBuffer> buf;
+
+  explicit Harness(ReceiveBuffer::Config cfg = {}) {
+    buf = std::make_unique<ReceiveBuffer>(
+        &loop,
+        [this](const RtpPacketPtr& p) { delivered.push_back(p->seq); },
+        [this](StreamId) { ++gaps; },
+        [this](StreamId, bool, const std::vector<Seq>& m) { nacks.push_back(m); },
+        cfg);
+  }
+};
+
+TEST(ReceiveBuffer, InOrderDeliveryIsImmediate) {
+  Harness h;
+  for (Seq s = 1; s <= 5; ++s) h.buf->on_packet(pkt(1, s));
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(h.nacks.empty());
+}
+
+TEST(ReceiveBuffer, ReordersOutOfOrderPackets) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 3));
+  h.buf->on_packet(pkt(1, 2));
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 2, 3}));
+}
+
+TEST(ReceiveBuffer, NackAfterScanInterval) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 4));  // 2, 3 missing
+  h.loop.run_until(60 * kMs);
+  ASSERT_FALSE(h.nacks.empty());
+  EXPECT_EQ(h.nacks[0], (std::vector<Seq>{2, 3}));
+}
+
+TEST(ReceiveBuffer, RecoveredPacketStopsNacking) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 3));
+  h.loop.run_until(60 * kMs);
+  ASSERT_EQ(h.nacks.size(), 1u);
+  h.buf->on_packet(pkt(1, 2));  // recovery
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 2, 3}));
+  h.loop.run_until(500 * kMs);
+  EXPECT_EQ(h.nacks.size(), 1u);  // no further NACKs
+}
+
+TEST(ReceiveBuffer, RenacksUntilBoundThenGivesUp) {
+  ReceiveBuffer::Config cfg;
+  cfg.nack_interval = 50 * kMs;
+  cfg.giveup_after = 10 * kSec;  // bound by retries, not time
+  cfg.max_nacks_per_seq = 3;
+  Harness h(cfg);
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 3));
+  h.loop.run_until(5 * kSec);
+  EXPECT_EQ(h.nacks.size(), 3u);
+  EXPECT_EQ(h.gaps, 1);
+  // After giving up, seq 3 must have been delivered past the hole.
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 3}));
+}
+
+TEST(ReceiveBuffer, GiveupByAgeSkipsHole) {
+  ReceiveBuffer::Config cfg;
+  cfg.giveup_after = 200 * kMs;
+  Harness h(cfg);
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 3));
+  h.loop.run_until(1 * kSec);
+  EXPECT_EQ(h.gaps, 1);
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 3}));
+}
+
+TEST(ReceiveBuffer, DuplicatesIgnored) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 2));
+  h.buf->on_packet(pkt(1, 1));
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 2}));
+  EXPECT_EQ(h.buf->duplicates(), 2u);
+}
+
+TEST(ReceiveBuffer, StreamsAreIndependent) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(2, 100));  // different stream starts at 100
+  h.buf->on_packet(pkt(2, 101));
+  h.buf->on_packet(pkt(1, 2));
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{1, 100, 101, 2}));
+}
+
+TEST(ReceiveBuffer, FirstPacketSyncsExpectedSeq) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 500));  // joined mid-stream (cache burst)
+  h.buf->on_packet(pkt(1, 501));
+  EXPECT_EQ(h.delivered, (std::vector<Seq>{500, 501}));
+  h.loop.run_until(1 * kSec);
+  EXPECT_TRUE(h.nacks.empty());  // no NACK storm for seqs before join
+}
+
+TEST(ReceiveBuffer, LossFractionReflectsHoles) {
+  Harness h;
+  h.buf->on_packet(pkt(1, 1));
+  h.buf->on_packet(pkt(1, 2));
+  h.buf->on_packet(pkt(1, 4));  // one hole
+  const double frac = h.buf->take_loss_fraction();
+  EXPECT_NEAR(frac, 0.25, 1e-9);  // 1 hole / (3 received + 1 hole)
+  EXPECT_EQ(h.buf->take_loss_fraction(), 0.0);  // counters reset
+}
+
+TEST(SendHistory, LookupAndExpiry) {
+  SendHistory::Config cfg;
+  cfg.max_age = 1 * kSec;
+  SendHistory hist(cfg);
+  auto p = pkt(1, 42);
+  hist.record(p, 0);
+  EXPECT_EQ(hist.lookup(1, false, 42, 500 * kMs), p);
+  EXPECT_EQ(hist.lookup(1, false, 42, 3 * kSec), nullptr);  // expired
+}
+
+TEST(SendHistory, ForgetStreamRemovesEntries) {
+  SendHistory hist;
+  hist.record(pkt(1, 1), 0);
+  hist.record(pkt(2, 1), 0);
+  hist.forget_stream(1);
+  EXPECT_EQ(hist.lookup(1, false, 1, 0), nullptr);
+  EXPECT_NE(hist.lookup(2, false, 1, 0), nullptr);
+}
+
+TEST(SendHistory, CapacityBounded) {
+  SendHistory::Config cfg;
+  cfg.max_age = 100 * kSec;
+  cfg.max_packets = 100;
+  SendHistory hist(cfg);
+  for (Seq s = 1; s <= 200; ++s) hist.record(pkt(1, s), static_cast<Time>(s));
+  EXPECT_LE(hist.size(), 101u);
+  EXPECT_EQ(hist.lookup(1, false, 1, 200), nullptr);    // evicted
+  EXPECT_NE(hist.lookup(1, false, 200, 200), nullptr);  // recent kept
+}
+
+}  // namespace
+}  // namespace livenet::transport

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "livenet/system.h"
+
+// Replicated Path Decision (§7.1): replicas converge to the primary's
+// PIB/SIB, serve lookups correctly, and shorten lookup round trips for
+// consumers far from the primary.
+namespace livenet {
+namespace {
+
+SystemConfig replica_config(int replicas) {
+  SystemConfig cfg;
+  cfg.countries = 3;
+  cfg.nodes_per_country = 3;
+  cfg.path_decision_replicas = replicas;
+  cfg.dns_candidates = 1;
+  cfg.brain.routing_interval = 5 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+client::BroadcasterConfig one_version() {
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  return bc;
+}
+
+TEST(Replicas, ConvergeToPrimaryPib) {
+  LiveNetSystem sys(replica_config(2));
+  sys.build_once();
+  sys.start();
+  sys.loop().run_until(8 * kSec);  // a routing cycle + replication
+
+  ASSERT_EQ(sys.replicas().size(), 2u);
+  const auto& primary = sys.brain().pib();
+  for (const auto& replica : sys.replicas()) {
+    EXPECT_GT(replica->pib_version(), 0u);
+    EXPECT_EQ(replica->pib().pair_count(), primary.pair_count());
+    // Spot-check candidate equality for a few pairs.
+    int checked = 0;
+    for (const auto& [src, dst] : primary.pairs()) {
+      if (++checked > 12) break;
+      const auto* a = primary.find(src, dst);
+      const auto* b = replica->pib().find(src, dst);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(*a, *b);
+    }
+  }
+}
+
+TEST(Replicas, SibUpdatesPropagate) {
+  LiveNetSystem sys(replica_config(1));
+  client::Broadcaster bcast(&sys.network(), 3, one_version());
+  sys.build_once();
+  sys.start();
+  const auto producer =
+      sys.attach_client(&bcast, sys.geo().sample_site(0));
+  bcast.start(producer, {9});
+  sys.loop().run_until(2 * kSec);
+  ASSERT_EQ(sys.replicas().size(), 1u);
+  EXPECT_EQ(sys.replicas()[0]->sib().producer_of(9), producer);
+
+  bcast.stop();
+  sys.loop().run_until(4 * kSec);
+  EXPECT_EQ(sys.replicas()[0]->sib().producer_of(9), sim::kNoNode);
+}
+
+TEST(Replicas, LookupsServedByReplicaNotPrimary) {
+  LiveNetSystem sys(replica_config(2));
+  client::ClientMetrics qoe;
+  client::Broadcaster bcast(&sys.network(), 3, one_version());
+  sys.build_once();
+  sys.start();
+  bcast.start(sys.attach_client(&bcast, sys.geo().sample_site(0)), {1});
+  sys.loop().run_until(8 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto consumer =
+      sys.attach_client(&viewer, sys.geo().sample_site(1));
+  viewer.start_view(consumer, 1);
+  sys.loop().run_until(16 * kSec);
+
+  // The lookup was answered by a replica; the primary saw none.
+  std::size_t replica_requests = 0;
+  for (const auto& r : sys.replicas()) {
+    replica_requests += r->metrics().path_requests.size();
+  }
+  EXPECT_GE(replica_requests, 1u);
+  EXPECT_EQ(sys.brain().metrics().path_requests.size(), 0u);
+
+  // And the view works end to end.
+  EXPECT_GT(qoe.records().front().frames_displayed, 100u);
+  const auto& sess = sys.sessions().sessions().front();
+  EXPECT_GE(sess.path_length, 0);
+  EXPECT_NE(sess.path_response_rtt, kNever);
+}
+
+TEST(Replicas, OverloadMarksMirrorToReplicas) {
+  SystemConfig cfg = replica_config(1);
+  cfg.overlay_node.report_interval = 1 * kHour;  // no auto-clearing
+  LiveNetSystem sys(cfg);
+  sys.build_once();
+  sys.start();
+  sys.loop().run_until(2 * kSec);
+
+  const auto victim = sys.overlay_node_ids()[3];
+  auto alarm = std::make_shared<overlay::OverloadAlarm>();
+  alarm->node = victim;
+  alarm->node_load = 0.95;
+  sys.network().send(victim, sys.brain().node_id(), alarm);
+  sys.loop().run_until(3 * kSec);
+
+  EXPECT_TRUE(sys.brain().pib().node_overloaded(victim));
+  ASSERT_EQ(sys.replicas().size(), 1u);
+  EXPECT_TRUE(sys.replicas()[0]->pib().node_overloaded(victim));
+}
+
+}  // namespace
+}  // namespace livenet

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "livenet/system.h"
+
+// Integration tests for the fine-grained stream control of §5.2 and the
+// deployment behaviours of §7.1: seamless co-stream switching,
+// delegated bitrate downgrades, viewer mobility, and quality-driven
+// path switching.
+namespace livenet {
+namespace {
+
+SystemConfig base_config() {
+  SystemConfig cfg;
+  cfg.countries = 2;
+  cfg.nodes_per_country = 3;
+  cfg.dns_candidates = 1;
+  cfg.last_resort_nodes = 1;
+  cfg.brain.routing_interval = 5 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 777;
+  return cfg;
+}
+
+client::BroadcasterConfig ladder_config() {
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig hi, lo;
+  hi.fps = lo.fps = 25;
+  hi.gop_frames = lo.gop_frames = 25;
+  hi.bitrate_bps = 2.0e6;
+  lo.bitrate_bps = 0.4e6;
+  bc.versions = {hi, lo};
+  return bc;
+}
+
+struct World {
+  LiveNetSystem system;
+  client::ClientMetrics qoe;
+  client::Broadcaster broadcaster;
+  workload::GeoSite bsite;
+  sim::NodeId producer;
+
+  World() : system(base_config()),
+            broadcaster(&system.network(), 3, ladder_config()) {
+    system.build_once();
+    system.start();
+    bsite = system.geo().sample_site(0);
+    producer = system.attach_client(&broadcaster, bsite);
+    broadcaster.start(producer, {1, 2});
+  }
+};
+
+TEST(StreamControl, CostreamFlipIsSeamless) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+
+  client::Viewer viewer(&w.system.network(), &w.qoe);
+  const auto vsite = w.system.geo().sample_site(1);
+  const auto consumer = w.system.attach_client(&viewer, vsite);
+  viewer.start_view(consumer, 1, {2});
+  w.system.loop().run_until(12 * kSec);
+
+  // A co-stream (stream 9) starts from the same producer; the consumer
+  // flips the viewer once a complete GoP of stream 9 is cached.
+  client::Broadcaster joint(&w.system.network(), 4, ladder_config());
+  w.system.attach_client(&joint, w.bsite);
+  joint.start(w.producer, {9, 10});
+  w.system.loop().run_until(15 * kSec);
+  w.broadcaster.announce_costream(1, 9);
+  w.system.loop().run_until(25 * kSec);
+
+  const auto& sess = w.system.sessions().sessions().front();
+  EXPECT_GE(sess.costream_switches, 1);
+  // The viewer kept playing: stalls bounded despite the switch.
+  const auto& rec = w.qoe.records().front();
+  EXPECT_LE(rec.stalls, 2u);
+  EXPECT_GT(rec.frames_displayed, 200u);
+  // The consumer now serves stream 9 to this client.
+  const auto* e9 = w.system.node(consumer).fib().find(9);
+  ASSERT_NE(e9, nullptr);
+  EXPECT_EQ(e9->subscriber_clients.size(), 1u);
+}
+
+TEST(StreamControl, BitrateDowngradeOnConstrainedLastMile) {
+  SystemConfig cfg = base_config();
+  cfg.access_bandwidth_bps = 1.0e6;  // below the 2 Mbps top version
+  LiveNetSystem system(cfg);
+  client::ClientMetrics qoe;
+  client::Broadcaster bcast(&system.network(), 3, ladder_config());
+  system.build_once();
+  system.start();
+  const auto bsite = system.geo().sample_site(0);
+  bcast.start(system.attach_client(&bcast, bsite), {1, 2});
+  system.loop().run_until(6 * kSec);
+
+  client::Viewer viewer(&system.network(), &qoe);
+  const auto vsite = system.geo().sample_site(1);
+  const auto consumer = system.attach_client(&viewer, vsite);
+  viewer.start_view(consumer, 1, {2});
+  system.loop().run_until(40 * kSec);
+
+  // The consumer must have moved the client to the 0.4 Mbps version.
+  const auto& sess = system.sessions().sessions().front();
+  EXPECT_GE(sess.bitrate_downgrades, 1);
+  const auto* e2 = system.node(consumer).fib().find(2);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->subscriber_clients.size(), 1u);
+  // And the viewer keeps receiving (the low version fits the link).
+  const auto& rec = qoe.records().front();
+  EXPECT_GT(rec.frames_displayed, 100u);
+}
+
+TEST(StreamControl, ViewerMigrationKeepsPlaybackAlive) {
+  World w;
+  w.system.loop().run_until(6 * kSec);
+
+  client::Viewer viewer(&w.system.network(), &w.qoe);
+  const auto vsite = w.system.geo().sample_site(1);
+  const auto consumer = w.system.attach_client(&viewer, vsite);
+  viewer.start_view(consumer, 1, {2});
+  w.system.loop().run_until(14 * kSec);
+  const auto frames_before = w.qoe.records().front().frames_displayed;
+  ASSERT_GT(frames_before, 50u);
+
+  // Move: wire an access link to a different edge and resubscribe.
+  sim::NodeId other = sim::kNoNode;
+  for (const auto n : w.system.edge_nodes()) {
+    if (n != consumer) {
+      other = n;
+      break;
+    }
+  }
+  ASSERT_NE(other, sim::kNoNode);
+  sim::LinkConfig access;
+  access.propagation_delay = 25 * kMs;
+  access.bandwidth_bps = 20e6;
+  w.system.network().add_bidi_link(viewer.node_id(), other, access);
+  viewer.migrate(other);
+  w.system.loop().run_until(26 * kSec);
+
+  const auto& rec = w.qoe.records().front();
+  EXPECT_GT(rec.frames_displayed, frames_before + 100);
+  EXPECT_EQ(rec.consumer, other);
+  // Both consumers logged a session for this client.
+  EXPECT_EQ(w.system.sessions().sessions().size(), 2u);
+}
+
+TEST(StreamControl, QualitySwitchReroutesAroundDegradedHop) {
+  SystemConfig cfg = base_config();
+  cfg.countries = 3;
+  cfg.nodes_per_country = 4;
+  LiveNetSystem system(cfg);
+  client::ClientMetrics qoe;
+  client::Broadcaster bcast(&system.network(), 3, ladder_config());
+  system.build_once();
+  system.start();
+  bcast.start(system.attach_client(&bcast, system.geo().sample_site(0)),
+              {1, 2});
+  system.loop().run_until(6 * kSec);
+
+  client::Viewer viewer(&system.network(), &qoe);
+  const auto vsite = system.geo().sample_site(1);
+  const auto consumer = system.attach_client(&viewer, vsite);
+  viewer.start_view(consumer, 1, {2});
+  system.loop().run_until(14 * kSec);
+
+  const auto* entry = system.node(consumer).fib().find(1);
+  ASSERT_NE(entry, nullptr);
+  const auto old_upstream = entry->upstream;
+  if (old_upstream == sim::kNoNode) {
+    GTEST_SKIP() << "viewer landed on the producer node";
+  }
+  // Break the active hop almost completely.
+  system.network().link(old_upstream, consumer)->set_loss_rate(0.95);
+  system.loop().run_until(30 * kSec);
+
+  const auto& sess = system.sessions().sessions().front();
+  EXPECT_GE(sess.path_switches, 1);
+  const auto* after = system.node(consumer).fib().find(1);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after->upstream, old_upstream);
+}
+
+}  // namespace
+}  // namespace livenet

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "livenet/defaults.h"
+#include "livenet/report.h"
+#include "livenet/system.h"
+
+// Construction-level tests for the system façades: footprint shape,
+// underlay determinism and fairness between LiveNet and Hier, DNS
+// mapping behaviour, and operational knobs.
+namespace livenet {
+namespace {
+
+TEST(SystemBuild, LiveNetFootprintShape) {
+  SystemConfig cfg = paper_system_config();
+  LiveNetSystem sys(cfg);
+  sys.build_once();
+
+  const int total = cfg.countries * cfg.nodes_per_country;
+  EXPECT_EQ(sys.overlay_node_ids().size(), static_cast<std::size_t>(total));
+  EXPECT_EQ(sys.backbone_ids().size(), static_cast<std::size_t>(cfg.countries));
+  EXPECT_EQ(sys.edge_nodes().size(),
+            static_cast<std::size_t>(total - cfg.countries));
+  EXPECT_EQ(sys.last_resort_ids().size(),
+            static_cast<std::size_t>(cfg.last_resort_nodes));
+
+  // Full mesh among CDN nodes (including last-resort relays).
+  const auto n = sys.overlay_node_ids().size() + sys.last_resort_ids().size();
+  std::size_t links = 0;
+  for (const auto a : sys.overlay_node_ids()) {
+    for (const auto b : sys.overlay_node_ids()) {
+      if (a != b && sys.network().link(a, b) != nullptr) ++links;
+    }
+  }
+  EXPECT_EQ(links, (sys.overlay_node_ids().size()) *
+                       (sys.overlay_node_ids().size() - 1));
+  EXPECT_EQ(sys.cdn_links().size(), n * (n - 1));
+}
+
+TEST(SystemBuild, BackbonesAreNeverDnsTargets) {
+  SystemConfig cfg = paper_system_config();
+  LiveNetSystem sys(cfg);
+  sys.build_once();
+  for (int i = 0; i < 200; ++i) {
+    const auto site = sys.geo().sample_site();
+    const auto edge = sys.map_client_to_edge(site);
+    for (const auto bb : sys.backbone_ids()) {
+      EXPECT_NE(edge, bb);
+    }
+  }
+}
+
+TEST(SystemBuild, SharedUnderlayBetweenSystems) {
+  // LiveNet and Hier built from the same seed share the first node
+  // sites and see the same link propagation between those nodes.
+  SystemConfig cfg = paper_system_config(/*seed=*/123);
+  LiveNetSystem ln(cfg);
+  HierSystem hr(cfg);
+  ln.build_once();
+  hr.build_once();
+
+  const int shared = cfg.countries * cfg.nodes_per_country;
+  for (int a = 0; a < shared; ++a) {
+    EXPECT_EQ(ln.country_of_node(a), hr.country_of_node(a));
+    const auto& sa = ln.node_sites()[static_cast<std::size_t>(a)];
+    const auto& sb = hr.node_sites()[static_cast<std::size_t>(a)];
+    EXPECT_DOUBLE_EQ(sa.x, sb.x);
+    EXPECT_DOUBLE_EQ(sa.y, sb.y);
+  }
+  // Same underlay: identical propagation for the common node pairs
+  // where both systems created a link (LiveNet mesh covers all pairs;
+  // Hier has L1<->L2 links outside this set).
+  const auto* l_ln = ln.network().link(5, 7);
+  ASSERT_NE(l_ln, nullptr);
+}
+
+TEST(SystemBuild, InflationDeterministicPerPair) {
+  SystemConfig cfg = paper_system_config(/*seed=*/5);
+  LiveNetSystem a(cfg), b(cfg);
+  a.build_once();
+  b.build_once();
+  for (const auto x : a.overlay_node_ids()) {
+    for (const auto y : a.overlay_node_ids()) {
+      if (x == y) continue;
+      ASSERT_NE(a.network().link(x, y), nullptr);
+      EXPECT_EQ(a.network().link(x, y)->propagation_delay(),
+                b.network().link(x, y)->propagation_delay());
+    }
+  }
+}
+
+TEST(SystemBuild, EdgeLinksSlowerThanBackboneLinks) {
+  // Average inflation of edge-edge links must exceed edge-backbone,
+  // which must exceed backbone-backbone — the premise of 2-hop routing.
+  SystemConfig cfg = paper_system_config(/*seed=*/9);
+  LiveNetSystem sys(cfg);
+  sys.build_once();
+
+  auto avg_ratio = [&](const std::vector<sim::NodeId>& from,
+                       const std::vector<sim::NodeId>& to) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto a : from) {
+      for (const auto b : to) {
+        if (a == b) continue;
+        const auto* l = sys.network().link(a, b);
+        if (l == nullptr) continue;
+        const auto geo = sys.geo().one_way_delay(
+            sys.node_sites()[static_cast<std::size_t>(a)],
+            sys.node_sites()[static_cast<std::size_t>(b)]);
+        if (geo <= 0) continue;
+        sum += static_cast<double>(l->propagation_delay()) /
+               static_cast<double>(geo);
+        ++n;
+      }
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  const auto edges = sys.edge_nodes();
+  const auto& bbs = sys.backbone_ids();
+  const double ee = avg_ratio(edges, edges);
+  const double eb = avg_ratio(edges, bbs);
+  const double bb = avg_ratio(bbs, bbs);
+  EXPECT_GT(ee, eb);
+  EXPECT_GT(eb, bb);
+}
+
+TEST(SystemBuild, CapacityScalingAffectsAllCdnLinks) {
+  SystemConfig cfg = paper_system_config();
+  LiveNetSystem sys(cfg);
+  sys.build_once();
+  const double before = sys.cdn_links().front()->bandwidth_bps();
+  sys.scale_capacity(1.25);
+  for (const auto* l : sys.cdn_links()) {
+    EXPECT_NEAR(l->bandwidth_bps(), before * 1.25, 1.0);
+  }
+  sys.scale_capacity(1.0 / 1.25);
+  EXPECT_NEAR(sys.cdn_links().front()->bandwidth_bps(), before, 1.0);
+}
+
+TEST(SystemBuild, LossScaleAppliesToBase) {
+  SystemConfig cfg = paper_system_config();
+  cfg.base_loss_rate = 0.001;
+  LiveNetSystem sys(cfg);
+  sys.build_once();
+  sys.set_loss_scale(3.0);
+  EXPECT_NEAR(sys.cdn_links().front()->loss_rate(), 0.003, 1e-9);
+  sys.set_loss_scale(1.0);
+  EXPECT_NEAR(sys.cdn_links().front()->loss_rate(), 0.001, 1e-9);
+}
+
+TEST(Report, HeadlineMetricsWindowing) {
+  ScenarioResult r;
+  r.day_length = 60 * kSec;
+  auto& s1 = r.overlay.sessions().emplace_back();
+  s1.request_time = 10 * kSec;
+  s1.path_length = 2;
+  s1.cdn_delay_ms.add(100);
+  auto& s2 = r.overlay.sessions().emplace_back();
+  s2.request_time = 70 * kSec;
+  s2.path_length = 3;
+  s2.cdn_delay_ms.add(300);
+
+  const auto all = headline_metrics(r);
+  EXPECT_EQ(all.sessions, 2u);
+  const auto day1 = headline_metrics(r, 0, 60 * kSec);
+  EXPECT_EQ(day1.sessions, 1u);
+  EXPECT_NEAR(day1.cdn_path_delay_ms_median, 100.0, 1e-9);
+}
+
+TEST(Report, PathLengthDistributionNormalizes) {
+  overlay::ViewSession a, b, c;
+  a.path_length = 2;
+  a.cdn_delay_ms.add(1);
+  b.path_length = 2;
+  b.cdn_delay_ms.add(1);
+  c.path_length = 0;
+  c.cdn_delay_ms.add(1);
+  const auto d = path_length_distribution({&a, &b, &c});
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_NEAR(d.len2, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(d.len0, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(d.len0 + d.len1 + d.len2 + d.len3_plus, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace livenet
