@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_path_decision.dir/micro_path_decision.cpp.o"
+  "CMakeFiles/micro_path_decision.dir/micro_path_decision.cpp.o.d"
+  "micro_path_decision"
+  "micro_path_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_path_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ablation.dir/repro_ablation.cpp.o"
+  "CMakeFiles/repro_ablation.dir/repro_ablation.cpp.o.d"
+  "repro_ablation"
+  "repro_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

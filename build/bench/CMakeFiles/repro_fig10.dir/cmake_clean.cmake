@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig10.dir/repro_fig10.cpp.o"
+  "CMakeFiles/repro_fig10.dir/repro_fig10.cpp.o.d"
+  "repro_fig10"
+  "repro_fig10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig11_12.dir/repro_fig11_12.cpp.o"
+  "CMakeFiles/repro_fig11_12.dir/repro_fig11_12.cpp.o.d"
+  "repro_fig11_12"
+  "repro_fig11_12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig11_12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig13_14.dir/repro_fig13_14.cpp.o"
+  "CMakeFiles/repro_fig13_14.dir/repro_fig13_14.cpp.o.d"
+  "repro_fig13_14"
+  "repro_fig13_14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig13_14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig13_14.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig9.dir/repro_fig9.cpp.o"
+  "CMakeFiles/repro_fig9.dir/repro_fig9.cpp.o.d"
+  "repro_fig9"
+  "repro_fig9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

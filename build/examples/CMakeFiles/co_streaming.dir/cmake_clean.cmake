@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_streaming.dir/co_streaming.cpp.o"
+  "CMakeFiles/co_streaming.dir/co_streaming.cpp.o.d"
+  "co_streaming"
+  "co_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_sale.dir/flash_sale.cpp.o"
+  "CMakeFiles/flash_sale.dir/flash_sale.cpp.o.d"
+  "flash_sale"
+  "flash_sale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_sale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

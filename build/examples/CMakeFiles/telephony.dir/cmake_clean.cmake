@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephony.dir/telephony.cpp.o"
+  "CMakeFiles/telephony.dir/telephony.cpp.o.d"
+  "telephony"
+  "telephony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

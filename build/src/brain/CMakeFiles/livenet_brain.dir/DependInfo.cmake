@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/brain/brain.cpp" "src/brain/CMakeFiles/livenet_brain.dir/brain.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/brain.cpp.o.d"
+  "/root/repo/src/brain/global_discovery.cpp" "src/brain/CMakeFiles/livenet_brain.dir/global_discovery.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/global_discovery.cpp.o.d"
+  "/root/repo/src/brain/global_routing.cpp" "src/brain/CMakeFiles/livenet_brain.dir/global_routing.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/global_routing.cpp.o.d"
+  "/root/repo/src/brain/ksp.cpp" "src/brain/CMakeFiles/livenet_brain.dir/ksp.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/ksp.cpp.o.d"
+  "/root/repo/src/brain/path_decision.cpp" "src/brain/CMakeFiles/livenet_brain.dir/path_decision.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/path_decision.cpp.o.d"
+  "/root/repo/src/brain/pib.cpp" "src/brain/CMakeFiles/livenet_brain.dir/pib.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/pib.cpp.o.d"
+  "/root/repo/src/brain/replica.cpp" "src/brain/CMakeFiles/livenet_brain.dir/replica.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/replica.cpp.o.d"
+  "/root/repo/src/brain/routing_graph.cpp" "src/brain/CMakeFiles/livenet_brain.dir/routing_graph.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/routing_graph.cpp.o.d"
+  "/root/repo/src/brain/stream_mgmt.cpp" "src/brain/CMakeFiles/livenet_brain.dir/stream_mgmt.cpp.o" "gcc" "src/brain/CMakeFiles/livenet_brain.dir/stream_mgmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/livenet_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/livenet_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/livenet_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_brain.dir/brain.cpp.o"
+  "CMakeFiles/livenet_brain.dir/brain.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/global_discovery.cpp.o"
+  "CMakeFiles/livenet_brain.dir/global_discovery.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/global_routing.cpp.o"
+  "CMakeFiles/livenet_brain.dir/global_routing.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/ksp.cpp.o"
+  "CMakeFiles/livenet_brain.dir/ksp.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/path_decision.cpp.o"
+  "CMakeFiles/livenet_brain.dir/path_decision.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/pib.cpp.o"
+  "CMakeFiles/livenet_brain.dir/pib.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/replica.cpp.o"
+  "CMakeFiles/livenet_brain.dir/replica.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/routing_graph.cpp.o"
+  "CMakeFiles/livenet_brain.dir/routing_graph.cpp.o.d"
+  "CMakeFiles/livenet_brain.dir/stream_mgmt.cpp.o"
+  "CMakeFiles/livenet_brain.dir/stream_mgmt.cpp.o.d"
+  "liblivenet_brain.a"
+  "liblivenet_brain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_brain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for livenet_brain.
+# This may be replaced when dependencies are built.

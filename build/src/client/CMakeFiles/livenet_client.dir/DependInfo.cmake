@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/broadcaster.cpp" "src/client/CMakeFiles/livenet_client.dir/broadcaster.cpp.o" "gcc" "src/client/CMakeFiles/livenet_client.dir/broadcaster.cpp.o.d"
+  "/root/repo/src/client/viewer.cpp" "src/client/CMakeFiles/livenet_client.dir/viewer.cpp.o" "gcc" "src/client/CMakeFiles/livenet_client.dir/viewer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/livenet_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/livenet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/livenet_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

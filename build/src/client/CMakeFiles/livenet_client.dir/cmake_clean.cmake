@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_client.dir/broadcaster.cpp.o"
+  "CMakeFiles/livenet_client.dir/broadcaster.cpp.o.d"
+  "CMakeFiles/livenet_client.dir/viewer.cpp.o"
+  "CMakeFiles/livenet_client.dir/viewer.cpp.o.d"
+  "liblivenet_client.a"
+  "liblivenet_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

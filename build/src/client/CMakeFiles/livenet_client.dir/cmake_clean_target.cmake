@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblivenet_client.a"
+)

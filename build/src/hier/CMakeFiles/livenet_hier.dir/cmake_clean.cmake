@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_hier.dir/hier_control.cpp.o"
+  "CMakeFiles/livenet_hier.dir/hier_control.cpp.o.d"
+  "CMakeFiles/livenet_hier.dir/hier_node.cpp.o"
+  "CMakeFiles/livenet_hier.dir/hier_node.cpp.o.d"
+  "liblivenet_hier.a"
+  "liblivenet_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

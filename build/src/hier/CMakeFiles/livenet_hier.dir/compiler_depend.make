@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for livenet_hier.
+# This may be replaced when dependencies are built.

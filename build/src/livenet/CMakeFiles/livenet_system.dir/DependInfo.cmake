@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/livenet/csv.cpp" "src/livenet/CMakeFiles/livenet_system.dir/csv.cpp.o" "gcc" "src/livenet/CMakeFiles/livenet_system.dir/csv.cpp.o.d"
+  "/root/repo/src/livenet/report.cpp" "src/livenet/CMakeFiles/livenet_system.dir/report.cpp.o" "gcc" "src/livenet/CMakeFiles/livenet_system.dir/report.cpp.o.d"
+  "/root/repo/src/livenet/scenario.cpp" "src/livenet/CMakeFiles/livenet_system.dir/scenario.cpp.o" "gcc" "src/livenet/CMakeFiles/livenet_system.dir/scenario.cpp.o.d"
+  "/root/repo/src/livenet/system.cpp" "src/livenet/CMakeFiles/livenet_system.dir/system.cpp.o" "gcc" "src/livenet/CMakeFiles/livenet_system.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/livenet_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/livenet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/livenet_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/brain/CMakeFiles/livenet_brain.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/livenet_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/livenet_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/livenet_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

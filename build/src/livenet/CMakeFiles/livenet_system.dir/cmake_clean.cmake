@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_system.dir/csv.cpp.o"
+  "CMakeFiles/livenet_system.dir/csv.cpp.o.d"
+  "CMakeFiles/livenet_system.dir/report.cpp.o"
+  "CMakeFiles/livenet_system.dir/report.cpp.o.d"
+  "CMakeFiles/livenet_system.dir/scenario.cpp.o"
+  "CMakeFiles/livenet_system.dir/scenario.cpp.o.d"
+  "CMakeFiles/livenet_system.dir/system.cpp.o"
+  "CMakeFiles/livenet_system.dir/system.cpp.o.d"
+  "liblivenet_system.a"
+  "liblivenet_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

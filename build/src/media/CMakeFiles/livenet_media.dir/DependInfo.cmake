@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/frame.cpp" "src/media/CMakeFiles/livenet_media.dir/frame.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/frame.cpp.o.d"
+  "/root/repo/src/media/framer.cpp" "src/media/CMakeFiles/livenet_media.dir/framer.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/framer.cpp.o.d"
+  "/root/repo/src/media/gop_cache.cpp" "src/media/CMakeFiles/livenet_media.dir/gop_cache.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/gop_cache.cpp.o.d"
+  "/root/repo/src/media/jitter_framer.cpp" "src/media/CMakeFiles/livenet_media.dir/jitter_framer.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/jitter_framer.cpp.o.d"
+  "/root/repo/src/media/packetizer.cpp" "src/media/CMakeFiles/livenet_media.dir/packetizer.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/packetizer.cpp.o.d"
+  "/root/repo/src/media/rtp.cpp" "src/media/CMakeFiles/livenet_media.dir/rtp.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/rtp.cpp.o.d"
+  "/root/repo/src/media/video_source.cpp" "src/media/CMakeFiles/livenet_media.dir/video_source.cpp.o" "gcc" "src/media/CMakeFiles/livenet_media.dir/video_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

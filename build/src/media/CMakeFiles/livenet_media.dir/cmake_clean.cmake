@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_media.dir/frame.cpp.o"
+  "CMakeFiles/livenet_media.dir/frame.cpp.o.d"
+  "CMakeFiles/livenet_media.dir/framer.cpp.o"
+  "CMakeFiles/livenet_media.dir/framer.cpp.o.d"
+  "CMakeFiles/livenet_media.dir/gop_cache.cpp.o"
+  "CMakeFiles/livenet_media.dir/gop_cache.cpp.o.d"
+  "CMakeFiles/livenet_media.dir/jitter_framer.cpp.o"
+  "CMakeFiles/livenet_media.dir/jitter_framer.cpp.o.d"
+  "CMakeFiles/livenet_media.dir/packetizer.cpp.o"
+  "CMakeFiles/livenet_media.dir/packetizer.cpp.o.d"
+  "CMakeFiles/livenet_media.dir/rtp.cpp.o"
+  "CMakeFiles/livenet_media.dir/rtp.cpp.o.d"
+  "CMakeFiles/livenet_media.dir/video_source.cpp.o"
+  "CMakeFiles/livenet_media.dir/video_source.cpp.o.d"
+  "liblivenet_media.a"
+  "liblivenet_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/frame_dropper.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/frame_dropper.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/frame_dropper.cpp.o.d"
+  "/root/repo/src/overlay/link_receiver.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/link_receiver.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/link_receiver.cpp.o.d"
+  "/root/repo/src/overlay/link_sender.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/link_sender.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/link_sender.cpp.o.d"
+  "/root/repo/src/overlay/messages.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/messages.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/messages.cpp.o.d"
+  "/root/repo/src/overlay/overlay_node.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/overlay_node.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/overlay_node.cpp.o.d"
+  "/root/repo/src/overlay/packet_cache.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/packet_cache.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/packet_cache.cpp.o.d"
+  "/root/repo/src/overlay/path.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/path.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/path.cpp.o.d"
+  "/root/repo/src/overlay/stream_fib.cpp" "src/overlay/CMakeFiles/livenet_overlay.dir/stream_fib.cpp.o" "gcc" "src/overlay/CMakeFiles/livenet_overlay.dir/stream_fib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/livenet_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/livenet_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

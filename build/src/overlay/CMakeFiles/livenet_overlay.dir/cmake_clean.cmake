@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_overlay.dir/frame_dropper.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/frame_dropper.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/link_receiver.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/link_receiver.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/link_sender.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/link_sender.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/messages.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/messages.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/overlay_node.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/overlay_node.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/packet_cache.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/packet_cache.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/path.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/path.cpp.o.d"
+  "CMakeFiles/livenet_overlay.dir/stream_fib.cpp.o"
+  "CMakeFiles/livenet_overlay.dir/stream_fib.cpp.o.d"
+  "liblivenet_overlay.a"
+  "liblivenet_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/livenet_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/livenet_sim.dir/link.cpp.o"
+  "CMakeFiles/livenet_sim.dir/link.cpp.o.d"
+  "CMakeFiles/livenet_sim.dir/network.cpp.o"
+  "CMakeFiles/livenet_sim.dir/network.cpp.o.d"
+  "liblivenet_sim.a"
+  "liblivenet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

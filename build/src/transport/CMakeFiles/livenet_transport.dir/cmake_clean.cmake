@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_transport.dir/gcc.cpp.o"
+  "CMakeFiles/livenet_transport.dir/gcc.cpp.o.d"
+  "CMakeFiles/livenet_transport.dir/pacer.cpp.o"
+  "CMakeFiles/livenet_transport.dir/pacer.cpp.o.d"
+  "CMakeFiles/livenet_transport.dir/receive_buffer.cpp.o"
+  "CMakeFiles/livenet_transport.dir/receive_buffer.cpp.o.d"
+  "CMakeFiles/livenet_transport.dir/send_history.cpp.o"
+  "CMakeFiles/livenet_transport.dir/send_history.cpp.o.d"
+  "liblivenet_transport.a"
+  "liblivenet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_util.dir/logging.cpp.o"
+  "CMakeFiles/livenet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/livenet_util.dir/rng.cpp.o"
+  "CMakeFiles/livenet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/livenet_util.dir/stats.cpp.o"
+  "CMakeFiles/livenet_util.dir/stats.cpp.o.d"
+  "liblivenet_util.a"
+  "liblivenet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/geo.cpp" "src/workload/CMakeFiles/livenet_workload.dir/geo.cpp.o" "gcc" "src/workload/CMakeFiles/livenet_workload.dir/geo.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/workload/CMakeFiles/livenet_workload.dir/patterns.cpp.o" "gcc" "src/workload/CMakeFiles/livenet_workload.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

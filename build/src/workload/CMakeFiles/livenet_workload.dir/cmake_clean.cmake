@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_workload.dir/geo.cpp.o"
+  "CMakeFiles/livenet_workload.dir/geo.cpp.o.d"
+  "CMakeFiles/livenet_workload.dir/patterns.cpp.o"
+  "CMakeFiles/livenet_workload.dir/patterns.cpp.o.d"
+  "liblivenet_workload.a"
+  "liblivenet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

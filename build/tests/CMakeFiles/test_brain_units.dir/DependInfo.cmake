@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_brain_units.cpp" "tests/CMakeFiles/test_brain_units.dir/test_brain_units.cpp.o" "gcc" "tests/CMakeFiles/test_brain_units.dir/test_brain_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/livenet/CMakeFiles/livenet_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/livenet_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/livenet_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/brain/CMakeFiles/livenet_brain.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/livenet_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/livenet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/livenet_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/livenet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/livenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/livenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

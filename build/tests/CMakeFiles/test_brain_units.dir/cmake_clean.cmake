@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brain_units.dir/test_brain_units.cpp.o"
+  "CMakeFiles/test_brain_units.dir/test_brain_units.cpp.o.d"
+  "test_brain_units"
+  "test_brain_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brain_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcc.dir/test_gcc.cpp.o"
+  "CMakeFiles/test_gcc.dir/test_gcc.cpp.o.d"
+  "test_gcc"
+  "test_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_hier.dir/test_integration_hier.cpp.o"
+  "CMakeFiles/test_integration_hier.dir/test_integration_hier.cpp.o.d"
+  "test_integration_hier"
+  "test_integration_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

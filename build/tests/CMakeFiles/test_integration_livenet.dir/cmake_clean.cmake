@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_livenet.dir/test_integration_livenet.cpp.o"
+  "CMakeFiles/test_integration_livenet.dir/test_integration_livenet.cpp.o.d"
+  "test_integration_livenet"
+  "test_integration_livenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_livenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

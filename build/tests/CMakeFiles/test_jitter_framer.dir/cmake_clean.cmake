@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter_framer.dir/test_jitter_framer.cpp.o"
+  "CMakeFiles/test_jitter_framer.dir/test_jitter_framer.cpp.o.d"
+  "test_jitter_framer"
+  "test_jitter_framer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter_framer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

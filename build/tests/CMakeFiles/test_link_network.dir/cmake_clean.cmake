@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_network.dir/test_link_network.cpp.o"
+  "CMakeFiles/test_link_network.dir/test_link_network.cpp.o.d"
+  "test_link_network"
+  "test_link_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_failure.dir/test_node_failure.cpp.o"
+  "CMakeFiles/test_node_failure.dir/test_node_failure.cpp.o.d"
+  "test_node_failure"
+  "test_node_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

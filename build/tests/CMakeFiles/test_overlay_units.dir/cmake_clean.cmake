@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_units.dir/test_overlay_units.cpp.o"
+  "CMakeFiles/test_overlay_units.dir/test_overlay_units.cpp.o.d"
+  "test_overlay_units"
+  "test_overlay_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

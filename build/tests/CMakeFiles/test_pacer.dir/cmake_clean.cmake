@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pacer.dir/test_pacer.cpp.o"
+  "CMakeFiles/test_pacer.dir/test_pacer.cpp.o.d"
+  "test_pacer"
+  "test_pacer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pacer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

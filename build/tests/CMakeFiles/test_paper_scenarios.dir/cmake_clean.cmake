@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_scenarios.dir/test_paper_scenarios.cpp.o"
+  "CMakeFiles/test_paper_scenarios.dir/test_paper_scenarios.cpp.o.d"
+  "test_paper_scenarios"
+  "test_paper_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_routing.dir/test_property_routing.cpp.o"
+  "CMakeFiles/test_property_routing.dir/test_property_routing.cpp.o.d"
+  "test_property_routing"
+  "test_property_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_transport.dir/test_property_transport.cpp.o"
+  "CMakeFiles/test_property_transport.dir/test_property_transport.cpp.o.d"
+  "test_property_transport"
+  "test_property_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

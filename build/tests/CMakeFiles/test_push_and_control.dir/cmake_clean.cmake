@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_push_and_control.dir/test_push_and_control.cpp.o"
+  "CMakeFiles/test_push_and_control.dir/test_push_and_control.cpp.o.d"
+  "test_push_and_control"
+  "test_push_and_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_push_and_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

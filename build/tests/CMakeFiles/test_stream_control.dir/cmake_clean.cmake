@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_control.dir/test_stream_control.cpp.o"
+  "CMakeFiles/test_stream_control.dir/test_stream_control.cpp.o.d"
+  "test_stream_control"
+  "test_stream_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_build.dir/test_system_build.cpp.o"
+  "CMakeFiles/test_system_build.dir/test_system_build.cpp.o.d"
+  "test_system_build"
+  "test_system_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livenet_run.dir/livenet_run.cpp.o"
+  "CMakeFiles/livenet_run.dir/livenet_run.cpp.o.d"
+  "livenet_run"
+  "livenet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livenet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
