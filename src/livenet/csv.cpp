@@ -67,6 +67,21 @@ void write_path_requests_csv(const ScenarioResult& r, std::ostream& os) {
   }
 }
 
+void write_faults_csv(const ScenarioResult& r, std::ostream& os) {
+  os << "kind,injected_s,repaired_s,recovered_s,recovery_ms,a,b,"
+        "duration_s,loss,extra_delay_ms\n";
+  for (const auto& f : r.faults) {
+    os << sim::to_string(f.spec.kind) << ','
+       << (f.injected_at == kNever ? -1.0 : to_sec(f.injected_at)) << ','
+       << (f.repaired() ? to_sec(f.repaired_at) : -1.0) << ','
+       << (f.recovered() ? to_sec(f.recovered_at) : -1.0) << ','
+       << (f.recovery_time() == kNever ? -1.0 : to_ms(f.recovery_time()))
+       << ',' << f.spec.a << ',' << f.spec.b << ','
+       << to_sec(f.spec.duration) << ',' << f.spec.loss << ','
+       << to_ms(f.spec.extra_delay) << '\n';
+  }
+}
+
 void write_timeline_csv(const ScenarioResult& r, std::ostream& os) {
   os << "t_s,day,hour,bytes_delta,measured_loss,arrival_rate,"
         "concurrent_viewers\n";

@@ -22,4 +22,7 @@ void write_path_requests_csv(const ScenarioResult& r, std::ostream& os);
 /// Hourly system counters (throughput, loss, concurrency).
 void write_timeline_csv(const ScenarioResult& r, std::ostream& os);
 
+/// Injected faults with repair and measured recovery times.
+void write_faults_csv(const ScenarioResult& r, std::ostream& os);
+
 }  // namespace livenet

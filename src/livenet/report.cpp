@@ -109,6 +109,24 @@ std::vector<std::pair<int, Samples>> by_hour(
   return {grouped.begin(), grouped.end()};
 }
 
+FaultSummary fault_summary(const ScenarioResult& r) {
+  FaultSummary out;
+  Samples recovery;
+  for (const auto& f : r.faults) {
+    if (f.injected_at == kNever) continue;  // scheduled past the horizon
+    ++out.injected;
+    ++out.by_kind[sim::to_string(f.spec.kind)];
+    if (f.repaired()) ++out.repaired;
+    if (f.recovered()) {
+      ++out.recovered;
+      recovery.add(to_ms(f.recovery_time()));
+    }
+  }
+  out.mean_recovery_ms = recovery.mean();
+  out.max_recovery_ms = recovery.max();
+  return out;
+}
+
 double streaming_delay_t_statistic(const ScenarioResult& a,
                                    const ScenarioResult& b) {
   OnlineStats sa, sb;

@@ -66,4 +66,16 @@ std::vector<std::pair<int, Samples>> by_hour(
 double streaming_delay_t_statistic(const ScenarioResult& a,
                                    const ScenarioResult& b);
 
+/// Chaos-run summary: per-kind fault counts and recovery-time stats
+/// (repair -> first packet delivered on a repaired link).
+struct FaultSummary {
+  std::size_t injected = 0;
+  std::size_t repaired = 0;
+  std::size_t recovered = 0;
+  double mean_recovery_ms = 0.0;
+  double max_recovery_ms = 0.0;
+  std::map<std::string, std::size_t> by_kind;
+};
+FaultSummary fault_summary(const ScenarioResult& r);
+
 }  // namespace livenet

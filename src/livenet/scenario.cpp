@@ -179,6 +179,22 @@ void ScenarioRunner::sample_timeline() {
 ScenarioResult ScenarioRunner::run() {
   system_.build_once();
   system_.start();
+
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (cfg_.faults.enabled()) {
+    injector = std::make_unique<sim::FaultInjector>(&system_.network());
+    injector->set_node_handlers(
+        [this](sim::NodeId n) { system_.crash_node(n); },
+        [this](sim::NodeId n) { system_.restart_node(n); });
+    std::vector<std::pair<sim::NodeId, sim::NodeId>> links;
+    links.reserve(system_.cdn_links().size());
+    for (const sim::Link* l : system_.cdn_links()) {
+      links.emplace_back(l->src(), l->dst());
+    }
+    injector->load_plan(cfg_.faults, cfg_.duration, links,
+                        system_.crashable_nodes(), system_.control_node());
+  }
+
   start_broadcasters();
   schedule_next_arrival();
   system_.loop().schedule_after(cfg_.day_length / 24,
@@ -198,6 +214,7 @@ ScenarioResult ScenarioRunner::run() {
     result.brain = ln->brain().metrics();
   }
   result.timeline = std::move(timeline_);
+  if (injector) result.faults = injector->records();
   result.day_length = cfg_.day_length;
   result.total_viewers = total_viewers_;
   for (std::size_t b = 0; b < broadcast_streams_.size(); ++b) {

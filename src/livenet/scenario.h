@@ -8,6 +8,7 @@
 #include "client/records.h"
 #include "client/viewer.h"
 #include "livenet/system.h"
+#include "sim/fault_injector.h"
 #include "workload/patterns.h"
 
 // Scenario runner: drives a synthetic Taobao-Live-like workload against
@@ -52,6 +53,11 @@ struct ScenarioConfig {
   // Capacity up-scaling applied during flash windows (§6.5).
   double flash_capacity_factor = 1.0;
 
+  // Chaos: faults injected into the running system (empty = none). The
+  // schedule is a pure function of the plan's seed, independent of the
+  // workload seed below.
+  sim::FaultPlan faults;
+
   std::uint64_t seed = 7;
 };
 
@@ -71,6 +77,7 @@ struct ScenarioResult {
   client::ClientMetrics clients;     ///< viewer QoE logs
   brain::BrainMetrics brain;         ///< path-request logs (LiveNet only)
   std::vector<TimelineSample> timeline;
+  std::vector<sim::FaultRecord> faults;  ///< injected chaos + recovery times
   Duration day_length = 0;
   std::uint64_t total_viewers = 0;
   std::map<media::StreamId, int> stream_country;  ///< producer country

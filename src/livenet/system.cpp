@@ -197,6 +197,7 @@ void LiveNetSystem::build() {
   // The Streaming Brain: central site, control links to every node.
   brain_ = std::make_unique<brain::BrainNode>(&net_, cfg_.brain);
   const NodeId brain_id = net_.add_node(brain_.get());
+  brain_id_ = brain_id;
   GeoSite brain_site;
   sites_.push_back(brain_site);
   for (const NodeId n : all) {
@@ -286,6 +287,38 @@ void LiveNetSystem::scale_capacity(double factor) {
   CdnSystem::scale_capacity(factor);
   // Node-level capacity scales with the link upgrade.
   // (Config lives per node; reflected in the load metric.)
+}
+
+void LiveNetSystem::crash_node(NodeId n) {
+  // The Brain is network-isolated by the injector (links down); its
+  // in-memory state survives the partition, so there is nothing to
+  // wipe — replicas keep answering lookups meanwhile (§7.1).
+  if (n == brain_id_) return;
+  for (auto& node : nodes_) {
+    if (node->node_id() == n) {
+      node->crash();
+      return;
+    }
+  }
+}
+
+void LiveNetSystem::restart_node(NodeId n) {
+  if (n == brain_id_) return;
+  for (auto& node : nodes_) {
+    if (node->node_id() == n) {
+      node->restart();
+      return;
+    }
+  }
+}
+
+std::vector<NodeId> LiveNetSystem::crashable_nodes() const {
+  // Pure relays only: backbones and last-resort nodes never have
+  // clients attached (DNS maps clients to edges), so crashing them
+  // exercises re-routing without severing anyone's access link.
+  std::vector<NodeId> out = backbone_ids_;
+  out.insert(out.end(), last_resort_ids_.begin(), last_resort_ids_.end());
+  return out;
 }
 
 // --------------------------------------------------------------------- Hier

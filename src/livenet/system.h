@@ -108,6 +108,17 @@ class CdnSystem {
   /// All inter-node CDN links (for loss/throughput accounting).
   const std::vector<sim::Link*>& cdn_links() const { return cdn_links_; }
 
+  // Fault-injection hooks (driven by sim::FaultInjector via the
+  // scenario runner). The default system has no node-level soft state
+  // to wipe, so the hooks are no-ops and nothing is crashable.
+  virtual void crash_node(sim::NodeId n) { (void)n; }
+  virtual void restart_node(sim::NodeId n) { (void)n; }
+  /// Nodes safe to crash in random chaos runs (pure relays — crashing a
+  /// node with attached clients would sever their only access link).
+  virtual std::vector<sim::NodeId> crashable_nodes() const { return {}; }
+  /// The control-plane node targeted by control-outage faults.
+  virtual sim::NodeId control_node() const { return sim::kNoNode; }
+
   sim::EventLoop& loop() { return loop_; }
   sim::Network& network() { return net_; }
   overlay::OverlayMetrics& sessions() { return metrics_; }
@@ -167,6 +178,11 @@ class LiveNetSystem final : public CdnSystem {
   std::vector<sim::NodeId> edge_nodes() const override;
   void scale_capacity(double factor) override;
 
+  void crash_node(sim::NodeId n) override;
+  void restart_node(sim::NodeId n) override;
+  std::vector<sim::NodeId> crashable_nodes() const override;
+  sim::NodeId control_node() const override { return brain_id_; }
+
   brain::BrainNode& brain() { return *brain_; }
   const std::vector<std::unique_ptr<brain::PathDecisionReplica>>& replicas()
       const {
@@ -190,6 +206,7 @@ class LiveNetSystem final : public CdnSystem {
   std::vector<sim::NodeId> backbone_ids_;    ///< relay-tier (no clients)
   std::vector<sim::NodeId> last_resort_ids_;
   std::unique_ptr<brain::BrainNode> brain_;
+  sim::NodeId brain_id_ = sim::kNoNode;
   std::vector<std::unique_ptr<brain::PathDecisionReplica>> replicas_;
 };
 

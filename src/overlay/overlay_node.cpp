@@ -13,7 +13,10 @@ using sim::NodeId;
 
 OverlayNode::OverlayNode(sim::Network* net, OverlayMetrics* metrics,
                          const OverlayNodeConfig& cfg)
-    : net_(net), metrics_(metrics), cfg_(cfg) {}
+    : net_(net),
+      metrics_(metrics),
+      cfg_(cfg),
+      packet_cache_(cfg.packet_cache_gops, cfg.packet_cache_max_packets) {}
 
 OverlayNode::~OverlayNode() {
   auto* loop = net_->loop();
@@ -38,6 +41,46 @@ void OverlayNode::start_reporting() {
     overload_timer_ = net_->loop()->schedule_after(
         cfg_.overload_check_interval, [this] { check_overload(); });
   }
+}
+
+// ----------------------------------------------------------- fault hooks
+
+void OverlayNode::crash() {
+  auto* loop = net_->loop();
+  if (report_timer_ != sim::kInvalidEvent) {
+    loop->cancel(report_timer_);
+    report_timer_ = sim::kInvalidEvent;
+  }
+  if (overload_timer_ != sim::kInvalidEvent) {
+    loop->cancel(overload_timer_);
+    overload_timer_ = sim::kInvalidEvent;
+  }
+  for (auto& [s, st] : streams_) {
+    if (st.linger_timer != sim::kInvalidEvent) loop->cancel(st.linger_timer);
+  }
+  // Everything below is in-memory process state and dies with the
+  // process. Downstream nodes notice the silence through their own
+  // quality loops and re-route; they are not notified explicitly.
+  streams_.clear();
+  fib_ = StreamFib{};
+  packet_cache_ =
+      PacketGopCache(cfg_.packet_cache_gops, cfg_.packet_cache_max_packets);
+  senders_.clear();
+  receivers_.clear();
+  client_views_.clear();
+  pending_views_.clear();
+  pending_path_reqs_.clear();
+  path_request_sent_.clear();
+  pending_costream_.clear();
+  pending_switch_.clear();
+  overload_alarm_active_ = false;
+}
+
+void OverlayNode::restart() {
+  // Rejoining the overlay is just the normal bring-up: an immediate
+  // state report re-registers the node with Global Discovery, and paths
+  // are pulled lazily as demand arrives.
+  start_reporting();
 }
 
 // --------------------------------------------------------------- dispatch
@@ -550,6 +593,33 @@ void OverlayNode::request_path(StreamId stream) {
   req->stream_id = stream;
   req->consumer = node_id();
   net_->send(node_id(), svc, std::move(req));
+
+  // A request (or its response) lost on the wire — a controller outage,
+  // a flapping link — would otherwise wedge the stream forever: the
+  // in-flight guard above dedupes every later attempt against a lookup
+  // that can no longer complete. Time the request out and retry while
+  // anything still wants the stream.
+  net_->loop()->schedule_after(cfg_.path_request_timeout, [this, id, stream] {
+    const auto idit = pending_path_reqs_.find(id);
+    if (idit == pending_path_reqs_.end() || idit->second != stream) {
+      return;  // answered (or wiped by a crash) in the meantime
+    }
+    pending_path_reqs_.erase(idit);
+    path_request_sent_.erase(stream);
+    if (!stream_still_wanted(stream)) return;
+    request_path(stream);
+  });
+}
+
+bool OverlayNode::stream_still_wanted(StreamId stream) const {
+  if (pending_views_.count(stream) != 0 ||
+      pending_switch_.count(stream) != 0 ||
+      pending_costream_.count(stream) != 0) {
+    return true;
+  }
+  const StreamFib::Entry* e = fib_.find(stream);
+  return e != nullptr && !e->locally_produced && e->has_subscribers() &&
+         e->upstream == sim::kNoNode;
 }
 
 void OverlayNode::handle_path_response(const PathResponse& resp) {
@@ -595,6 +665,16 @@ void OverlayNode::handle_path_response(const PathResponse& resp) {
     st.next_backup = 0;
     st.last_switch = kNever;  // the cooldown was consumed pre-lookup
     switch_path(stream);
+    if (pending_switch_.count(stream) != 0 && !st.cached_paths.empty()) {
+      // Even the refreshed candidates all funnel through the current
+      // upstream, so switch_path skipped every one of them. If the feed
+      // died because that hop lost its state (crash + restart), only a
+      // re-subscription through it can revive the stream — re-establish
+      // over the best path; a healthy upstream treats it as a refresh.
+      pending_switch_.erase(stream);
+      st.last_switch = net_->loop()->now();
+      establish_via_path(stream, st.cached_paths.front());
+    }
   }
 
   if (pvit != pending_views_.end()) {
@@ -932,8 +1012,10 @@ void OverlayNode::report_state() {
         lr.actively_measured ? rng_.uniform(0.95, 1.08) : 1.0;
     lr.rtt = static_cast<Duration>(
         static_cast<double>(l->base_rtt()) * rtt_noise);
-    // A few-packet ping cannot observe sub-percent loss at all.
-    lr.loss_rate = lr.actively_measured ? 0.0 : l->loss_rate();
+    // A few-packet ping cannot observe sub-percent loss at all. Loaded
+    // links report what the wire currently does to packets — including
+    // any injected degradation — not the nominal configuration.
+    lr.loss_rate = lr.actively_measured ? 0.0 : l->effective_loss_rate();
     lr.utilization = l->utilization();
     report->links.push_back(lr);
   }

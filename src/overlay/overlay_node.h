@@ -54,6 +54,8 @@ struct OverlayNodeConfig {
   std::uint32_t switch_skip_threshold = 8;  ///< frame gaps/report likewise
   Duration path_cache_ttl = 10 * kMin;  ///< pushed/cached path validity
   Duration switch_cooldown = 5 * kSec;  ///< min gap between re-routes
+  Duration path_request_timeout = 2 * kSec;  ///< lookup retry (lost request)
+  std::size_t packet_cache_max_packets = 4096;  ///< per-stream hard cap
   LinkSender::Config sender;
   LinkReceiver::Config receiver;
 };
@@ -86,6 +88,17 @@ class OverlayNode final : public sim::SimNode {
 
   /// Starts the periodic Global Discovery reporting loop.
   void start_reporting();
+
+  /// Fault injection: wipes all soft state (streams, FIB, caches,
+  /// per-peer pipelines, pending views and lookups) as a process crash
+  /// would. The node object stays registered in the network; restart()
+  /// brings it back.
+  void crash();
+
+  /// Fault injection: restarts a crashed node. It re-registers with the
+  /// Brain (state report) and re-learns paths on demand, exactly like a
+  /// freshly provisioned node.
+  void restart();
 
   // ----------------------------------------------------------- obervers
 
@@ -185,6 +198,7 @@ class OverlayNode final : public sim::SimNode {
   bool try_establish(media::StreamId stream);
   void establish_via_path(media::StreamId stream, const Path& path);
   void request_path(media::StreamId stream);
+  bool stream_still_wanted(media::StreamId stream) const;
   void maybe_release_stream(media::StreamId stream);
   void release_stream(media::StreamId stream);
   void switch_path(media::StreamId stream);

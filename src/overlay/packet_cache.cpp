@@ -7,21 +7,54 @@ namespace livenet::overlay {
 void PacketGopCache::add(const media::RtpPacketPtr& pkt) {
   if (pkt->is_audio()) return;  // only video is GoP-cached
   auto& sc = streams_[pkt->stream_id];
-  if (pkt->is_keyframe_packet() && pkt->frag_index == 0) {
-    sc.keyframe_starts.push_back(sc.packets.size());
+  const bool boundary = pkt->is_keyframe_packet() && pkt->frag_index == 0;
+  if (sc.packets.empty() || sc.packets.back()->seq < pkt->seq) {
+    // Fast path: in-order delivery appends.
+    if (boundary) sc.keyframe_starts.push_back(sc.packets.size());
+    sc.packets.push_back(pkt);
+  } else {
+    // Reordered arrival: keep `packets` sorted by seq (find_packet
+    // binary-searches it) and drop exact duplicates.
+    const auto pit = std::lower_bound(
+        sc.packets.begin(), sc.packets.end(), pkt->seq,
+        [](const media::RtpPacketPtr& p, media::Seq s) { return p->seq < s; });
+    if (pit != sc.packets.end() && (*pit)->seq == pkt->seq) return;
+    const auto pos =
+        static_cast<std::size_t>(std::distance(sc.packets.begin(), pit));
+    sc.packets.insert(pit, pkt);
+    for (auto& idx : sc.keyframe_starts) {
+      if (idx >= pos) ++idx;
+    }
+    if (boundary) {
+      const auto kit = std::lower_bound(sc.keyframe_starts.begin(),
+                                        sc.keyframe_starts.end(), pos);
+      sc.keyframe_starts.insert(kit, pos);
+    }
   }
-  sc.packets.push_back(pkt);
   prune(sc);
+}
+
+void PacketGopCache::drop_front(StreamCache& sc, std::size_t n) {
+  sc.packets.erase(sc.packets.begin(),
+                   sc.packets.begin() + static_cast<std::ptrdiff_t>(n));
+  while (!sc.keyframe_starts.empty() && sc.keyframe_starts.front() < n) {
+    sc.keyframe_starts.pop_front();
+  }
+  for (auto& idx : sc.keyframe_starts) idx -= n;
 }
 
 void PacketGopCache::prune(StreamCache& sc) {
   while (sc.keyframe_starts.size() > max_gops_) {
     // Drop everything before the second-oldest keyframe boundary.
-    sc.keyframe_starts.pop_front();
-    const std::size_t cut = sc.keyframe_starts.front();
-    sc.packets.erase(sc.packets.begin(),
-                     sc.packets.begin() + static_cast<std::ptrdiff_t>(cut));
-    for (auto& idx : sc.keyframe_starts) idx -= cut;
+    const std::size_t cut = sc.keyframe_starts[1];
+    drop_front(sc, cut);
+  }
+  // Hard cap, independent of GoP structure: a stream joined mid-GoP may
+  // never see a keyframe boundary, so the GoP rule alone cannot bound
+  // memory. Evicting from the front keeps the newest content (what
+  // startup bursts and NACK repair actually want).
+  if (max_packets_ > 0 && sc.packets.size() > max_packets_) {
+    drop_front(sc, sc.packets.size() - max_packets_);
   }
 }
 

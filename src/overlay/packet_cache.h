@@ -17,10 +17,18 @@ namespace livenet::overlay {
 
 class PacketGopCache {
  public:
-  /// Keeps packets covering at most `max_gops` GoP boundaries.
-  explicit PacketGopCache(std::size_t max_gops = 2) : max_gops_(max_gops) {}
+  /// Keeps packets covering at most `max_gops` GoP boundaries, and never
+  /// more than `max_packets` per stream (the hard cap protects against
+  /// mid-GoP joins where no keyframe boundary has been cached yet, which
+  /// would otherwise grow without bound).
+  explicit PacketGopCache(std::size_t max_gops = 2,
+                          std::size_t max_packets = 4096)
+      : max_gops_(max_gops), max_packets_(max_packets) {}
 
-  /// Adds an in-order packet (slow-path delivery order).
+  /// Adds a packet. Delivery is normally in seq order (slow path), but
+  /// reordered arrivals are inserted at their sorted position and exact
+  /// duplicates dropped, preserving the invariant find_packet's binary
+  /// search depends on.
   void add(const media::RtpPacketPtr& pkt);
 
   /// True once at least one keyframe boundary is cached for the stream.
@@ -46,8 +54,10 @@ class PacketGopCache {
   };
 
   void prune(StreamCache& sc);
+  static void drop_front(StreamCache& sc, std::size_t n);
 
   std::size_t max_gops_;
+  std::size_t max_packets_;
   std::unordered_map<media::StreamId, StreamCache> streams_;
 };
 

@@ -20,6 +20,13 @@ SendResult Link::send(std::size_t bytes) {
   roll_bin();
   ++stats_.packets_sent;
 
+  // A downed link black-holes everything without occupying the
+  // transmitter (the packet dies at the broken segment, not the NIC).
+  if (down_) {
+    ++stats_.packets_lost;
+    return SendResult{};
+  }
+
   // Tail drop when the transmit queue is over the configured limit.
   if (backlog_bytes() > cfg_.queue_limit_bytes) {
     ++stats_.packets_dropped;
@@ -35,8 +42,11 @@ SendResult Link::send(std::size_t bytes) {
   bin_bytes_ += bytes;
 
   // Random wire loss (applied after the packet occupied the transmitter,
-  // as a real lost packet would).
-  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+  // as a real lost packet would). A degradation fault's override wins
+  // over the configured base loss.
+  const double loss =
+      loss_override_ >= 0.0 ? loss_override_ : cfg_.loss_rate;
+  if (loss > 0.0 && rng_.chance(loss)) {
     ++stats_.packets_lost;
     return SendResult{};
   }
@@ -47,7 +57,8 @@ SendResult Link::send(std::size_t bytes) {
         std::abs(rng_.normal(0.0, static_cast<double>(cfg_.jitter_stddev))));
   }
   ++stats_.packets_delivered;
-  return SendResult{true, busy_until_ + cfg_.propagation_delay + jitter};
+  return SendResult{
+      true, busy_until_ + cfg_.propagation_delay + extra_delay_ + jitter};
 }
 
 void Link::roll_bin() const {

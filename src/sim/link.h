@@ -62,6 +62,33 @@ class Link {
   double loss_rate() const { return cfg_.loss_rate; }
   void set_loss_rate(double p) { cfg_.loss_rate = p; }
 
+  // Fault-injection hooks. They layer on top of the configured loss so
+  // that periodic re-writes of the base loss (diurnal scaling calls
+  // set_loss_rate every timeline sample) never silently clear an
+  // injected fault.
+
+  /// Administratively downs the link: packets are still offered (and
+  /// counted as sent) but black-holed without occupying the transmitter.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Loss-rate override (degradation fault); takes precedence over the
+  /// configured loss while >= 0. Negative clears the override.
+  void set_loss_override(double p) { loss_override_ = p; }
+  double loss_override() const { return loss_override_; }
+
+  /// Extra one-way delay added while a degradation fault is active.
+  void set_extra_delay(Duration d) { extra_delay_ = d > 0 ? d : 0; }
+  Duration extra_delay() const { return extra_delay_; }
+
+  /// Drop probability currently applied to the wire (down = certain
+  /// loss; otherwise the override, else the configured loss). This is
+  /// what transport-layer measurement observes.
+  double effective_loss_rate() const {
+    if (down_) return 1.0;
+    return loss_override_ >= 0.0 ? loss_override_ : cfg_.loss_rate;
+  }
+
   double bandwidth_bps() const { return cfg_.bandwidth_bps; }
   void set_bandwidth_bps(double bps) { cfg_.bandwidth_bps = bps; }
 
@@ -86,6 +113,9 @@ class Link {
   Rng rng_;
   Time busy_until_ = 0;
   LinkStats stats_;
+  bool down_ = false;
+  double loss_override_ = -1.0;
+  Duration extra_delay_ = 0;
 
   // Utilization accounting: fixed 1-second bins, last completed bin's
   // utilization is reported (smoothed with EWMA).

@@ -8,6 +8,7 @@ namespace livenet::transport {
 // ---------------------------------------------------------------- RateMeter
 
 void RateMeter::add(Time now, std::size_t bytes) {
+  if (first_sample_ == kNever) first_sample_ = now;
   samples_.emplace_back(now, bytes);
   bytes_in_window_ += bytes;
   evict(now);
@@ -23,7 +24,17 @@ void RateMeter::evict(Time now) const {
 double RateMeter::rate_bps(Time now) const {
   evict(now);
   if (samples_.empty()) return 0.0;
-  return static_cast<double>(bytes_in_window_) * 8.0 / to_sec(window_);
+  // During ramp-up the nominal window is mostly empty, and dividing by
+  // all of it underestimates throughput (which AIMD then latches onto
+  // when it caps the send rate against the incoming rate). Divide by
+  // the span observed since the meter first saw traffic instead, capped
+  // at the window; once a full window has elapsed the divisor is the
+  // window itself, so gaps inside it still read as silence. The floor
+  // guards the first few closely-spaced packets from producing absurd
+  // rates.
+  const Duration floor_span = std::max<Duration>(window_ / 8, 1 * kMs);
+  const Duration span = std::clamp(now - first_sample_, floor_span, window_);
+  return static_cast<double>(bytes_in_window_) * 8.0 / to_sec(span);
 }
 
 bool RateMeter::valid(Time now) const {

@@ -38,6 +38,7 @@ class RateMeter {
   void evict(Time now) const;
 
   Duration window_;
+  Time first_sample_ = kNever;  ///< when the meter first saw traffic
   mutable std::deque<std::pair<Time, std::size_t>> samples_;
   mutable std::uint64_t bytes_in_window_ = 0;
 };

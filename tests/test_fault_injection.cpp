@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "livenet/csv.h"
+#include "livenet/defaults.h"
+#include "livenet/report.h"
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+
+// The fault-injection subsystem: deterministic chaos schedules, link
+// fault mechanics with measured recovery, and full-system failover
+// (relay crash, Brain outage with replica takeover).
+namespace livenet {
+namespace {
+
+using sim::FaultInjector;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::FaultSpec;
+
+class Probe final : public sim::SimNode {
+ public:
+  void on_message(sim::NodeId from, const sim::MessagePtr& msg) override {
+    (void)from;
+    (void)msg;
+    ++received;
+  }
+  int received = 0;
+};
+
+class Blob final : public sim::Message {
+ public:
+  explicit Blob(std::size_t n) : n_(n) {}
+  std::size_t wire_size() const override { return n_; }
+  std::string describe() const override { return "blob"; }
+
+ private:
+  std::size_t n_;
+};
+
+sim::LinkConfig clean_link() {
+  sim::LinkConfig lc;
+  lc.propagation_delay = 5 * kMs;
+  lc.bandwidth_bps = 8e6;
+  lc.loss_rate = 0.0;
+  lc.jitter_stddev = 0;
+  return lc;
+}
+
+std::vector<FaultSpec> planned_specs(const FaultPlan& plan) {
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  Probe a, b, c;
+  net.add_node(&a);
+  net.add_node(&b);
+  net.add_node(&c);
+  net.add_link(0, 1, clean_link());
+  net.add_link(1, 0, clean_link());
+  net.add_link(1, 2, clean_link());
+  net.add_link(2, 1, clean_link());
+  FaultInjector inj(&net);
+  inj.load_plan(plan, 10 * kMin, {{0, 1}, {1, 2}}, {2}, 0);
+  std::vector<FaultSpec> out;
+  for (const auto& r : inj.records()) out.push_back(r.spec);
+  return out;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.link_flaps_per_min = 4.0;
+  plan.degrades_per_min = 3.0;
+  plan.node_crashes_per_min = 1.0;
+  plan.control_outages_per_min = 0.5;
+
+  const auto a = planned_specs(plan);
+  const auto b = planned_specs(plan);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+  }
+
+  plan.seed = 78;
+  const auto c = planned_specs(plan);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at != c[i].at || a[i].a != c[i].a || a[i].b != c[i].b;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, LinkFlapBlackholesThenRecovers) {
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  Probe a, b;
+  const auto ida = net.add_node(&a);
+  const auto idb = net.add_node(&b);
+  net.add_bidi_link(ida, idb, clean_link());
+  FaultInjector inj(&net);
+
+  FaultSpec flap;
+  flap.kind = FaultKind::kLinkFlap;
+  flap.at = 100 * kMs;
+  flap.duration = 200 * kMs;
+  flap.a = ida;
+  flap.b = idb;
+  inj.inject(flap);
+
+  // Constant probe traffic, one packet every 5 ms.
+  std::function<void()> tick = [&] {
+    net.send(ida, idb, std::make_shared<Blob>(100));
+    if (loop.now() < 1 * kSec) loop.schedule_after(5 * kMs, tick);
+  };
+  loop.schedule_at(0, tick);
+  loop.run_until(2 * kSec);
+
+  const auto& recs = inj.records();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].injected_at, 100 * kMs);
+  EXPECT_EQ(recs[0].repaired_at, 300 * kMs);
+  ASSERT_TRUE(recs[0].recovered());
+  // First packet after repair lands within a send gap + poll interval.
+  EXPECT_LE(recs[0].recovery_time(), 30 * kMs);
+  // Packets offered during the outage were black-holed.
+  const auto* l = net.link(ida, idb);
+  EXPECT_GT(l->stats().packets_lost, 30u);
+  EXPECT_FALSE(l->is_down());
+  EXPECT_EQ(inj.faults_active(), 0u);
+}
+
+TEST(FaultInjector, OverlappingDegradesClearOnlyAfterLast) {
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  Probe a, b;
+  const auto ida = net.add_node(&a);
+  const auto idb = net.add_node(&b);
+  net.add_bidi_link(ida, idb, clean_link());
+  FaultInjector inj(&net);
+
+  FaultSpec d1;
+  d1.kind = FaultKind::kLinkDegrade;
+  d1.at = 0;
+  d1.duration = 100 * kMs;
+  d1.a = ida;
+  d1.b = idb;
+  d1.loss = 0.5;
+  FaultSpec d2 = d1;
+  d2.at = 50 * kMs;
+  d2.duration = 200 * kMs;  // repairs at 250 ms
+  inj.inject(d1);
+  inj.inject(d2);
+
+  const auto* l = net.link(ida, idb);
+  loop.schedule_at(150 * kMs, [&] {
+    // d1 repaired, d2 still holds: the override must survive.
+    EXPECT_DOUBLE_EQ(l->effective_loss_rate(), 0.5);
+  });
+  loop.run_until(1 * kSec);
+  EXPECT_DOUBLE_EQ(l->effective_loss_rate(), 0.0);
+}
+
+TEST(FaultInjector, DownSurvivesBaseLossRewrite) {
+  // CdnSystem::set_loss_scale rewrites the base loss on every timeline
+  // sample; an injected outage must not be cleared by that.
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  Probe a, b;
+  const auto ida = net.add_node(&a);
+  const auto idb = net.add_node(&b);
+  net.add_bidi_link(ida, idb, clean_link());
+  sim::Link* l = net.link(ida, idb);
+  l->set_down(true);
+  l->set_loss_rate(0.001);  // diurnal rescale while the fault is active
+  EXPECT_DOUBLE_EQ(l->effective_loss_rate(), 1.0);
+  EXPECT_FALSE(l->send(100).delivered);
+  l->set_down(false);
+  EXPECT_DOUBLE_EQ(l->effective_loss_rate(), 0.001);
+}
+
+TEST(FaultInjection, RelayCrashViewerRecovers) {
+  SystemConfig cfg;
+  cfg.countries = 3;
+  cfg.nodes_per_country = 4;
+  cfg.dns_candidates = 1;
+  cfg.last_resort_nodes = 1;
+  cfg.brain.routing_interval = 6 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 99;
+  LiveNetSystem sys(cfg);
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 1, bc);
+  sys.build_once();
+  sys.start();
+  const auto producer = sys.attach_client(&bcast, sys.geo().sample_site(0));
+  bcast.start(producer, {1});
+  sys.loop().run_until(8 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto consumer = sys.attach_client(&viewer, sys.geo().sample_site(1));
+  viewer.start_view(consumer, 1);
+  sys.loop().run_until(16 * kSec);
+
+  const auto* entry = sys.node(consumer).fib().find(1);
+  ASSERT_NE(entry, nullptr);
+  const auto relay = entry->upstream;
+  if (relay == sim::kNoNode || relay == producer) {
+    GTEST_SKIP() << "direct path: no relay to kill";
+  }
+  const auto frames_before = qoe.records().front().frames_displayed;
+  ASSERT_GT(frames_before, 100u);
+
+  FaultInjector inj(&sys.network());
+  inj.set_node_handlers([&](sim::NodeId n) { sys.crash_node(n); },
+                        [&](sim::NodeId n) { sys.restart_node(n); });
+  // Long enough for the Brain to notice the silent relay and steer the
+  // consumer's quality-triggered switch onto a different upstream.
+  FaultSpec crash;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.at = sys.loop().now();
+  crash.duration = 20 * kSec;
+  crash.a = relay;
+  inj.inject(crash);
+  sys.loop().run_until(56 * kSec);
+
+  // The consumer re-routed off the crashed relay and playback resumed.
+  const auto* after = sys.node(consumer).fib().find(1);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after->upstream, relay);
+  EXPECT_GE(sys.sessions().sessions().front().path_switches, 1);
+  EXPECT_GT(qoe.records().front().frames_displayed, frames_before + 200);
+  // The crashed relay rejoined: its restart report reached the Brain,
+  // so the fault recovered (first packet on a repaired link).
+  ASSERT_EQ(inj.records().size(), 1u);
+  EXPECT_TRUE(inj.records()[0].repaired());
+  EXPECT_TRUE(inj.records()[0].recovered());
+  // The wiped relay no longer carries the stream's soft state.
+  EXPECT_EQ(sys.node(relay).fib().find(1), nullptr);
+}
+
+TEST(FaultInjection, BrainOutageReplicasServeNewViewers) {
+  SystemConfig cfg;
+  cfg.countries = 3;
+  cfg.nodes_per_country = 3;
+  cfg.dns_candidates = 1;
+  cfg.path_decision_replicas = 2;
+  cfg.brain.routing_interval = 4 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 12;
+  LiveNetSystem sys(cfg);
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 1, bc);
+  sys.build_once();
+  sys.start();
+  bcast.start(sys.attach_client(&bcast, sys.geo().sample_site(0)), {1});
+  sys.loop().run_until(10 * kSec);
+
+  // Isolate the Brain; replicas keep answering path lookups (§7.1).
+  FaultInjector inj(&sys.network());
+  inj.set_node_handlers([&](sim::NodeId n) { sys.crash_node(n); },
+                        [&](sim::NodeId n) { sys.restart_node(n); });
+  FaultSpec outage;
+  outage.kind = FaultKind::kControlOutage;
+  outage.at = sys.loop().now();
+  outage.duration = 20 * kSec;
+  outage.a = sys.control_node();
+  inj.inject(outage);
+  sys.loop().run_until(12 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto consumer = sys.attach_client(&viewer, sys.geo().sample_site(1));
+  viewer.start_view(consumer, 1);
+  sys.loop().run_until(28 * kSec);
+
+  // The view was established while the primary was unreachable.
+  ASSERT_EQ(qoe.records().size(), 1u);
+  EXPECT_FALSE(qoe.records().front().view_failed);
+  EXPECT_GT(qoe.records().front().frames_displayed, 50u);
+  ASSERT_EQ(sys.sessions().sessions().size(), 1u);
+  EXPECT_FALSE(sys.sessions().sessions().front().failed);
+}
+
+// ------------------------------------------------------- chaos scenarios
+
+ScenarioResult chaos_run(std::uint64_t seed, std::uint64_t fault_seed) {
+  SystemConfig sys_cfg = paper_system_config(seed);
+  sys_cfg.countries = 2;
+  sys_cfg.nodes_per_country = 3;
+  ScenarioConfig scn;
+  scn.duration = 40 * kSec;
+  scn.day_length = 20 * kSec;
+  scn.broadcasts = 3;
+  scn.viewer_rate_peak = 1.0;
+  scn.mean_view_time = 10 * kSec;
+  scn.seed = seed;
+  scn.faults.seed = fault_seed;
+  scn.faults.link_flaps_per_min = 3.0;
+  scn.faults.degrades_per_min = 2.0;
+  scn.faults.node_crashes_per_min = 1.0;
+  LiveNetSystem system(sys_cfg);
+  ScenarioRunner runner(system, scn);
+  return runner.run();
+}
+
+std::string chaos_csv(const ScenarioResult& r) {
+  std::ostringstream os;
+  write_sessions_csv(r, os);
+  write_views_csv(r, os);
+  write_path_requests_csv(r, os);
+  write_timeline_csv(r, os);
+  write_faults_csv(r, os);
+  return os.str();
+}
+
+TEST(ChaosDeterminism, SeededChaosRunIsBitReproducible) {
+  const ScenarioResult a = chaos_run(101, 5);
+  const ScenarioResult b = chaos_run(101, 5);
+  EXPECT_FALSE(a.faults.empty());
+  EXPECT_EQ(chaos_csv(a), chaos_csv(b));
+}
+
+TEST(ChaosDeterminism, FaultSeedChangesScheduleOnly) {
+  const ScenarioResult a = chaos_run(101, 5);
+  const ScenarioResult c = chaos_run(101, 6);
+  std::ostringstream fa, fc;
+  write_faults_csv(a, fa);
+  write_faults_csv(c, fc);
+  EXPECT_NE(fa.str(), fc.str());
+}
+
+TEST(ChaosRun, RecordsFaultsAndMeasuresRecovery) {
+  const ScenarioResult r = chaos_run(7, 3);
+  const FaultSummary sum = fault_summary(r);
+  EXPECT_GT(sum.injected, 0u);
+  EXPECT_GT(sum.repaired, 0u);
+  // At least one repaired fault must show traffic resuming.
+  EXPECT_GT(sum.recovered, 0u);
+  EXPECT_GE(sum.max_recovery_ms, 0.0);
+  std::ostringstream os;
+  write_faults_csv(r, os);
+  const std::string csv = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            r.faults.size() + 1);
+}
+
+}  // namespace
+}  // namespace livenet

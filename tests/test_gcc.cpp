@@ -10,7 +10,35 @@ TEST(RateMeter, ComputesWindowedRate) {
   for (int i = 0; i < 10; ++i) {
     m.add(i * 100 * kMs, 12500);  // 12.5 KB every 100 ms = 1 Mbps
   }
-  EXPECT_NEAR(m.rate_bps(900 * kMs), 1e6, 1e5);
+  EXPECT_NEAR(m.rate_bps(1 * kSec), 1e6, 1e5);
+}
+
+TEST(RateMeter, RampUpUsesActualSpanNotFullWindow) {
+  // Only 250 ms of a 1 s window is populated; dividing by the whole
+  // window would report ~0.25 Mbps for a 1 Mbps flow.
+  RateMeter m(1 * kSec);
+  for (int i = 0; i <= 2; ++i) {
+    m.add(i * 100 * kMs, 12500);
+  }
+  EXPECT_NEAR(m.rate_bps(250 * kMs), 1.2e6, 2e5);
+}
+
+TEST(RateMeter, FloorGuardsAgainstBurstAtSingleInstant) {
+  RateMeter m(1 * kSec);
+  m.add(0, 12500);
+  m.add(0, 12500);
+  // Span is zero; the floor (window / 8 = 125 ms) bounds the estimate.
+  EXPECT_NEAR(m.rate_bps(0), 25000 * 8.0 / 0.125, 1.0);
+}
+
+TEST(RateMeter, RateDecaysWhenTrafficStops) {
+  RateMeter m(1 * kSec);
+  for (int i = 0; i < 5; ++i) {
+    m.add(i * 100 * kMs, 12500);
+  }
+  const double at_end = m.rate_bps(400 * kMs);
+  const double later = m.rate_bps(800 * kMs);
+  EXPECT_LT(later, at_end);  // same bytes over a longer observed span
 }
 
 TEST(RateMeter, EvictsOldSamples) {

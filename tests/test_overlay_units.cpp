@@ -105,6 +105,70 @@ TEST(PacketGopCache, FindPacketBinarySearch) {
   EXPECT_EQ(cache.find_packet(2, 30), nullptr);
 }
 
+TEST(PacketGopCache, HardCapBoundsKeyframelessStream) {
+  // Regression: a mid-GoP join delivers only P frames, so the GoP-based
+  // prune (keyed on keyframe boundaries) never fires and the cache grew
+  // without bound.
+  PacketGopCache cache(2, /*max_packets=*/100);
+  for (media::Seq s = 1; s <= 5000; ++s) {
+    cache.add(pkt(1, s, FrameType::kP, s, 1));
+  }
+  EXPECT_EQ(cache.cached_packets(1), 100u);
+  // The newest packets survive (the ones a late joiner can use).
+  EXPECT_NE(cache.find_packet(1, 5000), nullptr);
+  EXPECT_EQ(cache.find_packet(1, 1), nullptr);
+}
+
+TEST(PacketGopCache, HardCapKeepsKeyframeIndicesConsistent) {
+  PacketGopCache cache(8, /*max_packets=*/30);
+  media::Seq seq = 1;
+  for (std::uint64_t gop = 1; gop <= 5; ++gop) {
+    cache.add(pkt(1, seq++, FrameType::kI, gop * 10, gop));
+    for (int i = 0; i < 9; ++i) {
+      cache.add(pkt(1, seq++, FrameType::kP, gop * 10 + 1, gop));
+    }
+  }
+  EXPECT_LE(cache.cached_packets(1), 30u);
+  // Boundary bookkeeping survived front eviction: the burst still opens
+  // on the newest keyframe.
+  const auto burst = cache.startup_packets(1);
+  ASSERT_FALSE(burst.empty());
+  EXPECT_TRUE(burst[0]->is_keyframe_packet());
+  EXPECT_EQ(burst[0]->gop_id, 5u);
+}
+
+TEST(PacketGopCache, FindPacketSurvivesReorderedInsertion) {
+  // Regression: find_packet binary-searches `packets`, which used to be
+  // ordered by arrival. Reordered delivery silently broke NACK repair.
+  PacketGopCache cache(2);
+  cache.add(pkt(1, 10, FrameType::kI, 1, 1));
+  cache.add(pkt(1, 13, FrameType::kP, 4, 1));
+  cache.add(pkt(1, 11, FrameType::kP, 2, 1));  // late
+  cache.add(pkt(1, 14, FrameType::kP, 5, 1));
+  cache.add(pkt(1, 12, FrameType::kP, 3, 1));  // late
+  for (media::Seq s = 10; s <= 14; ++s) {
+    ASSERT_NE(cache.find_packet(1, s), nullptr) << "seq " << s;
+    EXPECT_EQ(cache.find_packet(1, s)->seq, s);
+  }
+  EXPECT_EQ(cache.cached_packets(1), 5u);
+}
+
+TEST(PacketGopCache, DuplicatesDroppedAndKeyframeIndexShifts) {
+  PacketGopCache cache(4);
+  cache.add(pkt(1, 5, FrameType::kP, 1, 1));
+  cache.add(pkt(1, 7, FrameType::kP, 3, 1));
+  cache.add(pkt(1, 7, FrameType::kP, 3, 1));  // exact duplicate
+  cache.add(pkt(1, 6, FrameType::kI, 2, 2));  // late keyframe boundary
+  cache.add(pkt(1, 6, FrameType::kI, 2, 2));  // duplicate of the late one
+  EXPECT_EQ(cache.cached_packets(1), 3u);
+  // The late keyframe was indexed at its sorted position: the startup
+  // burst starts at seq 6, not at a stale index.
+  const auto burst = cache.startup_packets(1);
+  ASSERT_EQ(burst.size(), 2u);
+  EXPECT_EQ(burst[0]->seq, 6u);
+  EXPECT_TRUE(burst[0]->is_keyframe_packet());
+}
+
 TEST(PacketGopCache, AudioNeverCached) {
   PacketGopCache cache(2);
   cache.add(pkt(1, 1, FrameType::kAudio, 1, 0));

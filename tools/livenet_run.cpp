@@ -3,10 +3,14 @@
 // sources (plus a timeline) as CSV for downstream analysis.
 //
 //   livenet_run [--system livenet|hier] [--days N] [--seed S]
-//               [--replicas N] [--flash] [--csv-dir DIR]
+//               [--replicas N] [--flash] [--chaos] [--fault-seed S]
+//               [--csv-dir DIR]
 //
 // With --csv-dir, writes sessions.csv / views.csv / path_requests.csv /
 // timeline.csv into DIR; always prints the Table-1-style summary.
+// --chaos layers a seeded random fault schedule (link flaps and
+// degradations, node crashes, Brain outages) over the run and reports
+// the fault/recovery summary; faults.csv is added to --csv-dir output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +31,8 @@ struct Options {
   std::uint64_t seed = 42;
   int replicas = 0;
   bool flash = false;
+  bool chaos = false;
+  std::uint64_t fault_seed = 1;
   std::string csv_dir;
 };
 
@@ -54,6 +60,13 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->replicas = std::atoi(v);
     } else if (arg == "--flash") {
       opt->flash = true;
+    } else if (arg == "--chaos") {
+      opt->chaos = true;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+      opt->chaos = true;
     } else if (arg == "--csv-dir") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -87,7 +100,8 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: %s [--system livenet|hier] [--days N] [--seed S]\n"
-                 "          [--replicas N] [--flash] [--csv-dir DIR]\n",
+                 "          [--replicas N] [--flash] [--chaos]\n"
+                 "          [--fault-seed S] [--csv-dir DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -104,11 +118,19 @@ int main(int argc, char** argv) {
     scn.flash.push_back(w);
     scn.flash_capacity_factor = 1.25;
   }
+  if (opt.chaos) {
+    scn.faults.seed = opt.fault_seed;
+    scn.faults.link_flaps_per_min = 0.5;
+    scn.faults.degrades_per_min = 0.5;
+    scn.faults.node_crashes_per_min = 0.2;
+    scn.faults.control_outages_per_min = 0.05;
+  }
 
-  std::printf("running %s, %d compressed day(s), seed %llu%s...\n",
+  std::printf("running %s, %d compressed day(s), seed %llu%s%s...\n",
               opt.system.c_str(), opt.days,
               static_cast<unsigned long long>(opt.seed),
-              opt.flash ? ", with flash-sale window" : "");
+              opt.flash ? ", with flash-sale window" : "",
+              opt.chaos ? ", with chaos faults" : "");
 
   ScenarioResult result = [&] {
     if (opt.system == "hier") {
@@ -132,6 +154,19 @@ int main(int argc, char** argv) {
   std::printf("0-stall ratio: %.1f%%\n", m.zero_stall_percent);
   std::printf("fast startup ratio: %.1f%%\n", m.fast_startup_percent);
 
+  if (opt.chaos) {
+    const FaultSummary fs = fault_summary(result);
+    std::printf("\nfaults: %zu injected, %zu repaired, %zu recovered\n",
+                fs.injected, fs.repaired, fs.recovered);
+    for (const auto& [kind, n] : fs.by_kind) {
+      std::printf("  %-16s %3zu\n", kind.c_str(), n);
+    }
+    if (fs.recovered > 0) {
+      std::printf("recovery time: mean %.1f ms, max %.1f ms\n",
+                  fs.mean_recovery_ms, fs.max_recovery_ms);
+    }
+  }
+
   if (!opt.csv_dir.empty()) {
     const std::string dir = opt.csv_dir + "/";
     write_file(dir + "sessions.csv",
@@ -143,6 +178,10 @@ int main(int argc, char** argv) {
     });
     write_file(dir + "timeline.csv",
                [&](std::ostream& os) { write_timeline_csv(result, os); });
+    if (opt.chaos) {
+      write_file(dir + "faults.csv",
+                 [&](std::ostream& os) { write_faults_csv(result, os); });
+    }
   }
   return 0;
 }
