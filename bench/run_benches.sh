@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and writes the JSON artefacts the PR
+# workflow tracks:
+#   BENCH_dataplane.json  - micro_dataplane (packet fan-out fast path)
+#   BENCH_brain.json      - micro_path_decision + micro_routing merged
+# Both land at the repository root (override with BENCH_OUT_DIR).
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_dir="${BENCH_OUT_DIR:-${repo_root}}"
+min_time="${BENCH_MIN_TIME:-0.2}"
+
+for b in micro_dataplane micro_path_decision micro_routing; do
+  if [[ ! -x "${build_dir}/bench/${b}" ]]; then
+    echo "error: ${build_dir}/bench/${b} not built (cmake --build ${build_dir})" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+run_bench() { # name -> writes ${tmp}/$1.json
+  "${build_dir}/bench/$1" \
+    --benchmark_format=json \
+    --benchmark_min_time="${min_time}" \
+    >"${tmp}/$1.json"
+  echo "ran $1" >&2
+}
+
+run_bench micro_dataplane
+run_bench micro_path_decision
+run_bench micro_routing
+
+cp "${tmp}/micro_dataplane.json" "${out_dir}/BENCH_dataplane.json"
+
+# Merge the two brain-side suites into one artefact: keep the first
+# run's context, concatenate the benchmark arrays.
+python3 - "${tmp}/micro_path_decision.json" "${tmp}/micro_routing.json" \
+    "${out_dir}/BENCH_brain.json" <<'PY'
+import json
+import sys
+
+first, second, out = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(first) as f:
+    merged = json.load(f)
+with open(second) as f:
+    extra = json.load(f)
+merged["benchmarks"] += extra["benchmarks"]
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+PY
+
+echo "wrote ${out_dir}/BENCH_dataplane.json" >&2
+echo "wrote ${out_dir}/BENCH_brain.json" >&2

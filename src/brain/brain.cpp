@@ -40,7 +40,7 @@ void BrainNode::set_replicas(std::vector<sim::NodeId> replicas) {
 void BrainNode::sync_replicas_pib() {
   if (replicas_.empty()) return;
   ++pib_version_;
-  auto update = std::make_shared<ReplicaPibUpdate>();
+  auto update = sim::make_message<ReplicaPibUpdate>();
   update->version = pib_version_;
   for (const auto& [src, dst] : pib_.pairs()) {
     ReplicaPibUpdate::Entry e;
@@ -83,7 +83,7 @@ void BrainNode::push_popular_paths() {
       if (node == producer) continue;
       auto paths = pib_.valid_paths(producer, node);
       if (paths.empty()) continue;
-      auto push = std::make_shared<PathPush>();
+      auto push = sim::make_message<PathPush>();
       push->stream_id = s;
       push->paths = std::move(paths);
       net_->send(node_id(), node, std::move(push));
@@ -92,14 +92,14 @@ void BrainNode::push_popular_paths() {
 }
 
 void BrainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
-  if (const auto req = std::dynamic_pointer_cast<const PathRequest>(msg)) {
+  if (const auto req = sim::msg_cast<const PathRequest>(msg)) {
     handle_path_request(from, *req);
     return;
   }
-  if (const auto reg = std::dynamic_pointer_cast<const StreamRegister>(msg)) {
+  if (const auto reg = sim::msg_cast<const StreamRegister>(msg)) {
     stream_mgmt_.on_register(*reg, &sib_);
     for (const auto r : replicas_) {
-      auto upd = std::make_shared<ReplicaSibUpdate>();
+      auto upd = sim::make_message<ReplicaSibUpdate>();
       upd->stream_id = reg->stream_id;
       upd->producer = reg->producer;
       upd->active = reg->active;
@@ -107,12 +107,12 @@ void BrainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
     }
     return;
   }
-  if (const auto rep = std::dynamic_pointer_cast<const NodeStateReport>(msg)) {
+  if (const auto rep = sim::msg_cast<const NodeStateReport>(msg)) {
     ++metrics_.reports_received;
     discovery_.on_report(*rep, net_->loop()->now(), &pib_);
     // Mirror the implied overload clears to the replicas.
     if (!replicas_.empty() && rep->node_load < cfg_.overload_threshold) {
-      auto upd = std::make_shared<ReplicaOverloadUpdate>();
+      auto upd = sim::make_message<ReplicaOverloadUpdate>();
       upd->node = rep->node;
       upd->overloaded = false;
       for (const auto& lr : rep->links) {
@@ -124,11 +124,11 @@ void BrainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
     }
     return;
   }
-  if (const auto alarm = std::dynamic_pointer_cast<const OverloadAlarm>(msg)) {
+  if (const auto alarm = sim::msg_cast<const OverloadAlarm>(msg)) {
     ++metrics_.alarms_received;
     discovery_.on_alarm(*alarm, &pib_);
     if (!replicas_.empty() && alarm->node_load >= cfg_.overload_threshold) {
-      auto upd = std::make_shared<ReplicaOverloadUpdate>();
+      auto upd = sim::make_message<ReplicaOverloadUpdate>();
       upd->node = alarm->node;
       upd->overloaded = true;
       upd->hot_links = alarm->overloaded_links;
@@ -137,7 +137,7 @@ void BrainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
     return;
   }
   if (const auto mig =
-          std::dynamic_pointer_cast<const overlay::ProducerMigrate>(msg)) {
+          sim::msg_cast<const overlay::ProducerMigrate>(msg)) {
     // Broadcaster mobility (§7.1): instruct the old producer to relay
     // from the new one — which is the node that relayed this message
     // (`from`); its StreamRegister may still be in flight, so the SIB
@@ -150,7 +150,7 @@ void BrainNode::on_message(sim::NodeId from, const sim::MessagePtr& msg) {
           new_producer == mig->old_producer) {
         continue;
       }
-      auto instr = std::make_shared<overlay::ProducerRelayInstruction>();
+      auto instr = sim::make_message<overlay::ProducerRelayInstruction>();
       instr->stream_id = s;
       instr->new_producer = new_producer;
       net_->send(node_id(), mig->old_producer, std::move(instr));
@@ -177,7 +177,7 @@ void BrainNode::handle_path_request(sim::NodeId from,
   metrics_.path_requests.push_back(BrainMetrics::PathRequestLog{
       now, response_time, lookup.last_resort, lookup.stream_known});
 
-  auto resp = std::make_shared<PathResponse>();
+  auto resp = sim::make_message<PathResponse>();
   resp->request_id = req.request_id;
   resp->stream_id = req.stream_id;
   resp->paths = lookup.paths;

@@ -35,10 +35,21 @@ GlobalRouting::Result GlobalRouting::recompute(
   };
 
   for (std::size_t a = 0; a < nodes.size(); ++a) {
+    // k = 1 needs no spur paths, so one shortest-path tree per source
+    // replaces n per-pair Dijkstras (the tree reads off the identical
+    // path). This is what keeps the all-pairs cycle tractable on large
+    // overlays.
+    std::optional<ShortestPathTree> tree;
+    if (cfg_.k == 1) tree = shortest_path_tree(g, a);
     for (std::size_t b = 0; b < nodes.size(); ++b) {
       if (a == b) continue;
       ++res.pairs;
-      const auto ksp = k_shortest_paths(g, a, b, cfg_.k);
+      std::vector<WeightedPath> ksp;
+      if (tree.has_value()) {
+        if (auto p = tree->path_to(a, b)) ksp.push_back(std::move(*p));
+      } else {
+        ksp = k_shortest_paths(g, a, b, cfg_.k);
+      }
 
       std::vector<overlay::Path> kept;
       for (const auto& wp : ksp) {

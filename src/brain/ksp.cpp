@@ -65,6 +65,49 @@ std::optional<WeightedPath> shortest_path(
   return out;
 }
 
+ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src) {
+  const std::size_t n = g.size();
+  ShortestPathTree t;
+  t.dist.assign(n, kInf);
+  t.prev.assign(n, n);
+  if (src >= n) return t;
+  using QItem = std::pair<double, std::size_t>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  t.dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > t.dist[u]) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!g.has_edge(u, v)) continue;
+      const double nd = d + g.weight(u, v);
+      if (nd < t.dist[v]) {
+        t.dist[v] = nd;
+        t.prev[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return t;
+}
+
+std::optional<WeightedPath> ShortestPathTree::path_to(std::size_t src,
+                                                      std::size_t dst) const {
+  const std::size_t n = dist.size();
+  if (src >= n || dst >= n) return std::nullopt;
+  if (src == dst) return WeightedPath{{src}, 0.0};
+  if (dist[dst] == kInf) return std::nullopt;
+  WeightedPath out;
+  out.cost = dist[dst];
+  for (std::size_t cur = dst; cur != n; cur = prev[cur]) {
+    out.nodes.push_back(cur);
+    if (cur == src) break;
+  }
+  std::reverse(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
 std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
                                            std::size_t src, std::size_t dst,
                                            std::size_t k) {

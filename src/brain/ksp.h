@@ -24,6 +24,19 @@ std::optional<WeightedPath> shortest_path(
     const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges =
         nullptr);
 
+/// Single-source shortest-path tree (run to completion, no bans).
+/// Relaxation order matches shortest_path() exactly, so the path read
+/// off the tree for any dst is identical to a per-pair call — which is
+/// what lets all-pairs k=1 routing amortize one Dijkstra per source.
+struct ShortestPathTree {
+  std::vector<double> dist;       ///< +infinity when unreachable
+  std::vector<std::size_t> prev;  ///< g.size() for root/unreachable
+
+  /// Reconstructs src..dst (empty when dst is unreachable).
+  std::optional<WeightedPath> path_to(std::size_t src, std::size_t dst) const;
+};
+ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src);
+
 /// Yen's K shortest loopless paths. Returns up to k paths sorted by
 /// cost (fewer if the graph does not admit k distinct paths).
 std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,

@@ -28,11 +28,11 @@ std::string ReplicaOverloadUpdate::describe() const {
 void PathDecisionReplica::on_message(sim::NodeId from,
                                      const sim::MessagePtr& msg) {
   if (const auto req =
-          std::dynamic_pointer_cast<const overlay::PathRequest>(msg)) {
+          sim::msg_cast<const overlay::PathRequest>(msg)) {
     handle_path_request(from, *req);
     return;
   }
-  if (const auto upd = std::dynamic_pointer_cast<const ReplicaPibUpdate>(msg)) {
+  if (const auto upd = sim::msg_cast<const ReplicaPibUpdate>(msg)) {
     // Full refresh: consistency with the primary is eventual, bounded
     // by one propagation delay per routing cycle (Paxos-grade
     // replication in production; a reliable control link here).
@@ -46,7 +46,7 @@ void PathDecisionReplica::on_message(sim::NodeId from,
     pib_version_ = upd->version;
     return;
   }
-  if (const auto sib = std::dynamic_pointer_cast<const ReplicaSibUpdate>(msg)) {
+  if (const auto sib = sim::msg_cast<const ReplicaSibUpdate>(msg)) {
     if (sib->active) {
       sib_.set_producer(sib->stream_id, sib->producer);
     } else {
@@ -55,7 +55,7 @@ void PathDecisionReplica::on_message(sim::NodeId from,
     return;
   }
   if (const auto ovl =
-          std::dynamic_pointer_cast<const ReplicaOverloadUpdate>(msg)) {
+          sim::msg_cast<const ReplicaOverloadUpdate>(msg)) {
     if (ovl->overloaded) {
       pib_.mark_node_overloaded(ovl->node);
       for (const auto peer : ovl->hot_links) {
@@ -84,7 +84,7 @@ void PathDecisionReplica::handle_path_request(
   metrics_.path_requests.push_back(BrainMetrics::PathRequestLog{
       now, response_time, lookup.last_resort, lookup.stream_known});
 
-  auto resp = std::make_shared<overlay::PathResponse>();
+  auto resp = sim::make_message<overlay::PathResponse>();
   resp->request_id = req.request_id;
   resp->stream_id = req.stream_id;
   resp->paths = lookup.paths;

@@ -39,7 +39,7 @@ void Broadcaster::start(NodeId producer,
     }
     ver.packetizer = std::make_unique<media::Packetizer>(stream_ids_[v]);
 
-    auto pub = std::make_shared<overlay::PublishRequest>();
+    auto pub = sim::make_message<overlay::PublishRequest>();
     pub->stream_id = stream_ids_[v];
     pub->client_id = static_cast<overlay::ClientId>(node_id());
     pub->bitrate_bps = vcfg.bitrate_bps;
@@ -67,7 +67,7 @@ void Broadcaster::stop() {
       net_->loop()->cancel(ver.audio_timer);
       ver.audio_timer = sim::kInvalidEvent;
     }
-    auto stop_msg = std::make_shared<overlay::PublishStop>();
+    auto stop_msg = sim::make_message<overlay::PublishStop>();
     stop_msg->stream_id = stream_ids_[v];
     stop_msg->client_id = static_cast<overlay::ClientId>(node_id());
     net_->send(node_id(), producer_, std::move(stop_msg));
@@ -82,7 +82,7 @@ void Broadcaster::migrate(NodeId new_producer) {
                                                   cfg_.uplink);
   // Publish at the new producer (re-registers the SIB entries there).
   for (std::size_t v = 0; v < stream_ids_.size(); ++v) {
-    auto pub = std::make_shared<overlay::PublishRequest>();
+    auto pub = sim::make_message<overlay::PublishRequest>();
     pub->stream_id = stream_ids_[v];
     pub->client_id = static_cast<overlay::ClientId>(node_id());
     pub->bitrate_bps =
@@ -90,7 +90,7 @@ void Broadcaster::migrate(NodeId new_producer) {
     net_->send(node_id(), producer_, std::move(pub));
   }
   // Tell the control plane so the old producer becomes a relay.
-  auto mig = std::make_shared<overlay::ProducerMigrate>();
+  auto mig = sim::make_message<overlay::ProducerMigrate>();
   mig->streams = stream_ids_;
   mig->old_producer = old_producer;
   net_->send(node_id(), producer_, std::move(mig));
@@ -98,7 +98,7 @@ void Broadcaster::migrate(NodeId new_producer) {
 
 void Broadcaster::announce_costream(media::StreamId old_stream,
                                     media::StreamId new_stream) {
-  auto notice = std::make_shared<overlay::StreamSwitchNotice>();
+  auto notice = sim::make_message<overlay::StreamSwitchNotice>();
   notice->from_stream = old_stream;
   notice->to_stream = new_stream;
   net_->send(node_id(), producer_, std::move(notice));
@@ -143,12 +143,12 @@ void Broadcaster::upload_frame(std::size_t v, const Frame& frame) {
 void Broadcaster::on_message(NodeId from, const sim::MessagePtr& msg) {
   (void)from;
   if (const auto nack =
-          std::dynamic_pointer_cast<const media::NackMessage>(msg)) {
+          sim::msg_cast<const media::NackMessage>(msg)) {
     if (uplink_) uplink_->on_nack(nack->stream_id, nack->audio, nack->missing);
     return;
   }
   if (const auto fb =
-          std::dynamic_pointer_cast<const media::CcFeedbackMessage>(msg)) {
+          sim::msg_cast<const media::CcFeedbackMessage>(msg)) {
     if (uplink_) uplink_->on_cc_feedback(fb->remb_bps, fb->loss_fraction);
     return;
   }

@@ -51,7 +51,7 @@ void Viewer::start_view(NodeId consumer, media::StreamId stream,
       },
       cfg_.receiver);
 
-  auto req = std::make_shared<overlay::ViewRequest>();
+  auto req = sim::make_message<overlay::ViewRequest>();
   req->stream_id = stream;
   req->client_id = static_cast<overlay::ClientId>(node_id());
   req->fallback_versions = std::move(fallback_versions);
@@ -66,7 +66,7 @@ void Viewer::start_view(NodeId consumer, media::StreamId stream,
 void Viewer::stop_view() {
   if (stopped_) return;
   stopped_ = true;
-  auto stop = std::make_shared<overlay::ViewStop>();
+  auto stop = sim::make_message<overlay::ViewStop>();
   stop->stream_id = requested_stream_;
   stop->client_id = static_cast<overlay::ClientId>(node_id());
   net_->send(node_id(), consumer_, std::move(stop));
@@ -79,7 +79,7 @@ void Viewer::stop_view() {
 
 void Viewer::migrate(NodeId new_consumer) {
   if (stopped_ || new_consumer == consumer_) return;
-  auto stop = std::make_shared<overlay::ViewStop>();
+  auto stop = sim::make_message<overlay::ViewStop>();
   stop->stream_id = requested_stream_;
   stop->client_id = static_cast<overlay::ClientId>(node_id());
   net_->send(node_id(), consumer_, std::move(stop));
@@ -97,7 +97,7 @@ void Viewer::migrate(NodeId new_consumer) {
       cfg_.receiver);
   framers_.clear();  // new client-facing seq spaces at the new consumer
 
-  auto req = std::make_shared<overlay::ViewRequest>();
+  auto req = sim::make_message<overlay::ViewRequest>();
   req->stream_id = requested_stream_;
   req->client_id = static_cast<overlay::ClientId>(node_id());
   net_->send(node_id(), consumer_, std::move(req));
@@ -105,14 +105,14 @@ void Viewer::migrate(NodeId new_consumer) {
 
 void Viewer::on_message(NodeId from, const sim::MessagePtr& msg) {
   if (stopped_) return;
-  if (const auto rtp = std::dynamic_pointer_cast<const RtpPacket>(msg)) {
+  if (const auto rtp = sim::msg_cast<const RtpPacket>(msg)) {
     // Only the current consumer's flow is valid: after a migration the
     // old consumer may still flush a few packets whose (rewritten)
     // sequence numbers would poison the fresh receive buffer.
     if (from == consumer_) receiver_->on_rtp(rtp);
     return;
   }
-  if (const auto ack = std::dynamic_pointer_cast<const overlay::ViewAck>(msg)) {
+  if (const auto ack = sim::msg_cast<const overlay::ViewAck>(msg)) {
     if (!ack->ok && record_ != nullptr) {
       record_->view_failed = true;
       stopped_ = true;
@@ -128,10 +128,10 @@ void Viewer::on_message(NodeId from, const sim::MessagePtr& msg) {
 }
 
 void Viewer::assemble(const media::RtpPacketPtr& pkt) {
-  auto it = framers_.find(pkt->stream_id);
+  auto it = framers_.find(pkt->stream_id());
   if (it == framers_.end()) {
     it = framers_
-             .emplace(pkt->stream_id,
+             .emplace(pkt->stream_id(),
                       std::make_unique<media::JitterFramer>(
                           [this](const Frame& f) { on_frame(f); }))
              .first;
@@ -279,7 +279,7 @@ void Viewer::send_quality_report() {
     ++stalls_since_report_;
     in_stall_ = true;
   }
-  auto rep = std::make_shared<overlay::ClientQualityReport>();
+  auto rep = sim::make_message<overlay::ClientQualityReport>();
   rep->stream_id = requested_stream_;
   rep->client_id = static_cast<overlay::ClientId>(node_id());
   rep->stalls_since_last = stalls_since_report_;

@@ -9,7 +9,7 @@ namespace livenet::hier {
 using sim::NodeId;
 
 void HierControl::on_message(NodeId from, const sim::MessagePtr& msg) {
-  const auto req = std::dynamic_pointer_cast<const MapRequest>(msg);
+  const auto req = sim::msg_cast<const MapRequest>(msg);
   if (!req) {
     LIVENET_LOG(kWarn) << "hier control: unhandled " << msg->describe();
     return;
@@ -19,7 +19,7 @@ void HierControl::on_message(NodeId from, const sim::MessagePtr& msg) {
   const Time start = std::max(now, busy_until_);
   busy_until_ = start + cfg_.request_service_time;
 
-  auto resp = std::make_shared<MapResponse>();
+  auto resp = sim::make_message<MapResponse>();
   resp->request_id = req->request_id;
   resp->stream_id = req->stream_id;
   resp->l2 = pick_l2(req->stream_id, req->l1);

@@ -28,12 +28,12 @@ Duration HierNode::hop_processing_delay() const {
 }
 
 void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
-  if (const auto rtp = std::dynamic_pointer_cast<const RtpPacket>(msg)) {
+  if (const auto rtp = sim::msg_cast<const RtpPacket>(msg)) {
     handle_rtp(from, rtp);
     return;
   }
   if (const auto nack =
-          std::dynamic_pointer_cast<const media::NackMessage>(msg)) {
+          sim::msg_cast<const media::NackMessage>(msg)) {
     overlay::LinkSender& snd = sender_for(from);
     const auto unserved =
         snd.on_nack(nack->stream_id, nack->audio, nack->missing);
@@ -46,43 +46,43 @@ void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
     return;
   }
   if (const auto fb =
-          std::dynamic_pointer_cast<const media::CcFeedbackMessage>(msg)) {
+          sim::msg_cast<const media::CcFeedbackMessage>(msg)) {
     sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
     return;
   }
   if (const auto view =
-          std::dynamic_pointer_cast<const overlay::ViewRequest>(msg)) {
+          sim::msg_cast<const overlay::ViewRequest>(msg)) {
     handle_view_request(from, *view);
     return;
   }
-  if (const auto stop = std::dynamic_pointer_cast<const overlay::ViewStop>(msg)) {
+  if (const auto stop = sim::msg_cast<const overlay::ViewStop>(msg)) {
     handle_view_stop(from, *stop);
     return;
   }
   if (const auto pub =
-          std::dynamic_pointer_cast<const overlay::PublishRequest>(msg)) {
+          sim::msg_cast<const overlay::PublishRequest>(msg)) {
     handle_publish(from, *pub);
     return;
   }
   if (const auto pstop =
-          std::dynamic_pointer_cast<const overlay::PublishStop>(msg)) {
+          sim::msg_cast<const overlay::PublishStop>(msg)) {
     handle_publish_stop(from, *pstop);
     return;
   }
-  if (const auto sub = std::dynamic_pointer_cast<const HierSubscribe>(msg)) {
+  if (const auto sub = sim::msg_cast<const HierSubscribe>(msg)) {
     handle_subscribe(from, *sub);
     return;
   }
   if (const auto unsub =
-          std::dynamic_pointer_cast<const HierUnsubscribe>(msg)) {
+          sim::msg_cast<const HierUnsubscribe>(msg)) {
     handle_unsubscribe(from, *unsub);
     return;
   }
-  if (const auto map = std::dynamic_pointer_cast<const MapResponse>(msg)) {
+  if (const auto map = sim::msg_cast<const MapResponse>(msg)) {
     handle_map_response(*map);
     return;
   }
-  if (std::dynamic_pointer_cast<const overlay::ClientQualityReport>(msg)) {
+  if (sim::msg_cast<const overlay::ClientQualityReport>(msg)) {
     return;  // Hier has no quality-driven re-routing
   }
   LIVENET_LOG(kWarn) << "hier node " << node_id() << ": unhandled "
@@ -93,10 +93,10 @@ void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
 
 void HierNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
   RtpPacketPtr pkt = pkt_in;
-  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id);
+  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id());
   if (pkt->cdn_ingress_time == kNever && entry != nullptr &&
       entry->locally_produced) {
-    auto stamped = std::make_shared<RtpPacket>(*pkt_in);
+    auto stamped = pkt_in->fork();
     stamped->cdn_ingress_time = net_->loop()->now();
     stamped->cdn_hops = 0;
     pkt = std::move(stamped);
@@ -106,7 +106,7 @@ void HierNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
   // toward the center, so the passthrough FIB entry is created on
   // first contact.
   if (cfg_.role != HierRole::kL1 && entry == nullptr) {
-    fib_.entry(pkt->stream_id);
+    fib_.entry(pkt->stream_id());
   }
 
   // Full application stack: packets enter the reliable, ordered pipeline
@@ -118,7 +118,7 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
   // Invoked from the receive pipeline's ordered output; the `from` side
   // is encoded in which receiver delivered — recomputed here from roles.
   packet_cache_.add(pkt);
-  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id);
+  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id());
   if (entry == nullptr) return;
 
   // The packet's position in the tree is recovered from its hop count:
@@ -126,16 +126,16 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
   // 3 = distribution at L2; 4 = distribution at the viewer-side L1.
   net_->loop()->schedule_after(hop_processing_delay(), [this,
                                                         pkt] {
-    const overlay::StreamFib::Entry* e = fib_.find(pkt->stream_id);
+    const overlay::StreamFib::Entry* e = fib_.find(pkt->stream_id());
     if (e == nullptr) return;
     const Time now = net_->loop()->now();
 
     // Upload leg: push toward the streaming center.
-    const auto upit = stream_upstream_.find(pkt->stream_id);
+    const auto upit = stream_upstream_.find(pkt->stream_id());
     const bool producing_here = e->locally_produced;
     if (cfg_.role == HierRole::kL1 && producing_here &&
         upit != stream_upstream_.end()) {
-      auto clone = std::make_shared<RtpPacket>(*pkt);
+      auto clone = pkt->fork();
       clone->delay_ext_us +=
           hop_processing_delay() + (net_->link(node_id(), upit->second)
                                         ? net_->link(node_id(), upit->second)
@@ -148,7 +148,7 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
     if (cfg_.role == HierRole::kL2 && pkt->cdn_hops == 1 &&
         parent_ != sim::kNoNode) {
       // Upload passing through this L2 toward the center.
-      auto clone = std::make_shared<RtpPacket>(*pkt);
+      auto clone = pkt->fork();
       clone->delay_ext_us += hop_processing_delay();
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
       sender_for(parent_).send_media(std::move(clone));
@@ -161,7 +161,7 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
           (cfg_.role == HierRole::kL2 && pkt->cdn_hops == 3);
       if (distributing) {
         for (const NodeId n : e->subscriber_nodes) {
-          auto clone = std::make_shared<RtpPacket>(*pkt);
+          auto clone = pkt->fork();
           clone->delay_ext_us += hop_processing_delay();
           clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
           sender_for(n).send_media(std::move(clone));
@@ -175,7 +175,7 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
       for (const overlay::ClientId c : e->subscriber_clients) {
         const auto cv = client_views_.find(static_cast<NodeId>(c));
         if (cv == client_views_.end()) continue;
-        auto clone = std::make_shared<RtpPacket>(*pkt);
+        auto clone = pkt->fork();
         clone->delay_ext_us += hop_processing_delay();
         if (cv->second.session != nullptr) {
           if (pkt->cdn_ingress_time != kNever) {
@@ -219,7 +219,7 @@ void HierNode::attach_client(NodeId client, StreamId stream,
   auto& view = client_views_[client];
   view.session = session;
   view.stream = stream;
-  auto ack = std::make_shared<overlay::ViewAck>();
+  auto ack = sim::make_message<overlay::ViewAck>();
   ack->stream_id = stream;
   ack->ok = true;
   net_->send(node_id(), client, std::move(ack));
@@ -228,7 +228,7 @@ void HierNode::attach_client(NodeId client, StreamId stream,
   if (!burst.empty()) {
     overlay::LinkSender& snd = sender_for(client, /*client=*/true);
     for (const auto& pkt : burst) {
-      auto clone = std::make_shared<RtpPacket>(*pkt);
+      auto clone = pkt->fork();
       clone->cdn_ingress_time = kNever;
       snd.send_media(std::move(clone));
     }
@@ -259,7 +259,7 @@ void HierNode::handle_publish(NodeId client,
   if (controller_ != sim::kNoNode) {
     const std::uint64_t id = next_request_id_++;
     pending_maps_[id] = req.stream_id;
-    auto map = std::make_shared<MapRequest>();
+    auto map = sim::make_message<MapRequest>();
     map->request_id = id;
     map->stream_id = req.stream_id;
     map->l1 = node_id();
@@ -283,7 +283,7 @@ void HierNode::subscribe_upstream(StreamId stream) {
     // VDN-style: ask the controller for the L2 to use.
     const std::uint64_t id = next_request_id_++;
     pending_maps_[id] = stream;
-    auto map = std::make_shared<MapRequest>();
+    auto map = sim::make_message<MapRequest>();
     map->request_id = id;
     map->stream_id = stream;
     map->l1 = node_id();
@@ -292,7 +292,7 @@ void HierNode::subscribe_upstream(StreamId stream) {
   }
   if (parent_ == sim::kNoNode) return;  // the center has no upstream
   stream_upstream_[stream] = parent_;
-  auto sub = std::make_shared<HierSubscribe>();
+  auto sub = sim::make_message<HierSubscribe>();
   sub->stream_id = stream;
   net_->send(node_id(), parent_, std::move(sub));
 }
@@ -310,7 +310,7 @@ void HierNode::handle_map_response(const MapResponse& resp) {
     // Upload mapping: data starts flowing on the next ordered packet.
     return;
   }
-  auto sub = std::make_shared<HierSubscribe>();
+  auto sub = sim::make_message<HierSubscribe>();
   sub->stream_id = stream;
   net_->send(node_id(), resp.l2, std::move(sub));
 }
@@ -324,7 +324,7 @@ void HierNode::handle_subscribe(NodeId from, const HierSubscribe& req) {
   if (packet_cache_.has_content(req.stream_id)) {
     overlay::LinkSender& snd = sender_for(from);
     for (const auto& pkt : packet_cache_.startup_packets(req.stream_id)) {
-      auto clone = std::make_shared<RtpPacket>(*pkt);
+      auto clone = pkt->fork();
       clone->cdn_ingress_time = kNever;
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
       snd.send_media(std::move(clone));
@@ -360,7 +360,7 @@ void HierNode::maybe_release_stream(StreamId stream) {
 void HierNode::release_stream(StreamId stream) {
   const auto upit = stream_upstream_.find(stream);
   if (upit != stream_upstream_.end()) {
-    auto unsub = std::make_shared<HierUnsubscribe>();
+    auto unsub = sim::make_message<HierUnsubscribe>();
     unsub->stream_id = stream;
     net_->send(node_id(), upit->second, std::move(unsub));
     const auto rit = receivers_.find(upit->second);
@@ -411,13 +411,13 @@ overlay::LinkReceiver& HierNode::receiver_for(NodeId peer) {
                             // Hier forwards only the ordered output and
                             // serves pending viewers once content lands.
                             forward_ordered(pkt);
-                            auto pvit = pending_views_.find(pkt->stream_id);
+                            auto pvit = pending_views_.find(pkt->stream_id());
                             if (pvit != pending_views_.end() &&
-                                carries_stream(pkt->stream_id)) {
+                                carries_stream(pkt->stream_id())) {
                               auto waiting = std::move(pvit->second);
                               pending_views_.erase(pvit);
                               for (auto& pv : waiting) {
-                                attach_client(pv.client, pkt->stream_id,
+                                attach_client(pv.client, pkt->stream_id(),
                                               pv.session);
                               }
                             }

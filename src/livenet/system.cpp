@@ -259,6 +259,10 @@ void LiveNetSystem::build() {
       node->set_path_service(best);
     }
   }
+
+  // The static overlay topology is complete; clients attached later use
+  // the dynamic fallback path.
+  net_.freeze_topology();
 }
 
 void LiveNetSystem::start() {
@@ -432,6 +436,8 @@ void HierSystem::build() {
   for (std::size_t k = 0; k < l2_ids_.size(); ++k, ++idx) {
     nodes_[idx]->set_parent(center_id_);
   }
+
+  net_.freeze_topology();
 }
 
 NodeId HierSystem::map_client_to_edge(const GeoSite& site) const {

@@ -17,38 +17,38 @@ void Framer::on_packet(const RtpPacket& pkt) {
     // Audio is a separate single-packet-per-frame flow; emit directly
     // without disturbing the video frame being assembled.
     Frame f;
-    f.stream_id = pkt.stream_id;
-    f.frame_id = pkt.frame_id;
-    f.gop_id = pkt.gop_id;
-    f.type = pkt.frame_type;
-    f.referenced = pkt.referenced;
-    f.capture_time = pkt.capture_time;
+    f.stream_id = pkt.stream_id();
+    f.frame_id = pkt.frame_id();
+    f.gop_id = pkt.gop_id();
+    f.type = pkt.frame_type();
+    f.referenced = pkt.referenced();
+    f.capture_time = pkt.capture_time();
     f.delay_ext_us = pkt.delay_ext_us;
-    f.size_bytes = pkt.payload_bytes;
+    f.size_bytes = pkt.payload_bytes();
     ++frames_completed_;
     on_frame_(f);
     return;
   }
-  if (assembling_ && pkt.frame_id != cur_frame_id_) {
+  if (assembling_ && pkt.frame_id() != cur_frame_id_) {
     // Moved on without completing the previous frame.
     abandon_current();
   }
   if (!assembling_) {
     assembling_ = true;
-    cur_frame_id_ = pkt.frame_id;
-    frags_expected_ = pkt.frag_count;
+    cur_frame_id_ = pkt.frame_id();
+    frags_expected_ = pkt.frag_count();
     frags_seen_ = 0;
     cur_frame_ = Frame{};
-    cur_frame_.stream_id = pkt.stream_id;
-    cur_frame_.frame_id = pkt.frame_id;
-    cur_frame_.gop_id = pkt.gop_id;
-    cur_frame_.type = pkt.frame_type;
-    cur_frame_.referenced = pkt.referenced;
-    cur_frame_.capture_time = pkt.capture_time;
+    cur_frame_.stream_id = pkt.stream_id();
+    cur_frame_.frame_id = pkt.frame_id();
+    cur_frame_.gop_id = pkt.gop_id();
+    cur_frame_.type = pkt.frame_type();
+    cur_frame_.referenced = pkt.referenced();
+    cur_frame_.capture_time = pkt.capture_time();
     cur_frame_.delay_ext_us = pkt.delay_ext_us;
     cur_frame_.size_bytes = 0;
   }
-  cur_frame_.size_bytes += pkt.payload_bytes;
+  cur_frame_.size_bytes += pkt.payload_bytes();
   ++frags_seen_;
   if (frags_seen_ >= frags_expected_ && pkt.marker()) {
     assembling_ = false;

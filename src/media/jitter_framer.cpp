@@ -6,41 +6,41 @@ void JitterFramer::on_packet(const RtpPacket& pkt, Time now) {
   if (pkt.is_audio()) {
     // Audio: single-packet frames on an independent flow; emit directly.
     Frame f;
-    f.stream_id = pkt.stream_id;
-    f.frame_id = pkt.frame_id;
-    f.gop_id = pkt.gop_id;
-    f.type = pkt.frame_type;
-    f.referenced = pkt.referenced;
-    f.capture_time = pkt.capture_time;
+    f.stream_id = pkt.stream_id();
+    f.frame_id = pkt.frame_id();
+    f.gop_id = pkt.gop_id();
+    f.type = pkt.frame_type();
+    f.referenced = pkt.referenced();
+    f.capture_time = pkt.capture_time();
     f.delay_ext_us = pkt.delay_ext_us;
-    f.size_bytes = pkt.payload_bytes;
+    f.size_bytes = pkt.payload_bytes();
     ++frames_completed_;
     on_frame_(f);
     return;
   }
-  if (pkt.frame_id < next_emit_) return;  // frame already emitted/skipped
+  if (pkt.frame_id() < next_emit_) return;  // frame already emitted/skipped
 
-  auto it = pending_.find(pkt.frame_id);
+  auto it = pending_.find(pkt.frame_id());
   if (it == pending_.end()) {
     Pending p;
-    p.frame.stream_id = pkt.stream_id;
-    p.frame.frame_id = pkt.frame_id;
-    p.frame.gop_id = pkt.gop_id;
-    p.frame.type = pkt.frame_type;
-    p.frame.referenced = pkt.referenced;
-    p.frame.capture_time = pkt.capture_time;
+    p.frame.stream_id = pkt.stream_id();
+    p.frame.frame_id = pkt.frame_id();
+    p.frame.gop_id = pkt.gop_id();
+    p.frame.type = pkt.frame_type();
+    p.frame.referenced = pkt.referenced();
+    p.frame.capture_time = pkt.capture_time();
     p.frame.delay_ext_us = pkt.delay_ext_us;
     p.frame.size_bytes = 0;
-    p.frags_expected = pkt.frag_count;
+    p.frags_expected = pkt.frag_count();
     p.first_seen = now;
-    it = pending_.emplace(pkt.frame_id, std::move(p)).first;
+    it = pending_.emplace(pkt.frame_id(), std::move(p)).first;
   }
   Pending& p = it->second;
   // Duplicate fragments (RTX races) are tolerated: completion compares
   // the count against frag_count, and duplicates of a completed frame
   // fall into the `frame_id < next_emit_` guard above.
   ++p.frags_seen;
-  p.frame.size_bytes += pkt.payload_bytes;
+  p.frame.size_bytes += pkt.payload_bytes();
 
   emit_ready(now);
 

@@ -2,9 +2,9 @@
 
 namespace livenet::media {
 
-std::vector<std::shared_ptr<RtpPacket>> Packetizer::packetize(
+std::vector<RtpPacketMut> Packetizer::packetize(
     const Frame& frame, Duration initial_delay_ext) {
-  std::vector<std::shared_ptr<RtpPacket>> out;
+  std::vector<RtpPacketMut> out;
   const std::size_t size = std::max<std::size_t>(frame.size_bytes, 1);
   const auto frags =
       static_cast<std::uint32_t>((size + mtu_ - 1) / mtu_);
@@ -13,19 +13,20 @@ std::vector<std::shared_ptr<RtpPacket>> Packetizer::packetize(
       frame.is_audio() ? next_audio_seq_ : next_video_seq_;
   std::size_t remaining = size;
   for (std::uint32_t i = 0; i < frags; ++i) {
-    auto pkt = std::make_shared<RtpPacket>();
-    pkt->stream_id = stream_id_;
-    pkt->seq = counter++;
-    pkt->frame_id = frame.frame_id;
-    pkt->gop_id = frame.gop_id;
-    pkt->frame_type = frame.type;
-    pkt->referenced = frame.referenced;
-    pkt->frag_index = i;
-    pkt->frag_count = frags;
-    pkt->payload_bytes = std::min(remaining, mtu_);
-    pkt->capture_time = frame.capture_time;
+    RtpBody body;
+    body.stream_id = stream_id_;
+    body.seq = counter++;
+    body.frame_id = frame.frame_id;
+    body.gop_id = frame.gop_id;
+    body.frame_type = frame.type;
+    body.referenced = frame.referenced;
+    body.frag_index = i;
+    body.frag_count = frags;
+    body.payload_bytes = std::min(remaining, mtu_);
+    body.capture_time = frame.capture_time;
+    remaining -= body.payload_bytes;
+    auto pkt = RtpPacket::make(std::move(body));
     pkt->delay_ext_us = initial_delay_ext;
-    remaining -= pkt->payload_bytes;
     out.push_back(std::move(pkt));
   }
   return out;

@@ -22,7 +22,7 @@ class Packetizer {
   /// independent sequence spaces (separate RTP flows, as in WebRTC —
   /// the pacer reorders audio ahead of video, which must not register
   /// as video loss).
-  std::vector<std::shared_ptr<RtpPacket>> packetize(
+  std::vector<RtpPacketMut> packetize(
       const Frame& frame, Duration initial_delay_ext = 0);
 
   Seq next_seq() const { return next_video_seq_; }

@@ -4,19 +4,14 @@
 
 namespace livenet::media {
 
+std::uint64_t RtpBody::deep_copies_ = 0;
+
 std::string RtpPacket::describe() const {
   std::ostringstream ss;
-  ss << (is_rtx ? "RTX" : "RTP") << " s" << stream_id << " #" << seq << " "
-     << to_string(frame_type) << " f" << frame_id << " frag" << frag_index
-     << "/" << frag_count;
+  ss << (is_rtx ? "RTX" : "RTP") << " s" << stream_id() << " #" << seq << " "
+     << to_string(frame_type()) << " f" << frame_id() << " frag"
+     << frag_index() << "/" << frag_count();
   return ss.str();
-}
-
-std::shared_ptr<RtpPacket> RtpPacket::clone_with_delay(
-    Duration added_delay) const {
-  auto copy = std::make_shared<RtpPacket>(*this);
-  copy->delay_ext_us += added_delay;
-  return copy;
 }
 
 std::string NackMessage::describe() const {

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "media/frame.h"
 #include "sim/message.h"
+#include "util/pool.h"
 #include "util/time.h"
 
 // RTP/RTCP packet model.
@@ -15,6 +17,22 @@
 // header extension the paper uses to measure streaming delay (§6.1: the
 // broadcaster seeds the field; every hop adds its processing time plus
 // half the next hop's RTT; the client adds buffering and decode time).
+//
+// Zero-copy layout (paper §5: nodes forward the *same* packet to many
+// subscribers): the packet is split into
+//   - RtpBody: everything the producer wrote — stream/frame identity,
+//     fragment geometry, payload size, capture timestamp. Immutable
+//     after packetization and shared across every hop and subscriber
+//     via a non-atomic intrusive refcount.
+//   - the per-hop trailer (the RtpPacket object itself): the fields a
+//     forwarding hop rewrites — delay extension, hop count, RTX flag,
+//     client-facing sequence number, pacer send timestamp. ~48 B,
+//     pool-allocated, copied per subscriber in lieu of a header
+//     rewrite on a real wire packet.
+// fork() is the fan-out primitive: a new trailer sharing the same
+// body. Copying an RtpPacket never copies its body; RtpBody's copy
+// constructor counts invocations so tests can assert the fast path
+// performs zero deep copies.
 namespace livenet::media {
 
 inline constexpr std::size_t kRtpHeaderBytes = 12 + 8;  // header + delay ext
@@ -22,8 +40,8 @@ inline constexpr std::size_t kMtuPayloadBytes = 1200;
 
 using Seq = std::uint64_t;  ///< per-stream RTP sequence number
 
-class RtpPacket final : public sim::Message {
- public:
+/// Immutable, refcount-shared packet body (identity + payload).
+struct RtpBody {
   StreamId stream_id = kNoStream;
   Seq seq = 0;             ///< per-stream, assigned by the producer
   std::uint64_t frame_id = 0;
@@ -34,8 +52,79 @@ class RtpPacket final : public sim::Message {
   std::uint32_t frag_count = 1;
   std::size_t payload_bytes = 0;
   Time capture_time = 0;   ///< broadcaster capture timestamp
+
+  RtpBody() = default;
+  /// Deep copy. Never taken on the forwarding fast path — counted so
+  /// tests can assert exactly that.
+  RtpBody(const RtpBody& o)
+      : stream_id(o.stream_id), seq(o.seq), frame_id(o.frame_id),
+        gop_id(o.gop_id), frame_type(o.frame_type), referenced(o.referenced),
+        frag_index(o.frag_index), frag_count(o.frag_count),
+        payload_bytes(o.payload_bytes), capture_time(o.capture_time) {
+    ++deep_copies_;
+  }
+  /// Moves don't count: make() moves the caller's staging body into
+  /// the pool exactly once per produced packet.
+  RtpBody(RtpBody&& o) noexcept
+      : stream_id(o.stream_id), seq(o.seq), frame_id(o.frame_id),
+        gop_id(o.gop_id), frame_type(o.frame_type), referenced(o.referenced),
+        frag_index(o.frag_index), frag_count(o.frag_count),
+        payload_bytes(o.payload_bytes), capture_time(o.capture_time) {}
+  RtpBody& operator=(const RtpBody&) = delete;
+
+  /// Total body deep copies since process start (forward-path copies
+  /// would show up here; the zero-copy invariant keeps this flat).
+  static std::uint64_t deep_copy_count() { return deep_copies_; }
+
+  // Intrusive refcount (single-threaded, like sim::Message's).
+  void body_add_ref() const noexcept { ++refs_; }
+  void body_release() const noexcept {
+    if (--refs_ == 0) util::pool_delete(const_cast<RtpBody*>(this));
+  }
+
+ private:
+  mutable std::uint32_t refs_ = 0;
+  static std::uint64_t deep_copies_;
+};
+
+/// Refcounted handle to a shared immutable body.
+class BodyRef {
+ public:
+  BodyRef() = default;
+  /// Adopts a pool-allocated body (takes one reference).
+  explicit BodyRef(const RtpBody* b) : p_(b) {
+    if (p_ != nullptr) p_->body_add_ref();
+  }
+  BodyRef(const BodyRef& o) : p_(o.p_) {
+    if (p_ != nullptr) p_->body_add_ref();
+  }
+  BodyRef(BodyRef&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  BodyRef& operator=(BodyRef o) noexcept {
+    std::swap(p_, o.p_);
+    return *this;
+  }
+  ~BodyRef() {
+    if (p_ != nullptr) p_->body_release();
+  }
+  const RtpBody* operator->() const { return p_; }
+  const RtpBody& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  const RtpBody* p_ = nullptr;
+};
+
+class RtpPacket;
+using RtpPacketMut = sim::IntrusivePtr<RtpPacket>;
+using RtpPacketPtr = sim::IntrusivePtr<const RtpPacket>;
+
+class RtpPacket final : public sim::Message {
+ public:
+  // ---- Per-hop trailer: owned (and rewritten) by each hop. ----
+  Seq seq = 0;                ///< as sent on this hop (client-facing seq
+                              ///< rewrite happens at the edge)
   Duration delay_ext_us = 0;  ///< accumulated delay header extension
-  bool is_rtx = false;     ///< retransmission of an earlier packet
+  bool is_rtx = false;        ///< retransmission of an earlier packet
 
   // Measurement fields (stand-ins for per-hop log correlation in the
   // production system; they do not influence forwarding decisions).
@@ -45,25 +134,61 @@ class RtpPacket final : public sim::Message {
   /// Per-hop departure timestamp used by the receiver-side GCC delay
   /// estimator (the abs-send-time RTP extension in WebRTC). Mutable
   /// because the sending pacer stamps it at the instant of transmission;
-  /// by then each hop's clone is owned by exactly one sender pipeline.
+  /// by then each hop's trailer is owned by exactly one sender pipeline.
   mutable Time hop_send_time = kNever;
 
-  bool marker() const { return frag_index + 1 == frag_count; }
-  bool is_audio() const { return frame_type == FrameType::kAudio; }
-  bool is_keyframe_packet() const { return frame_type == FrameType::kI; }
+  /// Builds a fresh producer packet: pools the body, seeds the trailer
+  /// seq from the body seq.
+  static RtpPacketMut make(RtpBody body) {
+    BodyRef ref(util::pool_new<RtpBody>(std::move(body)));
+    return sim::make_message<RtpPacket>(std::move(ref));
+  }
+
+  /// Fan-out primitive: new pool-allocated trailer sharing this body.
+  RtpPacketMut fork() const { return sim::make_message<RtpPacket>(*this); }
+
+  /// Copies this packet adjusting the delay extension; used by
+  /// forwarding hops (the body is shared — the trailer copy stands in
+  /// for the header rewrite a real node performs).
+  RtpPacketMut clone_with_delay(Duration added_delay) const {
+    RtpPacketMut copy = fork();
+    copy->delay_ext_us += added_delay;
+    return copy;
+  }
+
+  // ---- Shared-body accessors. ----
+  StreamId stream_id() const { return body_->stream_id; }
+  /// The producer-assigned sequence number (survives edge seq rewrite).
+  Seq producer_seq() const { return body_->seq; }
+  std::uint64_t frame_id() const { return body_->frame_id; }
+  std::uint64_t gop_id() const { return body_->gop_id; }
+  FrameType frame_type() const { return body_->frame_type; }
+  bool referenced() const { return body_->referenced; }
+  std::uint32_t frag_index() const { return body_->frag_index; }
+  std::uint32_t frag_count() const { return body_->frag_count; }
+  std::size_t payload_bytes() const { return body_->payload_bytes; }
+  Time capture_time() const { return body_->capture_time; }
+
+  bool marker() const { return frag_index() + 1 == frag_count(); }
+  bool is_audio() const { return frame_type() == FrameType::kAudio; }
+  bool is_keyframe_packet() const { return frame_type() == FrameType::kI; }
 
   std::size_t wire_size() const override {
-    return kRtpHeaderBytes + payload_bytes;
+    return kRtpHeaderBytes + payload_bytes();
   }
   std::string describe() const override;
 
-  /// Copies this packet adjusting the delay extension; used by
-  /// forwarding hops (the payload is conceptually shared — the struct
-  /// copy stands in for the header rewrite a real node performs).
-  std::shared_ptr<RtpPacket> clone_with_delay(Duration added_delay) const;
-};
+  /// Trailer copy sharing the body (make_message / fork use this; a
+  /// direct copy never duplicates the body).
+  RtpPacket(const RtpPacket&) = default;
 
-using RtpPacketPtr = std::shared_ptr<const RtpPacket>;
+  explicit RtpPacket(BodyRef body) : body_(std::move(body)) {
+    seq = body_->seq;
+  }
+
+ private:
+  BodyRef body_;
+};
 
 /// RTCP NACK: sequence numbers of detected holes, sent to the upstream
 /// node which retransmits from its send history (§5.1, 50 ms scan).

@@ -8,7 +8,7 @@ bool FrameDropper::should_forward(const media::RtpPacket& pkt,
   if (pkt.is_audio()) return true;  // audio is never dropped
 
   // A GoP being suppressed stays suppressed until the next keyframe.
-  if (dropping_gop_id_ != 0 && pkt.gop_id == dropping_gop_id_) {
+  if (dropping_gop_id_ != 0 && pkt.gop_id() == dropping_gop_id_) {
     if (!pkt.is_rtx) ++gop_dropped_;
     return false;
   }
@@ -18,28 +18,28 @@ bool FrameDropper::should_forward(const media::RtpPacket& pkt,
 
   if (queue_drain > cfg_.drop_gop_above) {
     // Drop from here to the end of this GoP.
-    dropping_gop_id_ = pkt.gop_id;
+    dropping_gop_id_ = pkt.gop_id();
     ++gop_dropped_;
     return false;
   }
 
   // A dropped P frame invalidates every later frame in the same GoP.
-  if (poisoned_gop_id_ != 0 && pkt.gop_id == poisoned_gop_id_ &&
-      pkt.frame_id > poisoned_from_frame_) {
+  if (poisoned_gop_id_ != 0 && pkt.gop_id() == poisoned_gop_id_ &&
+      pkt.frame_id() > poisoned_from_frame_) {
     ++p_dropped_;
     return false;
   }
 
   if (queue_drain > cfg_.drop_p_above &&
-      pkt.frame_type == media::FrameType::kP) {
-    poisoned_gop_id_ = pkt.gop_id;
-    poisoned_from_frame_ = pkt.frame_id;
+      pkt.frame_type() == media::FrameType::kP) {
+    poisoned_gop_id_ = pkt.gop_id();
+    poisoned_from_frame_ = pkt.frame_id();
     ++p_dropped_;
     return false;
   }
 
   if (queue_drain > cfg_.drop_b_above &&
-      pkt.frame_type == media::FrameType::kB && !pkt.referenced) {
+      pkt.frame_type() == media::FrameType::kB && !pkt.referenced()) {
     ++b_dropped_;
     return false;
   }

@@ -11,7 +11,7 @@ LinkReceiver::LinkReceiver(sim::Network* net, sim::NodeId self,
           net->loop(), std::move(deliver), std::move(gap),
           [this](media::StreamId stream, bool audio,
                  const std::vector<media::Seq>& m) {
-            auto nack = std::make_shared<media::NackMessage>();
+            auto nack = sim::make_message<media::NackMessage>();
             nack->stream_id = stream;
             nack->audio = audio;
             nack->missing = m;
@@ -39,7 +39,7 @@ void LinkReceiver::on_rtp(const media::RtpPacketPtr& pkt) {
 
 void LinkReceiver::send_feedback() {
   feedback_timer_ = sim::kInvalidEvent;
-  auto fb = std::make_shared<media::CcFeedbackMessage>();
+  auto fb = sim::make_message<media::CcFeedbackMessage>();
   fb->remb_bps = gcc_.remb_bps();
   fb->loss_fraction = buffer_.take_loss_fraction();
   net_->send(self_, peer_, std::move(fb));

@@ -33,7 +33,7 @@ std::vector<media::Seq> LinkSender::on_nack(
       unserved.push_back(seq);
       continue;
     }
-    auto rtx = std::make_shared<media::RtpPacket>(*orig);
+    auto rtx = orig->fork();
     rtx->is_rtx = true;
     ++rtx_sent_;
     pacer_.enqueue(std::move(rtx));
@@ -42,7 +42,7 @@ std::vector<media::Seq> LinkSender::on_nack(
 }
 
 void LinkSender::send_rtx(const media::RtpPacketPtr& pkt) {
-  auto rtx = std::make_shared<media::RtpPacket>(*pkt);
+  auto rtx = pkt->fork();
   rtx->is_rtx = true;
   ++rtx_sent_;
   pacer_.enqueue(std::move(rtx));

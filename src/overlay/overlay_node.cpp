@@ -86,12 +86,12 @@ void OverlayNode::restart() {
 // --------------------------------------------------------------- dispatch
 
 void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
-  if (const auto rtp = std::dynamic_pointer_cast<const RtpPacket>(msg)) {
+  if (const auto rtp = sim::msg_cast<const RtpPacket>(msg)) {
     handle_rtp(from, rtp);
     return;
   }
   if (const auto nack =
-          std::dynamic_pointer_cast<const media::NackMessage>(msg)) {
+          sim::msg_cast<const media::NackMessage>(msg)) {
     LinkSender& snd = sender_for(from);
     const auto unserved =
         snd.on_nack(nack->stream_id, nack->audio, nack->missing);
@@ -108,64 +108,64 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
     return;
   }
   if (const auto fb =
-          std::dynamic_pointer_cast<const media::CcFeedbackMessage>(msg)) {
+          sim::msg_cast<const media::CcFeedbackMessage>(msg)) {
     sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
     return;
   }
-  if (const auto view = std::dynamic_pointer_cast<const ViewRequest>(msg)) {
+  if (const auto view = sim::msg_cast<const ViewRequest>(msg)) {
     handle_view_request(from, *view);
     return;
   }
-  if (const auto stop = std::dynamic_pointer_cast<const ViewStop>(msg)) {
+  if (const auto stop = sim::msg_cast<const ViewStop>(msg)) {
     handle_view_stop(from, *stop);
     return;
   }
-  if (const auto pub = std::dynamic_pointer_cast<const PublishRequest>(msg)) {
+  if (const auto pub = sim::msg_cast<const PublishRequest>(msg)) {
     handle_publish(from, *pub);
     return;
   }
-  if (const auto resp = std::dynamic_pointer_cast<const PathResponse>(msg)) {
+  if (const auto resp = sim::msg_cast<const PathResponse>(msg)) {
     handle_path_response(*resp);
     return;
   }
-  if (const auto push = std::dynamic_pointer_cast<const PathPush>(msg)) {
+  if (const auto push = sim::msg_cast<const PathPush>(msg)) {
     handle_path_push(*push);
     return;
   }
-  if (const auto sub = std::dynamic_pointer_cast<const SubscribeRequest>(msg)) {
+  if (const auto sub = sim::msg_cast<const SubscribeRequest>(msg)) {
     handle_subscribe(from, *sub);
     return;
   }
-  if (const auto ack = std::dynamic_pointer_cast<const SubscribeAck>(msg)) {
+  if (const auto ack = sim::msg_cast<const SubscribeAck>(msg)) {
     handle_subscribe_ack(from, *ack);
     return;
   }
   if (const auto unsub =
-          std::dynamic_pointer_cast<const UnsubscribeRequest>(msg)) {
+          sim::msg_cast<const UnsubscribeRequest>(msg)) {
     handle_unsubscribe(from, *unsub);
     return;
   }
   if (const auto qrep =
-          std::dynamic_pointer_cast<const ClientQualityReport>(msg)) {
+          sim::msg_cast<const ClientQualityReport>(msg)) {
     handle_quality_report(from, *qrep);
     return;
   }
-  if (const auto pstop = std::dynamic_pointer_cast<const PublishStop>(msg)) {
+  if (const auto pstop = sim::msg_cast<const PublishStop>(msg)) {
     handle_publish_stop(from, *pstop);
     return;
   }
   if (const auto notice =
-          std::dynamic_pointer_cast<const StreamSwitchNotice>(msg)) {
+          sim::msg_cast<const StreamSwitchNotice>(msg)) {
     handle_switch_notice(from, *notice);
     return;
   }
-  if (const auto mig = std::dynamic_pointer_cast<const ProducerMigrate>(msg)) {
+  if (const auto mig = sim::msg_cast<const ProducerMigrate>(msg)) {
     // Arrived from the (re-homed) broadcaster: relay to the Brain.
     if (brain_ != sim::kNoNode) net_->send(node_id(), brain_, mig);
     return;
   }
   if (const auto relay =
-          std::dynamic_pointer_cast<const ProducerRelayInstruction>(msg)) {
+          sim::msg_cast<const ProducerRelayInstruction>(msg)) {
     handle_producer_relay(*relay);
     return;
   }
@@ -176,13 +176,13 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
 // -------------------------------------------------------------- data path
 
 void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
-  const StreamFib::Entry* entry = fib_.find(pkt_in->stream_id);
+  const StreamFib::Entry* entry = fib_.find(pkt_in->stream_id());
   if (entry == nullptr) return;  // late packet for a released stream
 
   RtpPacketPtr pkt = pkt_in;
   if (pkt->cdn_ingress_time == kNever && entry->locally_produced) {
     // CDN ingress (producer role): stamp entry time and reset hop count.
-    auto stamped = std::make_shared<RtpPacket>(*pkt_in);
+    auto stamped = pkt_in->fork();
     stamped->cdn_ingress_time = net_->loop()->now();
     stamped->cdn_hops = 0;
     pkt = std::move(stamped);
@@ -195,7 +195,7 @@ void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
 }
 
 void OverlayNode::fast_path_forward(NodeId from, const RtpPacketPtr& pkt) {
-  const StreamFib::Entry* entry = fib_.find(pkt->stream_id);
+  const StreamFib::Entry* entry = fib_.find(pkt->stream_id());
   if (entry == nullptr) return;
   // During a make-before-break path switch both upstreams deliver for a
   // grace period; only the current upstream's copies are forwarded (the
@@ -219,7 +219,7 @@ void OverlayNode::fast_path_forward(NodeId from, const RtpPacketPtr& pkt) {
     const Time now = net_->loop()->now();
     for (const NodeId n : nodes) {
       if (n == from) continue;  // never echo upstream
-      auto clone = std::make_shared<RtpPacket>(*pkt);
+      auto clone = pkt->fork();
       clone->delay_ext_us += cfg_.fast_proc_delay + half_rtt_to(n);
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
       egress_meter_.add(now, clone->wire_size());
@@ -257,7 +257,7 @@ void OverlayNode::send_to_client(NodeId client, ClientViewState& view,
     view.pressure_count = 0;
   }
   if (!forward) return;  // proactively dropped (B -> P -> GoP escalation)
-  auto clone = std::make_shared<RtpPacket>(*pkt);
+  auto clone = pkt->fork();
   clone->delay_ext_us += cfg_.fast_proc_delay + half_rtt_to(client);
   clone->seq = view.take_seq(clone->is_audio());  // client-facing seq space
 
@@ -282,24 +282,24 @@ void OverlayNode::slow_path_ingest(NodeId from, const RtpPacketPtr& pkt) {
 
 void OverlayNode::on_slow_path_delivery(const RtpPacketPtr& pkt) {
   packet_cache_.add(pkt);
-  auto& st = stream_state(pkt->stream_id);
+  auto& st = stream_state(pkt->stream_id());
   if (st.framer) st.framer->on_packet(*pkt);
-  if (!pending_costream_.empty()) maybe_flip_costream(pkt->stream_id);
+  if (!pending_costream_.empty()) maybe_flip_costream(pkt->stream_id());
 
   // Views that were queued while a locally-cached path was being
   // established attach as soon as content lands (the lookup-based path
   // attaches via handle_path_response instead).
-  const auto pvit = pending_views_.find(pkt->stream_id);
-  if (pvit != pending_views_.end() && carries_stream(pkt->stream_id)) {
+  const auto pvit = pending_views_.find(pkt->stream_id());
+  if (pvit != pending_views_.end() && carries_stream(pkt->stream_id())) {
     auto waiting = std::move(pvit->second);
     pending_views_.erase(pvit);
     for (auto& pv : waiting) {
-      attach_client(pv.client, pkt->stream_id, pv.session);
+      attach_client(pv.client, pkt->stream_id(), pv.session);
     }
   }
   if (!cfg_.fast_path_enabled) {
     // Ablation mode: forward from the ordered output only.
-    const StreamFib::Entry* entry = fib_.find(pkt->stream_id);
+    const StreamFib::Entry* entry = fib_.find(pkt->stream_id());
     fast_path_forward(entry != nullptr ? entry->upstream : sim::kNoNode, pkt);
   }
 }
@@ -362,7 +362,7 @@ void OverlayNode::attach_client(NodeId client, StreamId stream,
   fib_.add_client_subscriber(stream, client);
   if (session != nullptr) view.session = session;
   view.stream = stream;
-  auto ack = std::make_shared<ViewAck>();
+  auto ack = sim::make_message<ViewAck>();
   ack->stream_id = stream;
   ack->ok = true;
   net_->send(node_id(), client, std::move(ack));
@@ -388,7 +388,7 @@ void OverlayNode::serve_startup_burst(NodeId client, ClientViewState& view) {
   LinkSender& snd = sender_for(client);
   const Time now = net_->loop()->now();
   for (const auto& pkt : burst) {
-    auto clone = std::make_shared<RtpPacket>(*pkt);
+    auto clone = pkt->fork();
     // Cached content: exclude from CDN-path-delay sampling (its transit
     // time is dominated by cache residency, not path quality).
     clone->cdn_ingress_time = kNever;
@@ -429,7 +429,7 @@ void OverlayNode::handle_publish(NodeId client, const PublishRequest& req) {
   (void)client;
 
   if (brain_ != sim::kNoNode) {
-    auto reg = std::make_shared<StreamRegister>();
+    auto reg = sim::make_message<StreamRegister>();
     reg->stream_id = req.stream_id;
     reg->producer = node_id();
     reg->active = true;
@@ -475,7 +475,7 @@ void OverlayNode::handle_publish_stop(NodeId client, const PublishStop& msg) {
   const StreamFib::Entry* entry = fib_.find(msg.stream_id);
   if (entry == nullptr || !entry->locally_produced) return;
   if (brain_ != sim::kNoNode) {
-    auto reg = std::make_shared<StreamRegister>();
+    auto reg = sim::make_message<StreamRegister>();
     reg->stream_id = msg.stream_id;
     reg->producer = node_id();
     reg->active = false;
@@ -491,7 +491,7 @@ void OverlayNode::handle_switch_notice(NodeId from,
   if (overlay_peer_set_.count(from) == 0 && from != brain_) {
     for (const NodeId peer : overlay_peers_) {
       if (peer == node_id()) continue;
-      auto copy = std::make_shared<StreamSwitchNotice>(msg);
+      auto copy = sim::make_message<StreamSwitchNotice>(msg);
       net_->send(node_id(), peer, std::move(copy));
     }
   }
@@ -573,7 +573,7 @@ void OverlayNode::handle_producer_relay(const ProducerRelayInstruction& msg) {
   entry.locally_produced = false;
   entry.upstream = msg.new_producer;
   stream_state(msg.stream_id).establishing = true;
-  auto sub = std::make_shared<SubscribeRequest>();
+  auto sub = sim::make_message<SubscribeRequest>();
   sub->stream_id = msg.stream_id;
   net_->send(node_id(), msg.new_producer, std::move(sub));
 }
@@ -588,7 +588,7 @@ void OverlayNode::request_path(StreamId stream) {
   const std::uint64_t id = next_request_id_++;
   pending_path_reqs_[id] = stream;
   path_request_sent_[stream] = net_->loop()->now();
-  auto req = std::make_shared<PathRequest>();
+  auto req = sim::make_message<PathRequest>();
   req->request_id = id;
   req->stream_id = stream;
   req->consumer = node_id();
@@ -644,7 +644,7 @@ void OverlayNode::handle_path_response(const PathResponse& resp) {
       for (auto& pv : pvit->second) {
         pv.session->failed = true;
         pv.session->path_response_rtt = rtt;
-        auto ack = std::make_shared<ViewAck>();
+        auto ack = sim::make_message<ViewAck>();
         ack->stream_id = stream;
         ack->ok = false;
         net_->send(node_id(), pv.client, std::move(ack));
@@ -727,7 +727,7 @@ void OverlayNode::establish_via_path(StreamId stream, const Path& path) {
   entry.upstream = upstream;
   st.establishing = true;
 
-  auto req = std::make_shared<SubscribeRequest>();
+  auto req = sim::make_message<SubscribeRequest>();
   req->stream_id = stream;
   // Remaining reverse route for the upstream hop: next hops toward the
   // producer, nearest first.
@@ -745,7 +745,7 @@ void OverlayNode::handle_subscribe(NodeId from, const SubscribeRequest& req) {
   const bool anchored = entry.locally_produced ||
                         entry.upstream != sim::kNoNode;
 
-  auto ack = std::make_shared<SubscribeAck>();
+  auto ack = sim::make_message<SubscribeAck>();
   ack->stream_id = req.stream_id;
   ack->ok = true;
 
@@ -761,7 +761,7 @@ void OverlayNode::handle_subscribe(NodeId from, const SubscribeRequest& req) {
       LinkSender& snd = sender_for(from);
       const Time now = net_->loop()->now();
       for (const auto& pkt : packet_cache_.startup_packets(req.stream_id)) {
-        auto clone = std::make_shared<RtpPacket>(*pkt);
+        auto clone = pkt->fork();
         clone->cdn_ingress_time = kNever;  // cached: not a path-delay sample
         clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
         egress_meter_.add(now, clone->wire_size());
@@ -785,7 +785,7 @@ void OverlayNode::handle_subscribe(NodeId from, const SubscribeRequest& req) {
   const NodeId upstream = req.remaining_reverse_path.front();
   entry.upstream = upstream;
   st.establishing = true;
-  auto fwd = std::make_shared<SubscribeRequest>();
+  auto fwd = sim::make_message<SubscribeRequest>();
   fwd->stream_id = req.stream_id;
   fwd->remaining_reverse_path.assign(req.remaining_reverse_path.begin() + 1,
                                      req.remaining_reverse_path.end());
@@ -837,7 +837,7 @@ void OverlayNode::maybe_release_stream(StreamId stream) {
 void OverlayNode::release_stream(StreamId stream) {
   const StreamFib::Entry* entry = fib_.find(stream);
   if (entry != nullptr && entry->upstream != sim::kNoNode) {
-    auto unsub = std::make_shared<UnsubscribeRequest>();
+    auto unsub = sim::make_message<UnsubscribeRequest>();
     unsub->stream_id = stream;
     net_->send(node_id(), entry->upstream, std::move(unsub));
     const auto rit = receivers_.find(entry->upstream);
@@ -887,7 +887,7 @@ void OverlayNode::switch_path(StreamId stream) {
         net_->loop()->schedule_after(3 * kSec, [this, stream, old_upstream] {
           const StreamFib::Entry* e = fib_.find(stream);
           if (e == nullptr || e->upstream == old_upstream) return;
-          auto unsub = std::make_shared<UnsubscribeRequest>();
+          auto unsub = sim::make_message<UnsubscribeRequest>();
           unsub->stream_id = stream;
           net_->send(node_id(), old_upstream, std::move(unsub));
           const auto rit = receivers_.find(old_upstream);
@@ -994,7 +994,7 @@ void OverlayNode::report_state() {
     rng_.reseed(0xD15C0 + static_cast<std::uint64_t>(node_id()));
     rng_seeded_ = true;
   }
-  auto report = std::make_shared<NodeStateReport>();
+  auto report = sim::make_message<NodeStateReport>();
   report->node = node_id();
   report->node_load = node_load();
   report->links.reserve(overlay_peers_.size());
@@ -1040,7 +1040,7 @@ void OverlayNode::check_overload() {
       load >= cfg_.overload_threshold || !hot_links.empty();
   if (overloaded && !overload_alarm_active_) {
     overload_alarm_active_ = true;
-    auto alarm = std::make_shared<OverloadAlarm>();
+    auto alarm = sim::make_message<OverloadAlarm>();
     alarm->node = node_id();
     alarm->node_load = load;
     alarm->overloaded_links = std::move(hot_links);

@@ -6,8 +6,8 @@ namespace livenet::overlay {
 
 void PacketGopCache::add(const media::RtpPacketPtr& pkt) {
   if (pkt->is_audio()) return;  // only video is GoP-cached
-  auto& sc = streams_[pkt->stream_id];
-  const bool boundary = pkt->is_keyframe_packet() && pkt->frag_index == 0;
+  auto& sc = streams_[pkt->stream_id()];
+  const bool boundary = pkt->is_keyframe_packet() && pkt->frag_index() == 0;
   if (sc.packets.empty() || sc.packets.back()->seq < pkt->seq) {
     // Fast path: in-order delivery appends.
     if (boundary) sc.keyframe_starts.push_back(sc.packets.size());

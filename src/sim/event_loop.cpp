@@ -4,12 +4,39 @@
 
 namespace livenet::sim {
 
+std::uint32_t EventLoop::acquire_slot() {
+  if (free_slots_.empty()) {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    free_slots_.reserve(free_slots_.size() + kChunkSize);
+    // Push in reverse so the lowest new slot is handed out first.
+    for (std::uint32_t i = kChunkSize; i > 0; --i) {
+      free_slots_.push_back(base + i - 1);
+    }
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void EventLoop::release_slot(std::uint32_t slot) {
+  // Bump the generation so every outstanding handle/queue entry for
+  // this slot is now stale. Generations are per-slot, 32-bit; skipping
+  // 0 keeps (gen << 32 | slot) != kInvalidEvent even for slot 0.
+  Node& n = node(slot);
+  if (++n.gen == 0) n.gen = 1;
+  free_slots_.push_back(slot);
+}
+
 EventId EventLoop::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
-  live_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Node& n = node(slot);
+  n.cb = std::move(cb);
+  queue_.push(Entry{when, next_seq_++, slot, n.gen});
+  ++live_count_;
+  return (static_cast<EventId>(n.gen) << 32) | slot;
 }
 
 EventId EventLoop::schedule_after(Duration delay, Callback cb) {
@@ -17,10 +44,24 @@ EventId EventLoop::schedule_after(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-void EventLoop::cancel(EventId id) { live_.erase(id); }
+void EventLoop::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= chunks_.size() * kChunkSize) return;
+  Node& n = node(slot);
+  if (n.gen != gen) return;  // already ran or already cancelled
+  n.cb.reset();              // release captures *now*
+  release_slot(slot);
+  --live_count_;
+  // The queue entry stays behind as a zombie; prune()/dispatch drop it
+  // when it reaches the top, recognising the stale generation.
+}
 
 void EventLoop::prune() {
-  while (!queue_.empty() && live_.find(queue_.top().id) == live_.end()) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (node(top.slot).gen == top.gen) break;
     queue_.pop();
   }
 }
@@ -28,15 +69,19 @@ void EventLoop::prune() {
 bool EventLoop::dispatch_next() {
   prune();
   if (queue_.empty()) return false;
-  // Moving out of top() requires const_cast; the element is popped
-  // immediately afterwards so the moved-from state is never observed.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  const Entry top = queue_.top();
   queue_.pop();
-  live_.erase(ev.id);
-  now_ = ev.when;
+  Node& n = node(top.slot);
+  // Move the callback out before releasing the slot: the callback may
+  // itself schedule (reusing this slot) or cancel other events.
+  Callback cb = std::move(n.cb);
+  n.cb.reset();
+  release_slot(top.slot);
+  --live_count_;
+  now_ = top.when;
   Logger::set_now(now_);
   ++dispatched_;
-  ev.cb();
+  cb();
   return true;
 }
 

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.h"
 #include "util/time.h"
 
 // Discrete-event simulation core.
@@ -14,16 +14,24 @@
 // absolute times or after delays; run() dispatches them in (time, FIFO)
 // order. Events scheduled for the same instant run in the order they
 // were scheduled, which keeps whole-system runs deterministic.
+//
+// The hot path is allocation-free: callbacks with captures up to 48 B
+// live inline in a slab node (util::InlineFunction), slab nodes are
+// recycled through a free list, and the priority queue holds POD
+// entries only. Cancellation is generation-stamped: cancel() destroys
+// the callback immediately — releasing any shared_ptrs it captured —
+// bumps the slot's generation so the handle dies, and leaves a zombie
+// queue entry that is discarded when it surfaces.
 namespace livenet::sim {
 
-/// Handle used to cancel a scheduled event. Cancellation is O(1): the
-/// event stays in the queue but is skipped on pop.
+/// Handle used to cancel a scheduled event: (generation << 32) | slot.
+/// Generations start at 1, so no valid handle equals kInvalidEvent.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InlineFunction;
 
   /// Current virtual time.
   Time now() const { return now_; }
@@ -36,6 +44,8 @@ class EventLoop {
   EventId schedule_after(Duration delay, Callback cb);
 
   /// Cancels a pending event; no-op if it already ran or was cancelled.
+  /// The callback (and anything it captured) is destroyed before this
+  /// returns, not when the event's timestamp comes up.
   void cancel(EventId id);
 
   /// Runs until the queue drains or until_time is passed (whichever is
@@ -53,31 +63,48 @@ class EventLoop {
   std::uint64_t dispatched() const { return dispatched_; }
 
   /// Pending (non-cancelled) events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_count_; }
 
  private:
-  struct Event {
+  // Slab node: the callback plus the slot's current generation. Nodes
+  // live in fixed 256-entry chunks so pointers stay stable while the
+  // slab grows; freed slots are recycled LIFO via free_slots_.
+  struct Node {
+    Callback cb;
+    std::uint32_t gen = 1;
+  };
+  static constexpr std::size_t kChunkSize = 256;
+
+  // Priority-queue entry: POD, 24 B. The (slot, gen) pair revalidates
+  // against the slab on pop; a stale gen marks a cancelled event.
+  struct Entry {
     Time when;
     std::uint64_t seq;  // tie-breaker: FIFO within the same instant
-    EventId id;
-    Callback cb;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  Node& node(std::uint32_t slot) {
+    return chunks_[slot / kChunkSize][slot % kChunkSize];
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
   bool dispatch_next();
   void prune();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> live_;  // scheduled and not yet run/cancelled
+  std::size_t live_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace livenet::sim

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/pool.h"
 
 // Messages exchanged between simulated nodes.
 //
@@ -13,7 +16,13 @@
 //
 // Messages are immutable once sent and are shared by reference count:
 // the fast path forwards the *same* packet object to many subscribers,
-// mirroring the zero-copy forwarding the paper's nodes implement.
+// mirroring the zero-copy forwarding the paper's nodes implement. The
+// count is intrusive and non-atomic — the simulator is single-threaded
+// by construction (one EventLoop, one virtual clock), so the fan-out
+// path pays a plain increment, not an atomic RMW, per subscriber.
+// Allocation goes through make_message(), which draws from a per-size
+// freelist arena and records the matching deleter, so steady-state
+// message traffic never touches the system allocator.
 namespace livenet::sim {
 
 /// Node identifier within a Network. Dense, assigned at registration.
@@ -22,7 +31,12 @@ inline constexpr NodeId kNoNode = -1;
 
 class Message {
  public:
+  Message() = default;
   virtual ~Message() = default;
+  /// Copying a message never copies its identity as a refcounted
+  /// object: the copy starts unreferenced and unpooled.
+  Message(const Message&) noexcept {}
+  Message& operator=(const Message&) noexcept { return *this; }
 
   /// Wire size in bytes (headers + payload), used for link transmission
   /// time and utilization accounting.
@@ -30,8 +44,137 @@ class Message {
 
   /// Human-readable type tag for logs and traces.
   virtual std::string describe() const = 0;
+
+  // Intrusive refcount plumbing (used by IntrusivePtr; not part of the
+  // message API proper).
+  void msg_add_ref() const noexcept { ++refs_; }
+  void msg_release() const noexcept {
+    if (--refs_ == 0) {
+      if (deleter_ != nullptr) {
+        deleter_(this);
+      } else {
+        delete this;
+      }
+    }
+  }
+
+  /// Installed by make_message() so release returns the object to the
+  /// pool it came from; not for general use.
+  void msg_set_deleter(void (*d)(const Message*) noexcept) noexcept {
+    deleter_ = d;
+  }
+
+ private:
+  mutable std::uint32_t refs_ = 0;
+  /// Returns the object to its pool; nullptr means plain `delete`.
+  void (*deleter_)(const Message*) noexcept = nullptr;
 };
 
-using MessagePtr = std::shared_ptr<const Message>;
+/// Non-atomic intrusive smart pointer for Message subclasses. Mirrors
+/// the shared_ptr surface the codebase used before (copy/move, get,
+/// ->, bool, ==), minus weak pointers and aliasing, which nothing
+/// needed. T may be const-qualified; the refcount is mutable.
+template <typename T>
+class IntrusivePtr {
+ public:
+  using element_type = T;
+
+  IntrusivePtr() = default;
+  IntrusivePtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps a raw pointer, taking one reference.
+  explicit IntrusivePtr(T* p) : p_(p) {
+    if (p_ != nullptr) p_->msg_add_ref();
+  }
+
+  IntrusivePtr(const IntrusivePtr& o) : p_(o.p_) {
+    if (p_ != nullptr) p_->msg_add_ref();
+  }
+  IntrusivePtr(IntrusivePtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  /// Converting copy/move (derived-to-base, non-const to const).
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  IntrusivePtr(const IntrusivePtr<U>& o)  // NOLINT
+      : p_(o.get()) {
+    if (p_ != nullptr) p_->msg_add_ref();
+  }
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  IntrusivePtr(IntrusivePtr<U>&& o) noexcept  // NOLINT
+      : p_(o.detach()) {}
+
+  ~IntrusivePtr() {
+    if (p_ != nullptr) p_->msg_release();
+  }
+
+  IntrusivePtr& operator=(const IntrusivePtr& o) {
+    IntrusivePtr(o).swap(*this);
+    return *this;
+  }
+  IntrusivePtr& operator=(IntrusivePtr&& o) noexcept {
+    IntrusivePtr(std::move(o)).swap(*this);
+    return *this;
+  }
+  IntrusivePtr& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  void swap(IntrusivePtr& o) noexcept { std::swap(p_, o.p_); }
+  void reset() {
+    if (p_ != nullptr) p_->msg_release();
+    p_ = nullptr;
+  }
+
+  T* get() const { return p_; }
+  T* operator->() const { return p_; }
+  T& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+  /// Releases ownership of the raw pointer without dropping the ref.
+  T* detach() noexcept {
+    T* p = p_;
+    p_ = nullptr;
+    return p;
+  }
+
+  friend bool operator==(const IntrusivePtr& a, const IntrusivePtr& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator!=(const IntrusivePtr& a, const IntrusivePtr& b) {
+    return a.p_ != b.p_;
+  }
+  friend bool operator==(const IntrusivePtr& a, std::nullptr_t) {
+    return a.p_ == nullptr;
+  }
+  friend bool operator!=(const IntrusivePtr& a, std::nullptr_t) {
+    return a.p_ != nullptr;
+  }
+
+ private:
+  T* p_ = nullptr;
+};
+
+using MessagePtr = IntrusivePtr<const Message>;
+
+/// Allocates a message from the per-size freelist arena (replacement
+/// for std::make_shared at every message construction site).
+template <typename T, typename... Args>
+auto make_message(Args&&... args) {
+  static_assert(std::is_base_of_v<Message, T>);
+  T* p = util::pool_new<T>(std::forward<Args>(args)...);
+  p->msg_set_deleter([](const Message* m) noexcept {
+    util::pool_delete(const_cast<T*>(static_cast<const T*>(m)));
+  });
+  return IntrusivePtr<T>(p);
+}
+
+/// dynamic_cast across IntrusivePtr (replacement for
+/// std::dynamic_pointer_cast in receiver dispatch switches).
+template <typename To, typename From>
+IntrusivePtr<To> msg_cast(const IntrusivePtr<From>& m) {
+  return IntrusivePtr<To>(dynamic_cast<To*>(m.get()));
+}
 
 }  // namespace livenet::sim

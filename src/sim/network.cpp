@@ -13,13 +13,49 @@ NodeId Network::add_node(SimNode* node) {
   return id;
 }
 
+std::size_t Network::index_pos(NodeId src, NodeId dst) const {
+  const auto& row = rows_[static_cast<std::size_t>(src)];
+  const auto& idx = row_index_[static_cast<std::size_t>(src)];
+  return static_cast<std::size_t>(
+      std::lower_bound(idx.begin(), idx.end(), dst,
+                       [&row](std::uint32_t pos, NodeId d) {
+                         return row[pos].dst < d;
+                       }) -
+      idx.begin());
+}
+
+Link* Network::lookup(NodeId src, NodeId dst) const {
+  if (src < 0 || static_cast<std::size_t>(src) >= rows_.size()) return nullptr;
+  const auto& row = rows_[static_cast<std::size_t>(src)];
+  const auto& idx = row_index_[static_cast<std::size_t>(src)];
+  const std::size_t p = index_pos(src, dst);
+  if (p == idx.size() || row[idx[p]].dst != dst) return nullptr;
+  return row[idx[p]].link.get();
+}
+
 Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg) {
+  // Fork the per-link rng before anything else so the stream a link
+  // receives depends only on the add_link call order.
   auto link_ptr = std::make_unique<Link>(loop_, src, dst, cfg, rng_.fork());
   Link* raw = link_ptr.get();
-  const auto k = key(src, dst);
-  const bool existed = links_.find(k) != links_.end();
-  links_[k] = std::move(link_ptr);
-  if (!existed) adjacency_[src].push_back(dst);
+  if (src >= 0 && static_cast<std::size_t>(src) >= rows_.size()) {
+    rows_.resize(static_cast<std::size_t>(src) + 1);
+    row_index_.resize(static_cast<std::size_t>(src) + 1);
+  }
+  auto& row = rows_[static_cast<std::size_t>(src)];
+  auto& idx = row_index_[static_cast<std::size_t>(src)];
+  const std::size_t p = index_pos(src, dst);
+  if (p < idx.size() && row[idx[p]].dst == dst) {
+    row[idx[p]].link = std::move(link_ptr);  // replace in place
+  } else {
+    idx.insert(idx.begin() + static_cast<std::ptrdiff_t>(p),
+               static_cast<std::uint32_t>(row.size()));
+    row.push_back(Edge{dst, std::move(link_ptr)});
+  }
+  if (src < frozen_n_ && dst >= 0 && dst < frozen_n_) {
+    matrix_[static_cast<std::size_t>(src) * static_cast<std::size_t>(frozen_n_) +
+            static_cast<std::size_t>(dst)] = raw;
+  }
   return raw;
 }
 
@@ -28,8 +64,30 @@ void Network::add_bidi_link(NodeId a, NodeId b, const LinkConfig& cfg) {
   add_link(b, a, cfg);
 }
 
+void Network::freeze_topology() {
+  frozen_n_ = static_cast<NodeId>(nodes_.size());
+  const auto n = static_cast<std::size_t>(frozen_n_);
+  matrix_.assign(n * n, nullptr);
+  for (std::size_t src = 0; src < rows_.size() && src < n; ++src) {
+    for (const auto& e : rows_[src]) {
+      if (e.dst >= 0 && static_cast<std::size_t>(e.dst) < n) {
+        matrix_[src * n + static_cast<std::size_t>(e.dst)] = e.link.get();
+      }
+    }
+  }
+}
+
 bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
-  Link* l = link(src, dst);
+  // Hot path: frozen core pairs resolve with one indexed load.
+  Link* l;
+  if (static_cast<std::uint32_t>(src) < static_cast<std::uint32_t>(frozen_n_) &&
+      static_cast<std::uint32_t>(dst) < static_cast<std::uint32_t>(frozen_n_)) {
+    l = matrix_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(frozen_n_) +
+                static_cast<std::size_t>(dst)];
+  } else {
+    l = lookup(src, dst);
+  }
   if (l == nullptr) {
     LIVENET_LOG(kWarn) << "send: no link " << src << "->" << dst << " for "
                        << msg->describe();
@@ -45,24 +103,26 @@ bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
   return true;
 }
 
-Link* Network::link(NodeId src, NodeId dst) {
-  const auto it = links_.find(key(src, dst));
-  return it != links_.end() ? it->second.get() : nullptr;
-}
+Link* Network::link(NodeId src, NodeId dst) { return lookup(src, dst); }
 
 const Link* Network::link(NodeId src, NodeId dst) const {
-  const auto it = links_.find(key(src, dst));
-  return it != links_.end() ? it->second.get() : nullptr;
+  return lookup(src, dst);
 }
 
 std::vector<NodeId> Network::neighbors(NodeId src) const {
-  const auto it = adjacency_.find(src);
-  return it != adjacency_.end() ? it->second : std::vector<NodeId>{};
+  std::vector<NodeId> out;
+  if (src < 0 || static_cast<std::size_t>(src) >= rows_.size()) return out;
+  const auto& row = rows_[static_cast<std::size_t>(src)];
+  out.reserve(row.size());
+  for (const auto& e : row) out.push_back(e.dst);
+  return out;
 }
 
 std::uint64_t Network::total_bytes_sent() const {
   std::uint64_t total = 0;
-  for (const auto& [k, l] : links_) total += l->stats().bytes_sent;
+  for (const auto& row : rows_) {
+    for (const auto& e : row) total += e.link->stats().bytes_sent;
+  }
   return total;
 }
 

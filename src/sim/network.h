@@ -1,7 +1,7 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -14,6 +14,15 @@
 // delivery machinery. send() runs the packet through the link model and
 // schedules the receiver's on_message() upcall at the computed arrival
 // time.
+//
+// Link lookup is structured for the per-packet hot path. Links live in
+// per-source rows (insertion-ordered, so neighbors() is deterministic)
+// with a per-row index sorted by destination for O(log n) lookup. Once
+// the static topology is built, freeze_topology() snapshots a dense
+// (src, dst) -> Link* matrix over the first N node ids: every
+// core-to-core send after that is a single indexed load, no hashing.
+// Nodes and links added later (clients attach at runtime) fall back to
+// the row index transparently.
 namespace livenet::sim {
 
 class Network {
@@ -35,6 +44,15 @@ class Network {
   /// Creates both directions with the same configuration.
   void add_bidi_link(NodeId a, NodeId b, const LinkConfig& cfg);
 
+  /// Builds the dense (src, dst) -> Link* index over all node ids
+  /// registered so far. Call once the static (core) topology is
+  /// complete; later nodes/links still work via the sorted-row path,
+  /// and later links between frozen nodes update the matrix in place.
+  void freeze_topology();
+
+  /// Node-id bound covered by the dense index (0 = never frozen).
+  NodeId frozen_nodes() const { return frozen_n_; }
+
   /// Sends msg from src to dst over the configured link. Returns false
   /// if no link exists or the packet was dropped/lost. On success the
   /// receiver's on_message runs at the arrival time.
@@ -44,7 +62,8 @@ class Network {
   Link* link(NodeId src, NodeId dst);
   const Link* link(NodeId src, NodeId dst) const;
 
-  /// Neighbors reachable via an outgoing link from `src`.
+  /// Neighbors reachable via an outgoing link from `src`, in link
+  /// creation order (deterministic: fault schedules key on this).
   std::vector<NodeId> neighbors(NodeId src) const;
 
   SimNode* node(NodeId id) { return id >= 0 && static_cast<std::size_t>(id) < nodes_.size() ? nodes_[static_cast<std::size_t>(id)] : nullptr; }
@@ -56,16 +75,25 @@ class Network {
   std::uint64_t total_bytes_sent() const;
 
  private:
-  static std::uint64_t key(NodeId src, NodeId dst) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-           static_cast<std::uint32_t>(dst);
-  }
+  struct Edge {
+    NodeId dst;
+    std::unique_ptr<Link> link;
+  };
+
+  /// Finds src's edge to dst via the sorted row index; returns the
+  /// position in row_index_[src] where dst is (or would be inserted).
+  std::size_t index_pos(NodeId src, NodeId dst) const;
+  Link* lookup(NodeId src, NodeId dst) const;
 
   EventLoop* loop_;
   Rng rng_;
   std::vector<SimNode*> nodes_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
-  std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<Edge>> rows_;  ///< per-src, insertion order
+  /// Per-src positions into rows_[src], sorted by Edge::dst.
+  std::vector<std::vector<std::uint32_t>> row_index_;
+  /// Dense frozen-core index: matrix_[src * frozen_n_ + dst].
+  std::vector<Link*> matrix_;
+  NodeId frozen_n_ = 0;
 };
 
 }  // namespace livenet::sim

@@ -70,7 +70,7 @@ void Pacer::fire() {
   RtpPacketPtr pkt = pop_next();
   if (!pkt) return;
   const double gain =
-      pkt->frame_type == media::FrameType::kI ? cfg_.i_frame_gain : 1.0;
+      pkt->frame_type() == media::FrameType::kI ? cfg_.i_frame_gain : 1.0;
   const auto interval = static_cast<Duration>(
       static_cast<double>(pkt->wire_size()) * 8.0 /
       (cfg_.rate_bps * gain) * static_cast<double>(kSec));

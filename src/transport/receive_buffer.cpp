@@ -19,7 +19,7 @@ ReceiveBuffer::~ReceiveBuffer() {
 
 void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
   ++received_since_fb_;
-  auto& st = streams_[flow_key(pkt->stream_id, pkt->is_audio())];
+  auto& st = streams_[flow_key(pkt->stream_id(), pkt->is_audio())];
   if (!st.started) {
     // First packet of this stream from this upstream: sync to it.
     st.started = true;
@@ -60,7 +60,7 @@ void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
     }
     st.next_expected = first_buffered;
     ++gaps_;
-    gap_(pkt->stream_id);
+    gap_(pkt->stream_id());
     drain_in_order(st);
   }
 

@@ -4,7 +4,7 @@ namespace livenet::transport {
 
 void SendHistory::record(const media::RtpPacketPtr& pkt, Time now) {
   prune(now);
-  const Key k{flow_id(pkt->stream_id, pkt->is_audio()), pkt->seq};
+  const Key k{flow_id(pkt->stream_id(), pkt->is_audio()), pkt->seq};
   by_key_[k] = {pkt, now};
   fifo_.emplace_back(now, k);
 }

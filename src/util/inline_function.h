@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/pool.h"
+
+// Small-buffer-optimised move-only callable for the event loop.
+//
+// `std::function` heap-allocates any capture larger than two pointers
+// and requires copyability; the event loop's deliveries capture a node
+// pointer plus a refcounted packet (24 B) or a fan-out snapshot
+// (~80 B). InlineFunction stores captures up to kInlineBytes in place
+// — no allocation at all on the common path — and spills larger ones
+// into a FreeListArena bucket, so even the spill never touches the
+// system allocator in steady state.
+//
+// Move-only on purpose: event callbacks own their captures (e.g. the
+// last reference to a packet) and are invoked exactly once; copyability
+// would force shared ownership semantics the loop does not need.
+namespace livenet::util {
+
+class InlineFunction {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      heap_ = pool_new<Fn>(std::forward<F>(f));
+      ops_ = &spilled_ops<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(&o, this);
+    o.ops_ = nullptr;
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(&o, this);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the stored callable (releasing anything it captured).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(this);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(this); }
+
+ private:
+  struct Ops {
+    void (*invoke)(InlineFunction*);
+    void (*relocate)(InlineFunction* from, InlineFunction* to) noexcept;
+    void (*destroy)(InlineFunction*) noexcept;
+  };
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+  const Ops* ops_ = nullptr;
+
+  template <typename Fn>
+  static Fn* inline_target(InlineFunction* self) {
+    return std::launder(reinterpret_cast<Fn*>(self->buf_));
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](InlineFunction* self) { (*inline_target<Fn>(self))(); },
+      [](InlineFunction* from, InlineFunction* to) noexcept {
+        ::new (static_cast<void*>(to->buf_))
+            Fn(std::move(*inline_target<Fn>(from)));
+        inline_target<Fn>(from)->~Fn();
+      },
+      [](InlineFunction* self) noexcept { inline_target<Fn>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops spilled_ops = {
+      [](InlineFunction* self) { (*static_cast<Fn*>(self->heap_))(); },
+      [](InlineFunction* from, InlineFunction* to) noexcept {
+        to->heap_ = from->heap_;
+      },
+      [](InlineFunction* self) noexcept {
+        pool_delete(static_cast<Fn*>(self->heap_));
+      },
+  };
+};
+
+}  // namespace livenet::util

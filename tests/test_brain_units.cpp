@@ -122,11 +122,11 @@ class Probe final : public sim::SimNode {
  public:
   void on_message(sim::NodeId, const sim::MessagePtr& msg) override {
     if (auto resp =
-            std::dynamic_pointer_cast<const overlay::PathResponse>(msg)) {
+            sim::msg_cast<const overlay::PathResponse>(msg)) {
       responses.push_back(resp);
     }
   }
-  std::vector<std::shared_ptr<const overlay::PathResponse>> responses;
+  std::vector<sim::IntrusivePtr<const overlay::PathResponse>> responses;
 };
 
 TEST(BrainNode, ServiceQueueBuildsResponseTimeUnderBurst) {
@@ -144,7 +144,7 @@ TEST(BrainNode, ServiceQueueBuildsResponseTimeUnderBurst) {
   net.add_bidi_link(brain_id, cid, lc);
 
   // Register a stream and give the brain a trivial PIB entry.
-  auto reg = std::make_shared<overlay::StreamRegister>();
+  auto reg = sim::make_message<overlay::StreamRegister>();
   reg->stream_id = 5;
   reg->producer = 7;
   net.send(cid, brain_id, reg);
@@ -152,7 +152,7 @@ TEST(BrainNode, ServiceQueueBuildsResponseTimeUnderBurst) {
 
   // A burst of 10 simultaneous requests: the i-th waits i service times.
   for (int i = 0; i < 10; ++i) {
-    auto req = std::make_shared<overlay::PathRequest>();
+    auto req = sim::make_message<overlay::PathRequest>();
     req->request_id = static_cast<std::uint64_t>(i + 1);
     req->stream_id = 5;
     req->consumer = cid;
@@ -178,7 +178,7 @@ TEST(BrainNode, UnknownStreamYieldsEmptyPaths) {
   lc.propagation_delay = 1 * kMs;
   net.add_bidi_link(brain_id, cid, lc);
 
-  auto req = std::make_shared<overlay::PathRequest>();
+  auto req = sim::make_message<overlay::PathRequest>();
   req->request_id = 1;
   req->stream_id = 404;
   req->consumer = cid;
@@ -200,13 +200,13 @@ TEST(BrainNode, ZeroLengthPathWhenConsumerIsProducer) {
   lc.propagation_delay = 1 * kMs;
   net.add_bidi_link(brain_id, cid, lc);
 
-  auto reg = std::make_shared<overlay::StreamRegister>();
+  auto reg = sim::make_message<overlay::StreamRegister>();
   reg->stream_id = 5;
   reg->producer = cid;  // same node
   net.send(cid, brain_id, reg);
   loop.run_until(10 * kMs);
 
-  auto req = std::make_shared<overlay::PathRequest>();
+  auto req = sim::make_message<overlay::PathRequest>();
   req->request_id = 1;
   req->stream_id = 5;
   req->consumer = cid;

@@ -121,7 +121,7 @@ TEST(FaultInjector, LinkFlapBlackholesThenRecovers) {
 
   // Constant probe traffic, one packet every 5 ms.
   std::function<void()> tick = [&] {
-    net.send(ida, idb, std::make_shared<Blob>(100));
+    net.send(ida, idb, sim::make_message<Blob>(100));
     if (loop.now() < 1 * kSec) loop.schedule_after(5 * kMs, tick);
   };
   loop.schedule_at(0, tick);

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "livenet/csv.h"
+#include "livenet/defaults.h"
+#include "livenet/report.h"
+
+// Golden-file bit-reproducibility: a fixed-seed scenario (workload +
+// injected faults) must emit byte-identical CSVs across refactors of
+// the data plane, event loop, and network internals. The golden files
+// were generated from the pre-zero-copy tree; any diff here means a
+// behavioural change, not just a performance one.
+//
+// Regenerate (only when a change is *intentionally* behavioural):
+//   LIVENET_REGEN_GOLDEN=1 ./test_golden_csv
+namespace livenet {
+namespace {
+
+std::string golden_dir() {
+  // Anchor on the source tree so the test works from any build dir.
+  std::string file = __FILE__;
+  const auto slash = file.find_last_of('/');
+  return file.substr(0, slash) + "/golden";
+}
+
+ScenarioResult golden_run(std::uint64_t seed) {
+  SystemConfig sys_cfg = paper_system_config(seed);
+  sys_cfg.countries = 2;
+  sys_cfg.nodes_per_country = 3;
+  ScenarioConfig scn;
+  scn.duration = 40 * kSec;
+  scn.day_length = 20 * kSec;
+  scn.broadcasts = 3;
+  scn.viewer_rate_peak = 1.0;
+  scn.mean_view_time = 10 * kSec;
+  scn.seed = seed;
+  // Chaos so faults.csv (and the recovery machinery) is covered too.
+  scn.faults.seed = seed + 1;
+  scn.faults.link_flaps_per_min = 2.0;
+  scn.faults.degrades_per_min = 1.0;
+  scn.faults.node_crashes_per_min = 0.5;
+  sim::FaultSpec scripted;
+  scripted.kind = sim::FaultKind::kLinkFlap;
+  scripted.at = 12 * kSec;
+  scripted.duration = 2 * kSec;
+  scripted.a = 0;
+  scripted.b = 1;
+  scn.faults.scripted.push_back(scripted);
+  LiveNetSystem system(sys_cfg);
+  ScenarioRunner runner(system, scn);
+  return runner.run();
+}
+
+std::string all_csv(const ScenarioResult& r) {
+  std::ostringstream os;
+  os << "# sessions\n";
+  write_sessions_csv(r, os);
+  os << "# views\n";
+  write_views_csv(r, os);
+  os << "# path_requests\n";
+  write_path_requests_csv(r, os);
+  os << "# timeline\n";
+  write_timeline_csv(r, os);
+  os << "# faults\n";
+  write_faults_csv(r, os);
+  return os.str();
+}
+
+void check_golden(std::uint64_t seed) {
+  const std::string path =
+      golden_dir() + "/scenario_seed" + std::to_string(seed) + ".csv";
+  const std::string actual = all_csv(golden_run(seed));
+  if (std::getenv("LIVENET_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with LIVENET_REGEN_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  ASSERT_FALSE(expected.empty());
+  // Byte-for-byte; on mismatch print a small window around the first
+  // differing byte rather than two multi-hundred-KB blobs.
+  if (actual != expected) {
+    std::size_t i = 0;
+    const std::size_t n = std::min(actual.size(), expected.size());
+    while (i < n && actual[i] == expected[i]) ++i;
+    const std::size_t from = i > 120 ? i - 120 : 0;
+    FAIL() << "CSV output diverges from golden at byte " << i
+           << " (actual " << actual.size() << " B, golden "
+           << expected.size() << " B)\n--- golden ---\n"
+           << expected.substr(from, 240) << "\n--- actual ---\n"
+           << actual.substr(from, 240);
+  }
+}
+
+TEST(GoldenCsv, Seed101BitIdentical) { check_golden(101); }
+TEST(GoldenCsv, Seed202BitIdentical) { check_golden(202); }
+
+}  // namespace
+}  // namespace livenet

@@ -9,10 +9,10 @@
 namespace livenet::media {
 namespace {
 
-std::vector<std::shared_ptr<RtpPacket>> make_frames(int n_frames,
+std::vector<media::RtpPacketMut> make_frames(int n_frames,
                                                     std::size_t bytes) {
   Packetizer p(1);
-  std::vector<std::shared_ptr<RtpPacket>> out;
+  std::vector<media::RtpPacketMut> out;
   for (int i = 1; i <= n_frames; ++i) {
     Frame f;
     f.stream_id = 1;
@@ -57,7 +57,7 @@ TEST(JitterFramer, LateFragmentStillCompletesFrame) {
   JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
   const auto pkts = make_frames(4, 3000);
   for (const auto& pkt : pkts) {
-    if (pkt->frame_id == 1 && pkt->frag_index == 1) continue;  // delay it
+    if (pkt->frame_id() == 1 && pkt->frag_index() == 1) continue;  // delay it
     jf.on_packet(*pkt, 10 * kMs);
   }
   EXPECT_TRUE(emitted.empty());  // in-order: nothing may pass frame 1
@@ -71,7 +71,7 @@ TEST(JitterFramer, HeadSkippedAfterDeadline) {
   JitterFramer jf([&](const Frame& f) { emitted.push_back(f.frame_id); });
   const auto pkts = make_frames(3, 3000);
   for (const auto& pkt : pkts) {
-    if (pkt->frame_id == 1 && pkt->frag_index == 1) continue;  // lost
+    if (pkt->frame_id() == 1 && pkt->frag_index() == 1) continue;  // lost
     jf.on_packet(*pkt, 0);
   }
   EXPECT_TRUE(emitted.empty());
@@ -87,11 +87,12 @@ TEST(JitterFramer, AudioBypassesOrdering) {
   });
   const auto pkts = make_frames(2, 3000);
   jf.on_packet(*pkts[0], 0);  // incomplete video frame 1
-  auto a = std::make_shared<RtpPacket>();
-  a->stream_id = 1;
-  a->frame_id = 7;
-  a->frame_type = FrameType::kAudio;
-  a->payload_bytes = 160;
+  media::RtpBody ab;
+  ab.stream_id = 1;
+  ab.frame_id = 7;
+  ab.frame_type = FrameType::kAudio;
+  ab.payload_bytes = 160;
+  auto a = RtpPacket::make(std::move(ab));
   jf.on_packet(*a, 0);
   EXPECT_EQ(audio, (std::vector<std::uint64_t>{7}));  // immediate
   EXPECT_TRUE(video.empty());
@@ -133,7 +134,7 @@ TEST(JitterFramer, PendingBoundEnforced) {
   // 100 incomplete frames (first fragment only, 3 frags expected).
   const auto pkts = make_frames(100, 3000);
   for (const auto& pkt : pkts) {
-    if (pkt->frag_index == 0) jf.on_packet(*pkt, 0);
+    if (pkt->frag_index() == 0) jf.on_packet(*pkt, 0);
   }
   EXPECT_GT(jf.frames_dropped(), 80u);
   EXPECT_EQ(emitted, 0);

@@ -112,7 +112,7 @@ TEST(Network, DeliversToReceiverWithSource) {
   const NodeId ida = net.add_node(&a);
   const NodeId idb = net.add_node(&b);
   net.add_bidi_link(ida, idb, fast_link());
-  EXPECT_TRUE(net.send(ida, idb, std::make_shared<Blob>(100)));
+  EXPECT_TRUE(net.send(ida, idb, sim::make_message<Blob>(100)));
   loop.run();
   ASSERT_EQ(b.arrivals.size(), 1u);
   EXPECT_EQ(b.arrivals[0].first, ida);
@@ -125,7 +125,7 @@ TEST(Network, SendWithoutLinkFails) {
   Probe a, b;
   const NodeId ida = net.add_node(&a);
   const NodeId idb = net.add_node(&b);
-  EXPECT_FALSE(net.send(ida, idb, std::make_shared<Blob>(100)));
+  EXPECT_FALSE(net.send(ida, idb, sim::make_message<Blob>(100)));
 }
 
 TEST(Network, NeighborsTracksOutgoingLinks) {

@@ -25,7 +25,7 @@ TEST(Packetizer, FragmentsLargeFrame) {
   const auto pkts = p.packetize(make_frame(1, 1, FrameType::kI, 5000));
   ASSERT_EQ(pkts.size(), 5u);  // ceil(5000/1200)
   std::size_t total = 0;
-  for (const auto& pkt : pkts) total += pkt->payload_bytes;
+  for (const auto& pkt : pkts) total += pkt->payload_bytes();
   EXPECT_EQ(total, 5000u);
   EXPECT_TRUE(pkts.back()->marker());
   EXPECT_FALSE(pkts.front()->marker());

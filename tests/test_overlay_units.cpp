@@ -14,22 +14,22 @@ namespace {
 using media::FrameType;
 using media::RtpPacket;
 
-std::shared_ptr<RtpPacket> pkt(media::StreamId s, media::Seq seq,
-                               FrameType t, std::uint64_t frame,
-                               std::uint64_t gop, std::uint32_t frag = 0,
-                               std::uint32_t frags = 1,
-                               bool referenced = true) {
-  auto p = std::make_shared<RtpPacket>();
-  p->stream_id = s;
-  p->seq = seq;
-  p->frame_type = t;
-  p->frame_id = frame;
-  p->gop_id = gop;
-  p->frag_index = frag;
-  p->frag_count = frags;
-  p->referenced = referenced;
-  p->payload_bytes = 1000;
-  return p;
+media::RtpPacketMut pkt(media::StreamId s, media::Seq seq,
+                        FrameType t, std::uint64_t frame,
+                        std::uint64_t gop, std::uint32_t frag = 0,
+                        std::uint32_t frags = 1,
+                        bool referenced = true) {
+  media::RtpBody body;
+  body.stream_id = s;
+  body.seq = seq;
+  body.frame_type = t;
+  body.frame_id = frame;
+  body.gop_id = gop;
+  body.frag_index = frag;
+  body.frag_count = frags;
+  body.referenced = referenced;
+  body.payload_bytes = 1000;
+  return RtpPacket::make(std::move(body));
 }
 
 // -------------------------------------------------------------- StreamFib
@@ -77,7 +77,7 @@ TEST(PacketGopCache, StartupBeginsAtNewestKeyframe) {
   }
   const auto burst = cache.startup_packets(1);
   ASSERT_EQ(burst.size(), 2u);
-  EXPECT_EQ(burst[0]->gop_id, 3u);
+  EXPECT_EQ(burst[0]->gop_id(), 3u);
   EXPECT_TRUE(burst[0]->is_keyframe_packet());
 }
 
@@ -134,7 +134,7 @@ TEST(PacketGopCache, HardCapKeepsKeyframeIndicesConsistent) {
   const auto burst = cache.startup_packets(1);
   ASSERT_FALSE(burst.empty());
   EXPECT_TRUE(burst[0]->is_keyframe_packet());
-  EXPECT_EQ(burst[0]->gop_id, 5u);
+  EXPECT_EQ(burst[0]->gop_id(), 5u);
 }
 
 TEST(PacketGopCache, FindPacketSurvivesReorderedInsertion) {

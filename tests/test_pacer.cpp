@@ -12,11 +12,11 @@ using media::FrameType;
 using media::RtpPacket;
 using media::RtpPacketPtr;
 
-std::shared_ptr<RtpPacket> pkt(FrameType t, std::size_t bytes,
-                               bool rtx = false) {
-  auto p = std::make_shared<RtpPacket>();
-  p->frame_type = t;
-  p->payload_bytes = bytes;
+media::RtpPacketMut pkt(FrameType t, std::size_t bytes, bool rtx = false) {
+  media::RtpBody body;
+  body.frame_type = t;
+  body.payload_bytes = bytes;
+  auto p = RtpPacket::make(std::move(body));
   p->is_rtx = rtx;
   return p;
 }
@@ -58,7 +58,7 @@ TEST(Pacer, AudioJumpsTheVideoQueue) {
   ASSERT_EQ(cap.sent.size(), 3u);
   // Dispatch is deferred to the loop, so audio preempts everything
   // still queued at fire time.
-  EXPECT_EQ(cap.sent[0].second->frame_type, FrameType::kAudio);
+  EXPECT_EQ(cap.sent[0].second->frame_type(), FrameType::kAudio);
 }
 
 TEST(Pacer, RtxBeatsVideoButNotAudio) {
@@ -73,7 +73,7 @@ TEST(Pacer, RtxBeatsVideoButNotAudio) {
   pacer.enqueue(pkt(FrameType::kAudio, 100));
   loop.run();
   ASSERT_EQ(cap.sent.size(), 4u);
-  EXPECT_EQ(cap.sent[0].second->frame_type, FrameType::kAudio);
+  EXPECT_EQ(cap.sent[0].second->frame_type(), FrameType::kAudio);
   EXPECT_TRUE(cap.sent[1].second->is_rtx);
   EXPECT_FALSE(cap.sent[2].second->is_rtx);
   EXPECT_FALSE(cap.sent[3].second->is_rtx);

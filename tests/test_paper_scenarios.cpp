@@ -60,7 +60,7 @@ TEST(PaperScenarios, LongChainEmergesFromCacheHit) {
   client::Viewer v3(&sys.network(), &qoe);
   sys.network().add_node(&v3);
   sys.network().add_bidi_link(v3.node_id(), E3, access);
-  auto push3 = std::make_shared<overlay::PathPush>();
+  auto push3 = sim::make_message<overlay::PathPush>();
   push3->stream_id = 1;
   push3->paths = {{S, A, E1, E3}};
   sys.network().send(sys.brain().node_id(), E3, push3);
@@ -72,7 +72,7 @@ TEST(PaperScenarios, LongChainEmergesFromCacheHit) {
   client::Viewer v4(&sys.network(), &qoe);
   sys.network().add_node(&v4);
   sys.network().add_bidi_link(v4.node_id(), E4, access);
-  auto push4 = std::make_shared<overlay::PathPush>();
+  auto push4 = sim::make_message<overlay::PathPush>();
   push4->stream_id = 1;
   push4->paths = {{S, E3, E4}};
   sys.network().send(sys.brain().node_id(), E4, push4);
@@ -110,7 +110,7 @@ TEST(PaperScenarios, OverloadAlarmInvalidatesPathsAndLastResortServes) {
   // Mark both backbones overloaded via real-time alarms (as if their
   // load spiked between routing cycles).
   for (const auto bb : sys.backbone_ids()) {
-    auto alarm = std::make_shared<overlay::OverloadAlarm>();
+    auto alarm = sim::make_message<overlay::OverloadAlarm>();
     alarm->node = bb;
     alarm->node_load = 0.95;
     sys.network().send(bb, sys.brain().node_id(), alarm);
@@ -166,7 +166,7 @@ TEST(PaperScenarios, HealthyReportClearsOverloadMark) {
   sys.loop().run_until(1 * kSec);
 
   const auto node = sys.overlay_node_ids()[0];
-  auto alarm = std::make_shared<overlay::OverloadAlarm>();
+  auto alarm = sim::make_message<overlay::OverloadAlarm>();
   alarm->node = node;
   alarm->node_load = 0.9;
   sys.network().send(node, sys.brain().node_id(), alarm);

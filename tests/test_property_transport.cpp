@@ -18,13 +18,13 @@ namespace {
 using media::RtpPacketPtr;
 using media::Seq;
 
-std::shared_ptr<media::RtpPacket> pkt(Seq seq, bool audio = false) {
-  auto p = std::make_shared<media::RtpPacket>();
-  p->stream_id = 1;
-  p->seq = seq;
-  p->frame_type = audio ? media::FrameType::kAudio : media::FrameType::kP;
-  p->payload_bytes = audio ? 160 : 1200;
-  return p;
+media::RtpPacketMut pkt(Seq seq, bool audio = false) {
+  media::RtpBody body;
+  body.stream_id = 1;
+  body.seq = seq;
+  body.frame_type = audio ? media::FrameType::kAudio : media::FrameType::kP;
+  body.payload_bytes = audio ? 160 : 1200;
+  return media::RtpPacket::make(std::move(body));
 }
 
 // ---------------------------------------------------------------------

@@ -69,7 +69,7 @@ TEST(HierControl, AffinityPreferredUnderBalancedLoad) {
    public:
     void on_message(sim::NodeId, const sim::MessagePtr& msg) override {
       if (auto resp =
-              std::dynamic_pointer_cast<const hier::MapResponse>(msg)) {
+              sim::msg_cast<const hier::MapResponse>(msg)) {
         l2s.push_back(resp->l2);
       }
     }
@@ -83,7 +83,7 @@ TEST(HierControl, AffinityPreferredUnderBalancedLoad) {
   net.add_bidi_link(ctrl_id, l1_id, lc);
 
   for (int i = 0; i < 5; ++i) {
-    auto req = std::make_shared<hier::MapRequest>();
+    auto req = sim::make_message<hier::MapRequest>();
     req->request_id = static_cast<std::uint64_t>(i + 1);
     req->stream_id = static_cast<media::StreamId>(i + 1);
     req->l1 = 1;
@@ -107,7 +107,7 @@ TEST(HierControl, SkewedLoadFallsBackToLeastLoaded) {
    public:
     void on_message(sim::NodeId, const sim::MessagePtr& msg) override {
       if (auto resp =
-              std::dynamic_pointer_cast<const hier::MapResponse>(msg)) {
+              sim::msg_cast<const hier::MapResponse>(msg)) {
         l2s.push_back(resp->l2);
       }
     }
@@ -124,7 +124,7 @@ TEST(HierControl, SkewedLoadFallsBackToLeastLoaded) {
   // assignment count runs far ahead, the controller spills to the
   // least-loaded alternative.
   for (int i = 0; i < 40; ++i) {
-    auto req = std::make_shared<hier::MapRequest>();
+    auto req = sim::make_message<hier::MapRequest>();
     req->request_id = static_cast<std::uint64_t>(i + 1);
     req->stream_id = static_cast<media::StreamId>(i + 1);
     req->l1 = 1;

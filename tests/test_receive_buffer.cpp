@@ -17,12 +17,14 @@ using media::RtpPacketPtr;
 using media::Seq;
 using media::StreamId;
 
-std::shared_ptr<RtpPacket> pkt(StreamId s, Seq seq) {
-  auto p = std::make_shared<RtpPacket>();
-  p->stream_id = s;
-  p->seq = seq;
-  p->payload_bytes = 1000;
-  return p;
+media::RtpPacketMut pkt(StreamId s, Seq seq,
+                        media::FrameType t = media::FrameType::kP) {
+  media::RtpBody body;
+  body.stream_id = s;
+  body.seq = seq;
+  body.frame_type = t;
+  body.payload_bytes = 1000;
+  return RtpPacket::make(std::move(body));
 }
 
 struct Harness {
@@ -151,11 +153,11 @@ TEST(TortureReordering, ReceiveBufferAndGopCacheSurviveChaoticFeed) {
   constexpr Seq kGopLen = 40;
   constexpr Seq kTotal = 400;
 
-  std::vector<std::shared_ptr<media::RtpPacket>> wire;
+  std::vector<media::RtpPacketMut> wire;
   for (Seq s = 1; s <= kTotal; ++s) {
-    auto p = pkt(kStream, s);
-    if ((s - 1) % kGopLen == 0) p->frame_type = media::FrameType::kI;
-    wire.push_back(p);
+    const auto t = (s - 1) % kGopLen == 0 ? media::FrameType::kI
+                                          : media::FrameType::kP;
+    wire.push_back(pkt(kStream, s, t));
   }
 
   // Bounded shuffle (window 8) keeping the first packet in place, so the
@@ -166,7 +168,7 @@ TEST(TortureReordering, ReceiveBufferAndGopCacheSurviveChaoticFeed) {
         i + rng.index(std::min<std::size_t>(8, wire.size() - i));
     std::swap(wire[i], wire[j]);
   }
-  std::vector<std::shared_ptr<media::RtpPacket>> feed;
+  std::vector<media::RtpPacketMut> feed;
   std::size_t dup_count = 0;
   for (std::size_t i = 0; i < wire.size(); ++i) {
     feed.push_back(wire[i]);

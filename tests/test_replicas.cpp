@@ -111,7 +111,7 @@ TEST(Replicas, OverloadMarksMirrorToReplicas) {
   sys.loop().run_until(2 * kSec);
 
   const auto victim = sys.overlay_node_ids()[3];
-  auto alarm = std::make_shared<overlay::OverloadAlarm>();
+  auto alarm = sim::make_message<overlay::OverloadAlarm>();
   alarm->node = victim;
   alarm->node_load = 0.95;
   sys.network().send(victim, sys.brain().node_id(), alarm);

@@ -95,6 +95,62 @@ TEST(Dijkstra, TrivialSelfPath) {
   EXPECT_DOUBLE_EQ(p->cost, 0.0);
 }
 
+// The all-pairs k = 1 fast path reads paths off one tree per source;
+// it must agree with the per-pair Dijkstra on every pair, including
+// tie-heavy random graphs (equal-cost path choice is part of the
+// contract — routing must not change when the fast path kicks in).
+TEST(Dijkstra, TreeMatchesPerPairOnRandomGraphs) {
+  std::uint64_t state = 12345;
+  auto next = [&state]() {  // xorshift: deterministic across platforms
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + next() % 12;
+    RoutingGraph g(n);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b || next() % 4 == 0) continue;  // ~25% edges missing
+        // Small integer weights force plenty of equal-cost ties.
+        g.set_weight(a, b, static_cast<double>(1 + next() % 4));
+      }
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      const auto tree = shortest_path_tree(g, a);
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const auto direct = shortest_path(g, a, b);
+        const auto via_tree = tree.path_to(a, b);
+        ASSERT_EQ(direct.has_value(), via_tree.has_value())
+            << "trial " << trial << " pair " << a << "->" << b;
+        if (!direct.has_value()) continue;
+        EXPECT_EQ(direct->nodes, via_tree->nodes)
+            << "trial " << trial << " pair " << a << "->" << b;
+        EXPECT_DOUBLE_EQ(direct->cost, via_tree->cost);
+      }
+    }
+  }
+}
+
+TEST(GlobalRoutingK1, TreeFastPathInstallsSamePathsAsYen) {
+  // With k = 1 the recompute must install exactly what per-pair Yen
+  // k = 1 installs (the fast path is an optimization, not a policy
+  // change).
+  const RoutingGraph g = diamond();
+  for (std::size_t a = 0; a < g.size(); ++a) {
+    for (std::size_t b = 0; b < g.size(); ++b) {
+      if (a == b) continue;
+      const auto yen = k_shortest_paths(g, a, b, 1);
+      const auto tree = shortest_path_tree(g, a);
+      const auto p = tree.path_to(a, b);
+      ASSERT_EQ(yen.empty(), !p.has_value());
+      if (!yen.empty()) EXPECT_EQ(yen[0].nodes, p->nodes);
+    }
+  }
+}
+
 TEST(Yen, ReturnsKDistinctPathsInCostOrder) {
   const auto paths = k_shortest_paths(diamond(), 0, 3, 3);
   ASSERT_EQ(paths.size(), 3u);
