@@ -3,7 +3,9 @@
 # workflow tracks:
 #   BENCH_dataplane.json  - micro_dataplane (packet fan-out fast path)
 #   BENCH_brain.json      - micro_path_decision + micro_routing merged
-# Both land at the repository root (override with BENCH_OUT_DIR).
+#   BENCH_telemetry.json  - micro_telemetry (registry + trace ring +
+#                           fan-out at 0% / 1% / 100% sampling)
+# All land at the repository root (override with BENCH_OUT_DIR).
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -13,7 +15,7 @@ build_dir="${1:-${repo_root}/build}"
 out_dir="${BENCH_OUT_DIR:-${repo_root}}"
 min_time="${BENCH_MIN_TIME:-0.2}"
 
-for b in micro_dataplane micro_path_decision micro_routing; do
+for b in micro_dataplane micro_path_decision micro_routing micro_telemetry; do
   if [[ ! -x "${build_dir}/bench/${b}" ]]; then
     echo "error: ${build_dir}/bench/${b} not built (cmake --build ${build_dir})" >&2
     exit 1
@@ -34,8 +36,10 @@ run_bench() { # name -> writes ${tmp}/$1.json
 run_bench micro_dataplane
 run_bench micro_path_decision
 run_bench micro_routing
+run_bench micro_telemetry
 
 cp "${tmp}/micro_dataplane.json" "${out_dir}/BENCH_dataplane.json"
+cp "${tmp}/micro_telemetry.json" "${out_dir}/BENCH_telemetry.json"
 
 # Merge the two brain-side suites into one artefact: keep the first
 # run's context, concatenate the benchmark arrays.
@@ -57,3 +61,4 @@ PY
 
 echo "wrote ${out_dir}/BENCH_dataplane.json" >&2
 echo "wrote ${out_dir}/BENCH_brain.json" >&2
+echo "wrote ${out_dir}/BENCH_telemetry.json" >&2

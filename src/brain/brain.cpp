@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace livenet::brain {
@@ -176,6 +177,7 @@ void BrainNode::handle_path_request(sim::NodeId from,
 
   metrics_.path_requests.push_back(BrainMetrics::PathRequestLog{
       now, response_time, lookup.last_resort, lookup.stream_known});
+  telemetry::handles().path_requests_served->add();
 
   auto resp = sim::make_message<PathResponse>();
   resp->request_id = req.request_id;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace livenet::brain {
@@ -83,6 +84,7 @@ void PathDecisionReplica::handle_path_request(
       path_decision_.get_path(req.stream_id, req.consumer);
   metrics_.path_requests.push_back(BrainMetrics::PathRequestLog{
       now, response_time, lookup.last_resort, lookup.stream_known});
+  telemetry::handles().path_requests_served->add();
 
   auto resp = sim::make_message<overlay::PathResponse>();
   resp->request_id = req.request_id;

@@ -38,6 +38,7 @@ void Broadcaster::start(NodeId producer,
           std::make_unique<media::AudioSource>(stream_ids_[v], cfg_.audio);
     }
     ver.packetizer = std::make_unique<media::Packetizer>(stream_ids_[v]);
+    ver.packetizer->set_trace_sample(cfg_.trace_sample);
 
     auto pub = sim::make_message<overlay::PublishRequest>();
     pub->stream_id = stream_ids_[v];

@@ -23,6 +23,9 @@ struct BroadcasterConfig {
   media::AudioSourceConfig audio;
   bool send_audio = true;  ///< audio attached to every version's stream
   overlay::LinkSender::Config uplink;
+  /// Fraction of produced packets stamped with a telemetry trace_id
+  /// (0 = tracing off). Applied to every simulcast version.
+  double trace_sample = 0.0;
 };
 
 class Broadcaster final : public sim::SimNode {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "media/rtp.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace livenet::client {
@@ -136,7 +138,18 @@ void Viewer::assemble(const media::RtpPacketPtr& pkt) {
                           [this](const Frame& f) { on_frame(f); }))
              .first;
   }
+  const std::uint64_t completed_before = it->second->frames_completed();
   it->second->on_packet(*pkt, net_->loop()->now());
+  const std::uint64_t completed = it->second->frames_completed();
+  if (completed > completed_before) {
+    telemetry::handles().jitter_frames_released->add(completed -
+                                                     completed_before);
+    // The packet that completed a frame marks the end of the traced
+    // packet's journey: released from the client's jitter buffer.
+    telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
+                          pkt->stream_id(), pkt->producer_seq(), node_id(),
+                          consumer_, telemetry::HopEvent::kJitterRelease);
+  }
 }
 
 void Viewer::on_frame(const Frame& frame) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace livenet {
 
 bool session_healthy(const overlay::ViewSession& s) {
@@ -137,6 +140,19 @@ double streaming_delay_t_statistic(const ScenarioResult& a,
     if (view_healthy(v)) sb.add(v.streaming_delay_ms.mean());
   }
   return welch_t_statistic(sa, sb);
+}
+
+void write_telemetry_csv(std::ostream& os) {
+  telemetry::Tracer::instance().write_csv(os);
+}
+
+void write_metrics_json(std::ostream& os) {
+  telemetry::MetricsRegistry::instance().write_json(os);
+}
+
+void reset_telemetry() {
+  telemetry::Tracer::instance().reset();
+  telemetry::MetricsRegistry::instance().reset();
 }
 
 }  // namespace livenet

@@ -78,4 +78,17 @@ struct FaultSummary {
 };
 FaultSummary fault_summary(const ScenarioResult& r);
 
+// Telemetry exporters, surfaced here so report consumers need no
+// direct dependency on the telemetry singletons.
+
+/// Per-hop trace records of the current run (telemetry.csv).
+void write_telemetry_csv(std::ostream& os);
+
+/// Metrics registry snapshot (metrics.json).
+void write_metrics_json(std::ostream& os);
+
+/// Zeroes the registry and clears the trace ring (call between runs
+/// in one process to keep per-run exports isolated).
+void reset_telemetry();
+
 }  // namespace livenet

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace livenet {
@@ -26,6 +27,7 @@ void ScenarioRunner::start_broadcasters() {
     // Simulcast ladder configuration.
     client::BroadcasterConfig bc;
     bc.encode_delay = 60 * kMs;
+    bc.trace_sample = cfg_.trace_sample;
     double rate = cfg_.top_bitrate_bps;
     for (int v = 0; v < cfg_.simulcast_versions; ++v) {
       media::VideoSourceConfig vc;
@@ -164,6 +166,9 @@ void ScenarioRunner::sample_timeline() {
     if (v.stop_at > now) ++active;
   }
   s.concurrent_viewers = active;
+  telemetry::handles().concurrent_viewers->set(static_cast<double>(active));
+  telemetry::handles().peak_pending_events->set_max(
+      static_cast<double>(system_.loop().peak_pending()));
   timeline_.push_back(s);
   prev_bytes_ = bytes;
   prev_sent_pkts_ = sent;

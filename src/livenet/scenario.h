@@ -58,6 +58,11 @@ struct ScenarioConfig {
   // workload seed below.
   sim::FaultPlan faults;
 
+  // Telemetry: fraction of broadcaster packets stamped with a per-hop
+  // trace_id (0 = tracing off). Observation-only — the golden
+  // bit-reproducibility test runs with this at 1.0 to prove it.
+  double trace_sample = 0.0;
+
   std::uint64_t seed = 7;
 };
 

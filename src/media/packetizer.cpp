@@ -24,6 +24,7 @@ std::vector<RtpPacketMut> Packetizer::packetize(
     body.frag_count = frags;
     body.payload_bytes = std::min(remaining, mtu_);
     body.capture_time = frame.capture_time;
+    body.trace_id = sampler_.sample();
     remaining -= body.payload_bytes;
     auto pkt = RtpPacket::make(std::move(body));
     pkt->delay_ext_us = initial_delay_ext;

@@ -5,6 +5,7 @@
 
 #include "media/frame.h"
 #include "media/rtp.h"
+#include "telemetry/trace.h"
 
 // Producer-side packetization: splits frames into MTU-sized RTP packets
 // and assigns the per-stream sequence numbers that every downstream
@@ -28,11 +29,18 @@ class Packetizer {
   Seq next_seq() const { return next_video_seq_; }
   Seq next_audio_seq() const { return next_audio_seq_; }
 
+  /// Telemetry: stamp `fraction` of produced packets with a trace_id
+  /// (the broadcaster is where a packet's life begins, so this is
+  /// where per-hop tracing starts). Deterministic accumulator
+  /// sampling — enabling it never touches the sim's random streams.
+  void set_trace_sample(double fraction) { sampler_.set_fraction(fraction); }
+
  private:
   StreamId stream_id_;
   std::size_t mtu_;
   Seq next_video_seq_ = 1;  // 0 reserved as "before first packet"
   Seq next_audio_seq_ = 1;
+  telemetry::TraceSampler sampler_;
 };
 
 }  // namespace livenet::media

@@ -52,6 +52,11 @@ struct RtpBody {
   std::uint32_t frag_count = 1;
   std::size_t payload_bytes = 0;
   Time capture_time = 0;   ///< broadcaster capture timestamp
+  /// Telemetry trace id stamped at packetization on a sampled fraction
+  /// of packets; 0 = untraced. Shared by every fork of this body, so
+  /// one stamp follows the packet across all hops. Observation-only:
+  /// no forwarding decision reads it.
+  std::uint64_t trace_id = 0;
 
   RtpBody() = default;
   /// Deep copy. Never taken on the forwarding fast path — counted so
@@ -60,7 +65,8 @@ struct RtpBody {
       : stream_id(o.stream_id), seq(o.seq), frame_id(o.frame_id),
         gop_id(o.gop_id), frame_type(o.frame_type), referenced(o.referenced),
         frag_index(o.frag_index), frag_count(o.frag_count),
-        payload_bytes(o.payload_bytes), capture_time(o.capture_time) {
+        payload_bytes(o.payload_bytes), capture_time(o.capture_time),
+        trace_id(o.trace_id) {
     ++deep_copies_;
   }
   /// Moves don't count: make() moves the caller's staging body into
@@ -69,7 +75,8 @@ struct RtpBody {
       : stream_id(o.stream_id), seq(o.seq), frame_id(o.frame_id),
         gop_id(o.gop_id), frame_type(o.frame_type), referenced(o.referenced),
         frag_index(o.frag_index), frag_count(o.frag_count),
-        payload_bytes(o.payload_bytes), capture_time(o.capture_time) {}
+        payload_bytes(o.payload_bytes), capture_time(o.capture_time),
+        trace_id(o.trace_id) {}
   RtpBody& operator=(const RtpBody&) = delete;
 
   /// Total body deep copies since process start (forward-path copies
@@ -168,6 +175,7 @@ class RtpPacket final : public sim::Message {
   std::uint32_t frag_count() const { return body_->frag_count; }
   std::size_t payload_bytes() const { return body_->payload_bytes; }
   Time capture_time() const { return body_->capture_time; }
+  std::uint64_t trace_id() const { return body_->trace_id; }
 
   bool marker() const { return frag_index() + 1 == frag_count(); }
   bool is_audio() const { return frame_type() == FrameType::kAudio; }
@@ -177,6 +185,9 @@ class RtpPacket final : public sim::Message {
     return kRtpHeaderBytes + payload_bytes();
   }
   std::string describe() const override;
+  TraceTag trace_tag() const override {
+    return TraceTag{body_->trace_id, body_->stream_id, body_->seq};
+  }
 
   /// Trailer copy sharing the body (make_message / fork use this; a
   /// direct copy never duplicates the body).

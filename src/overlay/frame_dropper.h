@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "media/rtp.h"
+#include "telemetry/trace.h"
 #include "util/time.h"
 
 // Proactive frame dropping (paper §5.2): when a per-client send queue
@@ -23,17 +25,45 @@ class FrameDropper {
   FrameDropper() : FrameDropper(Config()) {}
   explicit FrameDropper(const Config& cfg) : cfg_(cfg) {}
 
-  /// Decides whether to forward `pkt` given the client queue's current
-  /// drain time. Stateful: dropping a P frame poisons the rest of its
-  /// GoP (later frames reference it), and a dropped GoP stays dropped
-  /// until the next keyframe.
-  bool should_forward(const media::RtpPacket& pkt, Duration queue_drain);
+  /// Decides the fate of `pkt` given the client queue's current drain
+  /// time: kNone = forward, anything else names why it is dropped.
+  /// Stateful: dropping a P frame poisons the rest of its GoP (later
+  /// frames reference it), and a dropped GoP stays dropped until the
+  /// next keyframe, which also clears any stale poison state (so a
+  /// reused GoP id can never resurrect an old suppression).
+  ///
+  /// Retransmissions follow the same forward/drop decision but are
+  /// excluded from every drop counter: an rtx of an already-counted
+  /// frame is not a new proactive drop, and inflated totals would skew
+  /// the consumer's skip-discounting when it interprets client quality
+  /// reports.
+  telemetry::DropReason decide(const media::RtpPacket& pkt,
+                               Duration queue_drain);
 
-  std::uint64_t b_dropped() const { return b_dropped_; }
-  std::uint64_t p_dropped() const { return p_dropped_; }
-  std::uint64_t gop_dropped() const { return gop_dropped_; }
+  /// Convenience wrapper preserving the original boolean API.
+  bool should_forward(const media::RtpPacket& pkt, Duration queue_drain) {
+    return decide(pkt, queue_drain) == telemetry::DropReason::kNone;
+  }
+
+  /// Per-reason drop counts (rtx excluded) — the source of truth the
+  /// aggregate accessors below are derived from.
+  std::uint64_t dropped(telemetry::DropReason r) const {
+    return by_reason_[static_cast<std::size_t>(r)];
+  }
+
+  std::uint64_t b_dropped() const {
+    return dropped(telemetry::DropReason::kBFrame);
+  }
+  std::uint64_t p_dropped() const {
+    return dropped(telemetry::DropReason::kPFrame) +
+           dropped(telemetry::DropReason::kPoisonedGop);
+  }
+  std::uint64_t gop_dropped() const {
+    return dropped(telemetry::DropReason::kGopThreshold) +
+           dropped(telemetry::DropReason::kGopSuppressed);
+  }
   std::uint64_t total_dropped() const {
-    return b_dropped_ + p_dropped_ + gop_dropped_;
+    return b_dropped() + p_dropped() + gop_dropped();
   }
 
   /// True while the dropper is consistently above the B threshold; the
@@ -42,13 +72,13 @@ class FrameDropper {
   bool under_pressure() const { return pressure_; }
 
  private:
+  telemetry::DropReason drop(telemetry::DropReason reason, bool is_rtx);
+
   Config cfg_;
   std::uint64_t dropping_gop_id_ = 0;   ///< GoP being suppressed entirely
   std::uint64_t poisoned_gop_id_ = 0;   ///< GoP with a dropped P frame
   std::uint64_t poisoned_from_frame_ = 0;
-  std::uint64_t b_dropped_ = 0;
-  std::uint64_t p_dropped_ = 0;
-  std::uint64_t gop_dropped_ = 0;
+  std::array<std::uint64_t, 16> by_reason_{};  ///< indexed by DropReason
   bool pressure_ = false;
 };
 

@@ -1,6 +1,23 @@
 #include "overlay/link_sender.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace livenet::overlay {
+
+namespace {
+
+// One retransmission observation: the registry counter plus, for
+// traced packets, a kRtx hop record.
+void note_rtx(const media::RtpPacket& pkt, Time now, sim::NodeId self,
+              sim::NodeId peer) {
+  telemetry::handles().rtx_sent->add();
+  telemetry::record_hop(pkt.trace_id(), now, pkt.stream_id(),
+                        pkt.producer_seq(), self, peer,
+                        telemetry::HopEvent::kRtx);
+}
+
+}  // namespace
 
 LinkSender::LinkSender(sim::Network* net, sim::NodeId self, sim::NodeId peer,
                        const Config& cfg)
@@ -36,6 +53,7 @@ std::vector<media::Seq> LinkSender::on_nack(
     auto rtx = orig->fork();
     rtx->is_rtx = true;
     ++rtx_sent_;
+    note_rtx(*rtx, now, self_, peer_);
     pacer_.enqueue(std::move(rtx));
   }
   return unserved;
@@ -45,6 +63,7 @@ void LinkSender::send_rtx(const media::RtpPacketPtr& pkt) {
   auto rtx = pkt->fork();
   rtx->is_rtx = true;
   ++rtx_sent_;
+  note_rtx(*rtx, net_->loop()->now(), self_, peer_);
   pacer_.enqueue(std::move(rtx));
 }
 

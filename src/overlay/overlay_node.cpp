@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace livenet::overlay {
@@ -102,7 +104,14 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
     if (!nack->audio && overlay_peer_set_.count(from) != 0) {
       for (const media::Seq seq : unserved) {
         const auto cached = packet_cache_.find_packet(nack->stream_id, seq);
-        if (cached) snd.send_rtx(cached);
+        if (cached) {
+          telemetry::handles().cache_hits->add();
+          telemetry::record_hop(cached->trace_id(), net_->loop()->now(),
+                                cached->stream_id(), cached->producer_seq(),
+                                node_id(), from,
+                                telemetry::HopEvent::kCacheHit);
+          snd.send_rtx(cached);
+        }
       }
     }
     return;
@@ -186,6 +195,9 @@ void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
     stamped->cdn_ingress_time = net_->loop()->now();
     stamped->cdn_hops = 0;
     pkt = std::move(stamped);
+    telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
+                          pkt->stream_id(), pkt->producer_seq(), node_id(),
+                          from, telemetry::HopEvent::kIngress);
   }
 
   if (cfg_.fast_path_enabled) {
@@ -224,6 +236,10 @@ void OverlayNode::fast_path_forward(NodeId from, const RtpPacketPtr& pkt) {
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
       egress_meter_.add(now, clone->wire_size());
       ++fast_forwards_;
+      telemetry::handles().fast_forwards->add();
+      telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
+                            pkt->producer_seq(), node_id(), n,
+                            telemetry::HopEvent::kForward);
       sender_for(n).send_media(std::move(clone));
     }
     for (const ClientId c : clients) {
@@ -237,7 +253,9 @@ void OverlayNode::fast_path_forward(NodeId from, const RtpPacketPtr& pkt) {
 void OverlayNode::send_to_client(NodeId client, ClientViewState& view,
                                  const RtpPacketPtr& pkt) {
   LinkSender& snd = sender_for(client);
-  const bool forward = view.dropper.should_forward(*pkt, snd.queue_drain_time());
+  const telemetry::DropReason drop_reason =
+      view.dropper.decide(*pkt, snd.queue_drain_time());
+  const bool forward = drop_reason == telemetry::DropReason::kNone;
 
   // Delegated bitrate selection (§5.2): a consistently building queue
   // means the last mile cannot sustain this version; move the client to
@@ -256,16 +274,27 @@ void OverlayNode::send_to_client(NodeId client, ClientViewState& view,
   } else {
     view.pressure_count = 0;
   }
-  if (!forward) return;  // proactively dropped (B -> P -> GoP escalation)
+  if (!forward) {
+    // Proactively dropped (B -> P -> GoP escalation).
+    telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
+                          pkt->stream_id(), pkt->producer_seq(), node_id(),
+                          client, telemetry::HopEvent::kDrop, drop_reason);
+    return;
+  }
   auto clone = pkt->fork();
   clone->delay_ext_us += cfg_.fast_proc_delay + half_rtt_to(client);
   clone->seq = view.take_seq(clone->is_audio());  // client-facing seq space
+  telemetry::handles().client_forwards->add();
+  telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
+                        pkt->stream_id(), pkt->producer_seq(), node_id(),
+                        client, telemetry::HopEvent::kClientForward);
 
   // Consumer-node log: per-packet CDN path delay + observed path length.
   if (view.session != nullptr) {
     if (pkt->cdn_ingress_time != kNever) {
-      view.session->cdn_delay_ms.add(
-          to_ms(net_->loop()->now() - pkt->cdn_ingress_time));
+      const double delay_ms = to_ms(net_->loop()->now() - pkt->cdn_ingress_time);
+      view.session->cdn_delay_ms.add(delay_ms);
+      telemetry::handles().cdn_path_delay_ms->observe(delay_ms);
       view.session->path_length = pkt->cdn_hops;
     }
     if (view.session->first_packet_time == kNever) {
@@ -394,6 +423,10 @@ void OverlayNode::serve_startup_burst(NodeId client, ClientViewState& view) {
     clone->cdn_ingress_time = kNever;
     clone->seq = view.take_seq(clone->is_audio());  // client-facing seq
     egress_meter_.add(now, clone->wire_size());
+    telemetry::handles().cache_hits->add();
+    telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
+                          pkt->producer_seq(), node_id(), client,
+                          telemetry::HopEvent::kCacheHit);
     snd.send_media(std::move(clone));
   }
   if (view.session != nullptr && view.session->first_packet_time == kNever) {
@@ -765,6 +798,10 @@ void OverlayNode::handle_subscribe(NodeId from, const SubscribeRequest& req) {
         clone->cdn_ingress_time = kNever;  // cached: not a path-delay sample
         clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
         egress_meter_.add(now, clone->wire_size());
+        telemetry::handles().cache_hits->add();
+        telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
+                              pkt->producer_seq(), node_id(), from,
+                              telemetry::HopEvent::kCacheHit);
         snd.send_media(std::move(clone));
       }
     }

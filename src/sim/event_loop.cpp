@@ -36,6 +36,7 @@ EventId EventLoop::schedule_at(Time when, Callback cb) {
   n.cb = std::move(cb);
   queue_.push(Entry{when, next_seq_++, slot, n.gen});
   ++live_count_;
+  if (live_count_ > peak_live_) peak_live_ = live_count_;
   return (static_cast<EventId>(n.gen) << 32) | slot;
 }
 

@@ -65,6 +65,11 @@ class EventLoop {
   /// Pending (non-cancelled) events.
   std::size_t pending() const { return live_count_; }
 
+  /// High-water mark of pending events over the loop's lifetime — the
+  /// telemetry gauge for event-queue headroom (one compare per
+  /// schedule; no allocation).
+  std::size_t peak_pending() const { return peak_live_; }
+
  private:
   // Slab node: the callback plus the slot's current generation. Nodes
   // live in fixed 256-entry chunks so pointers stay stable while the
@@ -102,6 +107,7 @@ class EventLoop {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::size_t live_count_ = 0;
+  std::size_t peak_live_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::vector<std::uint32_t> free_slots_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+
 namespace livenet::sim {
 
 Link::Link(EventLoop* loop, NodeId src, NodeId dst, const LinkConfig& cfg,
@@ -24,13 +26,15 @@ SendResult Link::send(std::size_t bytes) {
   // transmitter (the packet dies at the broken segment, not the NIC).
   if (down_) {
     ++stats_.packets_lost;
-    return SendResult{};
+    telemetry::handles().link_drops_down->add();
+    return SendResult{false, kNever, SendDrop::kDown};
   }
 
   // Tail drop when the transmit queue is over the configured limit.
   if (backlog_bytes() > cfg_.queue_limit_bytes) {
     ++stats_.packets_dropped;
-    return SendResult{};
+    telemetry::handles().link_drops_queue->add();
+    return SendResult{false, kNever, SendDrop::kQueue};
   }
 
   const Time now = loop_->now();
@@ -48,7 +52,8 @@ SendResult Link::send(std::size_t bytes) {
       loss_override_ >= 0.0 ? loss_override_ : cfg_.loss_rate;
   if (loss > 0.0 && rng_.chance(loss)) {
     ++stats_.packets_lost;
-    return SendResult{};
+    telemetry::handles().link_drops_wire->add();
+    return SendResult{false, kNever, SendDrop::kWire};
   }
 
   Duration jitter = 0;

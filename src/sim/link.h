@@ -34,10 +34,19 @@ struct LinkStats {
   std::uint64_t bytes_sent = 0;
 };
 
+/// Why a link refused (or lost) a packet; telemetry keys on this.
+enum class SendDrop : std::uint8_t {
+  kNone,   ///< delivered
+  kDown,   ///< black-holed on an administratively downed link
+  kQueue,  ///< tail drop (transmit queue over limit)
+  kWire,   ///< random wire loss
+};
+
 /// Outcome of offering a packet to the link.
 struct SendResult {
   bool delivered = false;  ///< false: dropped (queue) or lost (wire)
   Time arrival_time = kNever;
+  SendDrop drop = SendDrop::kNone;
 };
 
 class Link {

@@ -45,6 +45,17 @@ class Message {
   /// Human-readable type tag for logs and traces.
   virtual std::string describe() const = 0;
 
+  /// Telemetry identity for sampled per-hop tracing. A zero trace_id
+  /// means "untraced"; only RtpPacket overrides this (control messages
+  /// are not traced). The network layer consults it solely when the
+  /// tracer is active, so untraced runs never pay the virtual call.
+  struct TraceTag {
+    std::uint64_t trace_id = 0;
+    std::uint64_t stream = 0;
+    std::uint64_t seq = 0;
+  };
+  virtual TraceTag trace_tag() const { return {}; }
+
   // Intrusive refcount plumbing (used by IntrusivePtr; not part of the
   // message API proper).
   void msg_add_ref() const noexcept { ++refs_; }

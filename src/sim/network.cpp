@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace livenet::sim {
@@ -94,6 +95,33 @@ bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
     return false;
   }
   const SendResult res = l->send(msg->wire_size());
+  // Sampled per-hop tracing: record the link transit (or its loss) for
+  // traced packets. The tag extraction is a virtual call, so it is
+  // gated on the tracer having handed out any ids at all this run.
+  if (telemetry::Tracer::active()) {
+    const Message::TraceTag tag = msg->trace_tag();
+    if (tag.trace_id != 0) {
+      if (res.delivered) {
+        // Both ends of the wire, stamped with their own virtual times
+        // (the dequeue record is written now but dated at arrival; the
+        // exporter orders by time, not by append order).
+        telemetry::record_hop(tag.trace_id, loop_->now(), tag.stream, tag.seq,
+                              src, dst, telemetry::HopEvent::kLinkEnqueue);
+        telemetry::record_hop(tag.trace_id, res.arrival_time, tag.stream,
+                              tag.seq, dst, src,
+                              telemetry::HopEvent::kLinkDequeue);
+      } else {
+        telemetry::DropReason reason = telemetry::DropReason::kWireLoss;
+        if (res.drop == SendDrop::kDown) {
+          reason = telemetry::DropReason::kLinkDown;
+        } else if (res.drop == SendDrop::kQueue) {
+          reason = telemetry::DropReason::kQueueOverflow;
+        }
+        telemetry::record_hop(tag.trace_id, loop_->now(), tag.stream, tag.seq,
+                              src, dst, telemetry::HopEvent::kDrop, reason);
+      }
+    }
+  }
   if (!res.delivered) return false;
   SimNode* receiver = node(dst);
   loop_->schedule_at(res.arrival_time,

@@ -1,0 +1,100 @@
+#include "telemetry/trace.h"
+
+#include "telemetry/metrics.h"
+
+namespace livenet::telemetry {
+
+namespace {
+constexpr std::size_t kDefaultCapacity = 64 * 1024;
+}
+
+bool Tracer::active_ = false;
+
+Tracer::Tracer() { ring_.resize(kDefaultCapacity); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::next_trace_id() {
+  active_ = true;
+  handles().traced_packets->add();
+  return ++last_id_;
+}
+
+void Tracer::set_capacity(std::size_t n) {
+  ring_.assign(n > 0 ? n : 1, HopRecord{});
+  next_slot_ = 0;
+  appended_ = 0;
+}
+
+void Tracer::record(const HopRecord& r) {
+  ring_[next_slot_] = r;
+  next_slot_ = next_slot_ + 1 == ring_.size() ? 0 : next_slot_ + 1;
+  ++appended_;
+  handles().trace_records->add();
+}
+
+std::vector<HopRecord> Tracer::snapshot() const {
+  std::vector<HopRecord> out;
+  const std::size_t kept =
+      appended_ < ring_.size() ? static_cast<std::size_t>(appended_)
+                               : ring_.size();
+  out.reserve(kept);
+  // Oldest surviving record first: when wrapped, that is next_slot_.
+  const std::size_t start = appended_ < ring_.size() ? 0 : next_slot_;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "trace_id,t_us,stream,seq,node,peer,event,reason\n";
+  for (const HopRecord& r : snapshot()) {
+    os << r.trace_id << ',' << r.t << ',' << r.stream << ',' << r.seq << ','
+       << r.node << ',' << r.peer << ',' << to_string(r.event) << ','
+       << to_string(r.reason) << '\n';
+  }
+}
+
+void Tracer::reset() {
+  ring_.assign(ring_.size(), HopRecord{});
+  next_slot_ = 0;
+  appended_ = 0;
+  last_id_ = 0;
+  active_ = false;
+}
+
+const char* to_string(HopEvent e) {
+  switch (e) {
+    case HopEvent::kIngress: return "ingress";
+    case HopEvent::kLinkEnqueue: return "link_enqueue";
+    case HopEvent::kLinkDequeue: return "link_dequeue";
+    case HopEvent::kForward: return "forward";
+    case HopEvent::kClientForward: return "client_forward";
+    case HopEvent::kDrop: return "drop";
+    case HopEvent::kCacheHit: return "cache_hit";
+    case HopEvent::kRtx: return "rtx";
+    case HopEvent::kJitterRelease: return "jitter_release";
+  }
+  return "unknown";
+}
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kBFrame: return "b_frame";
+    case DropReason::kPFrame: return "p_frame";
+    case DropReason::kPoisonedGop: return "poisoned_gop";
+    case DropReason::kGopThreshold: return "gop_threshold";
+    case DropReason::kGopSuppressed: return "gop_suppressed";
+    case DropReason::kQueueOverflow: return "queue_overflow";
+    case DropReason::kWireLoss: return "wire_loss";
+    case DropReason::kLinkDown: return "link_down";
+  }
+  return "unknown";
+}
+
+}  // namespace livenet::telemetry

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/time.h"
+
+// Sampled per-hop packet tracing (the per-packet half of the paper's
+// monitoring plane). A trace_id is stamped on a configurable fraction
+// of packet bodies at the broadcaster; every hop the packet touches —
+// link enqueue/dequeue, overlay forward or drop (with reason), cache
+// hit, retransmission, jitter-buffer release — appends one fixed-size
+// HopRecord to a per-run ring buffer. Tracing is strictly
+// observational: nothing in the data plane reads a trace_id to make a
+// decision, and sampling uses a deterministic accumulator (no RNG), so
+// enabling it cannot perturb simulated behaviour.
+namespace livenet::telemetry {
+
+enum class HopEvent : std::uint8_t {
+  kIngress = 0,        ///< producer stamped CDN entry
+  kLinkEnqueue = 1,    ///< accepted by a link transmitter
+  kLinkDequeue = 2,    ///< delivered by a link (t = arrival time)
+  kForward = 3,        ///< overlay fan-out copy toward a peer node
+  kClientForward = 4,  ///< copy toward a viewing client (post-dropper)
+  kDrop = 5,           ///< dropped; reason says where and why
+  kCacheHit = 6,       ///< served from a node's GoP packet cache
+  kRtx = 7,            ///< retransmission enqueued for this packet
+  kJitterRelease = 8,  ///< completed a frame in a client jitter buffer
+};
+
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kBFrame = 1,         ///< proactive dropper: unreferenced B frame
+  kPFrame = 2,         ///< proactive dropper: P frame over threshold
+  kPoisonedGop = 3,    ///< follows a dropped P frame in the same GoP
+  kGopThreshold = 4,   ///< drain time over the whole-GoP threshold
+  kGopSuppressed = 5,  ///< GoP already being suppressed
+  kQueueOverflow = 6,  ///< link tail drop
+  kWireLoss = 7,       ///< random wire loss
+  kLinkDown = 8,       ///< black-holed on a downed link
+};
+
+const char* to_string(HopEvent e);
+const char* to_string(DropReason r);
+
+/// One hop observation. Fixed 48-byte layout; the ring buffer is a
+/// flat array of these, so recording is a copy plus an index bump.
+struct HopRecord {
+  std::uint64_t trace_id = 0;
+  Time t = 0;                ///< virtual time of the event
+  std::uint64_t stream = 0;
+  std::uint64_t seq = 0;     ///< producer-assigned sequence number
+  std::int32_t node = -1;    ///< node where the event happened
+  std::int32_t peer = -1;    ///< other party (link dst, fan-out target)
+  HopEvent event = HopEvent::kIngress;
+  DropReason reason = DropReason::kNone;
+};
+
+/// Per-run trace sink: a bounded ring buffer of HopRecords. When the
+/// ring wraps, the oldest records are overwritten (a run that outgrows
+/// the ring keeps its tail, which is what post-mortem queries want).
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// True once any trace_id has been handed out this run; per-packet
+  /// sites use this to skip tag extraction entirely in untraced runs.
+  static bool active() { return active_; }
+
+  /// Hands out the next nonzero trace id (0 means "untraced").
+  std::uint64_t next_trace_id();
+
+  /// Ring capacity in records (default 64Ki). Resets the buffer.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const { return ring_.size(); }
+
+  void record(const HopRecord& r);
+
+  std::uint64_t records_total() const { return appended_; }
+  std::uint64_t records_dropped() const {
+    return appended_ > ring_.size() ? appended_ - ring_.size() : 0;
+  }
+
+  /// Retained records in append order (oldest surviving first).
+  std::vector<HopRecord> snapshot() const;
+
+  /// telemetry.csv: trace_id,t_us,stream,seq,node,peer,event,reason.
+  void write_csv(std::ostream& os) const;
+
+  /// Clears records and the id counter (per-run isolation).
+  void reset();
+
+ private:
+  Tracer();
+
+  static bool active_;
+  std::vector<HopRecord> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t last_id_ = 0;
+};
+
+/// Appends one hop record for a traced packet; no-op for trace_id 0,
+/// so call sites stay branch-cheap without their own guard.
+inline void record_hop(std::uint64_t trace_id, Time t, std::uint64_t stream,
+                       std::uint64_t seq, std::int32_t node, std::int32_t peer,
+                       HopEvent event, DropReason reason = DropReason::kNone) {
+  if (trace_id == 0) return;
+  Tracer::instance().record(
+      HopRecord{trace_id, t, stream, seq, node, peer, event, reason});
+}
+
+/// Deterministic fractional sampler: stamps `fraction` of packets with
+/// fresh trace ids using an error accumulator — no RNG draw, so the
+/// simulation's random streams are untouched whether or not tracing is
+/// on (the golden bit-reproducibility test runs with fraction = 1).
+class TraceSampler {
+ public:
+  void set_fraction(double f) {
+    fraction_ = f < 0.0 ? 0.0 : (f > 1.0 ? 1.0 : f);
+  }
+  double fraction() const { return fraction_; }
+
+  /// Returns a fresh trace id for sampled packets, 0 otherwise.
+  std::uint64_t sample() {
+    if (fraction_ <= 0.0) return 0;
+    acc_ += fraction_;
+    if (acc_ < 1.0) return 0;
+    acc_ -= 1.0;
+    return Tracer::instance().next_trace_id();
+  }
+
+ private:
+  double fraction_ = 0.0;
+  double acc_ = 0.0;
+};
+
+}  // namespace livenet::telemetry

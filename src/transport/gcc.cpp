@@ -15,7 +15,13 @@ void RateMeter::add(Time now, std::size_t bytes) {
 }
 
 void RateMeter::evict(Time now) const {
-  while (!samples_.empty() && samples_.front().first < now - window_) {
+  // Guard the cutoff computation against now < window_ (the first
+  // window of a run): every sample timestamp is >= 0, so nothing can
+  // be stale yet, and an unsigned Time representation would wrap
+  // `now - window_` here and evict the entire window at sim start.
+  if (now < window_) return;
+  const Time cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first < cutoff) {
     bytes_in_window_ -= samples_.front().second;
     samples_.pop_front();
   }
@@ -53,7 +59,14 @@ std::optional<InterArrival::Deltas> InterArrival::on_packet(
     group_last_arrival_ = arrival_time;
     return std::nullopt;
   }
-  if (send_time - group_first_send_ <= kGroupSpan) {
+  // A reordered packet (sent before the current group opened) belongs
+  // to an earlier burst: fold it into the current group rather than
+  // letting it open a new one. The explicit `<` guard keeps this
+  // correct even under an unsigned Time representation, where the
+  // subtraction would wrap to a huge positive value and falsely close
+  // the group.
+  if (send_time < group_first_send_ ||
+      send_time - group_first_send_ <= kGroupSpan) {
     // Same burst: extend the current group.
     group_last_send_ = std::max(group_last_send_, send_time);
     group_last_arrival_ = std::max(group_last_arrival_, arrival_time);

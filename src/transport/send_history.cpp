@@ -30,7 +30,10 @@ void SendHistory::forget_stream(media::StreamId stream) {
 }
 
 void SendHistory::prune(Time now) {
-  while (!fifo_.empty() && (fifo_.front().first < now - cfg_.max_age ||
+  // now < max_age: no record can be stale yet, and the subtraction
+  // would wrap under an unsigned Time (same guard as RateMeter::evict).
+  const Time cutoff = now >= cfg_.max_age ? now - cfg_.max_age : 0;
+  while (!fifo_.empty() && (fifo_.front().first < cutoff ||
                             fifo_.size() > cfg_.max_packets)) {
     const auto& [t, k] = fifo_.front();
     const auto it = by_key_.find(k);

@@ -109,11 +109,15 @@ BoxStats boxplot(const Samples& s) {
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
-      counts_(buckets, 0) {
+    : lo_(lo), hi_(hi) {
+  // Validate before the width division and the bucket allocation: with
+  // buckets == 0 the member-initializer order would divide by zero
+  // (and allocate) before the guard ever ran.
   if (buckets == 0 || !(hi > lo)) {
     throw std::invalid_argument("Histogram: requires hi > lo, buckets > 0");
   }
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
 }
 
 void Histogram::add(double x) {

@@ -48,6 +48,33 @@ TEST(RateMeter, EvictsOldSamples) {
   EXPECT_EQ(m.rate_bps(10 * kSec), 0.0);
 }
 
+TEST(RateMeter, NoEvictionBeforeOneFullWindowElapses) {
+  // now < window: every timestamp is >= 0, so nothing can be stale.
+  // An unsigned cutoff (now - window wrapping) would evict the whole
+  // buffer at sim start; the guard must keep early samples intact.
+  RateMeter m(1 * kSec);
+  m.add(0, 12500);
+  m.add(100 * kMs, 12500);
+  EXPECT_GT(m.rate_bps(900 * kMs), 0.0);   // both samples retained
+  EXPECT_GT(m.rate_bps(1 * kSec), 0.0);    // cutoff 0: t=0 not yet stale
+  EXPECT_EQ(m.rate_bps(2 * kSec), 0.0);    // a full window later: evicted
+}
+
+TEST(InterArrival, ReorderedPacketFoldsIntoCurrentGroup) {
+  InterArrival ia;
+  EXPECT_FALSE(ia.on_packet(10 * kMs, 10 * kMs + 100).has_value());
+  EXPECT_FALSE(ia.on_packet(20 * kMs, 20 * kMs + 150).has_value());
+  // Sent before the current group opened: must fold into it (an
+  // unsigned send span would wrap and falsely open a new group).
+  EXPECT_FALSE(ia.on_packet(12 * kMs, 20 * kMs + 160).has_value());
+  const auto d = ia.on_packet(40 * kMs, 40 * kMs + 150);
+  ASSERT_TRUE(d.has_value());
+  // Group boundaries are unaffected by the reordered packet's earlier
+  // send time; its later arrival still extends the group's arrival.
+  EXPECT_EQ(d->send_delta, 10 * kMs);          // 20ms - 10ms
+  EXPECT_EQ(d->arrival_delta, 10 * kMs + 60);  // (20ms+160) - (10ms+100)
+}
+
 TEST(InterArrival, EmitsDeltasBetweenGroups) {
   InterArrival ia;
   // Group 1: packets at send 0..2ms; group 2 at 10..12ms; group 3 at 20.

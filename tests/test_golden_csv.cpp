@@ -27,7 +27,8 @@ std::string golden_dir() {
   return file.substr(0, slash) + "/golden";
 }
 
-ScenarioResult golden_run(std::uint64_t seed) {
+ScenarioResult golden_run(std::uint64_t seed, double trace_sample = 0.0) {
+  reset_telemetry();  // per-run isolation of the process-wide sinks
   SystemConfig sys_cfg = paper_system_config(seed);
   sys_cfg.countries = 2;
   sys_cfg.nodes_per_country = 3;
@@ -38,6 +39,7 @@ ScenarioResult golden_run(std::uint64_t seed) {
   scn.viewer_rate_peak = 1.0;
   scn.mean_view_time = 10 * kSec;
   scn.seed = seed;
+  scn.trace_sample = trace_sample;
   // Chaos so faults.csv (and the recovery machinery) is covered too.
   scn.faults.seed = seed + 1;
   scn.faults.link_flaps_per_min = 2.0;
@@ -70,10 +72,10 @@ std::string all_csv(const ScenarioResult& r) {
   return os.str();
 }
 
-void check_golden(std::uint64_t seed) {
+void check_golden(std::uint64_t seed, double trace_sample = 0.0) {
   const std::string path =
       golden_dir() + "/scenario_seed" + std::to_string(seed) + ".csv";
-  const std::string actual = all_csv(golden_run(seed));
+  const std::string actual = all_csv(golden_run(seed, trace_sample));
   if (std::getenv("LIVENET_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(path, std::ios::binary);
     ASSERT_TRUE(out.good()) << "cannot write " << path;
@@ -104,6 +106,23 @@ void check_golden(std::uint64_t seed) {
 
 TEST(GoldenCsv, Seed101BitIdentical) { check_golden(101); }
 TEST(GoldenCsv, Seed202BitIdentical) { check_golden(202); }
+
+// Tracing must be observation-only: with every packet stamped and the
+// whole run recorded, the CSVs must still match the same golden files
+// byte for byte (the sampler uses no RNG and nothing in the data plane
+// reads a trace_id to make a decision).
+TEST(GoldenCsv, Seed101BitIdenticalWithFullTracing) {
+  if (std::getenv("LIVENET_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regen handled by the untraced tests";
+  }
+  check_golden(101, /*trace_sample=*/1.0);
+}
+TEST(GoldenCsv, Seed202BitIdenticalWithFullTracing) {
+  if (std::getenv("LIVENET_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regen handled by the untraced tests";
+  }
+  check_golden(202, /*trace_sample=*/1.0);
+}
 
 }  // namespace
 }  // namespace livenet

@@ -227,6 +227,68 @@ TEST(FrameDropper, WholeGopDroppedAboveTopThreshold) {
   EXPECT_TRUE(d.should_forward(*pkt(1, 3, FrameType::kI, 20, 3), 10 * kMs));
 }
 
+TEST(FrameDropper, RtxSharesFateButNeverCounts) {
+  FrameDropper d;
+  // The original unreferenced B drop counts once...
+  EXPECT_FALSE(d.should_forward(
+      *pkt(1, 1, FrameType::kB, 5, 1, 0, 1, /*referenced=*/false),
+      400 * kMs));
+  EXPECT_EQ(d.b_dropped(), 1u);
+  // ...and its retransmission shares the fate without re-counting
+  // (inflated totals would skew the consumer's skip discounting).
+  auto rtx = pkt(1, 1, FrameType::kB, 5, 1, 0, 1, /*referenced=*/false);
+  rtx->is_rtx = true;
+  EXPECT_FALSE(d.should_forward(*rtx, 400 * kMs));
+  EXPECT_EQ(d.b_dropped(), 1u);
+  EXPECT_EQ(d.total_dropped(), 1u);
+}
+
+TEST(FrameDropper, RtxExcludedFromGopAndPoisonCounters) {
+  FrameDropper d;
+  EXPECT_FALSE(d.should_forward(*pkt(1, 1, FrameType::kP, 10, 2),
+                                1500 * kMs));
+  EXPECT_EQ(d.dropped(telemetry::DropReason::kGopThreshold), 1u);
+  auto rtx = pkt(1, 2, FrameType::kP, 11, 2);
+  rtx->is_rtx = true;
+  EXPECT_FALSE(d.should_forward(*rtx, 10 * kMs));  // GoP still suppressed
+  EXPECT_EQ(d.dropped(telemetry::DropReason::kGopSuppressed), 0u);
+  EXPECT_EQ(d.gop_dropped(), 1u);
+
+  EXPECT_FALSE(d.should_forward(*pkt(1, 3, FrameType::kP, 12, 2), 10 * kMs));
+  EXPECT_EQ(d.dropped(telemetry::DropReason::kGopSuppressed), 1u);
+  EXPECT_EQ(d.gop_dropped(), 2u);
+}
+
+TEST(FrameDropper, RtxKeyframeDoesNotResurrectSuppressedGop) {
+  FrameDropper d;
+  EXPECT_FALSE(d.should_forward(*pkt(1, 1, FrameType::kP, 10, 2),
+                                1500 * kMs));
+  // A retransmitted keyframe is old data: it must neither clear the
+  // suppression nor be forwarded from the suppressed GoP.
+  auto rtx_key = pkt(1, 2, FrameType::kI, 9, 2);
+  rtx_key->is_rtx = true;
+  EXPECT_FALSE(d.should_forward(*rtx_key, 10 * kMs));
+  EXPECT_FALSE(d.should_forward(*pkt(1, 3, FrameType::kP, 11, 2), 10 * kMs));
+  // A fresh keyframe opens the next GoP normally.
+  EXPECT_TRUE(d.should_forward(*pkt(1, 4, FrameType::kI, 20, 3), 10 * kMs));
+}
+
+TEST(FrameDropper, KeyframeClearsStaleStateAcrossGopIdReuse) {
+  FrameDropper d;
+  // Poison GoP id 2 via a dropped P frame...
+  EXPECT_FALSE(d.should_forward(*pkt(1, 1, FrameType::kP, 10, 2), 700 * kMs));
+  // ...then a *reused* gop id 2 arrives with a fresh keyframe (wrapped
+  // counter / restarted encoder). The keyframe must clear the stale
+  // poison so the new GoP's frames are not spuriously dropped.
+  EXPECT_TRUE(d.should_forward(*pkt(1, 2, FrameType::kI, 20, 2), 10 * kMs));
+  EXPECT_TRUE(d.should_forward(*pkt(1, 3, FrameType::kP, 21, 2), 10 * kMs));
+
+  // Same for whole-GoP suppression under id reuse.
+  EXPECT_FALSE(d.should_forward(*pkt(1, 4, FrameType::kP, 22, 2),
+                                1500 * kMs));
+  EXPECT_TRUE(d.should_forward(*pkt(1, 5, FrameType::kI, 30, 2), 10 * kMs));
+}
+
 TEST(FrameDropper, AudioAlwaysForwarded) {
   FrameDropper d;
   EXPECT_TRUE(d.should_forward(*pkt(1, 1, FrameType::kAudio, 1, 0),

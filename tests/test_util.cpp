@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -136,6 +137,14 @@ TEST(Histogram, BucketsAndQuantiles) {
   EXPECT_EQ(h.underflow(), 0u);
   EXPECT_EQ(h.overflow(), 0u);
   EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstructionThrowsBeforeDividing) {
+  // buckets == 0 used to divide by zero in the member initializers
+  // before the guard ran; all three invalid shapes must throw cleanly.
+  EXPECT_THROW(Histogram(0.0, 100.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(100.0, 100.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(100.0, 0.0, 10), std::invalid_argument);
 }
 
 TEST(Histogram, OverUnderflowCounted) {

@@ -4,13 +4,17 @@
 //
 //   livenet_run [--system livenet|hier] [--days N] [--seed S]
 //               [--replicas N] [--flash] [--chaos] [--fault-seed S]
-//               [--csv-dir DIR]
+//               [--csv-dir DIR] [--trace-sample F] [--metrics-out DIR]
 //
 // With --csv-dir, writes sessions.csv / views.csv / path_requests.csv /
 // timeline.csv into DIR; always prints the Table-1-style summary.
 // --chaos layers a seeded random fault schedule (link flaps and
 // degradations, node crashes, Brain outages) over the run and reports
 // the fault/recovery summary; faults.csv is added to --csv-dir output.
+// --trace-sample stamps that fraction of broadcaster packets with a
+// trace id for per-hop tracing; --metrics-out writes telemetry.csv
+// (hop records, readable by trace_query) and metrics.json (registry
+// snapshot) into DIR.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +38,8 @@ struct Options {
   bool chaos = false;
   std::uint64_t fault_seed = 1;
   std::string csv_dir;
+  double trace_sample = 0.0;
+  std::string metrics_dir;
 };
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -71,6 +77,14 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->csv_dir = v;
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->trace_sample = std::atof(v);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->metrics_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -78,7 +92,8 @@ bool parse(int argc, char** argv, Options* opt) {
       return false;
     }
   }
-  return opt->days > 0 &&
+  return opt->days > 0 && opt->trace_sample >= 0.0 &&
+         opt->trace_sample <= 1.0 &&
          (opt->system == "livenet" || opt->system == "hier");
 }
 
@@ -101,7 +116,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--system livenet|hier] [--days N] [--seed S]\n"
                  "          [--replicas N] [--flash] [--chaos]\n"
-                 "          [--fault-seed S] [--csv-dir DIR]\n",
+                 "          [--fault-seed S] [--csv-dir DIR]\n"
+                 "          [--trace-sample F] [--metrics-out DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -118,6 +134,7 @@ int main(int argc, char** argv) {
     scn.flash.push_back(w);
     scn.flash_capacity_factor = 1.25;
   }
+  scn.trace_sample = opt.trace_sample;
   if (opt.chaos) {
     scn.faults.seed = opt.fault_seed;
     scn.faults.link_flaps_per_min = 0.5;
@@ -182,6 +199,14 @@ int main(int argc, char** argv) {
       write_file(dir + "faults.csv",
                  [&](std::ostream& os) { write_faults_csv(result, os); });
     }
+  }
+
+  if (!opt.metrics_dir.empty()) {
+    const std::string dir = opt.metrics_dir + "/";
+    write_file(dir + "telemetry.csv",
+               [&](std::ostream& os) { write_telemetry_csv(os); });
+    write_file(dir + "metrics.json",
+               [&](std::ostream& os) { write_metrics_json(os); });
   }
   return 0;
 }
