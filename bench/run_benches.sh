@@ -7,13 +7,25 @@
 #                           fan-out at 0% / 1% / 100% sampling)
 # All land at the repository root (override with BENCH_OUT_DIR).
 #
-# Usage: bench/run_benches.sh [build-dir]   (default: ./build)
+# Usage: bench/run_benches.sh [build-dir]   (default: ./build-bench)
+#
+# The bench build is configured here with CMAKE_BUILD_TYPE=Release so
+# the numbers are optimized-build numbers regardless of how the default
+# build tree was configured. (The "library_build_type": "debug" field
+# google-benchmark emits reflects how the *system libbenchmark* package
+# was compiled — Debian ships it without NDEBUG — not our code.)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
+build_dir="${1:-${repo_root}/build-bench}"
 out_dir="${BENCH_OUT_DIR:-${repo_root}}"
 min_time="${BENCH_MIN_TIME:-0.2}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release >&2
+cmake --build "${build_dir}" -j \
+    --target micro_dataplane micro_path_decision micro_routing \
+             micro_telemetry >&2
 
 for b in micro_dataplane micro_path_decision micro_routing micro_telemetry; do
   if [[ ! -x "${build_dir}/bench/${b}" ]]; then

@@ -3,6 +3,7 @@
 #include "brain/replica.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "telemetry/metrics.h"
 #include "util/logging.h"
@@ -68,9 +69,19 @@ void BrainNode::start() {
 }
 
 void BrainNode::recompute_routes() {
+  const auto wall_start = std::chrono::steady_clock::now();
   metrics_.last_recompute = routing_.recompute(
       discovery_, overlay_nodes_, last_resort_nodes_, &pib_);
+  const auto wall_end = std::chrono::steady_clock::now();
   ++metrics_.recomputes;
+  const auto& tel = telemetry::handles();
+  tel.brain_pairs_solved->add(metrics_.last_recompute.pairs_solved);
+  tel.brain_pairs_skipped->add(metrics_.last_recompute.pairs_skipped);
+  tel.brain_last_resort_pairs->add(
+      metrics_.last_recompute.last_resort_pairs);
+  tel.brain_recompute_ms->observe(
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count());
   push_popular_paths();
   sync_replicas_pib();
 }

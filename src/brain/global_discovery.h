@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "brain/pib.h"
 #include "brain/routing_graph.h"
@@ -12,7 +14,20 @@
 // Routing, and reacts to real-time overload alarms by invalidating the
 // affected PIB entries immediately (without waiting for the 10-minute
 // routing cycle).
+//
+// Discovery also keeps a *dirty set*: links whose abstracted weight
+// moved beyond a relative threshold (and nodes whose load moved beyond
+// an absolute one) since they were last consumed by a routing cycle.
+// Every dirty mark gets a monotonic sequence number, so Global Routing
+// can ask "what changed since sequence S" without Discovery having to
+// know about routing cycles (or be mutated by them).
 namespace livenet::brain {
+
+/// Thresholds below which a state change is not worth re-routing for.
+struct DirtyConfig {
+  double weight_rel = 0.10;  ///< relative link proxy-weight change
+  double load_abs = 0.05;    ///< absolute node-load change
+};
 
 class GlobalDiscovery {
  public:
@@ -22,8 +37,9 @@ class GlobalDiscovery {
     std::unordered_map<sim::NodeId, LinkState> links;
   };
 
-  explicit GlobalDiscovery(double overload_threshold = 0.8)
-      : threshold_(overload_threshold) {}
+  explicit GlobalDiscovery(double overload_threshold = 0.8,
+                           const DirtyConfig& dirty = DirtyConfig())
+      : threshold_(overload_threshold), dirty_cfg_(dirty) {}
 
   /// Periodic report: refreshes the global view; clears overload marks
   /// for elements the report shows healthy again.
@@ -38,9 +54,33 @@ class GlobalDiscovery {
   double node_load(sim::NodeId n) const;
   const LinkState* link(sim::NodeId a, sim::NodeId b) const;
 
+  /// Sequence number of the newest dirty mark (0 = nothing ever moved).
+  std::uint64_t dirty_seq() const { return dirty_seq_; }
+
+  /// Appends every link/node marked dirty *after* `since` (a value
+  /// previously returned by dirty_seq()). Links are (from, to) node-id
+  /// pairs.
+  void dirty_since(std::uint64_t since,
+                   std::vector<std::pair<sim::NodeId, sim::NodeId>>* links,
+                   std::vector<sim::NodeId>* nodes) const;
+
  private:
+  static std::uint64_t link_key(sim::NodeId a, sim::NodeId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+  void mark_link_dirty(sim::NodeId a, sim::NodeId b) {
+    dirty_links_[link_key(a, b)] = ++dirty_seq_;
+  }
+  void mark_node_dirty(sim::NodeId n) { dirty_nodes_[n] = ++dirty_seq_; }
+
   double threshold_;
+  DirtyConfig dirty_cfg_;
   std::unordered_map<sim::NodeId, NodeView> nodes_;
+
+  std::uint64_t dirty_seq_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> dirty_links_;  ///< key->seq
+  std::unordered_map<sim::NodeId, std::uint64_t> dirty_nodes_;
 };
 
 }  // namespace livenet::brain

@@ -1,8 +1,21 @@
 #include "brain/global_routing.h"
 
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace livenet::brain {
+
+namespace {
+
+std::uint64_t link_key(sim::NodeId a, sim::NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+constexpr double kMissingRtt = -1.0;
+
+}  // namespace
 
 RoutingGraph GlobalRouting::build_graph(
     const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes) const {
@@ -22,6 +35,208 @@ RoutingGraph GlobalRouting::build_graph(
 
 GlobalRouting::Result GlobalRouting::recompute(
     const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes,
+    const std::vector<sim::NodeId>& last_resort_nodes, Pib* pib) {
+  Result res;
+  const std::size_t n = nodes.size();
+  const std::size_t lr_count = last_resort_nodes.size();
+  const RoutingGraph g = build_graph(view, nodes);
+
+  // Full vs. incremental: a topology change (or the very first cycle)
+  // forces a full solve, as does the periodic refresh cadence.
+  const bool topo_changed = !has_state_ || nodes != prev_nodes_ ||
+                            last_resort_nodes != prev_last_resort_;
+  bool full = !cfg_.incremental || topo_changed;
+  if (!full && cfg_.full_refresh_every > 0 &&
+      cycles_since_full_ + 1 >= cfg_.full_refresh_every) {
+    full = true;
+  }
+  res.full_refresh = full;
+
+  // Snapshot the dirty set *before* solving; marks arriving mid-cycle
+  // stay pending for the next one. A dirty *node* (load moved) changes
+  // the weight of every incident edge, so any path visiting it is
+  // stale; a dirty *link* only re-weights that one edge, so only paths
+  // using it are. Weight improvements that could attract pairs not
+  // currently routed over a dirty element are deferred to the periodic
+  // full refresh — that is the documented approximation.
+  const std::uint64_t dirty_now = view.dirty_seq();
+  std::unordered_set<sim::NodeId> dirty_nodes;
+  std::unordered_set<std::uint64_t> dirty_links;
+  if (!full) {
+    std::vector<std::pair<sim::NodeId, sim::NodeId>> dlinks;
+    std::vector<sim::NodeId> dnodes;
+    view.dirty_since(consumed_dirty_seq_, &dlinks, &dnodes);
+    for (const auto& [u, v] : dlinks) dirty_links.insert(link_key(u, v));
+    for (const sim::NodeId u : dnodes) dirty_nodes.insert(u);
+  }
+  const bool dirty_empty = dirty_nodes.empty() && dirty_links.empty();
+
+  // Precomputed constraint tables: one hash lookup per element per
+  // cycle instead of per candidate path.
+  std::vector<std::uint8_t> node_over(n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    node_over[a] =
+        view.node_load(nodes[a]) >= cfg_.overload_threshold ? 1 : 0;
+  }
+  std::unordered_map<sim::NodeId, std::size_t> idx_of;
+  idx_of.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) idx_of[nodes[a]] = a;
+  std::vector<std::uint8_t> link_over(n * n, 0);
+  for (const auto& [ida, nv] : view.nodes()) {
+    const auto ia = idx_of.find(ida);
+    if (ia == idx_of.end()) continue;
+    for (const auto& [idb, ls] : nv.links) {
+      const auto ib = idx_of.find(idb);
+      if (ib == idx_of.end()) continue;
+      if (ls.utilization >= cfg_.overload_threshold) {
+        link_over[ia->second * n + ib->second] = 1;
+      }
+    }
+  }
+
+  // Last-resort RTT tables. The relay->dst half is per-cycle invariant;
+  // the src->relay half is hoisted per source below (it used to be
+  // re-queried for every destination).
+  std::vector<double> lr_to(lr_count * n, kMissingRtt);
+  for (std::size_t l = 0; l < lr_count; ++l) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const LinkState* ls = view.link(last_resort_nodes[l], nodes[b]);
+      if (ls != nullptr) lr_to[l * n + b] = static_cast<double>(ls->rtt);
+    }
+  }
+  std::vector<double> lr_from(lr_count);
+
+  // Incremental skip test: a source keeps last cycle's routes iff every
+  // installed pair has candidates and none of its paths (candidate or
+  // fallback) touches a dirty element.
+  auto path_touches_dirty = [&](const overlay::Path& p) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (!dirty_nodes.empty() && dirty_nodes.count(p[i]) != 0) return true;
+      if (i + 1 < p.size() && !dirty_links.empty() &&
+          dirty_links.count(link_key(p[i], p[i + 1])) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto source_needs_solve = [&](std::size_t a) {
+    if (dirty_nodes.count(nodes[a]) != 0) return true;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto* ps = pib->find(nodes[a], nodes[b]);
+      if (ps == nullptr || ps->empty()) return true;  // unfilled pair
+      for (const auto& p : *ps) {
+        if (path_touches_dirty(p)) return true;
+      }
+      const auto* fb = pib->find_last_resort(nodes[a], nodes[b]);
+      if (fb != nullptr && path_touches_dirty(*fb)) return true;
+    }
+    return false;
+  };
+
+  // Double buffer: full cycles rebuild the scratch from nothing (so
+  // stale pairs age out); incremental cycles seed it with the live
+  // routes and overwrite only the re-solved sources.
+  scratch_.clear();
+  if (!full) scratch_.copy_routes_from(*pib);
+
+  KspSolver solver(g);
+  std::vector<WeightedPath> ksp;
+  std::vector<overlay::Path> kept;
+
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!full) {
+      // Empty dirty set short-circuits the per-path scan entirely.
+      const bool solve = !dirty_empty && source_needs_solve(a);
+      if (!solve) {
+        res.pairs += n - 1;
+        res.pairs_skipped += n - 1;
+        ++res.sources_skipped;
+        continue;
+      }
+    }
+    ++res.sources_solved;
+    for (std::size_t l = 0; l < lr_count; ++l) {
+      const LinkState* ls = view.link(nodes[a], last_resort_nodes[l]);
+      lr_from[l] = ls != nullptr ? static_cast<double>(ls->rtt) : kMissingRtt;
+    }
+    // One solver per cycle: the forward tree for source `a` serves all
+    // destinations, and spur trees accumulate across sources.
+    solver.set_source(a);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      ++res.pairs;
+      ++res.pairs_solved;
+      ksp.clear();
+      if (cfg_.k == 1) {
+        // k = 1 needs no spur paths: read the pair off the source tree.
+        if (auto p = solver.first_path(b)) ksp.push_back(std::move(*p));
+      } else {
+        solver.k_shortest(b, cfg_.k, &ksp);
+      }
+
+      kept.clear();
+      for (const auto& wp : ksp) {
+        // Constraint (iii): bounded path length.
+        if (static_cast<int>(wp.nodes.size()) - 1 > cfg_.max_hops) continue;
+        // Constraints (i)/(ii): skip paths crossing overloaded elements
+        // (relay nodes and links; the endpoints are fixed by the pair).
+        bool bad = false;
+        for (std::size_t i = 0; i < wp.nodes.size() && !bad; ++i) {
+          const std::size_t u = wp.nodes[i];
+          const bool endpoint = (i == 0 || i + 1 == wp.nodes.size());
+          if (!endpoint && node_over[u] != 0) bad = true;
+          if (i + 1 < wp.nodes.size() &&
+              link_over[u * n + wp.nodes[i + 1]] != 0) {
+            bad = true;
+          }
+        }
+        if (bad) continue;
+        overlay::Path p;
+        p.reserve(wp.nodes.size());
+        for (const std::size_t idx : wp.nodes) p.push_back(nodes[idx]);
+        kept.push_back(std::move(p));
+      }
+      res.paths_installed += kept.size();
+
+      // Last-resort fallback: src -> reserved relay -> dst, choosing the
+      // relay with the lowest total reported RTT.
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_l = lr_count;
+      for (std::size_t l = 0; l < lr_count; ++l) {
+        if (lr_from[l] < 0.0) continue;
+        const double to = lr_to[l * n + b];
+        if (to < 0.0) continue;
+        const double cost = lr_from[l] + to;
+        if (cost < best) {
+          best = cost;
+          best_l = l;
+        }
+      }
+      if (kept.empty() && best_l != lr_count) ++res.last_resort_pairs;
+      scratch_.set_paths(nodes[a], nodes[b], std::move(kept));
+      kept.clear();
+      if (best_l != lr_count) {
+        scratch_.set_last_resort(
+            nodes[a], nodes[b],
+            overlay::Path{nodes[a], last_resort_nodes[best_l], nodes[b]});
+      }
+    }
+  }
+
+  pib->swap_routes(&scratch_);
+  scratch_.clear();
+
+  consumed_dirty_seq_ = dirty_now;
+  cycles_since_full_ = full ? 0 : cycles_since_full_ + 1;
+  prev_nodes_ = nodes;
+  prev_last_resort_ = last_resort_nodes;
+  has_state_ = true;
+  return res;
+}
+
+GlobalRouting::Result GlobalRouting::recompute_reference(
+    const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes,
     const std::vector<sim::NodeId>& last_resort_nodes, Pib* pib) const {
   Result res;
   const RoutingGraph g = build_graph(view, nodes);
@@ -37,18 +252,18 @@ GlobalRouting::Result GlobalRouting::recompute(
   for (std::size_t a = 0; a < nodes.size(); ++a) {
     // k = 1 needs no spur paths, so one shortest-path tree per source
     // replaces n per-pair Dijkstras (the tree reads off the identical
-    // path). This is what keeps the all-pairs cycle tractable on large
-    // overlays.
+    // path).
     std::optional<ShortestPathTree> tree;
-    if (cfg_.k == 1) tree = shortest_path_tree(g, a);
+    if (cfg_.k == 1) tree = shortest_path_tree_reference(g, a);
     for (std::size_t b = 0; b < nodes.size(); ++b) {
       if (a == b) continue;
       ++res.pairs;
+      ++res.pairs_solved;
       std::vector<WeightedPath> ksp;
       if (tree.has_value()) {
         if (auto p = tree->path_to(a, b)) ksp.push_back(std::move(*p));
       } else {
-        ksp = k_shortest_paths(g, a, b, cfg_.k);
+        ksp = k_shortest_paths_reference(g, a, b, cfg_.k);
       }
 
       std::vector<overlay::Path> kept;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "brain/global_discovery.h"
@@ -13,6 +14,15 @@
 // constraints (> 3 hops, overloaded links/nodes), and install the
 // result in the PIB. Pairs left with no valid path get a last-resort
 // path through one of the reserved, well-connected last-resort nodes.
+//
+// The solve pipeline is batched per source (one KspSolver amortizes
+// shortest-path trees across every destination) and installs through a
+// double-buffered scratch Pib that is swapped in atomically at the end
+// of the cycle. With `incremental` enabled, cycles between periodic
+// full refreshes re-solve only the sources whose installed paths touch
+// the Discovery dirty set (see GlobalDiscovery::dirty_since); skipped
+// sources keep their previous cycle's routes. Incremental results are
+// an approximation by design — the full refresh bounds the staleness.
 namespace livenet::brain {
 
 struct GlobalRoutingConfig {
@@ -20,14 +30,23 @@ struct GlobalRoutingConfig {
   int max_hops = 3;            ///< constraint (iii)
   double overload_threshold = 0.8;  ///< constraints (i)/(ii) proxy
   WeightParams weights;
+  bool incremental = false;    ///< dirty-set source skipping
+  /// Every Nth incremental cycle becomes a full refresh (0 disables
+  /// the cadence and trusts the dirty set alone).
+  std::size_t full_refresh_every = 6;
 };
 
 class GlobalRouting {
  public:
   struct Result {
-    std::size_t pairs = 0;
-    std::size_t paths_installed = 0;
+    std::size_t pairs = 0;            ///< all (src, dst) pairs this cycle
+    std::size_t paths_installed = 0;  ///< kept candidate paths (solved pairs)
     std::size_t last_resort_pairs = 0;
+    std::size_t pairs_solved = 0;   ///< pairs actually re-solved
+    std::size_t pairs_skipped = 0;  ///< pairs kept from the previous cycle
+    std::size_t sources_solved = 0;
+    std::size_t sources_skipped = 0;
+    bool full_refresh = true;  ///< false when the dirty set pruned sources
   };
 
   GlobalRouting() : GlobalRouting(GlobalRoutingConfig()) {}
@@ -35,11 +54,20 @@ class GlobalRouting {
 
   /// `nodes`: the regular overlay nodes; `last_resort_nodes`: the
   /// reserved relays (excluded from regular routing). Installs paths
-  /// into `pib`.
+  /// into `pib`. Non-const: the module carries the double-buffer
+  /// scratch and the incremental bookkeeping across cycles.
   Result recompute(const GlobalDiscovery& view,
                    const std::vector<sim::NodeId>& nodes,
                    const std::vector<sim::NodeId>& last_resort_nodes,
-                   Pib* pib) const;
+                   Pib* pib);
+
+  /// The original per-pair implementation, preserved verbatim as the
+  /// oracle for the differential ctests: recompute() on a fresh Pib
+  /// must install byte-identical contents.
+  Result recompute_reference(const GlobalDiscovery& view,
+                             const std::vector<sim::NodeId>& nodes,
+                             const std::vector<sim::NodeId>& last_resort_nodes,
+                             Pib* pib) const;
 
   /// Builds the abstracted weight graph over `nodes` (exposed for tests
   /// and the routing microbenchmark).
@@ -50,6 +78,14 @@ class GlobalRouting {
 
  private:
   GlobalRoutingConfig cfg_;
+
+  // Double-buffer + incremental state (see recompute()).
+  Pib scratch_;
+  std::uint64_t consumed_dirty_seq_ = 0;
+  std::size_t cycles_since_full_ = 0;
+  bool has_state_ = false;
+  std::vector<sim::NodeId> prev_nodes_;
+  std::vector<sim::NodeId> prev_last_resort_;
 };
 
 }  // namespace livenet::brain

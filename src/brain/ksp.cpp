@@ -8,10 +8,532 @@
 namespace livenet::brain {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Array-based Dijkstra core.
+//
+// Selection: the unsettled node with the smallest (dist, index) by
+// linear scan. This settles nodes in *exactly* the order of the
+// reference lazy-deletion heap: with non-negative weights every
+// unsettled node with a finite distance has a live heap entry equal to
+// its current distance, so the heap pop is the minimum (dist, index)
+// pair — which is what the scan picks (strict `<` keeps the lowest
+// index among ties). Relaxation visits CSR columns in ascending order,
+// matching the reference's dense `for (v = 0; v < n; ++v)` scan, and
+// only strict improvements write dist/prev. Identical settle order +
+// identical relaxation order + identical update rule => bit-identical
+// dist, prev, and extracted paths.
+//
+// Settled nodes need no guard in the relaxation loop: if v settled
+// before u then dist[v] <= dist[u], so dist[u] + w >= dist[v] can never
+// be a strict improvement.
+
+struct CoreBans {
+  const std::uint8_t* banned_node = nullptr;  ///< may be null
+  /// Banned first hops out of the search source (Yen spur edges all
+  /// originate at the spur node, so the general edge check collapses
+  /// to a tiny membership test applied only while relaxing the source).
+  const std::vector<std::uint32_t>* banned_next = nullptr;
+  /// Arbitrary banned directed edges (public shortest_path API only).
+  const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges =
+      nullptr;
+  /// Bound pruning (Yen spur fallback): when `h_cols` is set, a write
+  /// of nd into v is skipped if nd + h(v) > prune_bound, where
+  /// h(v) = h_cols[v * h_stride + h_dst] (the cached unrestricted tree
+  /// distance v..dst, a lower bound on any banned continuation; 0 when
+  /// v's tree is not built yet) and prune_bound is the cost of a known
+  /// valid path. Such writes can never participate in dst's final
+  /// dist/prev chain — every chain write extends to dst within the
+  /// bound — so dst's extracted path and cost bits are unchanged while
+  /// hopeless nodes stay at infinity and are never settled.
+  const double* h_cols = nullptr;
+  const std::uint8_t* h_built = nullptr;
+  std::size_t h_stride = 0;
+  std::size_t h_dst = 0;
+  double prune_bound = kInf;
+};
+
+/// Runs Dijkstra from `src`; stops after settling `stop` (pass n for a
+/// full tree). `dist`/`prev`/`settled` must each hold n elements; they
+/// are (re)initialized here.
+void dijkstra_core(const RoutingGraph::CsrView& csr, std::size_t n,
+                   std::size_t src, std::size_t stop, const CoreBans& bans,
+                   double* dist, std::uint32_t* prev,
+                   std::uint8_t* settled) {
+  std::fill(dist, dist + n, kInf);
+  std::fill(prev, prev + n, static_cast<std::uint32_t>(n));
+  std::fill(settled, settled + n, std::uint8_t{0});
+  dist[src] = 0.0;
+  for (;;) {
+    double best = kInf;
+    std::size_t u = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (settled[v] == 0 && dist[v] < best) {
+        best = dist[v];
+        u = v;
+      }
+    }
+    if (u == n) break;  // queue exhausted
+    settled[u] = 1;
+    if (u == stop) break;  // reference breaks before relaxing dst
+    const std::uint32_t row_end = csr.row_start[u + 1];
+    const bool at_src = (u == src);
+    const double du = dist[u];
+    for (std::uint32_t e = csr.row_start[u]; e < row_end; ++e) {
+      const std::uint32_t v = csr.col[e];
+      if (bans.banned_node != nullptr && bans.banned_node[v] != 0) continue;
+      if (at_src && bans.banned_next != nullptr) {
+        bool banned = false;
+        for (const std::uint32_t b : *bans.banned_next) {
+          if (b == v) {
+            banned = true;
+            break;
+          }
+        }
+        if (banned) continue;
+      }
+      if (bans.banned_edges != nullptr && !bans.banned_edges->empty() &&
+          std::find(bans.banned_edges->begin(), bans.banned_edges->end(),
+                    std::make_pair(static_cast<std::size_t>(u),
+                                   static_cast<std::size_t>(v))) !=
+              bans.banned_edges->end()) {
+        continue;
+      }
+      const double nd = du + csr.weight[e];
+      if (nd < dist[v]) {
+        if (bans.h_cols != nullptr) {
+          const double hv = bans.h_built[v] != 0
+                                ? bans.h_cols[v * bans.h_stride + bans.h_dst]
+                                : 0.0;
+          if (nd + hv > bans.prune_bound) continue;
+        }
+        dist[v] = nd;
+        prev[v] = u;
+      }
+    }
+  }
+}
+
+/// dst..src backward walk over a prev row, reversed into `out`.
+void extract_path(const std::uint32_t* prev, std::size_t src,
+                  std::size_t dst, std::vector<std::size_t>* out) {
+  out->clear();
+  for (std::size_t cur = dst;;) {
+    out->push_back(cur);
+    if (cur == src) break;
+    cur = prev[cur];
+  }
+  std::reverse(out->begin(), out->end());
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Public single-pair / single-source entry points (new core).
+
 std::optional<WeightedPath> shortest_path(
+    const RoutingGraph& g, std::size_t src, std::size_t dst,
+    const std::vector<bool>* banned_nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges) {
+  const std::size_t n = g.size();
+  if (src >= n || dst >= n) return std::nullopt;
+  if (banned_nodes != nullptr &&
+      ((*banned_nodes)[src] || (*banned_nodes)[dst])) {
+    return std::nullopt;
+  }
+  if (src == dst) return WeightedPath{{src}, 0.0};
+
+  std::vector<std::uint8_t> banned;
+  CoreBans bans;
+  if (banned_nodes != nullptr) {
+    banned.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      banned[v] = (*banned_nodes)[v] ? 1 : 0;
+    }
+    bans.banned_node = banned.data();
+  }
+  bans.banned_edges = banned_edges;
+
+  std::vector<double> dist(n);
+  std::vector<std::uint32_t> prev(n);
+  std::vector<std::uint8_t> settled(n);
+  dijkstra_core(g.csr(), n, src, dst, bans, dist.data(), prev.data(),
+                settled.data());
+  if (dist[dst] == kInf) return std::nullopt;
+  WeightedPath out;
+  out.cost = dist[dst];
+  extract_path(prev.data(), src, dst, &out.nodes);
+  return out;
+}
+
+ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src) {
+  const std::size_t n = g.size();
+  ShortestPathTree t;
+  t.dist.assign(n, kInf);
+  t.prev.assign(n, n);
+  if (src >= n) return t;
+  std::vector<std::uint32_t> prev(n);
+  std::vector<std::uint8_t> settled(n);
+  dijkstra_core(g.csr(), n, src, n, CoreBans{}, t.dist.data(), prev.data(),
+                settled.data());
+  for (std::size_t v = 0; v < n; ++v) t.prev[v] = prev[v];
+  return t;
+}
+
+std::optional<WeightedPath> ShortestPathTree::path_to(std::size_t src,
+                                                      std::size_t dst) const {
+  const std::size_t n = dist.size();
+  if (src >= n || dst >= n) return std::nullopt;
+  if (src == dst) return WeightedPath{{src}, 0.0};
+  if (dist[dst] == kInf) return std::nullopt;
+  WeightedPath out;
+  out.cost = dist[dst];
+  for (std::size_t cur = dst; cur != n; cur = prev[cur]) {
+    out.nodes.push_back(cur);
+    if (cur == src) break;
+  }
+  std::reverse(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
+                                           std::size_t src, std::size_t dst,
+                                           std::size_t k) {
+  std::vector<WeightedPath> out;
+  if (k == 0 || src >= g.size() || dst >= g.size()) return out;
+  KspSolver solver(g);
+  solver.set_source(src);
+  solver.k_shortest(dst, k, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KspSolver.
+
+KspSolver::KspSolver(const RoutingGraph& g)
+    : g_(&g), n_(g.size()) {
+  tree_dist_.resize(n_ * n_);
+  tree_prev_.resize(n_ * n_);
+  tree_built_.assign(n_, 0);
+  ws_.bind(n_);
+}
+
+void KspSolver::ensure_tree(std::size_t root) {
+  if (tree_built_[root] != 0) return;
+  dijkstra_core(g_->csr(), n_, root, n_, CoreBans{},
+                tree_dist_.data() + root * n_, tree_prev_.data() + root * n_,
+                ws_.settled.data());
+  tree_built_[root] = 1;
+}
+
+void KspSolver::set_source(std::size_t src) {
+  src_ = src;
+  src_set_ = true;
+  ensure_tree(src);
+}
+
+const double* KspSolver::source_dist() const {
+  return tree_dist_.data() + src_ * n_;
+}
+
+std::optional<WeightedPath> KspSolver::first_path(std::size_t dst) const {
+  if (!src_set_ || dst >= n_) return std::nullopt;
+  if (dst == src_) return WeightedPath{{src_}, 0.0};
+  const double* d = tree_dist_.data() + src_ * n_;
+  if (d[dst] == kInf) return std::nullopt;
+  WeightedPath out;
+  out.cost = d[dst];
+  extract_path(tree_prev_.data() + src_ * n_, src_, dst, &out.nodes);
+  return out;
+}
+
+void KspSolver::SeenPaths::clear() {
+  buckets_.clear();
+  stored_.clear();
+}
+
+bool KspSolver::SeenPaths::insert(const std::vector<std::size_t>& nodes) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const std::size_t v : nodes) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ull + (h << 6) +
+         (h >> 2);
+  }
+  auto& idxs = buckets_[h];
+  for (const std::uint32_t i : idxs) {  // exact compare on signature hit
+    if (stored_[i] == nodes) return false;
+  }
+  idxs.push_back(static_cast<std::uint32_t>(stored_.size()));
+  stored_.push_back(nodes);
+  return true;
+}
+
+bool KspSolver::spur_search(std::size_t spur, std::size_t dst,
+                            WeightedPath* out) {
+  ensure_tree(spur);
+  const double* d = tree_dist_.data() + spur * n_;
+  const std::uint32_t* p = tree_prev_.data() + spur * n_;
+  if (d[dst] == kInf) return false;  // unreachable even without bans
+
+  // Fast path: if the *unrestricted* tree path from the spur avoids
+  // every banned element, the banned-graph Dijkstra would settle the
+  // same chain with the same (dist, prev) bits, so the tree path IS the
+  // spur result (the bans only remove strictly worse alternatives).
+  // All banned edges originate at the spur, so only the first hop needs
+  // the edge check, and tree paths are simple so later edges are safe.
+  bool clean = true;
+  std::size_t first_hop = n_;
+  for (std::size_t cur = dst; cur != spur;) {
+    if (ws_.banned_node[cur] != 0) {
+      clean = false;
+      break;
+    }
+    const std::size_t prv = p[cur];
+    if (prv == spur) first_hop = cur;
+    cur = prv;
+  }
+  if (clean) {
+    for (const std::uint32_t b : ws_.banned_next) {
+      if (b == first_hop) {
+        clean = false;
+        break;
+      }
+    }
+  }
+  if (clean) {
+      out->cost = d[dst];
+    extract_path(p, spur, dst, &out->nodes);
+    return true;
+  }
+
+  // Stitch path: answer from the cached per-node trees when the best
+  // first hop wins strictly and its tree continuation is clean.
+  bool unreachable = false;
+  double bound = kInf;
+  if (stitch_search(spur, dst, out, &unreachable, &bound)) {
+    return !unreachable;
+  }
+
+  // Slow path: banned Dijkstra with early exit at dst, pruned by the
+  // stitch's best clean candidate when it found one.
+  CoreBans bans;
+  bans.banned_node = ws_.banned_node.data();
+  bans.banned_next = &ws_.banned_next;
+  if (bound < kInf) {
+    bans.h_cols = tree_dist_.data();
+    bans.h_built = tree_built_.data();
+    bans.h_stride = n_;
+    bans.h_dst = dst;
+    // Margin: nd + h(v) re-sums a path the final chain accumulates
+    // left-to-right, so on the chain the two sums agree only to within
+    // a few ulps of rounding — and the bound frequently *equals* the
+    // final distance. Pruning less is always safe; pad the bound by
+    // far more than the worst-case re-summation error so chain writes
+    // are never pruned (with integer weights the sums are exact and
+    // the pad merely relaxes the cut).
+    bans.prune_bound = bound + 1e-12 * (bound + 1.0);
+  }
+  dijkstra_core(g_->csr(), n_, spur, dst, bans, ws_.dist.data(),
+                ws_.prev.data(), ws_.settled.data());
+  if (ws_.dist[dst] == kInf) return false;
+  out->cost = ws_.dist[dst];
+  extract_path(ws_.prev.data(), spur, dst, &out->nodes);
+  return true;
+}
+
+bool KspSolver::stitch_search(std::size_t spur, std::size_t dst,
+                              WeightedPath* out, bool* unreachable,
+                              double* bound) {
+  // A banned spur search is a multi-source Dijkstra over the allowed
+  // first hops: relaxing the spur seeds every unbanned neighbor v with
+  // d(v) = w(spur,v) and the search proceeds obliviously to which hop
+  // seeded what. Since the solver caches the unrestricted tree of every
+  // node, each hop's best *unrestricted* continuation is already known:
+  //   stitch(v) = leftfold(w(spur,v), tree path v..dst)
+  // re-accumulated left-to-right — the exact addition order Dijkstra
+  // uses, so the bits match the reference when the path is usable.
+  //
+  // If the minimal stitch belongs to a hop whose tree path avoids every
+  // banned node and the spur itself ("clean"), and it beats every other
+  // hop's lower bound strictly (clean stitches are exact values, dirty
+  // ones lower-bound the true banned cost via that hop), then the
+  // banned Dijkstra provably returns that very path: any equal-cost
+  // rival write into the winning chain would imply a rival path of cost
+  // <= the winner, contradicting strictness — so every dist/prev write
+  // along the chain comes from the winning hop's own relaxations, in
+  // tree order. Exact ties and threatening dirty hops fall back to the
+  // real banned Dijkstra (returns false). The argument is exact under
+  // error-free arithmetic (the crafted tie tests use small integers,
+  // where double arithmetic is exact); with rounding, cross-hop
+  // comparisons could in principle mis-order sums within an ulp — the
+  // random-weight case, where sums never land that close.
+  *unreachable = false;
+  *bound = kInf;
+  const auto& csr = g_->csr();
+  const std::uint32_t row_end = csr.row_start[spur + 1];
+  // Cost gate (performance only — stitch and fallback return identical
+  // results): every candidate hop needs its tree, and one tree build
+  // costs a full Dijkstra, i.e. more than the fallback search itself.
+  // The builds are cached, so a solver serving many destinations (the
+  // recompute cycle) amortizes them to nothing — but a single-shot
+  // query would build a cold cache for one answer, so it skips straight
+  // to the fallback.
+  if (pairs_served_ < 8) return false;
+  double best = kInf;          // minimal clean stitch (exact value)
+  std::size_t best_v = n_;
+  bool tie = false;            // exact tie on the current best
+  double dirty_lb = kInf;      // minimal lower bound among dirty hops
+  for (std::uint32_t e = csr.row_start[spur]; e < row_end; ++e) {
+    const std::uint32_t v = csr.col[e];
+    if (ws_.banned_node[v] != 0) continue;
+    bool banned = false;
+    for (const std::uint32_t b : ws_.banned_next) {
+      if (b == v) {
+        banned = true;
+        break;
+      }
+    }
+    if (banned) continue;
+    ensure_tree(v);
+    const double* dv = tree_dist_.data() + static_cast<std::size_t>(v) * n_;
+    if (dv[dst] == kInf) continue;  // hop cannot reach dst at all
+    // Strictly-worse hops can't affect the outcome (their true banned
+    // cost is bounded below by this sum); skip the walk.
+    const double quick = csr.weight[e] + dv[dst];
+    if (quick > best) continue;
+    const std::uint32_t* pv =
+        tree_prev_.data() + static_cast<std::size_t>(v) * n_;
+    bool clean = true;
+    stitch_nodes_.clear();
+    for (std::size_t cur = dst; cur != v;) {
+      if (cur == spur || ws_.banned_node[cur] != 0) {
+        clean = false;
+        break;
+      }
+      stitch_nodes_.push_back(cur);
+      cur = pv[cur];
+    }
+    if (!clean) {
+      if (quick < dirty_lb) dirty_lb = quick;
+      continue;
+    }
+    double c = csr.weight[e];
+    std::size_t from = v;
+    for (std::size_t j = stitch_nodes_.size(); j-- > 0;) {
+      c += g_->weight(from, stitch_nodes_[j]);
+      from = stitch_nodes_[j];
+    }
+    if (c < best) {
+      best = c;
+      best_v = v;
+      tie = false;
+    } else if (c == best) {
+      tie = true;
+    }
+  }
+  *bound = best;  // a valid banned-graph path cost (or +inf)
+  if (best_v == n_) {
+    if (dirty_lb == kInf) {
+      // No first hop reaches dst even unrestricted => unreachable in
+      // the (more constrained) banned graph too.
+      *unreachable = true;
+      return true;
+    }
+    return false;  // only dirty hops left; need the real search
+  }
+  if (tie || dirty_lb <= best) return false;
+  // Re-walk the winner (the scratch walk above may have been
+  // overwritten by later candidates).
+  const std::uint32_t* pv =
+      tree_prev_.data() + static_cast<std::size_t>(best_v) * n_;
+  stitch_nodes_.clear();
+  for (std::size_t cur = dst; cur != best_v; cur = pv[cur]) {
+    stitch_nodes_.push_back(cur);
+  }
+  out->cost = best;
+  out->nodes.clear();
+  out->nodes.reserve(stitch_nodes_.size() + 2);
+  out->nodes.push_back(spur);
+  out->nodes.push_back(best_v);
+  for (std::size_t j = stitch_nodes_.size(); j-- > 0;) {
+    out->nodes.push_back(stitch_nodes_[j]);
+  }
+  return true;
+}
+
+void KspSolver::k_shortest(std::size_t dst, std::size_t k,
+                           std::vector<WeightedPath>* out) {
+  out->clear();
+  if (k == 0) return;
+  ++pairs_served_;
+  auto first = first_path(dst);
+  if (!first.has_value()) return;
+  out->push_back(std::move(*first));
+  if (out->size() >= k) return;
+
+  // Candidate pool: manual binary heap replicating
+  // std::priority_queue's push/pop (push_back + push_heap, pop_heap +
+  // pop_back with the same cost-only comparator), so equal-cost
+  // candidates pop in the reference's order.
+  const auto cost_greater = [](const WeightedPath& a, const WeightedPath& b) {
+    return a.cost > b.cost;
+  };
+  heap_.clear();
+  seen_.clear();
+  seen_.insert((*out)[0].nodes);
+
+  while (out->size() < k) {
+    const auto& last = out->back().nodes;
+    double root_cost = 0.0;  // running prefix sum, same addition order
+                             // as the reference's per-spur rescan
+    for (std::size_t i = 0; i + 1 < last.size(); ++i) {
+      const std::size_t spur = last[i];
+      // Banned first hops: edges used by earlier accepted paths sharing
+      // this root (they all start at the spur node).
+      ws_.banned_next.clear();
+      for (const auto& pth : *out) {
+        if (pth.nodes.size() > i + 1 &&
+            std::equal(last.begin(),
+                       last.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       pth.nodes.begin())) {
+          ws_.banned_next.push_back(
+              static_cast<std::uint32_t>(pth.nodes[i + 1]));
+        }
+      }
+      // Ban root nodes (except the spur) to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j) ws_.banned_node[last[j]] = 1;
+      WeightedPath spur_path;
+      const bool found = spur_search(spur, dst, &spur_path);
+      for (std::size_t j = 0; j < i; ++j) ws_.banned_node[last[j]] = 0;
+
+      if (found) {
+        WeightedPath total;
+        total.nodes.reserve(i + spur_path.nodes.size());
+        total.nodes.assign(last.begin(),
+                           last.begin() + static_cast<std::ptrdiff_t>(i));
+        total.nodes.insert(total.nodes.end(), spur_path.nodes.begin(),
+                           spur_path.nodes.end());
+        total.cost = root_cost + spur_path.cost;
+        if (seen_.insert(total.nodes)) {
+          heap_.push_back(std::move(total));
+          std::push_heap(heap_.begin(), heap_.end(), cost_greater);
+        }
+      }
+      root_cost += g_->weight(last[i], last[i + 1]);
+    }
+    if (heap_.empty()) break;
+    std::pop_heap(heap_.begin(), heap_.end(), cost_greater);
+    out->push_back(std::move(heap_.back()));
+    heap_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original per-pair heap pipeline,
+// preserved verbatim as the oracle for the differential ctests.
+
+std::optional<WeightedPath> shortest_path_reference(
     const RoutingGraph& g, std::size_t src, std::size_t dst,
     const std::vector<bool>* banned_nodes,
     const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges) {
@@ -65,7 +587,8 @@ std::optional<WeightedPath> shortest_path(
   return out;
 }
 
-ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src) {
+ShortestPathTree shortest_path_tree_reference(const RoutingGraph& g,
+                                              std::size_t src) {
   const std::size_t n = g.size();
   ShortestPathTree t;
   t.dist.assign(n, kInf);
@@ -92,28 +615,13 @@ ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src) {
   return t;
 }
 
-std::optional<WeightedPath> ShortestPathTree::path_to(std::size_t src,
-                                                      std::size_t dst) const {
-  const std::size_t n = dist.size();
-  if (src >= n || dst >= n) return std::nullopt;
-  if (src == dst) return WeightedPath{{src}, 0.0};
-  if (dist[dst] == kInf) return std::nullopt;
-  WeightedPath out;
-  out.cost = dist[dst];
-  for (std::size_t cur = dst; cur != n; cur = prev[cur]) {
-    out.nodes.push_back(cur);
-    if (cur == src) break;
-  }
-  std::reverse(out.nodes.begin(), out.nodes.end());
-  return out;
-}
-
-std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
-                                           std::size_t src, std::size_t dst,
-                                           std::size_t k) {
+std::vector<WeightedPath> k_shortest_paths_reference(const RoutingGraph& g,
+                                                     std::size_t src,
+                                                     std::size_t dst,
+                                                     std::size_t k) {
   std::vector<WeightedPath> result;
   if (k == 0) return result;
-  auto first = shortest_path(g, src, dst);
+  auto first = shortest_path_reference(g, src, dst);
   if (!first.has_value()) return result;
   result.push_back(std::move(*first));
 
@@ -150,7 +658,7 @@ std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
       for (std::size_t j = 0; j < i; ++j) banned_nodes[root[j]] = true;
 
       const auto spur_path =
-          shortest_path(g, spur, dst, &banned_nodes, &banned_edges);
+          shortest_path_reference(g, spur, dst, &banned_nodes, &banned_edges);
       if (!spur_path.has_value()) continue;
 
       WeightedPath total;

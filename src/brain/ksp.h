@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "brain/routing_graph.h"
@@ -9,6 +11,20 @@
 // find the k (k = 3) shortest paths between every pair of nodes using
 // the K Shortest Paths (KSP) algorithm"). Yen's algorithm over a
 // Dijkstra core, yielding loopless paths in non-decreasing cost order.
+//
+// Two implementations live here:
+//
+//  * The production pipeline: an allocation-free array Dijkstra over
+//    the graph's CSR view (DijkstraWorkspace) plus a per-source batched
+//    Yen (KspSolver) that shares one forward shortest-path tree across
+//    every destination and caches per-node trees for spur fast paths.
+//  * The original per-pair heap implementation, preserved verbatim as
+//    `*_reference` — the oracle for the differential tests. The
+//    optimized pipeline is required to be *bit-identical* to it,
+//    including equal-cost tie-breaking, which pins down the shared
+//    discipline: nodes settle in ascending (dist, index) order,
+//    neighbors relax in ascending index order, and only strict
+//    improvements update dist/prev.
 namespace livenet::brain {
 
 struct WeightedPath {
@@ -42,5 +58,118 @@ ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src);
 std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
                                            std::size_t src, std::size_t dst,
                                            std::size_t k);
+
+// ---------------------------------------------------------------------------
+// Optimized pipeline internals (exposed for GlobalRouting and benchmarks).
+
+/// Reusable buffers for the array-based Dijkstra core: per-pair and
+/// per-spur calls stop allocating once the workspace has been sized to
+/// the graph. The core selects the unsettled node with the smallest
+/// (dist, index) by linear scan — for the overlay's dense abstracted
+/// graphs that is both faster than a binary heap and provably settles
+/// nodes in the same order as the reference lazy-deletion heap.
+struct DijkstraWorkspace {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> prev;      ///< n = root/unreachable
+  std::vector<std::uint8_t> settled;
+  std::vector<std::uint8_t> banned_node;
+  std::vector<std::uint32_t> banned_next;  ///< banned first hops (Yen spurs)
+
+  void bind(std::size_t n) {
+    dist.assign(n, 0.0);
+    prev.assign(n, 0);
+    settled.assign(n, 0);
+    banned_node.assign(n, 0);
+    banned_next.clear();
+  }
+};
+
+/// Per-source batched Yen KSP over a fixed graph. One forward
+/// shortest-path tree per source yields the first path for every
+/// destination. Spur searches resolve, in order, through: (1) the
+/// spur's own unrestricted tree path when it avoids every banned
+/// element; (2) first-hop stitching — the cached tree of each allowed
+/// first hop gives its exact best continuation, and a strictly-winning
+/// clean hop provably reproduces the banned Dijkstra's answer; (3) a
+/// banned array Dijkstra with early exit at the destination, pruned by
+/// the stitch's bound so hopeless nodes never settle. Output is
+/// bit-identical to k_shortest_paths_reference() for every (dst, k).
+class KspSolver {
+ public:
+  explicit KspSolver(const RoutingGraph& g);
+
+  /// Computes (or reuses) the forward tree rooted at `src`.
+  void set_source(std::size_t src);
+  std::size_t source() const { return src_; }
+
+  /// First (shortest) path to dst, read off the source tree. Identical
+  /// to shortest_path(g, source(), dst).
+  std::optional<WeightedPath> first_path(std::size_t dst) const;
+
+  /// Up to k shortest loopless paths source()->dst, appended into
+  /// `*out` (cleared first). Identical to
+  /// k_shortest_paths_reference(g, source(), dst, k).
+  void k_shortest(std::size_t dst, std::size_t k,
+                  std::vector<WeightedPath>* out);
+
+  /// Distance row of the source tree (for diagnostics/tests).
+  const double* source_dist() const;
+
+ private:
+  void ensure_tree(std::size_t root);
+  bool spur_search(std::size_t spur, std::size_t dst, WeightedPath* out);
+  /// First-hop stitching: answers a banned spur search from the cached
+  /// per-node trees when the winner is provably unique; returns false
+  /// when the exact Dijkstra must run (tie or threatening dirty hop),
+  /// leaving the best clean candidate's cost in `*bound` (+inf when
+  /// none) as a pruning bound for the fallback search.
+  bool stitch_search(std::size_t spur, std::size_t dst, WeightedPath* out,
+                     bool* unreachable, double* bound);
+
+  const RoutingGraph* g_;
+  std::size_t n_;
+  std::size_t src_ = 0;
+  bool src_set_ = false;
+  std::size_t pairs_served_ = 0;  ///< k_shortest calls (stitch cost gate)
+
+  // Lazily-built all-node tree cache: row `r` holds the full forward
+  // tree rooted at r once tree_built_[r] is set.
+  std::vector<double> tree_dist_;
+  std::vector<std::uint32_t> tree_prev_;
+  std::vector<std::uint8_t> tree_built_;
+
+  DijkstraWorkspace ws_;
+
+  // Yen scratch, reused across destinations.
+  struct SeenPaths {  ///< hashed path-signature dedup with exact compare
+    void clear();
+    bool insert(const std::vector<std::size_t>& nodes);
+
+   private:
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+    std::vector<std::vector<std::size_t>> stored_;
+  };
+  SeenPaths seen_;
+  std::vector<WeightedPath> heap_;  ///< candidate pool (binary min-heap)
+  std::vector<std::size_t> stitch_nodes_;  ///< scratch: tree walk, reversed
+};
+
+// ---------------------------------------------------------------------------
+// Reference implementation (the original per-pair heap pipeline),
+// preserved as the oracle for the permanent differential ctests.
+
+std::optional<WeightedPath> shortest_path_reference(
+    const RoutingGraph& g, std::size_t src, std::size_t dst,
+    const std::vector<bool>* banned_nodes = nullptr,
+    const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges =
+        nullptr);
+
+ShortestPathTree shortest_path_tree_reference(const RoutingGraph& g,
+                                              std::size_t src);
+
+std::vector<WeightedPath> k_shortest_paths_reference(const RoutingGraph& g,
+                                                     std::size_t src,
+                                                     std::size_t dst,
+                                                     std::size_t k);
 
 }  // namespace livenet::brain

@@ -56,4 +56,20 @@ overlay::Path Pib::last_resort(sim::NodeId src, sim::NodeId dst) const {
   return it != fallbacks_.end() ? it->second : overlay::Path{};
 }
 
+const overlay::Path* Pib::find_last_resort(sim::NodeId src,
+                                           sim::NodeId dst) const {
+  const auto it = fallbacks_.find(pair_key(src, dst));
+  return it != fallbacks_.end() ? &it->second : nullptr;
+}
+
+void Pib::swap_routes(Pib* other) {
+  paths_.swap(other->paths_);
+  fallbacks_.swap(other->fallbacks_);
+}
+
+void Pib::copy_routes_from(const Pib& other) {
+  paths_ = other.paths_;
+  fallbacks_ = other.fallbacks_;
+}
+
 }  // namespace livenet::brain

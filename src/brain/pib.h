@@ -36,6 +36,23 @@ class Pib {
   /// Last-resort path for the pair (empty if none installed).
   overlay::Path last_resort(sim::NodeId src, sim::NodeId dst) const;
 
+  /// Pointer form of last_resort() (nullptr if none installed); used by
+  /// the incremental recompute's dirty-path scan to avoid copies.
+  const overlay::Path* find_last_resort(sim::NodeId src,
+                                        sim::NodeId dst) const;
+
+  /// Swaps the *routes* (candidate sets + fallbacks) with `other`,
+  /// leaving the real-time overload marks of both sides untouched.
+  /// Global Routing double-buffers installs through this: it fills a
+  /// scratch Pib off to the side and swaps it in atomically, so readers
+  /// never observe a half-installed cycle and the live hot-node/link
+  /// marks survive the swap.
+  void swap_routes(Pib* other);
+
+  /// Replaces this Pib's routes with a copy of `other`'s (overload
+  /// marks untouched). Seeds the scratch buffer for incremental cycles.
+  void copy_routes_from(const Pib& other);
+
   // Real-time overload marks (Global Discovery).
   void mark_node_overloaded(sim::NodeId n) { hot_nodes_.insert(n); }
   void clear_node_overloaded(sim::NodeId n) { hot_nodes_.erase(n); }

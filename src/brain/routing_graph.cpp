@@ -23,4 +23,33 @@ double link_weight(const LinkState& link, double node_util_a,
   return expected_rtt * utilization_penalty(u, params);
 }
 
+const RoutingGraph::CsrView& RoutingGraph::csr() const {
+  if (csr_version_ == version_) return csr_;
+  csr_.row_start.assign(n_ + 1, 0);
+  csr_.col.clear();
+  csr_.weight.clear();
+  std::size_t edges = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    const double* row = weights_.data() + a * n_;
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (row[b] >= 0.0) ++edges;
+    }
+  }
+  csr_.col.reserve(edges);
+  csr_.weight.reserve(edges);
+  for (std::size_t a = 0; a < n_; ++a) {
+    csr_.row_start[a] = static_cast<std::uint32_t>(csr_.col.size());
+    const double* row = weights_.data() + a * n_;
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (row[b] >= 0.0) {
+        csr_.col.push_back(static_cast<std::uint32_t>(b));
+        csr_.weight.push_back(row[b]);
+      }
+    }
+  }
+  csr_.row_start[n_] = static_cast<std::uint32_t>(csr_.col.size());
+  csr_version_ = version_;
+  return csr_;
+}
+
 }  // namespace livenet::brain

@@ -38,7 +38,15 @@ double utilization_penalty(double u, const WeightParams& params);
 double link_weight(const LinkState& link, double node_util_a,
                    double node_util_b, const WeightParams& params);
 
-/// Dense directed graph over the overlay nodes.
+/// Dense directed graph over the overlay nodes, with a compressed
+/// sparse row (CSR) adjacency view for the Dijkstra inner loops.
+///
+/// The dense matrix keeps O(1) random-access `weight(a, b)` for path
+/// costing and constraint checks; the CSR view gives the shortest-path
+/// cores an O(out-degree) neighbor walk instead of an O(n) row scan per
+/// settled node. Columns within a CSR row are ascending, i.e. exactly
+/// the order the dense scan visits neighbors — relaxation order (and
+/// therefore equal-cost tie-breaking) is identical between the views.
 class RoutingGraph {
  public:
   explicit RoutingGraph(std::size_t n)
@@ -50,6 +58,7 @@ class RoutingGraph {
 
   void set_weight(std::size_t a, std::size_t b, double w) {
     weights_[a * n_ + b] = w;
+    ++version_;
   }
   double weight(std::size_t a, std::size_t b) const {
     return weights_[a * n_ + b];
@@ -58,9 +67,30 @@ class RoutingGraph {
     return weights_[a * n_ + b] >= 0.0;
   }
 
+  /// CSR adjacency. `col[row_start[u] .. row_start[u+1])` lists u's
+  /// out-neighbors in ascending index order with matching `weight`.
+  struct CsrView {
+    std::vector<std::uint32_t> row_start;  ///< n + 1 offsets
+    std::vector<std::uint32_t> col;
+    std::vector<double> weight;
+    std::size_t edge_count() const { return col.size(); }
+  };
+
+  /// Returns the CSR view, (re)building it if any edge changed since
+  /// the last call. Cold path: O(n^2) per rebuild, amortized over every
+  /// Dijkstra of a routing cycle.
+  const CsrView& csr() const;
+
+  /// Monotonic mutation counter; callers caching per-graph state
+  /// (e.g. shortest-path trees) key their validity on it.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::size_t n_;
   std::vector<double> weights_;
+  std::uint64_t version_ = 0;
+  mutable CsrView csr_;
+  mutable std::uint64_t csr_version_ = ~0ull;  ///< version csr_ was built at
 };
 
 }  // namespace livenet::brain

@@ -100,6 +100,13 @@ const Handles& handles() {
     out.link_drops_down = reg.counter("link.drops_down");
     out.jitter_frames_released = reg.counter("client.jitter_frames_released");
     out.path_requests_served = reg.counter("brain.path_requests_served");
+    out.brain_pairs_solved = reg.counter("brain.recompute_pairs_solved");
+    out.brain_pairs_skipped =
+        reg.counter("brain.recompute_pairs_skipped_dirty");
+    out.brain_last_resort_pairs =
+        reg.counter("brain.recompute_last_resort_pairs");
+    out.brain_recompute_ms =
+        reg.latency("brain.recompute_ms", 0.0, 10000.0, 200);
     out.traced_packets = reg.counter("telemetry.traced_packets");
     out.trace_records = reg.counter("telemetry.trace_records");
     out.peak_pending_events = reg.gauge("sim.peak_pending_events");

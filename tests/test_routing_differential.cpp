@@ -1,0 +1,498 @@
+// Differential tests for the optimized Brain routing pipeline: the
+// CSR/workspace/batched-KSP implementation must be *bit-identical* to
+// the preserved reference implementation — same paths, same order, same
+// double costs — and the incremental recompute must skip exactly the
+// sources the dirty set allows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "brain/global_discovery.h"
+#include "brain/global_routing.h"
+#include "brain/ksp.h"
+#include "brain/pib.h"
+#include "util/rng.h"
+
+namespace livenet::brain {
+namespace {
+
+struct ViewSpec {
+  int n = 12;           ///< regular overlay nodes (ids 0..n-1)
+  int lr = 0;           ///< extra last-resort relays (ids n..n+lr-1)
+  double link_prob = 1.0;
+  double util_lo = 0.0, util_hi = 0.7;
+  double load_lo = 0.05, load_hi = 0.6;
+  std::uint64_t seed = 1;
+};
+
+GlobalDiscovery make_view(const ViewSpec& s) {
+  Rng rng(s.seed);
+  GlobalDiscovery view;
+  const int total = s.n + s.lr;
+  for (int a = 0; a < total; ++a) {
+    overlay::NodeStateReport rep;
+    rep.node = a;
+    rep.node_load = rng.uniform(s.load_lo, s.load_hi);
+    for (int b = 0; b < total; ++b) {
+      if (a == b) continue;
+      // Relay links always exist (they are the safety net); regular
+      // links thin out with link_prob.
+      const bool relay_edge = a >= s.n || b >= s.n;
+      if (!relay_edge && rng.uniform(0.0, 1.0) > s.link_prob) continue;
+      overlay::LinkReport lr;
+      lr.to = b;
+      lr.rtt = static_cast<Duration>(rng.uniform(10.0, 300.0) *
+                                     static_cast<double>(kMs));
+      lr.loss_rate = rng.uniform(0.0, 0.01);
+      lr.utilization = rng.uniform(s.util_lo, s.util_hi);
+      rep.links.push_back(lr);
+    }
+    view.on_report(rep, 0, nullptr);
+  }
+  return view;
+}
+
+std::vector<sim::NodeId> id_range(int lo, int hi) {
+  std::vector<sim::NodeId> out;
+  for (int i = lo; i < hi; ++i) out.push_back(i);
+  return out;
+}
+
+void expect_paths_equal(const std::vector<WeightedPath>& got,
+                        const std::vector<WeightedPath>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].nodes, want[i].nodes) << "path " << i;
+    EXPECT_EQ(got[i].cost, want[i].cost) << "path " << i;  // exact bits
+  }
+}
+
+void expect_pib_routes_equal(const Pib& got, const Pib& want) {
+  auto gp = got.pairs();
+  auto wp = want.pairs();
+  std::sort(gp.begin(), gp.end());
+  std::sort(wp.begin(), wp.end());
+  ASSERT_EQ(gp, wp);
+  for (const auto& [src, dst] : wp) {
+    const auto* g = got.find(src, dst);
+    const auto* w = want.find(src, dst);
+    ASSERT_NE(g, nullptr);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(*g, *w) << "pair " << src << "->" << dst;
+    EXPECT_EQ(got.last_resort(src, dst), want.last_resort(src, dst))
+        << "fallback " << src << "->" << dst;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KSP layer.
+
+TEST(KspDifferential, BatchedMatchesReferenceOnRandomGraphs) {
+  for (const double link_prob : {1.0, 0.5}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      ViewSpec spec;
+      spec.n = 14;
+      spec.link_prob = link_prob;
+      spec.seed = seed;
+      const GlobalDiscovery view = make_view(spec);
+      const auto nodes = id_range(0, spec.n);
+      const RoutingGraph g = GlobalRouting().build_graph(view, nodes);
+      for (std::size_t a = 0; a < nodes.size(); ++a) {
+        for (std::size_t b = 0; b < nodes.size(); ++b) {
+          if (a == b) continue;
+          expect_paths_equal(k_shortest_paths(g, a, b, 3),
+                             k_shortest_paths_reference(g, a, b, 3));
+        }
+      }
+    }
+  }
+}
+
+TEST(KspDifferential, SolverReuseAcrossDestinationsMatchesReference) {
+  ViewSpec spec;
+  spec.n = 16;
+  spec.link_prob = 0.6;
+  spec.seed = 9;
+  const GlobalDiscovery view = make_view(spec);
+  const auto nodes = id_range(0, spec.n);
+  const RoutingGraph g = GlobalRouting().build_graph(view, nodes);
+  // One solver reused for every destination — the production shape.
+  KspSolver solver(g);
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    solver.set_source(a);
+    std::vector<WeightedPath> got;
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (a == b) continue;
+      solver.k_shortest(b, 3, &got);
+      expect_paths_equal(got, k_shortest_paths_reference(g, a, b, 3));
+    }
+  }
+}
+
+TEST(KspDifferential, HigherKAndShortestPathMatchReference) {
+  ViewSpec spec;
+  spec.n = 10;
+  spec.seed = 4;
+  const GlobalDiscovery view = make_view(spec);
+  const auto nodes = id_range(0, spec.n);
+  const RoutingGraph g = GlobalRouting().build_graph(view, nodes);
+  expect_paths_equal(k_shortest_paths(g, 0, 9, 6),
+                     k_shortest_paths_reference(g, 0, 9, 6));
+  // Banned nodes/edges through the public single-pair API.
+  std::vector<bool> banned_nodes(g.size(), false);
+  banned_nodes[3] = true;
+  std::vector<std::pair<std::size_t, std::size_t>> banned_edges{{0, 9},
+                                                                {4, 9}};
+  const auto got = shortest_path(g, 0, 9, &banned_nodes, &banned_edges);
+  const auto want =
+      shortest_path_reference(g, 0, 9, &banned_nodes, &banned_edges);
+  ASSERT_EQ(got.has_value(), want.has_value());
+  if (got.has_value()) {
+    EXPECT_EQ(got->nodes, want->nodes);
+    EXPECT_EQ(got->cost, want->cost);
+  }
+}
+
+TEST(KspDifferential, TreeMatchesReferenceBitForBit) {
+  for (const std::uint64_t seed : {5ull, 6ull}) {
+    ViewSpec spec;
+    spec.n = 18;
+    spec.link_prob = 0.4;
+    spec.seed = seed;
+    const GlobalDiscovery view = make_view(spec);
+    const auto nodes = id_range(0, spec.n);
+    const RoutingGraph g = GlobalRouting().build_graph(view, nodes);
+    for (std::size_t src = 0; src < nodes.size(); ++src) {
+      const ShortestPathTree got = shortest_path_tree(g, src);
+      const ShortestPathTree want = shortest_path_tree_reference(g, src);
+      ASSERT_EQ(got.dist.size(), want.dist.size());
+      for (std::size_t v = 0; v < got.dist.size(); ++v) {
+        EXPECT_EQ(got.dist[v], want.dist[v]) << "dist " << src << "->" << v;
+        EXPECT_EQ(got.prev[v], want.prev[v]) << "prev " << src << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(KspTieBreak, EqualCostPathsComeBackInDeterministicOrder) {
+  // Three exactly equal-cost routes 0->3: via 1, via 2, and direct.
+  RoutingGraph g(4);
+  g.set_weight(0, 1, 10.0);
+  g.set_weight(1, 3, 10.0);
+  g.set_weight(0, 2, 10.0);
+  g.set_weight(2, 3, 10.0);
+  g.set_weight(0, 3, 20.0);
+  const auto first = k_shortest_paths(g, 0, 3, 3);
+  const auto second = k_shortest_paths(g, 0, 3, 3);
+  ASSERT_EQ(first.size(), 3u);
+  for (const auto& p : first) EXPECT_EQ(p.cost, 20.0);
+  // Deterministic: identical across runs and identical to the oracle.
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].nodes, second[i].nodes);
+  }
+  expect_paths_equal(first, k_shortest_paths_reference(g, 0, 3, 3));
+  // The shared tie-break discipline: strict-improvement relaxation
+  // keeps the first route found (the direct edge, relaxed in ascending
+  // neighbor order), then spur candidates tie-break by lowest index.
+  EXPECT_EQ(first[0].nodes, (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(first[1].nodes, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(first[2].nodes, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline PIB differential.
+
+struct PibCase {
+  const char* name;
+  ViewSpec spec;
+  std::size_t k = 3;
+};
+
+TEST(PibDifferential, RecomputeInstallsIdenticalPibToReference) {
+  std::vector<PibCase> cases;
+  {
+    PibCase c{"dense", ViewSpec{}, 3};
+    c.spec.n = 12;
+    c.spec.seed = 21;
+    cases.push_back(c);
+  }
+  {
+    PibCase c{"sparse", ViewSpec{}, 3};
+    c.spec.n = 14;
+    c.spec.link_prob = 0.35;
+    c.spec.seed = 22;
+    cases.push_back(c);
+  }
+  {
+    PibCase c{"hot", ViewSpec{}, 3};  // overloads trip constraints (i)/(ii)
+    c.spec.n = 12;
+    c.spec.util_lo = 0.5;
+    c.spec.util_hi = 0.95;
+    c.spec.load_lo = 0.4;
+    c.spec.load_hi = 0.95;
+    c.spec.lr = 2;
+    c.spec.seed = 23;
+    cases.push_back(c);
+  }
+  {
+    PibCase c{"k1", ViewSpec{}, 1};
+    c.spec.n = 16;
+    c.spec.link_prob = 0.5;
+    c.spec.seed = 24;
+    cases.push_back(c);
+  }
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const GlobalDiscovery view = make_view(c.spec);
+    const auto nodes = id_range(0, c.spec.n);
+    const auto relays = id_range(c.spec.n, c.spec.n + c.spec.lr);
+    GlobalRoutingConfig cfg;
+    cfg.k = c.k;
+    GlobalRouting optimized(cfg);
+    GlobalRouting reference(cfg);
+    Pib got, want;
+    const auto res = optimized.recompute(view, nodes, relays, &got);
+    const auto ref = reference.recompute_reference(view, nodes, relays, &want);
+    EXPECT_EQ(res.pairs, ref.pairs);
+    EXPECT_EQ(res.paths_installed, ref.paths_installed);
+    EXPECT_EQ(res.last_resort_pairs, ref.last_resort_pairs);
+    expect_pib_routes_equal(got, want);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental recompute.
+
+/// Hand-built symmetric view: every pair linked at `rtt_ms` except the
+/// overrides; loads/utilizations low so no constraint interferes.
+void report_node(GlobalDiscovery* view, int node, int total, double load,
+                 const std::vector<std::pair<int, double>>& rtt_ms_overrides,
+                 double default_rtt_ms) {
+  overlay::NodeStateReport rep;
+  rep.node = node;
+  rep.node_load = load;
+  for (int b = 0; b < total; ++b) {
+    if (b == node) continue;
+    double ms = default_rtt_ms;
+    for (const auto& [to, v] : rtt_ms_overrides) {
+      if (to == b) ms = v;
+    }
+    overlay::LinkReport lr;
+    lr.to = b;
+    lr.rtt = static_cast<Duration>(ms * static_cast<double>(kMs));
+    lr.loss_rate = 0.0;
+    lr.utilization = 0.1;
+    rep.links.push_back(lr);
+  }
+  view->on_report(rep, 0, nullptr);
+}
+
+TEST(Incremental, UnchangedViewSkipsEverySource) {
+  ViewSpec spec;
+  spec.n = 10;
+  spec.seed = 31;
+  const GlobalDiscovery view = make_view(spec);
+  const auto nodes = id_range(0, spec.n);
+  GlobalRoutingConfig cfg;
+  cfg.incremental = true;
+  GlobalRouting routing(cfg);
+  Pib pib;
+  const auto res1 = routing.recompute(view, nodes, {}, &pib);
+  EXPECT_TRUE(res1.full_refresh);
+  const auto res2 = routing.recompute(view, nodes, {}, &pib);
+  EXPECT_FALSE(res2.full_refresh);
+  EXPECT_EQ(res2.sources_solved, 0u);
+  EXPECT_EQ(res2.pairs_skipped,
+            static_cast<std::size_t>(spec.n) * (spec.n - 1));
+  // Skipping everything must leave the PIB identical to a full solve.
+  GlobalRouting oracle;
+  Pib want;
+  oracle.recompute_reference(view, nodes, {}, &want);
+  expect_pib_routes_equal(pib, want);
+}
+
+TEST(Incremental, DirtyLinkResolvesOnlySourcesUsingIt) {
+  const int n = 4;
+  GlobalDiscovery view;
+  // All links 100ms, except a 10ms shortcut 0->1.
+  for (int a = 0; a < n; ++a) {
+    report_node(&view, a, n, 0.1, a == 0 ? std::vector<std::pair<int, double>>{{1, 10.0}}
+                                         : std::vector<std::pair<int, double>>{},
+                100.0);
+  }
+  GlobalRoutingConfig cfg;
+  cfg.incremental = true;
+  GlobalRouting routing(cfg);
+  Pib pib;
+  routing.recompute(view, id_range(0, n), {}, &pib);
+  // The shortcut collapses to 300ms: only link (0,1) goes dirty.
+  // Sources 0, 2, 3 all have installed paths using that edge ([0,1]
+  // and the k=3 alternates [2,0,1] / [3,0,1]); source 1 cannot — a
+  // loopless path from 1 never traverses an edge *into* 1 — so it is
+  // the one source the dirty set skips.
+  report_node(&view, 0, n, 0.1, {{1, 300.0}}, 100.0);
+  const auto res = routing.recompute(view, id_range(0, n), {}, &pib);
+  EXPECT_FALSE(res.full_refresh);
+  EXPECT_EQ(res.sources_solved, 3u);
+  EXPECT_EQ(res.sources_skipped, 1u);
+  // Since the skipped source's candidates cannot touch the re-weighted
+  // edge, the incremental PIB matches a from-scratch reference solve.
+  GlobalRouting oracle;
+  Pib want;
+  oracle.recompute_reference(view, id_range(0, n), {}, &want);
+  expect_pib_routes_equal(pib, want);
+}
+
+TEST(Incremental, DirtyNodeResolvesEverySourceVisitingIt) {
+  const int n = 4;
+  GlobalDiscovery view;
+  for (int a = 0; a < n; ++a) report_node(&view, a, n, 0.1, {}, 100.0);
+  GlobalRoutingConfig cfg;
+  cfg.incremental = true;
+  GlobalRouting routing(cfg);
+  Pib pib;
+  routing.recompute(view, id_range(0, n), {}, &pib);
+  // Node 2's load jumps: every source has a pair targeting node 2, so
+  // every source is stale.
+  report_node(&view, 2, n, 0.6, {}, 100.0);
+  const auto res = routing.recompute(view, id_range(0, n), {}, &pib);
+  EXPECT_FALSE(res.full_refresh);
+  EXPECT_EQ(res.sources_solved, static_cast<std::size_t>(n));
+  GlobalRouting oracle;
+  Pib want;
+  oracle.recompute_reference(view, id_range(0, n), {}, &want);
+  expect_pib_routes_equal(pib, want);
+}
+
+TEST(Incremental, TopologyChangeAndCadenceForceFullRefresh) {
+  ViewSpec spec;
+  spec.n = 8;
+  spec.seed = 41;
+  const GlobalDiscovery view = make_view(spec);
+  GlobalRoutingConfig cfg;
+  cfg.incremental = true;
+  cfg.full_refresh_every = 2;
+  GlobalRouting routing(cfg);
+  Pib pib;
+  EXPECT_TRUE(routing.recompute(view, id_range(0, 8), {}, &pib).full_refresh);
+  EXPECT_FALSE(routing.recompute(view, id_range(0, 8), {}, &pib).full_refresh);
+  // Cadence: the second incremental-eligible cycle is promoted to full.
+  EXPECT_TRUE(routing.recompute(view, id_range(0, 8), {}, &pib).full_refresh);
+  // Topology change: node set shrinks -> full, and stale pairs age out.
+  const auto res = routing.recompute(view, id_range(0, 7), {}, &pib);
+  EXPECT_TRUE(res.full_refresh);
+  EXPECT_EQ(pib.pair_count(), 7u * 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Discovery dirty tracking.
+
+TEST(DirtyTracking, ThresholdsGateMarksAndSeqFilters) {
+  GlobalDiscovery view;
+  const int n = 3;
+  for (int a = 0; a < n; ++a) report_node(&view, a, n, 0.2, {}, 100.0);
+  const std::uint64_t after_seed = view.dirty_seq();
+  EXPECT_GT(after_seed, 0u);  // first sightings are dirty
+
+  // Identical re-report: nothing moves.
+  report_node(&view, 0, n, 0.2, {}, 100.0);
+  EXPECT_EQ(view.dirty_seq(), after_seed);
+
+  // Sub-threshold wiggles: 1% RTT, 0.01 load.
+  report_node(&view, 0, n, 0.21, {}, 101.0);
+  EXPECT_EQ(view.dirty_seq(), after_seed);
+
+  // Above-threshold RTT move dirties exactly the moved links.
+  report_node(&view, 0, n, 0.21, {{1, 200.0}}, 101.0);
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> links;
+  std::vector<sim::NodeId> dnodes;
+  view.dirty_since(after_seed, &links, &dnodes);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], (std::pair<sim::NodeId, sim::NodeId>{0, 1}));
+  EXPECT_TRUE(dnodes.empty());
+
+  // Load move beyond 0.05 dirties the node.
+  const std::uint64_t before_load = view.dirty_seq();
+  report_node(&view, 1, n, 0.5, {}, 100.0);
+  links.clear();
+  dnodes.clear();
+  view.dirty_since(before_load, &links, &dnodes);
+  ASSERT_EQ(dnodes.size(), 1u);
+  EXPECT_EQ(dnodes[0], 1);
+
+  // Alarms always mark.
+  const std::uint64_t before_alarm = view.dirty_seq();
+  overlay::OverloadAlarm alarm;
+  alarm.node = 2;
+  alarm.node_load = 0.95;
+  alarm.overloaded_links = {0};
+  view.on_alarm(alarm, nullptr);
+  links.clear();
+  dnodes.clear();
+  view.dirty_since(before_alarm, &links, &dnodes);
+  EXPECT_EQ(dnodes.size(), 1u);
+  EXPECT_EQ(links.size(), 1u);
+}
+
+TEST(PibBuffer, SwapRoutesPreservesOverloadMarks) {
+  Pib live, scratch;
+  live.mark_node_overloaded(7);
+  live.set_paths(1, 2, {{1, 2}});
+  scratch.set_paths(1, 2, {{1, 3, 2}});
+  scratch.set_last_resort(1, 2, {1, 9, 2});
+  live.swap_routes(&scratch);
+  EXPECT_TRUE(live.node_overloaded(7));
+  ASSERT_NE(live.find(1, 2), nullptr);
+  EXPECT_EQ(*live.find(1, 2),
+            (std::vector<overlay::Path>{{1, 3, 2}}));
+  EXPECT_EQ(live.last_resort(1, 2), (overlay::Path{1, 9, 2}));
+  ASSERT_NE(scratch.find(1, 2), nullptr);
+  EXPECT_EQ(*scratch.find(1, 2), (std::vector<overlay::Path>{{1, 2}}));
+}
+
+TEST(CsrView, MatchesDenseMatrixAndTracksMutation) {
+  ViewSpec spec;
+  spec.n = 12;
+  spec.link_prob = 0.5;
+  spec.seed = 51;
+  const GlobalDiscovery view = make_view(spec);
+  const auto nodes = id_range(0, spec.n);
+  RoutingGraph g = GlobalRouting().build_graph(view, nodes);
+  auto check = [&] {
+    const auto& csr = g.csr();
+    std::size_t edges = 0;
+    for (std::size_t a = 0; a < g.size(); ++a) {
+      std::uint32_t prev_col = 0;
+      bool first = true;
+      for (std::uint32_t e = csr.row_start[a]; e < csr.row_start[a + 1];
+           ++e) {
+        const std::uint32_t b = csr.col[e];
+        if (!first) EXPECT_GT(b, prev_col);  // ascending columns
+        first = false;
+        prev_col = b;
+        EXPECT_TRUE(g.has_edge(a, b));
+        EXPECT_EQ(csr.weight[e], g.weight(a, b));
+        ++edges;
+      }
+    }
+    EXPECT_EQ(edges, csr.edge_count());
+    std::size_t dense_edges = 0;
+    for (std::size_t a = 0; a < g.size(); ++a) {
+      for (std::size_t b = 0; b < g.size(); ++b) {
+        if (g.has_edge(a, b)) ++dense_edges;
+      }
+    }
+    EXPECT_EQ(dense_edges, csr.edge_count());
+  };
+  check();
+  g.set_weight(0, 1, 123.0);  // mutation invalidates the cached view
+  g.set_weight(2, 3, RoutingGraph::kNoEdge);
+  check();
+  EXPECT_EQ(g.weight(0, 1), 123.0);
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+}  // namespace
+}  // namespace livenet::brain
