@@ -4,8 +4,11 @@
 // built from.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "media/packetizer.h"
 #include "overlay/packet_cache.h"
+#include "overlay/stream_context.h"
 #include "overlay/stream_fib.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -57,6 +60,48 @@ void BM_FibLookupAndForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FibLookupAndForward);
+
+// Before/after of the StreamContext unification. The old node resolved
+// per-stream state through parallel hash maps: the RTP handler probed
+// the FIB, and the per-stream state map (framer, caches, path state)
+// was a second, separately-keyed probe. The unified StreamTable folds
+// both into one context record, so the per-packet path pays exactly one
+// hash probe and carries the pointer through fast and slow path.
+void BM_SplitMapLookup(benchmark::State& state) {
+  // "Before": FIB probe + per-stream state probe per packet.
+  overlay::StreamFib fib;
+  std::unordered_map<media::StreamId, overlay::StreamContext> streams;
+  for (media::StreamId s = 1; s <= 200; ++s) {
+    fib.add_node_subscriber(s, static_cast<sim::NodeId>(s % 20));
+    streams[s].paths_fetched = static_cast<Time>(s);
+  }
+  const auto pkt = make_packet(77, 1);
+  for (auto _ : state) {
+    const auto* e = fib.find(pkt->stream_id());
+    benchmark::DoNotOptimize(e);
+    const auto it = streams.find(pkt->stream_id());
+    benchmark::DoNotOptimize(it->second.paths_fetched);
+    benchmark::DoNotOptimize(e->subscriber_nodes.size());
+  }
+}
+BENCHMARK(BM_SplitMapLookup);
+
+void BM_StreamContextLookup(benchmark::State& state) {
+  // "After": one StreamTable probe yields FIB entry + stream state.
+  overlay::StreamTable table;
+  for (media::StreamId s = 1; s <= 200; ++s) {
+    table.add_node_subscriber(s, static_cast<sim::NodeId>(s % 20));
+    table.context(s).paths_fetched = static_cast<Time>(s);
+  }
+  const auto pkt = make_packet(77, 1);
+  for (auto _ : state) {
+    const auto* ctx = table.find_context(pkt->stream_id());
+    benchmark::DoNotOptimize(ctx);
+    benchmark::DoNotOptimize(ctx->paths_fetched);
+    benchmark::DoNotOptimize(ctx->fib.subscriber_nodes.size());
+  }
+}
+BENCHMARK(BM_StreamContextLookup);
 
 void BM_PacerEnqueueSend(benchmark::State& state) {
   sim::EventLoop loop;

@@ -20,6 +20,25 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-bench}"
 out_dir="${BENCH_OUT_DIR:-${repo_root}}"
 min_time="${BENCH_MIN_TIME:-0.2}"
+asan_dir="${BENCH_ASAN_DIR:-${repo_root}/build-asan}"
+
+# ------------------------------------------------------------- verify step
+# Before trusting the numbers, prove the code they measure is sound:
+# an AddressSanitizer smoke of the chaos tests (node crash mid-burst /
+# mid-lookup, stream release with lookups in flight). A dangling
+# linger/report/retry event touching freed engine state dies loudly
+# here long before it would skew a benchmark. Skip with BENCH_SKIP_ASAN=1.
+if [[ "${BENCH_SKIP_ASAN:-0}" != "1" ]]; then
+  cmake -B "${asan_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >&2
+  cmake --build "${asan_dir}" -j \
+      --target test_node_failure test_stream_context >&2
+  (cd "${asan_dir}" && ctest --output-on-failure \
+      -R 'test_node_failure|test_stream_context') >&2
+  echo "verify: ASan chaos smoke passed" >&2
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Release >&2

@@ -7,18 +7,52 @@ namespace livenet::hier {
 using media::RtpPacket;
 using media::RtpPacketPtr;
 using media::StreamId;
-using overlay::ViewSession;
+using overlay::StreamContext;
 using sim::NodeId;
 
 HierNode::HierNode(sim::Network* net, overlay::OverlayMetrics* metrics,
                    const HierNodeConfig& cfg)
     : net_(net), metrics_(metrics), cfg_(cfg),
-      packet_cache_(cfg.packet_cache_gops) {}
+      senders_(net, this, cfg_.sender),
+      recovery_(net, this,
+                overlay::RecoveryEngine::Config{cfg_.receiver,
+                                                cfg_.packet_cache_gops,
+                                                /*cache_max_packets=*/4096,
+                                                /*telemetry=*/false}),
+      session_(net, this, metrics,
+               overlay::SessionConfig{
+                   /*client_extra_delay=*/0,
+                   /*switch_stall_threshold=*/2,
+                   /*switch_skip_threshold=*/8,
+                   /*downgrade_pressure_packets=*/150,
+                   // Hier has no simulcast ladder to preserve across a
+                   // deferred attach; the view state appears on attach.
+                   /*eager_view_state=*/false},
+               &streams_) {
+  overlay::SessionLayer::Hooks hooks;
+  hooks.carries_stream = [this](StreamId s) { return carries_stream(s); };
+  hooks.maybe_release = [this](StreamId s) { maybe_release_stream(s); };
+  hooks.want_stream = [this](StreamId s) { subscribe_upstream(s); };
+  hooks.serve_burst = [this](NodeId client, overlay::ClientViewState& view) {
+    serve_client_burst(client, view);
+  };
+  session_.set_hooks(std::move(hooks));
+
+  recovery_.set_hooks(
+      [this](const RtpPacketPtr& pkt) {
+        // Hier forwards only the ordered output and serves pending
+        // viewers once content lands.
+        forward_ordered(pkt);
+        session_.flush_pending_attach(pkt->stream_id());
+      },
+      [](StreamId) { /* gap: nothing to abandon */ });
+}
 
 HierNode::~HierNode() {
-  for (auto& [s, timer] : linger_timers_) {
-    if (timer != sim::kInvalidEvent) net_->loop()->cancel(timer);
-  }
+  auto* loop = net_->loop();
+  streams_.for_each_context([loop](StreamId, StreamContext& ctx) {
+    if (ctx.linger_timer != sim::kInvalidEvent) loop->cancel(ctx.linger_timer);
+  });
 }
 
 Duration HierNode::hop_processing_delay() const {
@@ -34,29 +68,26 @@ void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
   }
   if (const auto nack =
           sim::msg_cast<const media::NackMessage>(msg)) {
-    overlay::LinkSender& snd = sender_for(from);
+    overlay::LinkSender& snd = senders_.sender_for(from);
     const auto unserved =
         snd.on_nack(nack->stream_id, nack->audio, nack->missing);
     if (!nack->audio) {
-      for (const media::Seq seq : unserved) {
-        const auto cached = packet_cache_.find_packet(nack->stream_id, seq);
-        if (cached) snd.send_rtx(cached);
-      }
+      recovery_.serve_nack_fallback(snd, from, nack->stream_id, unserved);
     }
     return;
   }
   if (const auto fb =
           sim::msg_cast<const media::CcFeedbackMessage>(msg)) {
-    sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
+    senders_.sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
     return;
   }
   if (const auto view =
           sim::msg_cast<const overlay::ViewRequest>(msg)) {
-    handle_view_request(from, *view);
+    session_.handle_view_request(from, *view);
     return;
   }
   if (const auto stop = sim::msg_cast<const overlay::ViewStop>(msg)) {
-    handle_view_stop(from, *stop);
+    session_.handle_view_stop(from, *stop);
     return;
   }
   if (const auto pub =
@@ -66,7 +97,7 @@ void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
   }
   if (const auto pstop =
           sim::msg_cast<const overlay::PublishStop>(msg)) {
-    handle_publish_stop(from, *pstop);
+    release_stream(pstop->stream_id);
     return;
   }
   if (const auto sub = sim::msg_cast<const HierSubscribe>(msg)) {
@@ -93,7 +124,7 @@ void HierNode::on_message(NodeId from, const sim::MessagePtr& msg) {
 
 void HierNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
   RtpPacketPtr pkt = pkt_in;
-  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id());
+  const overlay::StreamFib::Entry* entry = streams_.find(pkt->stream_id());
   if (pkt->cdn_ingress_time == kNever && entry != nullptr &&
       entry->locally_produced) {
     auto stamped = pkt_in->fork();
@@ -106,44 +137,42 @@ void HierNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
   // toward the center, so the passthrough FIB entry is created on
   // first contact.
   if (cfg_.role != HierRole::kL1 && entry == nullptr) {
-    fib_.entry(pkt->stream_id());
+    streams_.fib_entry(pkt->stream_id());
   }
 
   // Full application stack: packets enter the reliable, ordered pipeline
   // and are only forwarded from its in-order output.
-  receiver_for(from).on_rtp(pkt);
+  recovery_.ingest(from, pkt);
 }
 
 void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
   // Invoked from the receive pipeline's ordered output; the `from` side
   // is encoded in which receiver delivered — recomputed here from roles.
-  packet_cache_.add(pkt);
-  const overlay::StreamFib::Entry* entry = fib_.find(pkt->stream_id());
-  if (entry == nullptr) return;
+  recovery_.cache().add(pkt);
+  if (streams_.find(pkt->stream_id()) == nullptr) return;
 
   // The packet's position in the tree is recovered from its hop count:
   // 0 = produced at this L1; 1 = upload at L2; 2 = at the center;
   // 3 = distribution at L2; 4 = distribution at the viewer-side L1.
   net_->loop()->schedule_after(hop_processing_delay(), [this,
                                                         pkt] {
-    const overlay::StreamFib::Entry* e = fib_.find(pkt->stream_id());
+    const overlay::StreamFib::Entry* e = streams_.find(pkt->stream_id());
     if (e == nullptr) return;
     const Time now = net_->loop()->now();
 
     // Upload leg: push toward the streaming center.
-    const auto upit = stream_upstream_.find(pkt->stream_id());
+    const StreamContext* ctx = streams_.find_context(pkt->stream_id());
+    const NodeId upstream =
+        ctx != nullptr ? ctx->upstream_sub : sim::kNoNode;
     const bool producing_here = e->locally_produced;
     if (cfg_.role == HierRole::kL1 && producing_here &&
-        upit != stream_upstream_.end()) {
+        upstream != sim::kNoNode) {
       auto clone = pkt->fork();
       clone->delay_ext_us +=
-          hop_processing_delay() + (net_->link(node_id(), upit->second)
-                                        ? net_->link(node_id(), upit->second)
-                                                  ->base_rtt() /
-                                              2
-                                        : 0);
+          hop_processing_delay() +
+          overlay::half_rtt_between(net_, node_id(), upstream);
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
-      sender_for(upit->second).send_media(std::move(clone));
+      senders_.sender_for(upstream).send_media(std::move(clone));
     }
     if (cfg_.role == HierRole::kL2 && pkt->cdn_hops == 1 &&
         parent_ != sim::kNoNode) {
@@ -151,7 +180,7 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
       auto clone = pkt->fork();
       clone->delay_ext_us += hop_processing_delay();
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
-      sender_for(parent_).send_media(std::move(clone));
+      senders_.sender_for(parent_).send_media(std::move(clone));
     }
 
     // Distribution leg: forward to subscribed downstream nodes.
@@ -164,7 +193,7 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
           auto clone = pkt->fork();
           clone->delay_ext_us += hop_processing_delay();
           clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
-          sender_for(n).send_media(std::move(clone));
+          senders_.sender_for(n).send_media(std::move(clone));
         }
       }
     }
@@ -173,21 +202,22 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
     // distribution copy after 4 hops, or locally produced content).
     if (cfg_.role == HierRole::kL1) {
       for (const overlay::ClientId c : e->subscriber_clients) {
-        const auto cv = client_views_.find(static_cast<NodeId>(c));
-        if (cv == client_views_.end()) continue;
+        overlay::ClientViewState* cv =
+            session_.find_view(static_cast<NodeId>(c));
+        if (cv == nullptr) continue;
         auto clone = pkt->fork();
         clone->delay_ext_us += hop_processing_delay();
-        if (cv->second.session != nullptr) {
+        if (cv->session != nullptr) {
           if (pkt->cdn_ingress_time != kNever) {
-            cv->second.session->cdn_delay_ms.add(
+            cv->session->cdn_delay_ms.add(
                 to_ms(now - pkt->cdn_ingress_time));
-            cv->second.session->path_length = pkt->cdn_hops;
+            cv->session->path_length = pkt->cdn_hops;
           }
-          if (cv->second.session->first_packet_time == kNever) {
-            cv->second.session->first_packet_time = now;
+          if (cv->session->first_packet_time == kNever) {
+            cv->session->first_packet_time = now;
           }
         }
-        sender_for(static_cast<NodeId>(c), /*client=*/true)
+        senders_.sender_for(static_cast<NodeId>(c), cfg_.client_sender)
             .send_media(std::move(clone));
       }
     }
@@ -196,64 +226,25 @@ void HierNode::forward_ordered(const RtpPacketPtr& pkt) {
 
 // ------------------------------------------------------------- client side
 
-void HierNode::handle_view_request(NodeId client,
-                                   const overlay::ViewRequest& req) {
-  ViewSession& session = metrics_->new_session();
-  session.stream = req.stream_id;
-  session.consumer = node_id();
-  session.client = client;
-  session.request_time = net_->loop()->now();
-
-  if (carries_stream(req.stream_id)) {
-    session.local_hit = true;
-    attach_client(client, req.stream_id, &session);
-    return;
+void HierNode::serve_client_burst(NodeId client,
+                                  overlay::ClientViewState& view) {
+  const auto burst = recovery_.cache().startup_packets(view.stream);
+  if (burst.empty()) return;
+  overlay::LinkSender& snd = senders_.sender_for(client, cfg_.client_sender);
+  for (const auto& pkt : burst) {
+    auto clone = pkt->fork();
+    clone->cdn_ingress_time = kNever;
+    snd.send_media(std::move(clone));
   }
-  pending_views_[req.stream_id].push_back(PendingView{client, &session});
-  subscribe_upstream(req.stream_id);
-}
-
-void HierNode::attach_client(NodeId client, StreamId stream,
-                             ViewSession* session) {
-  fib_.add_client_subscriber(stream, client);
-  auto& view = client_views_[client];
-  view.session = session;
-  view.stream = stream;
-  auto ack = sim::make_message<overlay::ViewAck>();
-  ack->stream_id = stream;
-  ack->ok = true;
-  net_->send(node_id(), client, std::move(ack));
-
-  const auto burst = packet_cache_.startup_packets(stream);
-  if (!burst.empty()) {
-    overlay::LinkSender& snd = sender_for(client, /*client=*/true);
-    for (const auto& pkt : burst) {
-      auto clone = pkt->fork();
-      clone->cdn_ingress_time = kNever;
-      snd.send_media(std::move(clone));
-    }
-    if (session != nullptr && session->first_packet_time == kNever) {
-      session->first_packet_time = net_->loop()->now();
-    }
+  if (view.session != nullptr && view.session->first_packet_time == kNever) {
+    view.session->first_packet_time = net_->loop()->now();
   }
-}
-
-void HierNode::handle_view_stop(NodeId client, const overlay::ViewStop& msg) {
-  const auto it = client_views_.find(client);
-  if (it != client_views_.end()) {
-    if (it->second.session != nullptr) {
-      it->second.session->end_time = net_->loop()->now();
-    }
-    client_views_.erase(it);
-  }
-  fib_.remove_client_subscriber(msg.stream_id, client);
-  maybe_release_stream(msg.stream_id);
 }
 
 void HierNode::handle_publish(NodeId client,
                               const overlay::PublishRequest& req) {
   (void)client;
-  auto& entry = fib_.entry(req.stream_id);
+  auto& entry = streams_.fib_entry(req.stream_id);
   entry.locally_produced = true;
   // Ask the controller which L2 carries this upload.
   if (controller_ != sim::kNoNode) {
@@ -265,20 +256,14 @@ void HierNode::handle_publish(NodeId client,
     map->l1 = node_id();
     net_->send(node_id(), controller_, std::move(map));
   } else if (parent_ != sim::kNoNode) {
-    stream_upstream_[req.stream_id] = parent_;
+    streams_.context(req.stream_id).upstream_sub = parent_;
   }
-}
-
-void HierNode::handle_publish_stop(NodeId client,
-                                   const overlay::PublishStop& msg) {
-  (void)client;
-  release_stream(msg.stream_id);
 }
 
 // ------------------------------------------------------------ tree control
 
 void HierNode::subscribe_upstream(StreamId stream) {
-  if (stream_upstream_.count(stream) != 0) return;  // already subscribing
+  if (has_upstream(stream)) return;  // already subscribing
   if (cfg_.role == HierRole::kL1 && controller_ != sim::kNoNode) {
     // VDN-style: ask the controller for the L2 to use.
     const std::uint64_t id = next_request_id_++;
@@ -291,7 +276,7 @@ void HierNode::subscribe_upstream(StreamId stream) {
     return;
   }
   if (parent_ == sim::kNoNode) return;  // the center has no upstream
-  stream_upstream_[stream] = parent_;
+  streams_.context(stream).upstream_sub = parent_;
   auto sub = sim::make_message<HierSubscribe>();
   sub->stream_id = stream;
   net_->send(node_id(), parent_, std::move(sub));
@@ -303,9 +288,9 @@ void HierNode::handle_map_response(const MapResponse& resp) {
   const StreamId stream = it->second;
   pending_maps_.erase(it);
   if (resp.l2 == sim::kNoNode) return;
-  stream_upstream_[stream] = resp.l2;
+  streams_.context(stream).upstream_sub = resp.l2;
 
-  const overlay::StreamFib::Entry* entry = fib_.find(stream);
+  const overlay::StreamFib::Entry* entry = streams_.find(stream);
   if (entry != nullptr && entry->locally_produced) {
     // Upload mapping: data starts flowing on the next ordered packet.
     return;
@@ -316,14 +301,14 @@ void HierNode::handle_map_response(const MapResponse& resp) {
 }
 
 void HierNode::handle_subscribe(NodeId from, const HierSubscribe& req) {
-  fib_.add_node_subscriber(req.stream_id, from);
-  sender_for(from);
+  streams_.add_node_subscriber(req.stream_id, from);
+  senders_.sender_for(from);
 
   // Serve cached content immediately so the downstream node's GoP cache
   // warms up (hierarchical caching, §2.2).
-  if (packet_cache_.has_content(req.stream_id)) {
-    overlay::LinkSender& snd = sender_for(from);
-    for (const auto& pkt : packet_cache_.startup_packets(req.stream_id)) {
+  if (recovery_.cache().has_content(req.stream_id)) {
+    overlay::LinkSender& snd = senders_.sender_for(from);
+    for (const auto& pkt : recovery_.cache().startup_packets(req.stream_id)) {
       auto clone = pkt->fork();
       clone->cdn_ingress_time = kNever;
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
@@ -336,20 +321,22 @@ void HierNode::handle_subscribe(NodeId from, const HierSubscribe& req) {
 }
 
 void HierNode::handle_unsubscribe(NodeId from, const HierUnsubscribe& req) {
-  fib_.remove_node_subscriber(req.stream_id, from);
+  streams_.remove_node_subscriber(req.stream_id, from);
   maybe_release_stream(req.stream_id);
 }
 
 void HierNode::maybe_release_stream(StreamId stream) {
-  const overlay::StreamFib::Entry* entry = fib_.find(stream);
+  const overlay::StreamFib::Entry* entry = streams_.find(stream);
   if (entry == nullptr || entry->locally_produced) return;
   if (entry->has_subscribers()) return;
   if (cfg_.role == HierRole::kCenter) return;  // the center keeps streams
-  if (linger_timers_.count(stream) != 0) return;
-  linger_timers_[stream] = net_->loop()->schedule_after(
+  StreamContext& ctx = streams_.context(stream);
+  if (ctx.linger_timer != sim::kInvalidEvent) return;
+  ctx.linger_timer = net_->loop()->schedule_after(
       cfg_.unsubscribe_linger, [this, stream] {
-        linger_timers_.erase(stream);
-        const overlay::StreamFib::Entry* e = fib_.find(stream);
+        StreamContext* c = streams_.find_context(stream);
+        if (c != nullptr) c->linger_timer = sim::kInvalidEvent;
+        const overlay::StreamFib::Entry* e = streams_.find(stream);
         if (e == nullptr || e->locally_produced || e->has_subscribers()) {
           return;
         }
@@ -358,75 +345,32 @@ void HierNode::maybe_release_stream(StreamId stream) {
 }
 
 void HierNode::release_stream(StreamId stream) {
-  const auto upit = stream_upstream_.find(stream);
-  if (upit != stream_upstream_.end()) {
+  StreamContext* ctx = streams_.find_context(stream);
+  if (ctx != nullptr && ctx->upstream_sub != sim::kNoNode) {
     auto unsub = sim::make_message<HierUnsubscribe>();
     unsub->stream_id = stream;
-    net_->send(node_id(), upit->second, std::move(unsub));
-    const auto rit = receivers_.find(upit->second);
-    if (rit != receivers_.end()) rit->second->forget_stream(stream);
-    stream_upstream_.erase(upit);
+    net_->send(node_id(), ctx->upstream_sub, std::move(unsub));
+    recovery_.forget_upstream(ctx->upstream_sub, stream);
+    ctx->upstream_sub = sim::kNoNode;
   }
-  for (auto& [peer, snd] : senders_) snd->forget_stream(stream);
-  packet_cache_.forget_stream(stream);
-  fib_.erase(stream);
-  pending_views_.erase(stream);
-  const auto lt = linger_timers_.find(stream);
-  if (lt != linger_timers_.end()) {
-    net_->loop()->cancel(lt->second);
-    linger_timers_.erase(lt);
+  senders_.forget_stream(stream);
+  recovery_.cache().forget_stream(stream);
+  if (ctx != nullptr && ctx->linger_timer != sim::kInvalidEvent) {
+    net_->loop()->cancel(ctx->linger_timer);
   }
+  // Erasing the context drops the FIB entry, the upstream subscription
+  // and any pending views in one stroke.
+  streams_.erase(stream);
 }
 
 // ---------------------------------------------------------------- plumbing
 
 bool HierNode::carries_stream(StreamId s) const {
-  const overlay::StreamFib::Entry* e = fib_.find(s);
+  const overlay::StreamFib::Entry* e = streams_.find(s);
   if (e != nullptr && e->locally_produced) return true;
   // A FIB entry only appears once the first subscriber attaches; what
   // matters here is the live upstream subscription plus cached content.
-  return stream_upstream_.count(s) != 0 && packet_cache_.has_content(s);
-}
-
-overlay::LinkSender& HierNode::sender_for(NodeId peer, bool client) {
-  auto it = senders_.find(peer);
-  if (it == senders_.end()) {
-    it = senders_
-             .emplace(peer, std::make_unique<overlay::LinkSender>(
-                                net_, node_id(), peer,
-                                client ? cfg_.client_sender : cfg_.sender))
-             .first;
-  }
-  return *it->second;
-}
-
-overlay::LinkReceiver& HierNode::receiver_for(NodeId peer) {
-  auto it = receivers_.find(peer);
-  if (it == receivers_.end()) {
-    it = receivers_
-             .emplace(peer,
-                      std::make_unique<overlay::LinkReceiver>(
-                          net_, node_id(), peer,
-                          [this](const RtpPacketPtr& pkt) {
-                            // Hier forwards only the ordered output and
-                            // serves pending viewers once content lands.
-                            forward_ordered(pkt);
-                            auto pvit = pending_views_.find(pkt->stream_id());
-                            if (pvit != pending_views_.end() &&
-                                carries_stream(pkt->stream_id())) {
-                              auto waiting = std::move(pvit->second);
-                              pending_views_.erase(pvit);
-                              for (auto& pv : waiting) {
-                                attach_client(pv.client, pkt->stream_id(),
-                                              pv.session);
-                              }
-                            }
-                          },
-                          [](StreamId) { /* gap: nothing to abandon */ },
-                          cfg_.receiver))
-             .first;
-  }
-  return *it->second;
+  return has_upstream(s) && recovery_.cache().has_content(s);
 }
 
 }  // namespace livenet::hier

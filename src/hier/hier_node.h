@@ -1,17 +1,15 @@
 #pragma once
 
-#include <memory>
 #include <unordered_map>
-#include <vector>
 
 #include "hier/messages.h"
-#include "media/framer.h"
-#include "overlay/link_receiver.h"
-#include "overlay/link_sender.h"
 #include "overlay/messages.h"
-#include "overlay/packet_cache.h"
+#include "overlay/node_env.h"
+#include "overlay/peer_senders.h"
 #include "overlay/records.h"
-#include "overlay/stream_fib.h"
+#include "overlay/recovery_engine.h"
+#include "overlay/session_layer.h"
+#include "overlay/stream_context.h"
 #include "sim/network.h"
 #include "sim/sim_node.h"
 
@@ -25,6 +23,13 @@
 // full-stack processing delay — giving head-of-line blocking under loss
 // and a higher per-hop latency floor, which is exactly what the paper's
 // fast path eliminates.
+//
+// Hier reuses the overlay node's shared layers rather than duplicating
+// them: the unified StreamTable (FIB + per-stream state), PeerSenders,
+// the RecoveryEngine slow path (telemetry off — its cache hits are not
+// LiveNet data-plane metrics) and the SessionLayer for view admission,
+// pending attaches and view teardown. Only the tree control protocol
+// and the in-order hop forwarding are Hier-specific.
 namespace livenet::hier {
 
 enum class HierRole { kL1, kL2, kCenter };
@@ -62,41 +67,29 @@ class HierNode final : public sim::SimNode {
   int location() const { return country_; }
 
   HierRole role() const { return cfg_.role; }
-  const overlay::StreamFib& fib() const { return fib_; }
+  const overlay::StreamTable& fib() const { return streams_; }
   bool carries_stream(media::StreamId s) const;
-  const overlay::PacketGopCache& packet_cache() const { return packet_cache_; }
-  bool has_upstream(media::StreamId s) const { return stream_upstream_.count(s) != 0; }
+  const overlay::PacketGopCache& packet_cache() const {
+    return recovery_.cache();
+  }
+  bool has_upstream(media::StreamId s) const {
+    const overlay::StreamContext* ctx = streams_.find_context(s);
+    return ctx != nullptr && ctx->upstream_sub != sim::kNoNode;
+  }
 
  private:
-  struct PendingView {
-    sim::NodeId client = sim::kNoNode;
-    overlay::ViewSession* session = nullptr;
-  };
-  struct ClientViewState {
-    overlay::ViewSession* session = nullptr;
-    media::StreamId stream = media::kNoStream;
-  };
-
   void handle_rtp(sim::NodeId from, const media::RtpPacketPtr& pkt);
   void forward_ordered(const media::RtpPacketPtr& pkt);
-  void handle_view_request(sim::NodeId client,
-                           const overlay::ViewRequest& req);
-  void handle_view_stop(sim::NodeId client, const overlay::ViewStop& msg);
   void handle_publish(sim::NodeId client, const overlay::PublishRequest& req);
-  void handle_publish_stop(sim::NodeId client,
-                           const overlay::PublishStop& msg);
   void handle_subscribe(sim::NodeId from, const HierSubscribe& req);
   void handle_unsubscribe(sim::NodeId from, const HierUnsubscribe& req);
   void handle_map_response(const MapResponse& resp);
 
-  void attach_client(sim::NodeId client, media::StreamId stream,
-                     overlay::ViewSession* session);
+  void serve_client_burst(sim::NodeId client, overlay::ClientViewState& view);
   void subscribe_upstream(media::StreamId stream);
   void maybe_release_stream(media::StreamId stream);
   void release_stream(media::StreamId stream);
 
-  overlay::LinkSender& sender_for(sim::NodeId peer, bool client = false);
-  overlay::LinkReceiver& receiver_for(sim::NodeId peer);
   Duration hop_processing_delay() const;
 
   sim::Network* net_;
@@ -106,18 +99,11 @@ class HierNode final : public sim::SimNode {
   sim::NodeId parent_ = sim::kNoNode;  ///< L2 for L1 (default), center for L2
   int country_ = -1;
 
-  overlay::StreamFib fib_;
-  overlay::PacketGopCache packet_cache_;
-  std::unordered_map<sim::NodeId, std::unique_ptr<overlay::LinkSender>>
-      senders_;
-  std::unordered_map<sim::NodeId, std::unique_ptr<overlay::LinkReceiver>>
-      receivers_;
-  std::unordered_map<sim::NodeId, ClientViewState> client_views_;
-  std::unordered_map<media::StreamId, std::vector<PendingView>>
-      pending_views_;
+  overlay::StreamTable streams_;
+  overlay::PeerSenders senders_;
+  overlay::RecoveryEngine recovery_;
+  overlay::SessionLayer session_;
   std::unordered_map<std::uint64_t, media::StreamId> pending_maps_;
-  std::unordered_map<media::StreamId, sim::NodeId> stream_upstream_;
-  std::unordered_map<media::StreamId, sim::EventId> linger_timers_;
   std::uint64_t next_request_id_ = 1;
 };
 

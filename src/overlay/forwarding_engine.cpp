@@ -1,0 +1,61 @@
+#include "overlay/forwarding_engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "overlay/overlay_node.h"
+#include "overlay/session_layer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace livenet::overlay {
+
+using media::RtpPacketPtr;
+using sim::NodeId;
+
+void ForwardingEngine::fast_forward(NodeId from, const RtpPacketPtr& pkt,
+                                    const StreamContext* ctx) {
+  if (ctx == nullptr || !ctx->fib_active) return;
+  const StreamFib::Entry& entry = ctx->fib;
+  // During a make-before-break path switch both upstreams deliver for a
+  // grace period; only the current upstream's copies are forwarded (the
+  // other still feeds the slow path for caching and recovery).
+  if (!entry.locally_produced && env_->peer_set.count(from) != 0 &&
+      from != entry.upstream) {
+    return;
+  }
+
+  // Snapshot targets now; enqueue after the fast-path processing delay.
+  std::vector<NodeId> nodes(entry.subscriber_nodes.begin(),
+                            entry.subscriber_nodes.end());
+  std::vector<ClientId> clients(entry.subscriber_clients.begin(),
+                                entry.subscriber_clients.end());
+  if (nodes.empty() && clients.empty()) return;
+
+  env_->net->loop()->schedule_after(
+      cfg_->fast_proc_delay,
+      [this, from, pkt, nodes = std::move(nodes),
+       clients = std::move(clients)] {
+        const Time now = env_->net->loop()->now();
+        for (const NodeId n : nodes) {
+          if (n == from) continue;  // never echo upstream
+          auto clone = pkt->fork();
+          clone->delay_ext_us +=
+              cfg_->fast_proc_delay +
+              half_rtt_between(env_->net, env_->self(), n);
+          clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+          egress_meter_.add(now, clone->wire_size());
+          ++fast_forwards_;
+          telemetry::handles().fast_forwards->add();
+          telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
+                                pkt->producer_seq(), env_->self(), n,
+                                telemetry::HopEvent::kForward);
+          senders_->sender_for(n).send_media(std::move(clone));
+        }
+        for (const ClientId c : clients) {
+          session_->deliver_to_client(static_cast<NodeId>(c), pkt);
+        }
+      });
+}
+
+}  // namespace livenet::overlay

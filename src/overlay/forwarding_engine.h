@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "media/rtp.h"
+#include "overlay/node_env.h"
+#include "overlay/peer_senders.h"
+#include "overlay/stream_context.h"
+#include "transport/gcc.h"
+
+// The fast path of a LiveNet node (paper §3): RTP in -> per-subscriber
+// clone -> pacer, after a fixed fast-path processing delay. No
+// reliability work, no reordering, no caching — those are the
+// RecoveryEngine's slow path, fed with a separate copy.
+//
+// The FIB probe happens *before* this engine runs: the façade resolves
+// the packet's StreamContext once per packet and passes it in, so the
+// whole per-packet path costs a single hash lookup (the old monolith
+// paid a second one inside its forwarding step).
+namespace livenet::overlay {
+
+struct OverlayNodeConfig;
+class SessionLayer;
+
+class ForwardingEngine {
+ public:
+  ForwardingEngine(const OverlayNodeConfig* cfg, const NodeEnv* env,
+                   PeerSenders* senders)
+      : cfg_(cfg), env_(env), senders_(senders) {}
+
+  /// Client fan-out target (wired after construction: the session layer
+  /// is built later in the façade's member order).
+  void set_session(SessionLayer* session) { session_ = session; }
+
+  /// Forwards to the context's subscribers. `ctx` may be null or not
+  /// yet forwarding-active (released or still-establishing stream) —
+  /// both mean drop, exactly like the old missing-FIB-entry check.
+  void fast_forward(sim::NodeId from, const media::RtpPacketPtr& pkt,
+                    const StreamContext* ctx);
+
+  /// Node-wide egress accounting (fast path, client delivery, bursts).
+  transport::RateMeter& egress_meter() { return egress_meter_; }
+  const transport::RateMeter& egress_meter() const { return egress_meter_; }
+
+  std::uint64_t fast_forwards() const { return fast_forwards_; }
+
+ private:
+  const OverlayNodeConfig* cfg_;
+  const NodeEnv* env_;
+  PeerSenders* senders_;
+  SessionLayer* session_ = nullptr;
+  transport::RateMeter egress_meter_{1 * kSec};
+  std::uint64_t fast_forwards_ = 0;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/sim_node.h"
+
+// Shared wiring of one overlay node, owned by the OverlayNode façade
+// and read by the engines: network handle, identity, control-plane
+// endpoints and the overlay peer set. Engines hold a const pointer —
+// the façade mutates it through its set_* wiring calls.
+namespace livenet::overlay {
+
+struct NodeEnv {
+  sim::Network* net = nullptr;
+  const sim::SimNode* owner = nullptr;  ///< node_id() source (set late)
+  sim::NodeId brain = sim::kNoNode;
+  sim::NodeId path_service = sim::kNoNode;  ///< defaults to brain
+  std::vector<sim::NodeId> peers;           ///< the other overlay nodes
+  std::unordered_set<sim::NodeId> peer_set;
+  int country = -1;
+
+  sim::NodeId self() const { return owner->node_id(); }
+  sim::NodeId lookup_service() const {
+    return path_service != sim::kNoNode ? path_service : brain;
+  }
+};
+
+/// One-way propagation delay to a directly linked peer (0 if no link).
+inline Duration half_rtt_between(const sim::Network* net, sim::NodeId self,
+                                 sim::NodeId peer) {
+  const sim::Link* l = net->link(self, peer);
+  return l != nullptr ? l->base_rtt() / 2 : 0;
+}
+
+}  // namespace livenet::overlay

@@ -1,8 +1,5 @@
 #include "overlay/overlay_node.h"
 
-#include <algorithm>
-
-#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
 
@@ -18,71 +15,83 @@ OverlayNode::OverlayNode(sim::Network* net, OverlayMetrics* metrics,
     : net_(net),
       metrics_(metrics),
       cfg_(cfg),
-      packet_cache_(cfg.packet_cache_gops, cfg.packet_cache_max_packets) {}
+      senders_(net, this, cfg_.sender),
+      recovery_(net, this,
+                RecoveryEngine::Config{cfg_.receiver, cfg_.packet_cache_gops,
+                                       cfg_.packet_cache_max_packets,
+                                       /*telemetry=*/true}),
+      forwarding_(&cfg_, &env_, &senders_),
+      session_(net, this, metrics,
+               SessionConfig{cfg_.fast_proc_delay, cfg_.switch_stall_threshold,
+                             cfg_.switch_skip_threshold,
+                             /*downgrade_pressure_packets=*/150,
+                             /*eager_view_state=*/true},
+               &streams_),
+      control_(&cfg_, &env_, &streams_, &senders_, &recovery_, &session_,
+               &forwarding_) {
+  env_.net = net;
+  env_.owner = this;
+  wire_engines();
+}
+
+void OverlayNode::wire_engines() {
+  forwarding_.set_session(&session_);
+  session_.wire_data_plane(&senders_, &recovery_,
+                           &forwarding_.egress_meter());
+  SessionLayer::Hooks hooks;
+  hooks.carries_stream = [this](StreamId s) {
+    return control_.carries_stream(s);
+  };
+  hooks.maybe_release = [this](StreamId s) { control_.maybe_release_stream(s); };
+  hooks.want_stream = [this](StreamId s) { control_.request_path(s); };
+  hooks.acquire_local = [this](StreamId s) {
+    return control_.acquire_for_view(s);
+  };
+  hooks.want_stream_for_switch = [this](StreamId s) {
+    control_.fetch_for_switch(s);
+  };
+  hooks.quality_switch = [this](StreamId s) { control_.switch_path(s); };
+  session_.set_hooks(std::move(hooks));
+
+  recovery_.set_hooks(
+      [this](const RtpPacketPtr& pkt) { on_slow_path_delivery(pkt); },
+      [this](StreamId stream) {
+        StreamContext* ctx = streams_.find_context(stream);
+        if (ctx != nullptr && ctx->framer) ctx->framer->on_gap();
+      });
+}
 
 OverlayNode::~OverlayNode() {
   auto* loop = net_->loop();
-  if (report_timer_ != sim::kInvalidEvent) loop->cancel(report_timer_);
-  if (overload_timer_ != sim::kInvalidEvent) loop->cancel(overload_timer_);
-  for (auto& [s, st] : streams_) {
-    if (st.linger_timer != sim::kInvalidEvent) loop->cancel(st.linger_timer);
-  }
+  control_.cancel_timers();
+  streams_.for_each_context([loop](StreamId, StreamContext& ctx) {
+    if (ctx.linger_timer != sim::kInvalidEvent) loop->cancel(ctx.linger_timer);
+  });
 }
 
 void OverlayNode::set_overlay_peers(std::vector<NodeId> peers) {
-  overlay_peers_ = std::move(peers);
-  overlay_peer_set_.clear();
-  overlay_peer_set_.insert(overlay_peers_.begin(), overlay_peers_.end());
-}
-
-void OverlayNode::start_reporting() {
-  if (report_timer_ == sim::kInvalidEvent) {
-    report_state();  // reports immediately, then self-rearms
-  }
-  if (overload_timer_ == sim::kInvalidEvent) {
-    overload_timer_ = net_->loop()->schedule_after(
-        cfg_.overload_check_interval, [this] { check_overload(); });
-  }
+  env_.peers = std::move(peers);
+  env_.peer_set.clear();
+  env_.peer_set.insert(env_.peers.begin(), env_.peers.end());
 }
 
 // ----------------------------------------------------------- fault hooks
 
 void OverlayNode::crash() {
   auto* loop = net_->loop();
-  if (report_timer_ != sim::kInvalidEvent) {
-    loop->cancel(report_timer_);
-    report_timer_ = sim::kInvalidEvent;
-  }
-  if (overload_timer_ != sim::kInvalidEvent) {
-    loop->cancel(overload_timer_);
-    overload_timer_ = sim::kInvalidEvent;
-  }
-  for (auto& [s, st] : streams_) {
-    if (st.linger_timer != sim::kInvalidEvent) loop->cancel(st.linger_timer);
-  }
+  control_.crash_reset();
+  streams_.for_each_context([loop](StreamId, StreamContext& ctx) {
+    if (ctx.linger_timer != sim::kInvalidEvent) loop->cancel(ctx.linger_timer);
+  });
   // Everything below is in-memory process state and dies with the
   // process. Downstream nodes notice the silence through their own
   // quality loops and re-route; they are not notified explicitly.
+  // (Counters and the egress meter survive, as a node's lifetime
+  // totals did before.)
   streams_.clear();
-  fib_ = StreamFib{};
-  packet_cache_ =
-      PacketGopCache(cfg_.packet_cache_gops, cfg_.packet_cache_max_packets);
+  recovery_.reset();
   senders_.clear();
-  receivers_.clear();
-  client_views_.clear();
-  pending_views_.clear();
-  pending_path_reqs_.clear();
-  path_request_sent_.clear();
-  pending_costream_.clear();
-  pending_switch_.clear();
-  overload_alarm_active_ = false;
-}
-
-void OverlayNode::restart() {
-  // Rejoining the overlay is just the normal bring-up: an immediate
-  // state report re-registers the node with Global Discovery, and paths
-  // are pulled lazily as demand arrives.
-  start_reporting();
+  session_.clear();
 }
 
 // --------------------------------------------------------------- dispatch
@@ -94,88 +103,78 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
   }
   if (const auto nack =
           sim::msg_cast<const media::NackMessage>(msg)) {
-    LinkSender& snd = sender_for(from);
+    LinkSender& snd = senders_.sender_for(from);
     const auto unserved =
         snd.on_nack(nack->stream_id, nack->audio, nack->missing);
     // Paper §3: serve remaining holes from the slow path's cached copy
     // (covers packets this node recovered but never fast-forwarded).
     // Only for overlay peers: client-facing flows use rewritten seq
     // numbers that do not index the cache.
-    if (!nack->audio && overlay_peer_set_.count(from) != 0) {
-      for (const media::Seq seq : unserved) {
-        const auto cached = packet_cache_.find_packet(nack->stream_id, seq);
-        if (cached) {
-          telemetry::handles().cache_hits->add();
-          telemetry::record_hop(cached->trace_id(), net_->loop()->now(),
-                                cached->stream_id(), cached->producer_seq(),
-                                node_id(), from,
-                                telemetry::HopEvent::kCacheHit);
-          snd.send_rtx(cached);
-        }
-      }
+    if (!nack->audio && env_.peer_set.count(from) != 0) {
+      recovery_.serve_nack_fallback(snd, from, nack->stream_id, unserved);
     }
     return;
   }
   if (const auto fb =
           sim::msg_cast<const media::CcFeedbackMessage>(msg)) {
-    sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
+    senders_.sender_for(from).on_cc_feedback(fb->remb_bps, fb->loss_fraction);
     return;
   }
   if (const auto view = sim::msg_cast<const ViewRequest>(msg)) {
-    handle_view_request(from, *view);
+    session_.handle_view_request(from, *view);
     return;
   }
   if (const auto stop = sim::msg_cast<const ViewStop>(msg)) {
-    handle_view_stop(from, *stop);
+    session_.handle_view_stop(from, *stop);
     return;
   }
   if (const auto pub = sim::msg_cast<const PublishRequest>(msg)) {
-    handle_publish(from, *pub);
+    control_.handle_publish(from, *pub);
     return;
   }
   if (const auto resp = sim::msg_cast<const PathResponse>(msg)) {
-    handle_path_response(*resp);
+    control_.handle_path_response(*resp);
     return;
   }
   if (const auto push = sim::msg_cast<const PathPush>(msg)) {
-    handle_path_push(*push);
+    control_.handle_path_push(*push);
     return;
   }
   if (const auto sub = sim::msg_cast<const SubscribeRequest>(msg)) {
-    handle_subscribe(from, *sub);
+    control_.handle_subscribe(from, *sub);
     return;
   }
   if (const auto ack = sim::msg_cast<const SubscribeAck>(msg)) {
-    handle_subscribe_ack(from, *ack);
+    control_.handle_subscribe_ack(from, *ack);
     return;
   }
   if (const auto unsub =
           sim::msg_cast<const UnsubscribeRequest>(msg)) {
-    handle_unsubscribe(from, *unsub);
+    control_.handle_unsubscribe(from, *unsub);
     return;
   }
   if (const auto qrep =
           sim::msg_cast<const ClientQualityReport>(msg)) {
-    handle_quality_report(from, *qrep);
+    session_.handle_quality_report(from, *qrep);
     return;
   }
   if (const auto pstop = sim::msg_cast<const PublishStop>(msg)) {
-    handle_publish_stop(from, *pstop);
+    control_.handle_publish_stop(from, *pstop);
     return;
   }
   if (const auto notice =
           sim::msg_cast<const StreamSwitchNotice>(msg)) {
-    handle_switch_notice(from, *notice);
+    control_.handle_switch_notice(from, *notice);
     return;
   }
   if (const auto mig = sim::msg_cast<const ProducerMigrate>(msg)) {
     // Arrived from the (re-homed) broadcaster: relay to the Brain.
-    if (brain_ != sim::kNoNode) net_->send(node_id(), brain_, mig);
+    if (env_.brain != sim::kNoNode) net_->send(node_id(), env_.brain, mig);
     return;
   }
   if (const auto relay =
           sim::msg_cast<const ProducerRelayInstruction>(msg)) {
-    handle_producer_relay(*relay);
+    control_.handle_producer_relay(*relay);
     return;
   }
   LIVENET_LOG(kWarn) << "node " << node_id() << ": unhandled "
@@ -185,11 +184,16 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
 // -------------------------------------------------------------- data path
 
 void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
-  const StreamFib::Entry* entry = fib_.find(pkt_in->stream_id());
-  if (entry == nullptr) return;  // late packet for a released stream
+  // The single per-packet table probe: the resolved context rides along
+  // the whole fast path (the old split maps paid a second FIB probe
+  // inside the forwarding step).
+  StreamContext* ctx = streams_.find_context(pkt_in->stream_id());
+  if (ctx == nullptr || !ctx->fib_active) {
+    return;  // late packet for a released stream
+  }
 
   RtpPacketPtr pkt = pkt_in;
-  if (pkt->cdn_ingress_time == kNever && entry->locally_produced) {
+  if (pkt->cdn_ingress_time == kNever && ctx->fib.locally_produced) {
     // CDN ingress (producer role): stamp entry time and reset hop count.
     auto stamped = pkt_in->fork();
     stamped->cdn_ingress_time = net_->loop()->now();
@@ -201,890 +205,35 @@ void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
   }
 
   if (cfg_.fast_path_enabled) {
-    fast_path_forward(from, pkt);
+    forwarding_.fast_forward(from, pkt, ctx);
   }
-  slow_path_ingest(from, pkt);
-}
-
-void OverlayNode::fast_path_forward(NodeId from, const RtpPacketPtr& pkt) {
-  const StreamFib::Entry* entry = fib_.find(pkt->stream_id());
-  if (entry == nullptr) return;
-  // During a make-before-break path switch both upstreams deliver for a
-  // grace period; only the current upstream's copies are forwarded (the
-  // other still feeds the slow path for caching and recovery).
-  if (!entry->locally_produced && overlay_peer_set_.count(from) != 0 &&
-      from != entry->upstream) {
-    return;
-  }
-
-  // Snapshot targets now; enqueue after the fast-path processing delay.
-  std::vector<NodeId> nodes(entry->subscriber_nodes.begin(),
-                            entry->subscriber_nodes.end());
-  std::vector<ClientId> clients(entry->subscriber_clients.begin(),
-                                entry->subscriber_clients.end());
-  if (nodes.empty() && clients.empty()) return;
-
-  net_->loop()->schedule_after(cfg_.fast_proc_delay, [this, from, pkt,
-                                                      nodes = std::move(nodes),
-                                                      clients = std::move(
-                                                          clients)] {
-    const Time now = net_->loop()->now();
-    for (const NodeId n : nodes) {
-      if (n == from) continue;  // never echo upstream
-      auto clone = pkt->fork();
-      clone->delay_ext_us += cfg_.fast_proc_delay + half_rtt_to(n);
-      clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
-      egress_meter_.add(now, clone->wire_size());
-      ++fast_forwards_;
-      telemetry::handles().fast_forwards->add();
-      telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
-                            pkt->producer_seq(), node_id(), n,
-                            telemetry::HopEvent::kForward);
-      sender_for(n).send_media(std::move(clone));
-    }
-    for (const ClientId c : clients) {
-      const auto cv = client_views_.find(static_cast<NodeId>(c));
-      if (cv == client_views_.end()) continue;
-      send_to_client(static_cast<NodeId>(c), cv->second, pkt);
-    }
-  });
-}
-
-void OverlayNode::send_to_client(NodeId client, ClientViewState& view,
-                                 const RtpPacketPtr& pkt) {
-  LinkSender& snd = sender_for(client);
-  const telemetry::DropReason drop_reason =
-      view.dropper.decide(*pkt, snd.queue_drain_time());
-  const bool forward = drop_reason == telemetry::DropReason::kNone;
-
-  // Delegated bitrate selection (§5.2): a consistently building queue
-  // means the last mile cannot sustain this version; move the client to
-  // the next lower simulcast bitrate. Pressure accrues on every packet
-  // offered (dropped ones included — sustained dropping IS pressure).
-  if (view.dropper.under_pressure()) {
-    if (++view.pressure_count >
-            static_cast<int>(downgrade_pressure_packets_) &&
-        view.ladder_pos + 1 < view.ladder.size()) {
-      ++view.ladder_pos;
-      view.pressure_count = 0;
-      if (view.session != nullptr) ++view.session->bitrate_downgrades;
-      switch_client_stream(client, view.ladder[view.ladder_pos]);
-      return;
-    }
-  } else {
-    view.pressure_count = 0;
-  }
-  if (!forward) {
-    // Proactively dropped (B -> P -> GoP escalation).
-    telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
-                          pkt->stream_id(), pkt->producer_seq(), node_id(),
-                          client, telemetry::HopEvent::kDrop, drop_reason);
-    return;
-  }
-  auto clone = pkt->fork();
-  clone->delay_ext_us += cfg_.fast_proc_delay + half_rtt_to(client);
-  clone->seq = view.take_seq(clone->is_audio());  // client-facing seq space
-  telemetry::handles().client_forwards->add();
-  telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
-                        pkt->stream_id(), pkt->producer_seq(), node_id(),
-                        client, telemetry::HopEvent::kClientForward);
-
-  // Consumer-node log: per-packet CDN path delay + observed path length.
-  if (view.session != nullptr) {
-    if (pkt->cdn_ingress_time != kNever) {
-      const double delay_ms = to_ms(net_->loop()->now() - pkt->cdn_ingress_time);
-      view.session->cdn_delay_ms.add(delay_ms);
-      telemetry::handles().cdn_path_delay_ms->observe(delay_ms);
-      view.session->path_length = pkt->cdn_hops;
-    }
-    if (view.session->first_packet_time == kNever) {
-      view.session->first_packet_time = net_->loop()->now();
-    }
-  }
-  egress_meter_.add(net_->loop()->now(), clone->wire_size());
-  snd.send_media(std::move(clone));
-}
-
-void OverlayNode::slow_path_ingest(NodeId from, const RtpPacketPtr& pkt) {
-  receiver_for(from).on_rtp(pkt);
+  recovery_.ingest(from, pkt);
 }
 
 void OverlayNode::on_slow_path_delivery(const RtpPacketPtr& pkt) {
-  packet_cache_.add(pkt);
-  auto& st = stream_state(pkt->stream_id());
+  recovery_.cache().add(pkt);
+  StreamContext& st = control_.ensure_stream(pkt->stream_id());
   if (st.framer) st.framer->on_packet(*pkt);
-  if (!pending_costream_.empty()) maybe_flip_costream(pkt->stream_id());
+  session_.maybe_flip_costream(pkt->stream_id());
 
   // Views that were queued while a locally-cached path was being
   // established attach as soon as content lands (the lookup-based path
   // attaches via handle_path_response instead).
-  const auto pvit = pending_views_.find(pkt->stream_id());
-  if (pvit != pending_views_.end() && carries_stream(pkt->stream_id())) {
-    auto waiting = std::move(pvit->second);
-    pending_views_.erase(pvit);
-    for (auto& pv : waiting) {
-      attach_client(pv.client, pkt->stream_id(), pv.session);
-    }
-  }
+  session_.flush_pending_attach(pkt->stream_id());
+
   if (!cfg_.fast_path_enabled) {
     // Ablation mode: forward from the ordered output only.
-    const StreamFib::Entry* entry = fib_.find(pkt->stream_id());
-    fast_path_forward(entry != nullptr ? entry->upstream : sim::kNoNode, pkt);
+    const StreamContext* ctx = streams_.find_context(pkt->stream_id());
+    const NodeId from = ctx != nullptr && ctx->fib_active
+                            ? ctx->fib.upstream
+                            : sim::kNoNode;
+    forwarding_.fast_forward(from, pkt, ctx);
   }
-}
-
-// ------------------------------------------------------------ client side
-
-void OverlayNode::handle_view_request(NodeId client, const ViewRequest& req) {
-  ++view_requests_;
-  ViewSession& session = metrics_->new_session();
-  session.stream = req.stream_id;
-  session.consumer = node_id();
-  session.client = client;
-  session.request_time = net_->loop()->now();
-
-  // The per-client state is created up front so that the simulcast
-  // ladder survives a deferred (pending) attach.
-  auto& view = client_views_[client];
-  view.stream = req.stream_id;
-  view.ladder.clear();
-  view.ladder.push_back(req.stream_id);
-  view.ladder.insert(view.ladder.end(), req.fallback_versions.begin(),
-                     req.fallback_versions.end());
-  view.ladder_pos = 0;
-  view.pressure_count = 0;
-
-  // Algorithm 1, line 1: already serving or producing this stream (or a
-  // valid path is already cached locally) -> local hit.
-  if (carries_stream(req.stream_id)) {
-    session.local_hit = true;
-    attach_client(client, req.stream_id, &session);
-    return;
-  }
-  const auto stit = streams_.find(req.stream_id);
-  if (stit != streams_.end() &&
-      (stit->second.establishing ||
-       (paths_fresh(stit->second) && !stit->second.cached_paths.empty()))) {
-    // Path info already on the node (pushed or previously fetched).
-    session.local_hit = true;
-    pending_views_[req.stream_id].push_back(PendingView{client, &session});
-    if (!stit->second.establishing) try_establish(req.stream_id);
-    return;
-  }
-
-  // Miss: queue the view and look the path up at the Streaming Brain.
-  // Concurrent requests for the same stream share a single lookup.
-  pending_views_[req.stream_id].push_back(PendingView{client, &session});
-  request_path(req.stream_id);
-}
-
-void OverlayNode::attach_client(NodeId client, StreamId stream,
-                                ViewSession* session) {
-  auto& view = client_views_[client];
-  // Seamless switch: the client stays on its previous stream until the
-  // new one is actually being served; detach the old one only now.
-  if (view.stream != media::kNoStream && view.stream != stream) {
-    const StreamId old_stream = view.stream;
-    fib_.remove_client_subscriber(old_stream, client);
-    maybe_release_stream(old_stream);
-  }
-  fib_.add_client_subscriber(stream, client);
-  if (session != nullptr) view.session = session;
-  view.stream = stream;
-  auto ack = sim::make_message<ViewAck>();
-  ack->stream_id = stream;
-  ack->ok = true;
-  net_->send(node_id(), client, std::move(ack));
-  serve_startup_burst(client, view);
-}
-
-void OverlayNode::serve_startup_burst(NodeId client, ClientViewState& view) {
-  auto burst = packet_cache_.startup_packets(view.stream);
-  // Shrink the seam between the cache head and the live stream: packets
-  // already received but blocked behind a recovery hole join the burst
-  // (the client's jitter buffer tolerates the remaining holes, which
-  // upstream retransmission fills via the fast path).
-  const StreamFib::Entry* entry = fib_.find(view.stream);
-  if (entry != nullptr && entry->upstream != sim::kNoNode) {
-    const auto rit = receivers_.find(entry->upstream);
-    if (rit != receivers_.end()) {
-      for (auto& pkt : rit->second->buffered_packets(view.stream)) {
-        burst.push_back(std::move(pkt));
-      }
-    }
-  }
-  if (burst.empty()) return;
-  LinkSender& snd = sender_for(client);
-  const Time now = net_->loop()->now();
-  for (const auto& pkt : burst) {
-    auto clone = pkt->fork();
-    // Cached content: exclude from CDN-path-delay sampling (its transit
-    // time is dominated by cache residency, not path quality).
-    clone->cdn_ingress_time = kNever;
-    clone->seq = view.take_seq(clone->is_audio());  // client-facing seq
-    egress_meter_.add(now, clone->wire_size());
-    telemetry::handles().cache_hits->add();
-    telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
-                          pkt->producer_seq(), node_id(), client,
-                          telemetry::HopEvent::kCacheHit);
-    snd.send_media(std::move(clone));
-  }
-  if (view.session != nullptr && view.session->first_packet_time == kNever) {
-    view.session->first_packet_time = now;
-  }
-}
-
-void OverlayNode::handle_view_stop(NodeId client, const ViewStop& msg) {
-  StreamId current = msg.stream_id;
-  const auto it = client_views_.find(client);
-  if (it != client_views_.end()) {
-    if (it->second.session != nullptr) {
-      it->second.session->end_time = net_->loop()->now();
-    }
-    // The consumer may have moved the client to another simulcast
-    // version or co-stream; detach whatever is actually being served.
-    if (it->second.stream != media::kNoStream) current = it->second.stream;
-    client_views_.erase(it);
-  }
-  fib_.remove_client_subscriber(current, client);
-  maybe_release_stream(current);
-  if (current != msg.stream_id) {
-    fib_.remove_client_subscriber(msg.stream_id, client);
-    maybe_release_stream(msg.stream_id);
-  }
-}
-
-void OverlayNode::handle_publish(NodeId client, const PublishRequest& req) {
-  auto& entry = fib_.entry(req.stream_id);
-  entry.locally_produced = true;
-  entry.upstream = sim::kNoNode;
-  stream_state(req.stream_id);  // sets up framer + GoP cache
-  (void)client;
-
-  if (brain_ != sim::kNoNode) {
-    auto reg = sim::make_message<StreamRegister>();
-    reg->stream_id = req.stream_id;
-    reg->producer = node_id();
-    reg->active = true;
-    net_->send(node_id(), brain_, std::move(reg));
-  }
-}
-
-void OverlayNode::handle_quality_report(NodeId client,
-                                        const ClientQualityReport& rep) {
-  const auto it = client_views_.find(client);
-  if (it == client_views_.end()) return;
-  auto& view = it->second;
-  view.stalls_in_window = rep.stalls_since_last;
-
-  // The client cannot tell intentional frame drops (this node's own
-  // proactive dropper) from network damage; discount them before using
-  // the skip count as a path-quality signal.
-  const std::uint64_t dropper_total = view.dropper.total_dropped();
-  const std::uint64_t dropped_window =
-      dropper_total - view.dropper_total_at_report;
-  view.dropper_total_at_report = dropper_total;
-  const std::uint32_t net_skips =
-      rep.skips_since_last > dropped_window
-          ? rep.skips_since_last - static_cast<std::uint32_t>(dropped_window)
-          : 0;
-
-  // Poor quality — stalls or unrecoverable network gaps — triggers a
-  // switch to an alternative path (§4.4): a burst immediately,
-  // sustained degradation after consecutive bad windows.
-  const bool bad = rep.stalls_since_last > 0 ||
-                   net_skips >= cfg_.switch_skip_threshold;
-  view.bad_quality_windows = bad ? view.bad_quality_windows + 1 : 0;
-  if (rep.stalls_since_last >= cfg_.switch_stall_threshold ||
-      net_skips >= cfg_.switch_skip_threshold ||
-      view.bad_quality_windows >= 5) {
-    view.bad_quality_windows = 0;
-    switch_path(view.stream);
-  }
-}
-
-void OverlayNode::handle_publish_stop(NodeId client, const PublishStop& msg) {
-  (void)client;
-  const StreamFib::Entry* entry = fib_.find(msg.stream_id);
-  if (entry == nullptr || !entry->locally_produced) return;
-  if (brain_ != sim::kNoNode) {
-    auto reg = sim::make_message<StreamRegister>();
-    reg->stream_id = msg.stream_id;
-    reg->producer = node_id();
-    reg->active = false;
-    net_->send(node_id(), brain_, std::move(reg));
-  }
-  release_stream(msg.stream_id);
-}
-
-void OverlayNode::handle_switch_notice(NodeId from,
-                                       const StreamSwitchNotice& msg) {
-  // A notice arriving from a client (the broadcaster app) is fanned out
-  // across the overlay: the producer relays it to every CDN node.
-  if (overlay_peer_set_.count(from) == 0 && from != brain_) {
-    for (const NodeId peer : overlay_peers_) {
-      if (peer == node_id()) continue;
-      auto copy = sim::make_message<StreamSwitchNotice>(msg);
-      net_->send(node_id(), peer, std::move(copy));
-    }
-  }
-  // Only consumers with viewers on the old stream act on it.
-  const StreamFib::Entry* entry = fib_.find(msg.from_stream);
-  if (entry == nullptr || entry->subscriber_clients.empty()) return;
-  pending_costream_[msg.to_stream] = msg.from_stream;
-
-  // Subscribe to the new stream on the clients' behalf.
-  if (!carries_stream(msg.to_stream)) {
-    auto stit = streams_.find(msg.to_stream);
-    const bool can_establish = stit != streams_.end() &&
-                               paths_fresh(stit->second) &&
-                               !stit->second.cached_paths.empty();
-    if (can_establish) {
-      try_establish(msg.to_stream);
-    } else {
-      request_path(msg.to_stream);
-    }
-  } else {
-    maybe_flip_costream(msg.to_stream);
-  }
-}
-
-void OverlayNode::maybe_flip_costream(StreamId new_stream) {
-  const auto pcit = pending_costream_.find(new_stream);
-  if (pcit == pending_costream_.end()) return;
-  if (!packet_cache_.has_content(new_stream)) return;  // wait for a GoP
-  const StreamId old_stream = pcit->second;
-  pending_costream_.erase(pcit);
-
-  std::vector<NodeId> to_flip;
-  const StreamFib::Entry* old_entry = fib_.find(old_stream);
-  if (old_entry != nullptr) {
-    to_flip.assign(old_entry->subscriber_clients.begin(),
-                   old_entry->subscriber_clients.end());
-  }
-  for (const NodeId c : to_flip) {
-    const auto cv = client_views_.find(c);
-    if (cv != client_views_.end() && cv->second.session != nullptr) {
-      ++cv->second.session->costream_switches;
-    }
-    switch_client_stream(c, new_stream);
-  }
-}
-
-void OverlayNode::switch_client_stream(NodeId client, StreamId new_stream) {
-  auto it = client_views_.find(client);
-  if (it == client_views_.end()) return;
-  const StreamId old_stream = it->second.stream;
-  if (old_stream == new_stream) return;
-
-  if (carries_stream(new_stream)) {
-    // attach_client performs the seamless old->new handover.
-    attach_client(client, new_stream, it->second.session);
-    return;
-  }
-  // Fetch the new stream first; the client keeps receiving the old one
-  // until content lands (the pending-view attach does the handover).
-  pending_views_[new_stream].push_back(
-      PendingView{client, it->second.session});
-  auto stit = streams_.find(new_stream);
-  const bool can_establish = stit != streams_.end() &&
-                             paths_fresh(stit->second) &&
-                             !stit->second.cached_paths.empty();
-  if (can_establish) {
-    if (!stit->second.establishing) try_establish(new_stream);
-  } else {
-    request_path(new_stream);
-  }
-}
-
-void OverlayNode::handle_producer_relay(const ProducerRelayInstruction& msg) {
-  // §7.1: the broadcaster moved to another producer. This node stops
-  // being the producer and becomes a relay fed by the new one; its
-  // existing downstream subscribers and viewers are untouched.
-  auto& entry = fib_.entry(msg.stream_id);
-  if (!entry.locally_produced) return;
-  entry.locally_produced = false;
-  entry.upstream = msg.new_producer;
-  stream_state(msg.stream_id).establishing = true;
-  auto sub = sim::make_message<SubscribeRequest>();
-  sub->stream_id = msg.stream_id;
-  net_->send(node_id(), msg.new_producer, std::move(sub));
-}
-
-// ------------------------------------------------------------ path lookup
-
-void OverlayNode::request_path(StreamId stream) {
-  if (path_request_sent_.count(stream) != 0) return;  // lookup in flight
-  const sim::NodeId svc =
-      path_service_ != sim::kNoNode ? path_service_ : brain_;
-  if (svc == sim::kNoNode) return;
-  const std::uint64_t id = next_request_id_++;
-  pending_path_reqs_[id] = stream;
-  path_request_sent_[stream] = net_->loop()->now();
-  auto req = sim::make_message<PathRequest>();
-  req->request_id = id;
-  req->stream_id = stream;
-  req->consumer = node_id();
-  net_->send(node_id(), svc, std::move(req));
-
-  // A request (or its response) lost on the wire — a controller outage,
-  // a flapping link — would otherwise wedge the stream forever: the
-  // in-flight guard above dedupes every later attempt against a lookup
-  // that can no longer complete. Time the request out and retry while
-  // anything still wants the stream.
-  net_->loop()->schedule_after(cfg_.path_request_timeout, [this, id, stream] {
-    const auto idit = pending_path_reqs_.find(id);
-    if (idit == pending_path_reqs_.end() || idit->second != stream) {
-      return;  // answered (or wiped by a crash) in the meantime
-    }
-    pending_path_reqs_.erase(idit);
-    path_request_sent_.erase(stream);
-    if (!stream_still_wanted(stream)) return;
-    request_path(stream);
-  });
-}
-
-bool OverlayNode::stream_still_wanted(StreamId stream) const {
-  if (pending_views_.count(stream) != 0 ||
-      pending_switch_.count(stream) != 0 ||
-      pending_costream_.count(stream) != 0) {
-    return true;
-  }
-  const StreamFib::Entry* e = fib_.find(stream);
-  return e != nullptr && !e->locally_produced && e->has_subscribers() &&
-         e->upstream == sim::kNoNode;
-}
-
-void OverlayNode::handle_path_response(const PathResponse& resp) {
-  const auto idit = pending_path_reqs_.find(resp.request_id);
-  if (idit == pending_path_reqs_.end()) return;
-  const StreamId stream = idit->second;
-  pending_path_reqs_.erase(idit);
-
-  Duration rtt = kNever;
-  const auto sentit = path_request_sent_.find(stream);
-  if (sentit != path_request_sent_.end()) {
-    rtt = net_->loop()->now() - sentit->second;
-    path_request_sent_.erase(sentit);
-  }
-
-  auto& st = stream_state(stream);
-  auto pvit = pending_views_.find(stream);
-
-  if (resp.paths.empty()) {
-    // No viable path: fail all waiting views.
-    if (pvit != pending_views_.end()) {
-      for (auto& pv : pvit->second) {
-        pv.session->failed = true;
-        pv.session->path_response_rtt = rtt;
-        auto ack = sim::make_message<ViewAck>();
-        ack->stream_id = stream;
-        ack->ok = false;
-        net_->send(node_id(), pv.client, std::move(ack));
-      }
-      pending_views_.erase(pvit);
-    }
-    maybe_release_stream(stream);
-    return;
-  }
-
-  st.cached_paths = resp.paths;
-  st.paths_fetched = net_->loop()->now();
-  st.next_backup = 1;
-
-  // A quality-triggered switch was waiting for fresh candidates; the
-  // new best path (index 0) is considered too.
-  if (pending_switch_.erase(stream) != 0) {
-    st.next_backup = 0;
-    st.last_switch = kNever;  // the cooldown was consumed pre-lookup
-    switch_path(stream);
-    if (pending_switch_.count(stream) != 0 && !st.cached_paths.empty()) {
-      // Even the refreshed candidates all funnel through the current
-      // upstream, so switch_path skipped every one of them. If the feed
-      // died because that hop lost its state (crash + restart), only a
-      // re-subscription through it can revive the stream — re-establish
-      // over the best path; a healthy upstream treats it as a refresh.
-      pending_switch_.erase(stream);
-      st.last_switch = net_->loop()->now();
-      establish_via_path(stream, st.cached_paths.front());
-    }
-  }
-
-  if (pvit != pending_views_.end()) {
-    for (auto& pv : pvit->second) {
-      pv.session->path_response_rtt = rtt;
-      pv.session->last_resort = resp.last_resort;
-      attach_client(pv.client, stream, pv.session);
-    }
-    pending_views_.erase(pvit);
-  }
-  if (!carries_stream(stream) && !st.establishing) {
-    try_establish(stream);
-  }
-}
-
-void OverlayNode::handle_path_push(const PathPush& push) {
-  auto& st = stream_state(push.stream_id);
-  st.cached_paths = push.paths;
-  st.paths_fetched = net_->loop()->now();
-  st.next_backup = 1;
-}
-
-bool OverlayNode::paths_fresh(const StreamState& st) const {
-  return st.paths_fetched != kNever &&
-         net_->loop()->now() - st.paths_fetched <= cfg_.path_cache_ttl;
-}
-
-// --------------------------------------------------------- establishment
-
-bool OverlayNode::try_establish(StreamId stream) {
-  auto& st = stream_state(stream);
-  if (!paths_fresh(st) || st.cached_paths.empty()) return false;
-  establish_via_path(stream, st.cached_paths.front());
-  return true;
-}
-
-void OverlayNode::establish_via_path(StreamId stream, const Path& path) {
-  if (path.size() < 2) {
-    // 0-length path: this node is the producer; nothing to establish.
-    return;
-  }
-  if (path.back() != node_id()) {
-    LIVENET_LOG(kWarn) << "node " << node_id()
-                       << ": path does not end here: " << to_string(path);
-    return;
-  }
-  auto& entry = fib_.entry(stream);
-  auto& st = stream_state(stream);
-  const NodeId upstream = path[path.size() - 2];
-  entry.upstream = upstream;
-  st.establishing = true;
-
-  auto req = sim::make_message<SubscribeRequest>();
-  req->stream_id = stream;
-  // Remaining reverse route for the upstream hop: next hops toward the
-  // producer, nearest first.
-  for (std::size_t i = path.size() - 2; i-- > 0;) {
-    req->remaining_reverse_path.push_back(path[i]);
-  }
-  net_->send(node_id(), upstream, std::move(req));
-}
-
-void OverlayNode::handle_subscribe(NodeId from, const SubscribeRequest& req) {
-  fib_.add_node_subscriber(req.stream_id, from);
-  sender_for(from);  // make sure the hop sender exists
-
-  auto& entry = fib_.entry(req.stream_id);
-  const bool anchored = entry.locally_produced ||
-                        entry.upstream != sim::kNoNode;
-
-  auto ack = sim::make_message<SubscribeAck>();
-  ack->stream_id = req.stream_id;
-  ack->ok = true;
-
-  if (anchored) {
-    // Cache hit (§4.4): stop backtracking; serve from here. This is the
-    // source of the long-chain problem when our own upstream chain is
-    // longer than the path the Brain returned to the requester.
-    ack->cache_hit = !entry.locally_produced;
-    net_->send(node_id(), from, std::move(ack));
-
-    // Burst cached content so the downstream node fills its GoP cache.
-    if (packet_cache_.has_content(req.stream_id)) {
-      LinkSender& snd = sender_for(from);
-      const Time now = net_->loop()->now();
-      for (const auto& pkt : packet_cache_.startup_packets(req.stream_id)) {
-        auto clone = pkt->fork();
-        clone->cdn_ingress_time = kNever;  // cached: not a path-delay sample
-        clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
-        egress_meter_.add(now, clone->wire_size());
-        telemetry::handles().cache_hits->add();
-        telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
-                              pkt->producer_seq(), node_id(), from,
-                              telemetry::HopEvent::kCacheHit);
-        snd.send_media(std::move(clone));
-      }
-    }
-    return;
-  }
-
-  // Not carrying the stream: continue backtracking toward the producer.
-  if (req.remaining_reverse_path.empty()) {
-    ack->ok = false;
-    net_->send(node_id(), from, std::move(ack));
-    fib_.remove_node_subscriber(req.stream_id, from);
-    maybe_release_stream(req.stream_id);
-    return;
-  }
-  net_->send(node_id(), from, std::move(ack));
-
-  auto& st = stream_state(req.stream_id);
-  const NodeId upstream = req.remaining_reverse_path.front();
-  entry.upstream = upstream;
-  st.establishing = true;
-  auto fwd = sim::make_message<SubscribeRequest>();
-  fwd->stream_id = req.stream_id;
-  fwd->remaining_reverse_path.assign(req.remaining_reverse_path.begin() + 1,
-                                     req.remaining_reverse_path.end());
-  net_->send(node_id(), upstream, std::move(fwd));
-}
-
-void OverlayNode::handle_subscribe_ack(NodeId from, const SubscribeAck& ack) {
-  (void)from;
-  auto& st = stream_state(ack.stream_id);
-  st.establishing = false;
-  if (!ack.ok) {
-    // Upstream could not anchor the subscription; retry via lookup.
-    auto& entry = fib_.entry(ack.stream_id);
-    entry.upstream = sim::kNoNode;
-    if (fib_.find(ack.stream_id) != nullptr &&
-        fib_.find(ack.stream_id)->has_subscribers()) {
-      request_path(ack.stream_id);
-    }
-  }
-}
-
-void OverlayNode::handle_unsubscribe(NodeId from,
-                                     const UnsubscribeRequest& req) {
-  fib_.remove_node_subscriber(req.stream_id, from);
-  maybe_release_stream(req.stream_id);
-}
-
-void OverlayNode::maybe_release_stream(StreamId stream) {
-  const StreamFib::Entry* entry = fib_.find(stream);
-  if (entry == nullptr || entry->locally_produced) return;
-  if (entry->has_subscribers()) return;
-
-  auto& st = stream_state(stream);
-  if (st.linger_timer != sim::kInvalidEvent) return;  // already scheduled
-  st.linger_timer = net_->loop()->schedule_after(
-      cfg_.unsubscribe_linger, [this, stream] {
-        auto stit = streams_.find(stream);
-        if (stit != streams_.end()) {
-          stit->second.linger_timer = sim::kInvalidEvent;
-        }
-        const StreamFib::Entry* e = fib_.find(stream);
-        if (e == nullptr || e->locally_produced || e->has_subscribers()) {
-          return;  // a subscriber came back during the linger window
-        }
-        release_stream(stream);
-      });
-}
-
-void OverlayNode::release_stream(StreamId stream) {
-  const StreamFib::Entry* entry = fib_.find(stream);
-  if (entry != nullptr && entry->upstream != sim::kNoNode) {
-    auto unsub = sim::make_message<UnsubscribeRequest>();
-    unsub->stream_id = stream;
-    net_->send(node_id(), entry->upstream, std::move(unsub));
-    const auto rit = receivers_.find(entry->upstream);
-    if (rit != receivers_.end()) rit->second->forget_stream(stream);
-  }
-  for (auto& [peer, snd] : senders_) snd->forget_stream(stream);
-  packet_cache_.forget_stream(stream);
-  fib_.erase(stream);
-  const auto stit = streams_.find(stream);
-  if (stit != streams_.end()) {
-    if (stit->second.linger_timer != sim::kInvalidEvent) {
-      net_->loop()->cancel(stit->second.linger_timer);
-    }
-    streams_.erase(stit);
-  }
-  pending_views_.erase(stream);
-}
-
-void OverlayNode::switch_path(StreamId stream) {
-  auto stit = streams_.find(stream);
-  if (stit == streams_.end()) return;
-  auto& st = stit->second;
-  const StreamFib::Entry* entry = fib_.find(stream);
-  if (entry == nullptr || entry->locally_produced) return;
-
-  // Hysteresis: switching tears the stream down and back up; never flap
-  // faster than the cooldown.
-  const Time now = net_->loop()->now();
-  if (st.last_switch != kNever && now - st.last_switch < cfg_.switch_cooldown) {
-    return;
-  }
-
-  // Find the next backup candidate that actually changes the upstream
-  // hop (candidates sharing the bad upstream gain nothing).
-  if (paths_fresh(st)) {
-    const NodeId old_upstream = entry->upstream;
-    while (st.next_backup < st.cached_paths.size()) {
-      const Path next = st.cached_paths[st.next_backup++];
-      if (next.size() >= 2 && next[next.size() - 2] == old_upstream) {
-        continue;
-      }
-      st.last_switch = now;
-      // Make-before-break (§7.1): establish the new path first; the old
-      // subscription lingers for a grace period so content never gaps.
-      establish_via_path(stream, next);
-      if (old_upstream != sim::kNoNode) {
-        net_->loop()->schedule_after(3 * kSec, [this, stream, old_upstream] {
-          const StreamFib::Entry* e = fib_.find(stream);
-          if (e == nullptr || e->upstream == old_upstream) return;
-          auto unsub = sim::make_message<UnsubscribeRequest>();
-          unsub->stream_id = stream;
-          net_->send(node_id(), old_upstream, std::move(unsub));
-          const auto rit = receivers_.find(old_upstream);
-          if (rit != receivers_.end()) rit->second->forget_stream(stream);
-        });
-      }
-      for (auto& [client, view] : client_views_) {
-        if (view.stream == stream && view.session != nullptr) {
-          ++view.session->path_switches;
-        }
-      }
-      return;
-    }
-  }
-  // Out of usable candidates: ask the Brain for the current best and
-  // complete the switch when the response lands.
-  pending_switch_.insert(stream);
-  request_path(stream);
-}
-
-// ---------------------------------------------------------- node plumbing
-
-LinkSender& OverlayNode::sender_for(NodeId peer) {
-  auto it = senders_.find(peer);
-  if (it == senders_.end()) {
-    it = senders_
-             .emplace(peer, std::make_unique<LinkSender>(net_, node_id(),
-                                                         peer, cfg_.sender))
-             .first;
-  }
-  return *it->second;
-}
-
-LinkReceiver& OverlayNode::receiver_for(NodeId peer) {
-  auto it = receivers_.find(peer);
-  if (it == receivers_.end()) {
-    it = receivers_
-             .emplace(peer,
-                      std::make_unique<LinkReceiver>(
-                          net_, node_id(), peer,
-                          [this](const RtpPacketPtr& pkt) {
-                            on_slow_path_delivery(pkt);
-                          },
-                          [this](StreamId stream) {
-                            auto stit = streams_.find(stream);
-                            if (stit != streams_.end() &&
-                                stit->second.framer) {
-                              stit->second.framer->on_gap();
-                            }
-                          },
-                          cfg_.receiver))
-             .first;
-  }
-  return *it->second;
-}
-
-OverlayNode::StreamState& OverlayNode::stream_state(StreamId s) {
-  auto it = streams_.find(s);
-  if (it == streams_.end()) {
-    it = streams_.emplace(s, StreamState{}).first;
-    auto& st = it->second;
-    st.gop_cache = media::GopCache(cfg_.frame_cache_gops);
-    st.framer = std::make_unique<media::Framer>(
-        [this, s](const media::Frame& f) {
-          auto stit = streams_.find(s);
-          if (stit != streams_.end()) stit->second.gop_cache.add_frame(f);
-        });
-  }
-  return it->second;
-}
-
-Duration OverlayNode::half_rtt_to(NodeId peer) const {
-  const sim::Link* l = net_->link(node_id(), peer);
-  return l != nullptr ? l->base_rtt() / 2 : 0;
-}
-
-bool OverlayNode::carries_stream(StreamId s) const {
-  const StreamFib::Entry* e = fib_.find(s);
-  if (e == nullptr) return false;
-  if (e->locally_produced) return true;
-  return e->upstream != sim::kNoNode && packet_cache_.has_content(s);
 }
 
 const media::GopCache* OverlayNode::gop_cache(StreamId s) const {
-  const auto it = streams_.find(s);
-  return it != streams_.end() ? &it->second.gop_cache : nullptr;
-}
-
-double OverlayNode::node_load() const {
-  const double rate_load =
-      egress_meter_.rate_bps(net_->loop()->now()) / cfg_.node_capacity_bps;
-  const double stream_load = static_cast<double>(fib_.stream_count()) /
-                             static_cast<double>(cfg_.max_streams);
-  return std::min(1.0, std::max(rate_load, stream_load));
-}
-
-// ------------------------------------------------------ discovery reports
-
-void OverlayNode::report_state() {
-  report_timer_ = net_->loop()->schedule_after(cfg_.report_interval,
-                                               [this] { report_state(); });
-  if (brain_ == sim::kNoNode) return;
-  if (!rng_seeded_) {
-    rng_.reseed(0xD15C0 + static_cast<std::uint64_t>(node_id()));
-    rng_seeded_ = true;
-  }
-  auto report = sim::make_message<NodeStateReport>();
-  report->node = node_id();
-  report->node_load = node_load();
-  report->links.reserve(overlay_peers_.size());
-  for (const NodeId peer : overlay_peers_) {
-    if (peer == node_id()) continue;
-    const sim::Link* l = net_->link(node_id(), peer);
-    if (l == nullptr) continue;
-    LinkReport lr;
-    lr.to = peer;
-    // §4.2: links that carried traffic recently report transport-layer
-    // statistics (near ground truth); idle links are actively probed
-    // with a few UDP-ping packets, a noisier estimate.
-    lr.actively_measured = l->stats().packets_sent == 0;
-    const double rtt_noise =
-        lr.actively_measured ? rng_.uniform(0.95, 1.08) : 1.0;
-    lr.rtt = static_cast<Duration>(
-        static_cast<double>(l->base_rtt()) * rtt_noise);
-    // A few-packet ping cannot observe sub-percent loss at all. Loaded
-    // links report what the wire currently does to packets — including
-    // any injected degradation — not the nominal configuration.
-    lr.loss_rate = lr.actively_measured ? 0.0 : l->effective_loss_rate();
-    lr.utilization = l->utilization();
-    report->links.push_back(lr);
-  }
-  net_->send(node_id(), brain_, std::move(report));
-}
-
-void OverlayNode::check_overload() {
-  overload_timer_ = net_->loop()->schedule_after(
-      cfg_.overload_check_interval, [this] { check_overload(); });
-  if (brain_ == sim::kNoNode) return;
-
-  const double load = node_load();
-  std::vector<NodeId> hot_links;
-  for (const NodeId peer : overlay_peers_) {
-    if (peer == node_id()) continue;
-    const sim::Link* l = net_->link(node_id(), peer);
-    if (l != nullptr && l->utilization() >= cfg_.overload_threshold) {
-      hot_links.push_back(peer);
-    }
-  }
-  const bool overloaded =
-      load >= cfg_.overload_threshold || !hot_links.empty();
-  if (overloaded && !overload_alarm_active_) {
-    overload_alarm_active_ = true;
-    auto alarm = sim::make_message<OverloadAlarm>();
-    alarm->node = node_id();
-    alarm->node_load = load;
-    alarm->overloaded_links = std::move(hot_links);
-    net_->send(node_id(), brain_, std::move(alarm));
-  } else if (!overloaded && load < 0.9 * cfg_.overload_threshold) {
-    overload_alarm_active_ = false;  // hysteresis re-arm
-  }
+  const StreamContext* ctx = streams_.find_context(s);
+  return ctx != nullptr && ctx->has_media() ? &ctx->gop_cache : nullptr;
 }
 
 }  // namespace livenet::overlay

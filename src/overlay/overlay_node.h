@@ -1,24 +1,23 @@
 #pragma once
 
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "media/framer.h"
 #include "media/gop_cache.h"
 #include "media/rtp.h"
-#include "overlay/frame_dropper.h"
+#include "overlay/control_agent.h"
+#include "overlay/forwarding_engine.h"
 #include "overlay/link_receiver.h"
 #include "overlay/link_sender.h"
 #include "overlay/messages.h"
+#include "overlay/node_env.h"
 #include "overlay/packet_cache.h"
+#include "overlay/peer_senders.h"
 #include "overlay/records.h"
-#include "overlay/stream_fib.h"
+#include "overlay/recovery_engine.h"
+#include "overlay/session_layer.h"
+#include "overlay/stream_context.h"
 #include "sim/network.h"
 #include "sim/sim_node.h"
-#include "transport/gcc.h"
-#include "util/rng.h"
 
 // A LiveNet overlay CDN node (paper §3, §5). Every node implements the
 // full role set — producer (ingests broadcaster uploads), relay
@@ -26,13 +25,20 @@
 // fine-grained stream control) — with the role decided per stream by
 // how traffic reaches it, exactly as in the flat-CDN design.
 //
-// The data plane is the paper's fast/slow path split:
-//  * fast path: RTP in -> Stream FIB lookup -> per-subscriber clone ->
-//    pacer. No reliability work, no reordering, no caching.
-//  * slow path: a copy of the packet enters the per-upstream receive
-//    buffer (hole detection -> NACK every 50 ms; GCC receiver feeding
-//    rate feedback upstream), is delivered in order to framing, and
-//    lands in the GoP caches. Slow-path copies are never forwarded.
+// OverlayNode itself is a thin façade: it owns the wiring and the
+// message dispatch, and delegates to four collaborating layers (see
+// DESIGN.md "Node architecture"):
+//  * ForwardingEngine — the fast path: RTP in -> one StreamContext
+//    probe -> per-subscriber clone -> pacer.
+//  * RecoveryEngine — the slow path: per-upstream receive buffers
+//    (hole detection -> NACK every 50 ms; GCC receiver feedback),
+//    packet-granularity GoP cache, retransmit serving.
+//  * ControlAgent — the Brain protocol and timers: path lookups,
+//    subscriptions, path switches, stream lifecycle, state reports.
+//  * SessionLayer — client views, startup bursts, the simulcast
+//    ladder, quality-driven switching, per-client seq rewrite.
+// All per-stream state lives in one StreamContext per stream, behind
+// the single StreamTable lookup the engines share.
 namespace livenet::overlay {
 
 struct OverlayNodeConfig {
@@ -73,176 +79,74 @@ class OverlayNode final : public sim::SimNode {
   // ------------------------------------------------------------- wiring
 
   /// Brain endpoint for registrations / reports / alarms.
-  void set_brain(sim::NodeId brain) { brain_ = brain; }
+  void set_brain(sim::NodeId brain) { env_.brain = brain; }
 
   /// Endpoint serving path lookups: the primary Brain by default, or a
   /// nearby Path Decision replica (§7.1).
-  void set_path_service(sim::NodeId svc) { path_service_ = svc; }
+  void set_path_service(sim::NodeId svc) { env_.path_service = svc; }
 
   /// The other overlay CDN nodes (for state reports over the mesh).
   void set_overlay_peers(std::vector<sim::NodeId> peers);
 
   /// Geographic location tag (country index) used by the evaluation.
-  void set_location(int country) { country_ = country; }
-  int location() const { return country_; }
+  void set_location(int country) { env_.country = country; }
+  int location() const { return env_.country; }
 
   /// Starts the periodic Global Discovery reporting loop.
-  void start_reporting();
+  void start_reporting() { control_.start_reporting(); }
 
-  /// Fault injection: wipes all soft state (streams, FIB, caches,
-  /// per-peer pipelines, pending views and lookups) as a process crash
-  /// would. The node object stays registered in the network; restart()
-  /// brings it back.
+  /// Fault injection: wipes all soft state (stream contexts incl. the
+  /// FIB, caches, per-peer pipelines, client views, pending views and
+  /// lookups) as a process crash would. The node object stays
+  /// registered in the network; restart() brings it back.
   void crash();
 
   /// Fault injection: restarts a crashed node. It re-registers with the
   /// Brain (state report) and re-learns paths on demand, exactly like a
   /// freshly provisioned node.
-  void restart();
+  void restart() { control_.start_reporting(); }
 
-  // ----------------------------------------------------------- obervers
+  // ----------------------------------------------------------- observers
 
-  const StreamFib& fib() const { return fib_; }
-  double node_load() const;
-  std::uint64_t fast_path_forwards() const { return fast_forwards_; }
-  std::uint64_t view_requests() const { return view_requests_; }
-  const PacketGopCache& packet_cache() const { return packet_cache_; }
+  /// FIB view of the stream table (find/contains/stream_count see only
+  /// streams with an active forwarding entry).
+  const StreamTable& fib() const { return streams_; }
+  double node_load() const { return control_.node_load(); }
+  std::uint64_t fast_path_forwards() const {
+    return forwarding_.fast_forwards();
+  }
+  std::uint64_t view_requests() const { return session_.view_requests(); }
+  const PacketGopCache& packet_cache() const { return recovery_.cache(); }
   const media::GopCache* gop_cache(media::StreamId s) const;
   const OverlayNodeConfig& config() const { return cfg_; }
 
   /// Whether this node currently carries the stream (producer or
   /// established subscription).
-  bool carries_stream(media::StreamId s) const;
+  bool carries_stream(media::StreamId s) const {
+    return control_.carries_stream(s);
+  }
 
   /// Sender pipeline toward a peer (node or client); nullptr if none.
   const LinkSender* sender_to(sim::NodeId peer) const {
-    const auto it = senders_.find(peer);
-    return it != senders_.end() ? it->second.get() : nullptr;
+    return senders_.find(peer);
   }
 
  private:
-  struct StreamState {
-    std::unique_ptr<media::Framer> framer;
-    media::GopCache gop_cache;
-    bool establishing = false;
-    std::vector<Path> cached_paths;  ///< local path cache (lookup or push)
-    Time paths_fetched = kNever;
-    Time last_switch = kNever;       ///< re-route cooldown
-    std::size_t next_backup = 1;     ///< next candidate on quality switch
-    sim::EventId linger_timer = sim::kInvalidEvent;
-  };
-
-  struct ClientViewState {
-    ViewSession* session = nullptr;  ///< owned by OverlayMetrics
-    media::StreamId stream = media::kNoStream;
-    FrameDropper dropper;
-    std::uint32_t stalls_in_window = 0;
-    int bad_quality_windows = 0;  ///< consecutive poor quality reports
-    std::uint64_t dropper_total_at_report = 0;  ///< for skip discounting
-    std::vector<media::StreamId> ladder;  ///< simulcast versions, best first
-    std::size_t ladder_pos = 0;
-    int pressure_count = 0;  ///< consecutive under-pressure packets
-
-    /// Client-facing RTP seq spaces (video/audio are separate flows).
-    /// The consumer rewrites sequence numbers per client so that
-    /// proactive frame drops and cache-burst seams do not look like
-    /// wire loss to the client's NACK machinery.
-    media::Seq next_video_seq = 1;
-    media::Seq next_audio_seq = 1;
-
-    media::Seq take_seq(bool audio) {
-      return audio ? next_audio_seq++ : next_video_seq++;
-    }
-  };
-
-  struct PendingView {
-    sim::NodeId client = sim::kNoNode;
-    ViewSession* session = nullptr;
-  };
-
-  // Message handlers.
   void handle_rtp(sim::NodeId from, const media::RtpPacketPtr& pkt);
-  void handle_view_request(sim::NodeId client, const ViewRequest& req);
-  void handle_view_stop(sim::NodeId client, const ViewStop& msg);
-  void handle_publish(sim::NodeId client, const PublishRequest& req);
-  void handle_path_response(const PathResponse& resp);
-  void handle_path_push(const PathPush& push);
-  void handle_subscribe(sim::NodeId from, const SubscribeRequest& req);
-  void handle_subscribe_ack(sim::NodeId from, const SubscribeAck& ack);
-  void handle_unsubscribe(sim::NodeId from, const UnsubscribeRequest& req);
-  void handle_quality_report(sim::NodeId client,
-                             const ClientQualityReport& rep);
-  void handle_publish_stop(sim::NodeId client, const PublishStop& msg);
-  void handle_producer_relay(const ProducerRelayInstruction& msg);
-  void handle_switch_notice(sim::NodeId from, const StreamSwitchNotice& msg);
-
-  /// Moves a client to another stream (bitrate downgrade or co-stream
-  /// switch), reusing its session record.
-  void switch_client_stream(sim::NodeId client, media::StreamId new_stream);
-
-  /// Flips waiting co-stream viewers once a complete GoP of the new
-  /// stream is cached.
-  void maybe_flip_costream(media::StreamId new_stream);
-
-  // Fast/slow path internals.
-  void fast_path_forward(sim::NodeId from, const media::RtpPacketPtr& pkt);
-  void slow_path_ingest(sim::NodeId from, const media::RtpPacketPtr& pkt);
   void on_slow_path_delivery(const media::RtpPacketPtr& pkt);
-  void send_to_client(sim::NodeId client, ClientViewState& view,
-                      const media::RtpPacketPtr& pkt);
-
-  // Control internals.
-  void attach_client(sim::NodeId client, media::StreamId stream,
-                     ViewSession* session);
-  void serve_startup_burst(sim::NodeId client, ClientViewState& view);
-  bool try_establish(media::StreamId stream);
-  void establish_via_path(media::StreamId stream, const Path& path);
-  void request_path(media::StreamId stream);
-  bool stream_still_wanted(media::StreamId stream) const;
-  void maybe_release_stream(media::StreamId stream);
-  void release_stream(media::StreamId stream);
-  void switch_path(media::StreamId stream);
-  void report_state();
-  void check_overload();
-
-  LinkSender& sender_for(sim::NodeId peer);
-  LinkReceiver& receiver_for(sim::NodeId peer);
-  StreamState& stream_state(media::StreamId s);
-  Duration half_rtt_to(sim::NodeId peer) const;
-  bool paths_fresh(const StreamState& st) const;
+  void wire_engines();
 
   sim::Network* net_;
   OverlayMetrics* metrics_;
   OverlayNodeConfig cfg_;
-  sim::NodeId brain_ = sim::kNoNode;
-  sim::NodeId path_service_ = sim::kNoNode;  ///< defaults to brain_
-  std::vector<sim::NodeId> overlay_peers_;
-  std::unordered_set<sim::NodeId> overlay_peer_set_;
-  int country_ = -1;
+  NodeEnv env_;
 
-  StreamFib fib_;
-  PacketGopCache packet_cache_;
-  std::unordered_map<media::StreamId, StreamState> streams_;
-  std::unordered_map<sim::NodeId, std::unique_ptr<LinkSender>> senders_;
-  std::unordered_map<sim::NodeId, std::unique_ptr<LinkReceiver>> receivers_;
-  std::unordered_map<sim::NodeId, ClientViewState> client_views_;
-  std::unordered_map<media::StreamId, std::vector<PendingView>>
-      pending_views_;
-  std::unordered_map<std::uint64_t, media::StreamId> pending_path_reqs_;
-  std::unordered_map<media::StreamId, Time> path_request_sent_;
-  std::unordered_map<media::StreamId, media::StreamId> pending_costream_;
-  std::unordered_set<media::StreamId> pending_switch_;
-  std::uint32_t downgrade_pressure_packets_ = 150;  ///< ~1.5 s of video
-
-  transport::RateMeter egress_meter_{1 * kSec};
-  Rng rng_{0xD15C0};  ///< reseeded per node id on first report
-  bool rng_seeded_ = false;
-  std::uint64_t next_request_id_ = 1;
-  std::uint64_t fast_forwards_ = 0;
-  std::uint64_t view_requests_ = 0;
-  sim::EventId report_timer_ = sim::kInvalidEvent;
-  sim::EventId overload_timer_ = sim::kInvalidEvent;
-  bool overload_alarm_active_ = false;
+  StreamTable streams_;
+  PeerSenders senders_;
+  RecoveryEngine recovery_;
+  ForwardingEngine forwarding_;
+  SessionLayer session_;
+  ControlAgent control_;
 };
 
 }  // namespace livenet::overlay

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "overlay/link_sender.h"
+#include "sim/network.h"
+#include "sim/sim_node.h"
+#include "util/hash_seed.h"
+
+// Per-peer sender pipelines (this node -> peer), shared plumbing for
+// the LiveNet ForwardingEngine and the Hier baseline: lazily creates
+// one LinkSender per downstream peer (overlay node or client) and
+// fans stream-teardown notifications across all of them.
+namespace livenet::overlay {
+
+class PeerSenders {
+ public:
+  /// `owner` provides node_id() lazily — the node is registered with
+  /// the network after construction. `cfg` is the default per-hop
+  /// transport config; call sites may override per peer at creation
+  /// (Hier's bandwidth-adaptive last mile vs TCP-like node hops).
+  PeerSenders(sim::Network* net, const sim::SimNode* owner,
+              const LinkSender::Config& cfg)
+      : net_(net), owner_(owner), cfg_(cfg) {}
+
+  LinkSender& sender_for(sim::NodeId peer) { return sender_for(peer, cfg_); }
+
+  LinkSender& sender_for(sim::NodeId peer, const LinkSender::Config& cfg) {
+    auto it = map_.find(peer);
+    if (it == map_.end()) {
+      it = map_.emplace(peer, std::make_unique<LinkSender>(
+                                  net_, owner_->node_id(), peer, cfg))
+               .first;
+    }
+    return *it->second;
+  }
+
+  const LinkSender* find(sim::NodeId peer) const {
+    const auto it = map_.find(peer);
+    return it != map_.end() ? it->second.get() : nullptr;
+  }
+
+  /// Drops send history for a released stream on every pipeline.
+  /// Iteration order is behaviour-neutral (independent per-sender
+  /// state, no events emitted); the map is seed-hashed so the golden
+  /// re-run under a different LIVENET_HASH_SEED proves it.
+  void forget_stream(media::StreamId stream) {
+    for (auto& [peer, snd] : map_) snd->forget_stream(stream);
+  }
+
+  void clear() { map_.clear(); }
+
+ private:
+  sim::Network* net_;
+  const sim::SimNode* owner_;
+  LinkSender::Config cfg_;
+  std::unordered_map<sim::NodeId, std::unique_ptr<LinkSender>,
+                     SeededHash<sim::NodeId>>
+      map_;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,37 @@
+#include "overlay/recovery_engine.h"
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace livenet::overlay {
+
+LinkReceiver& RecoveryEngine::receiver_for(sim::NodeId peer) {
+  auto it = receivers_.find(peer);
+  if (it == receivers_.end()) {
+    it = receivers_
+             .emplace(peer, std::make_unique<LinkReceiver>(
+                                net_, owner_->node_id(), peer, deliver_,
+                                gap_, cfg_.receiver))
+             .first;
+  }
+  return *it->second;
+}
+
+void RecoveryEngine::serve_nack_fallback(
+    LinkSender& snd, sim::NodeId to, media::StreamId stream,
+    const std::vector<media::Seq>& unserved) {
+  for (const media::Seq seq : unserved) {
+    const auto cached = packet_cache_.find_packet(stream, seq);
+    if (!cached) continue;
+    if (cfg_.telemetry) {
+      telemetry::handles().cache_hits->add();
+      telemetry::record_hop(cached->trace_id(), net_->loop()->now(),
+                            cached->stream_id(), cached->producer_seq(),
+                            owner_->node_id(), to,
+                            telemetry::HopEvent::kCacheHit);
+    }
+    snd.send_rtx(cached);
+  }
+}
+
+}  // namespace livenet::overlay

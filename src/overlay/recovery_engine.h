@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/link_receiver.h"
+#include "overlay/link_sender.h"
+#include "overlay/packet_cache.h"
+#include "sim/network.h"
+#include "sim/sim_node.h"
+#include "util/hash_seed.h"
+
+// Slow-path loss recovery of one node (paper §3): the per-upstream
+// receive buffers (ordering, hole detection, NACK emission, GCC
+// receiver feedback) and the packet-granularity GoP cache fed by their
+// ordered output, plus retransmit serving from that cache when a
+// downstream NACK cannot be answered from send history. Shared by the
+// LiveNet overlay node and the Hier baseline (Hier runs it with
+// telemetry off — its cache hits are not LiveNet data-plane metrics).
+namespace livenet::overlay {
+
+class RecoveryEngine {
+ public:
+  struct Config {
+    LinkReceiver::Config receiver;
+    std::size_t cache_gops = 2;
+    std::size_t cache_max_packets = 4096;
+    bool telemetry = true;  ///< record cache-hit counters + trace hops
+  };
+
+  RecoveryEngine(sim::Network* net, const sim::SimNode* owner,
+                 const Config& cfg)
+      : net_(net),
+        owner_(owner),
+        cfg_(cfg),
+        packet_cache_(cfg.cache_gops, cfg.cache_max_packets) {}
+
+  /// Ordered-delivery and gap upcalls shared by every receiver the
+  /// engine creates. Set once at wiring time, before any RTP arrives.
+  void set_hooks(LinkReceiver::DeliverFn deliver, LinkReceiver::GapFn gap) {
+    deliver_ = std::move(deliver);
+    gap_ = std::move(gap);
+  }
+
+  /// Slow-path ingress: a copy of every received packet enters the
+  /// per-upstream receive pipeline.
+  void ingest(sim::NodeId from, const media::RtpPacketPtr& pkt) {
+    receiver_for(from).on_rtp(pkt);
+  }
+
+  LinkReceiver& receiver_for(sim::NodeId peer);
+  const LinkReceiver* find_receiver(sim::NodeId peer) const {
+    const auto it = receivers_.find(peer);
+    return it != receivers_.end() ? it->second.get() : nullptr;
+  }
+
+  PacketGopCache& cache() { return packet_cache_; }
+  const PacketGopCache& cache() const { return packet_cache_; }
+
+  /// Serves NACKed seqs the sender's history could not answer from the
+  /// slow path's cached copy (§3: covers packets this node recovered
+  /// but never fast-forwarded).
+  void serve_nack_fallback(LinkSender& snd, sim::NodeId to,
+                           media::StreamId stream,
+                           const std::vector<media::Seq>& unserved);
+
+  /// Packets received for `stream` but still blocked behind a recovery
+  /// hole at `peer` (startup-burst seam shrinking).
+  std::vector<media::RtpPacketPtr> buffered_packets(
+      sim::NodeId peer, media::StreamId stream) const {
+    const LinkReceiver* rx = find_receiver(peer);
+    return rx != nullptr ? rx->buffered_packets(stream)
+                         : std::vector<media::RtpPacketPtr>{};
+  }
+
+  /// Stream teardown: drop the cached packets and, if an upstream is
+  /// named, the receive-buffer state on that pipeline.
+  void forget_stream(media::StreamId stream,
+                     sim::NodeId upstream = sim::kNoNode) {
+    if (upstream != sim::kNoNode) {
+      const auto it = receivers_.find(upstream);
+      if (it != receivers_.end()) it->second->forget_stream(stream);
+    }
+    packet_cache_.forget_stream(stream);
+  }
+
+  /// Receive-buffer teardown only (make-before-break grace expiry).
+  void forget_upstream(sim::NodeId peer, media::StreamId stream) {
+    const auto it = receivers_.find(peer);
+    if (it != receivers_.end()) it->second->forget_stream(stream);
+  }
+
+  /// Crash: all in-memory recovery state dies with the process.
+  void reset() {
+    receivers_.clear();
+    packet_cache_ = PacketGopCache(cfg_.cache_gops, cfg_.cache_max_packets);
+  }
+
+ private:
+  sim::Network* net_;
+  const sim::SimNode* owner_;
+  Config cfg_;
+  LinkReceiver::DeliverFn deliver_;
+  LinkReceiver::GapFn gap_;
+  PacketGopCache packet_cache_;
+  std::unordered_map<sim::NodeId, std::unique_ptr<LinkReceiver>,
+                     SeededHash<sim::NodeId>>
+      receivers_;
+};
+
+}  // namespace livenet::overlay

@@ -1,0 +1,26 @@
+#include "overlay/stream_context.h"
+
+namespace livenet::overlay {
+
+std::vector<media::StreamId> StreamTable::streams() const {
+  std::vector<media::StreamId> out;
+  out.reserve(fib_active_);
+  for (const auto& [s, ctx] : map_) {
+    if (ctx.fib_active) out.push_back(s);
+  }
+  return out;
+}
+
+void StreamTable::remove_node_subscriber(media::StreamId s, sim::NodeId n) {
+  const auto it = map_.find(s);
+  if (it == map_.end() || !it->second.fib_active) return;
+  it->second.fib.subscriber_nodes.erase(n);
+}
+
+void StreamTable::remove_client_subscriber(media::StreamId s, ClientId c) {
+  const auto it = map_.find(s);
+  if (it == map_.end() || !it->second.fib_active) return;
+  it->second.fib.subscriber_clients.erase(c);
+}
+
+}  // namespace livenet::overlay

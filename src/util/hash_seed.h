@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+
+// Process-wide hash-seed perturbation for the node-local hash maps
+// whose iteration order must never leak into observable behaviour.
+//
+// libstdc++'s std::hash is deterministic, so unordered_map iteration
+// order is a pure function of the insertion sequence — which means an
+// accidental order dependence reproduces identically on every run and
+// golden tests cannot catch it. Maps keyed with SeededHash instead mix
+// in a process-wide seed: CI re-runs the golden scenario under a
+// different seed (LIVENET_HASH_SEED, or set_hash_seed() from a test)
+// and any order leak shows up as a golden diff.
+//
+// Seed 0 (the default) degrades to plain std::hash, so default-seeded
+// runs stay bit-identical with the pre-seeding tree.
+namespace livenet {
+
+namespace detail {
+inline std::size_t& hash_seed_slot() {
+  static std::size_t seed = [] {
+    const char* env = std::getenv("LIVENET_HASH_SEED");
+    return env != nullptr
+               ? static_cast<std::size_t>(std::strtoull(env, nullptr, 0))
+               : std::size_t{0};
+  }();
+  return seed;
+}
+}  // namespace detail
+
+inline std::size_t hash_seed() { return detail::hash_seed_slot(); }
+
+/// Test hook: override the seed for maps constructed afterwards.
+/// (Existing maps keep the bucket layout they already built; tests set
+/// the seed before constructing the system under test.)
+inline void set_hash_seed(std::size_t seed) {
+  detail::hash_seed_slot() = seed;
+}
+
+/// std::hash with the process seed mixed in (splitmix64-style odd
+/// multiplier so a small seed still moves keys across buckets).
+template <class K>
+struct SeededHash {
+  std::size_t operator()(const K& k) const {
+    const std::size_t h = std::hash<K>{}(k);
+    const std::size_t s = hash_seed();
+    if (s == 0) return h;  // bit-compatible with std::hash by default
+    std::size_t x = h ^ (s * 0x9E3779B97F4A7C15ull);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    return x;
+  }
+};
+
+}  // namespace livenet

@@ -8,6 +8,7 @@
 #include "livenet/csv.h"
 #include "livenet/defaults.h"
 #include "livenet/report.h"
+#include "util/hash_seed.h"
 
 // Golden-file bit-reproducibility: a fixed-seed scenario (workload +
 // injected faults) must emit byte-identical CSVs across refactors of
@@ -122,6 +123,36 @@ TEST(GoldenCsv, Seed202BitIdenticalWithFullTracing) {
     GTEST_SKIP() << "regen handled by the untraced tests";
   }
   check_golden(202, /*trace_sample=*/1.0);
+}
+
+// Determinism audit: re-run the same scenario with the node-local hash
+// maps' bucket layout perturbed (SeededHash, see util/hash_seed.h) and
+// demand the same golden bytes. Any behaviour that leaks unordered_map
+// iteration order — a fan-out whose same-tick event order depends on
+// bucket order, a sweep that releases streams in hash order — shows up
+// here as a golden diff, which libstdc++'s deterministic std::hash
+// would otherwise hide forever. (Maps whose order deliberately feeds
+// same-tick event creation, like the FIB subscriber sets, stay on
+// std::hash and are excluded from the perturbation by construction.)
+struct HashSeedGuard {
+  explicit HashSeedGuard(std::size_t seed) { set_hash_seed(seed); }
+  ~HashSeedGuard() { set_hash_seed(0); }
+};
+
+TEST(GoldenCsv, Seed101BitIdenticalUnderPerturbedHashSeed) {
+  if (std::getenv("LIVENET_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regen handled by the untraced tests";
+  }
+  HashSeedGuard guard(0x5EEDF00Dull);
+  check_golden(101);
+}
+
+TEST(GoldenCsv, Seed202BitIdenticalUnderPerturbedHashSeed) {
+  if (std::getenv("LIVENET_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regen handled by the untraced tests";
+  }
+  HashSeedGuard guard(0xC0FFEEull);
+  check_golden(202);
 }
 
 }  // namespace

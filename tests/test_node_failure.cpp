@@ -115,5 +115,104 @@ TEST(NodeFailure, ThreeVersionLadderDowngradesStepwise) {
   EXPECT_GT(qoe.records().front().frames_displayed, 50u);
 }
 
+// Chaos: a node crash at the two most timer-laden moments — while a
+// startup burst is being served and while a Brain path lookup is in
+// flight — must leave no dangling events behind. The crashed node's
+// linger/report/lookup-retry timers are cancelled or swept, so nothing
+// fires later to recreate stream state, send reports, or re-issue
+// lookups on behalf of a dead process. (The ASan smoke in
+// bench/run_benches.sh runs these same tests to catch any event that
+// survives and touches freed engine state.)
+TEST(NodeFailure, CrashMidStartupBurstLeavesNoDanglingEvents) {
+  SystemConfig cfg;
+  cfg.countries = 2;
+  cfg.nodes_per_country = 3;
+  cfg.dns_candidates = 1;
+  cfg.brain.routing_interval = 4 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 77;
+  LiveNetSystem sys(cfg);
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 1, bc);
+  sys.build_once();
+  sys.start();
+  const auto producer = sys.attach_client(&bcast, sys.geo().sample_site(0));
+  bcast.start(producer, {1});
+  sys.loop().run_until(8 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto consumer = sys.attach_client(&viewer, sys.geo().sample_site(1));
+  if (consumer == producer) GTEST_SKIP() << "viewer landed on the producer";
+  viewer.start_view(consumer, 1);
+  // Far enough for the view to be admitted and the startup burst to be
+  // queued on the client pipeline, not far enough for it to drain.
+  sys.loop().run_until(8 * kSec + 200 * kMs);
+  sys.crash_node(consumer);
+  const auto lookups_at_crash = sys.brain().metrics().path_requests.size();
+
+  // Many report intervals and linger windows later: no event recreated
+  // state on the dead node and no lookup was retried on its behalf.
+  sys.loop().run_until(30 * kSec);
+  EXPECT_EQ(sys.node(consumer).fib().stream_count(), 0u);
+  EXPECT_EQ(sys.brain().metrics().path_requests.size(), lookups_at_crash);
+}
+
+TEST(NodeFailure, CrashMidPathRequestStopsRetries) {
+  SystemConfig cfg;
+  cfg.countries = 2;
+  cfg.nodes_per_country = 3;
+  cfg.dns_candidates = 1;
+  cfg.brain.routing_interval = 4 * kSec;
+  cfg.overlay_node.report_interval = 2 * kSec;
+  cfg.seed = 78;
+  LiveNetSystem sys(cfg);
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 1, bc);
+  sys.build_once();
+  sys.start();
+  const auto producer = sys.attach_client(&bcast, sys.geo().sample_site(0));
+  bcast.start(producer, {1});
+  sys.loop().run_until(8 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto consumer = sys.attach_client(&viewer, sys.geo().sample_site(1));
+  if (consumer == producer) GTEST_SKIP() << "viewer landed on the producer";
+  const auto lookups_before = sys.brain().metrics().path_requests.size();
+  viewer.start_view(consumer, 1);
+
+  // Step in 1 ms slices until the Brain has logged the lookup, then
+  // crash the consumer while the response is still on the wire.
+  Time t = 8 * kSec;
+  while (sys.brain().metrics().path_requests.size() == lookups_before &&
+         t < 12 * kSec) {
+    t += 1 * kMs;
+    sys.loop().run_until(t);
+  }
+  ASSERT_GT(sys.brain().metrics().path_requests.size(), lookups_before)
+      << "viewer never triggered a path lookup";
+  sys.crash_node(consumer);
+  const auto lookups_at_crash = sys.brain().metrics().path_requests.size();
+
+  // The response lands on a node with no matching pending lookup; the
+  // retry timer (path_request_timeout) finds its entry swept and dies.
+  // Nothing re-establishes the stream or re-asks the Brain.
+  sys.loop().run_until(40 * kSec);
+  EXPECT_EQ(sys.node(consumer).fib().stream_count(), 0u);
+  EXPECT_EQ(sys.brain().metrics().path_requests.size(), lookups_at_crash);
+  EXPECT_EQ(qoe.records().front().frames_displayed, 0u);
+}
+
 }  // namespace
 }  // namespace livenet

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over the
+# first-party sources using the compile_commands.json of an existing
+# build tree.
+#
+# Usage: tools/lint.sh [build-dir] [clang-tidy-args...]
+#   build-dir defaults to ./build; pass extra args (e.g. -fix or
+#   -checks=...) after it.
+#
+# Degrades gracefully: if clang-tidy is not installed (the CI image
+# bakes in the compiler toolchain only), it reports and exits 0 so the
+# lint step never masks the test signal.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "${tidy}" ]]; then
+  echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy to run)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint: ${build_dir}/compile_commands.json missing; configuring" >&2
+  cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >&2
+fi
+
+mapfile -t sources < <(cd "${repo_root}" && find src bench tests examples \
+    -name '*.cpp' | sort)
+
+echo "lint: ${#sources[@]} files, profile $(head -1 "${repo_root}/.clang-tidy")" >&2
+(cd "${repo_root}" && "${tidy}" -p "${build_dir}" "$@" "${sources[@]}")
