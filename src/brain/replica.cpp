@@ -80,8 +80,8 @@ void PathDecisionReplica::handle_path_request(
   busy_until_ = start + cfg_.request_service_time;
   const Duration response_time = busy_until_ - now;
 
-  const PathDecision::Lookup lookup =
-      path_decision_.get_path(req.stream_id, req.consumer);
+  const PathDecision::Lookup& lookup =
+      path_decision_.get_path_cached(req.stream_id, req.consumer);
   metrics_.path_requests.push_back(BrainMetrics::PathRequestLog{
       now, response_time, lookup.last_resort, lookup.stream_known});
   telemetry::handles().path_requests_served->add();

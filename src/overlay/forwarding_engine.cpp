@@ -1,7 +1,6 @@
 #include "overlay/forwarding_engine.h"
 
 #include <utility>
-#include <vector>
 
 #include "overlay/overlay_node.h"
 #include "overlay/session_layer.h"
@@ -24,38 +23,84 @@ void ForwardingEngine::fast_forward(NodeId from, const RtpPacketPtr& pkt,
       from != entry.upstream) {
     return;
   }
+  if (entry.subscriber_nodes.empty() && entry.subscriber_clients.empty()) {
+    return;
+  }
 
-  // Snapshot targets now; enqueue after the fast-path processing delay.
-  std::vector<NodeId> nodes(entry.subscriber_nodes.begin(),
-                            entry.subscriber_nodes.end());
-  std::vector<ClientId> clients(entry.subscriber_clients.begin(),
-                                entry.subscriber_clients.end());
-  if (nodes.empty() && clients.empty()) return;
+  // Snapshot targets now; fan out after the fast-path processing delay.
+  // A burst of packets landing at the same instant shares one deferred
+  // event: appending to the open batch is exact iff the loop's seq
+  // cursor has not moved since the batch event was scheduled — then the
+  // per-packet events the old code would have created were guaranteed
+  // to dispatch back to back anyway.
+  sim::EventLoop* loop = env_->net->loop();
+  std::uint32_t slot = open_batch_;
+  if (slot == kNoBatch || open_time_ != loop->now() ||
+      open_seq_ != loop->seq_cursor()) {
+    slot = acquire_batch();
+    loop->schedule_after(cfg_->fast_proc_delay,
+                         [this, slot] { flush_batch(slot); });
+    open_batch_ = slot;
+    open_time_ = loop->now();
+    open_seq_ = loop->seq_cursor();  // after scheduling: counts our event
+  }
+  Batch& b = *pool_[slot];
+  for (const NodeId n : entry.subscriber_nodes) b.nodes.push_back(n);
+  for (const ClientId c : entry.subscriber_clients) b.clients.push_back(c);
+  b.rows.push_back(Row{pkt, from, static_cast<std::uint32_t>(b.nodes.size()),
+                       static_cast<std::uint32_t>(b.clients.size())});
+}
 
-  env_->net->loop()->schedule_after(
-      cfg_->fast_proc_delay,
-      [this, from, pkt, nodes = std::move(nodes),
-       clients = std::move(clients)] {
-        const Time now = env_->net->loop()->now();
-        for (const NodeId n : nodes) {
-          if (n == from) continue;  // never echo upstream
-          auto clone = pkt->fork();
-          clone->delay_ext_us +=
-              cfg_->fast_proc_delay +
-              half_rtt_between(env_->net, env_->self(), n);
-          clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
-          egress_meter_.add(now, clone->wire_size());
-          ++fast_forwards_;
-          telemetry::handles().fast_forwards->add();
-          telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
-                                pkt->producer_seq(), env_->self(), n,
-                                telemetry::HopEvent::kForward);
-          senders_->sender_for(n).send_media(std::move(clone));
-        }
-        for (const ClientId c : clients) {
-          session_->deliver_to_client(static_cast<NodeId>(c), pkt);
-        }
-      });
+std::uint32_t ForwardingEngine::acquire_batch() {
+  if (free_slots_.empty()) {
+    pool_.push_back(std::make_unique<Batch>());
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void ForwardingEngine::flush_batch(std::uint32_t slot) {
+  // With fast_proc_delay == 0 the flush runs at the same instant the
+  // batch was opened; close it first so a packet arriving from our own
+  // sends cannot append to a slot being drained.
+  if (open_batch_ == slot) open_batch_ = kNoBatch;
+  Batch& b = *pool_[slot];
+  const Time now = env_->net->loop()->now();
+  ++batch_flushes_;
+  std::uint64_t forwards = 0;
+  std::uint32_t node_begin = 0;
+  std::uint32_t client_begin = 0;
+  for (const Row& row : b.rows) {
+    const RtpPacketPtr& pkt = row.pkt;
+    for (std::uint32_t i = node_begin; i < row.node_end; ++i) {
+      const NodeId n = b.nodes[i];
+      if (n == row.from) continue;  // never echo upstream
+      auto clone = pkt->fork();
+      clone->delay_ext_us +=
+          cfg_->fast_proc_delay + half_rtt_between(env_->net, env_->self(), n);
+      clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+      egress_meter_.add(now, clone->wire_size());
+      ++forwards;
+      telemetry::record_hop(pkt->trace_id(), now, pkt->stream_id(),
+                            pkt->producer_seq(), env_->self(), n,
+                            telemetry::HopEvent::kForward);
+      senders_->sender_for(n).send_media(std::move(clone));
+    }
+    for (std::uint32_t i = client_begin; i < row.client_end; ++i) {
+      session_->deliver_to_client(static_cast<NodeId>(b.clients[i]), pkt);
+    }
+    node_begin = row.node_end;
+    client_begin = row.client_end;
+  }
+  // One registry update per burst, not per clone.
+  fast_forwards_ += forwards;
+  if (forwards != 0) telemetry::handles().fast_forwards->add(forwards);
+  b.rows.clear();
+  b.nodes.clear();
+  b.clients.clear();
+  free_slots_.push_back(slot);
 }
 
 }  // namespace livenet::overlay

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "media/rtp.h"
 #include "overlay/node_env.h"
@@ -17,6 +19,16 @@
 // the packet's StreamContext once per packet and passes it in, so the
 // whole per-packet path costs a single hash lookup (the old monolith
 // paid a second one inside its forwarding step).
+//
+// Deferred fan-out is batched. Each fast_forward snapshots its targets
+// into a reusable SoA scratch batch (flat NodeId/ClientId arrays plus
+// per-packet row extents — no per-packet vector allocations) and the
+// scheduled callback captures only {engine, slot}, small enough for the
+// event loop's inline storage. Consecutive packets at the same instant
+// share one deferred event when the loop's seq cursor proves nothing
+// was scheduled in between (so per-packet events could not have
+// interleaved with anything); the shared callback then flushes the
+// batch's telemetry counters once.
 namespace livenet::overlay {
 
 struct OverlayNodeConfig;
@@ -44,13 +56,50 @@ class ForwardingEngine {
 
   std::uint64_t fast_forwards() const { return fast_forwards_; }
 
+  /// Deferred fan-out callbacks actually scheduled (>= 1 packet each;
+  /// the gap to the packet count is the event-fusion win).
+  std::uint64_t batch_flushes() const { return batch_flushes_; }
+
  private:
+  static constexpr std::uint32_t kNoBatch = 0xFFFFFFFFu;
+
+  /// One packet's snapshot: target extents into the batch's flat
+  /// arrays. Subscriber sets are copied out at fast_forward time (they
+  /// may mutate before the deferred callback runs), `from` rides along
+  /// for the echo-suppression check at flush time.
+  struct Row {
+    media::RtpPacketPtr pkt;
+    sim::NodeId from;
+    std::uint32_t node_end;    ///< exclusive end in Batch::nodes
+    std::uint32_t client_end;  ///< exclusive end in Batch::clients
+  };
+  struct Batch {
+    std::vector<Row> rows;
+    std::vector<sim::NodeId> nodes;
+    std::vector<ClientId> clients;
+  };
+
+  std::uint32_t acquire_batch();
+  void flush_batch(std::uint32_t slot);
+
   const OverlayNodeConfig* cfg_;
   const NodeEnv* env_;
   PeerSenders* senders_;
   SessionLayer* session_ = nullptr;
   transport::RateMeter egress_meter_{1 * kSec};
   std::uint64_t fast_forwards_ = 0;
+  std::uint64_t batch_flushes_ = 0;
+
+  /// Batch slot arena (unique_ptr: slots must stay address-stable while
+  /// pool_ grows; scratch vectors inside are reused across flushes).
+  std::vector<std::unique_ptr<Batch>> pool_;
+  std::vector<std::uint32_t> free_slots_;
+  /// The still-appendable batch: valid while the loop is at open_time_
+  /// and its seq cursor still reads open_seq_ (nothing scheduled since
+  /// the batch's event — appending is provably order-exact).
+  std::uint32_t open_batch_ = kNoBatch;
+  Time open_time_ = 0;
+  std::uint64_t open_seq_ = 0;
 };
 
 }  // namespace livenet::overlay

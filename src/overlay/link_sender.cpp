@@ -23,14 +23,11 @@ LinkSender::LinkSender(sim::Network* net, sim::NodeId self, sim::NodeId peer,
                        const Config& cfg)
     : net_(net), self_(self), peer_(peer), history_(cfg.history),
       gcc_(cfg.gcc),
-      pacer_(net->loop(),
-             [this](const media::RtpPacketPtr& pkt) {
-               // Stamp the per-hop departure time for the peer's GCC
-               // delay estimator, then put the packet on the wire.
-               pkt->hop_send_time = net_->loop()->now();
-               net_->send(self_, peer_, pkt);
-             },
-             cfg.pacer) {
+      pacer_(net->loop(), transport::Pacer::SendFn{}, cfg.pacer) {
+  // Direct wire sink: the pacer stamps the per-hop departure time for
+  // the peer's GCC delay estimator and hands the packet to the network
+  // without an indirection per packet.
+  pacer_.set_wire(net_, self_, peer_);
   pacer_.set_rate_bps(gcc_.pacing_rate_bps());
 }
 

@@ -64,7 +64,7 @@ class LinkSender {
   sim::NodeId peer_;
   transport::SendHistory history_;
   transport::GccSender gcc_;
-  transport::Pacer pacer_;  // last: its SendFn captures `this`
+  transport::Pacer pacer_;  // wired straight to net_ (set_wire in ctor)
   std::uint64_t rtx_sent_ = 0;
 };
 

@@ -181,6 +181,21 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
                      << msg->describe();
 }
 
+void OverlayNode::on_message_batch(NodeId from, const sim::MessagePtr* msgs,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bursts are overwhelmingly RTP; probe that once and fall back to
+    // the full dispatch ladder for everything else. The context is
+    // re-probed per packet: an earlier packet in the burst may create
+    // or release the stream's entry.
+    if (const auto rtp = sim::msg_cast<const RtpPacket>(msgs[i])) {
+      handle_rtp(from, rtp);
+    } else {
+      on_message(from, msgs[i]);
+    }
+  }
+}
+
 // -------------------------------------------------------------- data path
 
 void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {

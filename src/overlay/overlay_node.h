@@ -76,6 +76,12 @@ class OverlayNode final : public sim::SimNode {
 
   void on_message(sim::NodeId from, const sim::MessagePtr& msg) override;
 
+  /// Batched delivery: media bursts skip the full dispatch ladder (RTP
+  /// is checked first and dominates a burst); the ForwardingEngine then
+  /// fuses their deferred fan-outs into one event per burst.
+  void on_message_batch(sim::NodeId from, const sim::MessagePtr* msgs,
+                        std::size_t n) override;
+
   // ------------------------------------------------------------- wiring
 
   /// Brain endpoint for registrations / reports / alarms.

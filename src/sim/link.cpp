@@ -19,7 +19,8 @@ std::size_t Link::backlog_bytes() const {
 }
 
 SendResult Link::send(std::size_t bytes) {
-  roll_bin();
+  const Time now = loop_->now();
+  roll_bin(now);
   ++stats_.packets_sent;
 
   // A downed link black-holes everything without occupying the
@@ -31,16 +32,26 @@ SendResult Link::send(std::size_t bytes) {
   }
 
   // Tail drop when the transmit queue is over the configured limit.
-  if (backlog_bytes() > cfg_.queue_limit_bytes) {
+  if (busy_until_ > now && backlog_bytes() > cfg_.queue_limit_bytes) {
     ++stats_.packets_dropped;
     telemetry::handles().link_drops_queue->add();
     return SendResult{false, kNever, SendDrop::kQueue};
   }
 
-  const Time now = loop_->now();
-  const auto serialization =
-      static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
-                            cfg_.bandwidth_bps * static_cast<double>(kSec));
+  // Memoized serialization delay: back-to-back packets usually share
+  // (size, bandwidth), so the divide only runs when either changes.
+  // Bit-identical — a miss runs the exact same expression.
+  Duration serialization;
+  if (bytes == memo_bytes_ && cfg_.bandwidth_bps == memo_bw_) {
+    serialization = memo_serialization_;
+  } else {
+    serialization =
+        static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                              cfg_.bandwidth_bps * static_cast<double>(kSec));
+    memo_bytes_ = bytes;
+    memo_bw_ = cfg_.bandwidth_bps;
+    memo_serialization_ = serialization;
+  }
   busy_until_ = std::max(busy_until_, now) + serialization;
   stats_.bytes_sent += bytes;
   bin_bytes_ += bytes;
@@ -66,8 +77,7 @@ SendResult Link::send(std::size_t bytes) {
       true, busy_until_ + cfg_.propagation_delay + extra_delay_ + jitter};
 }
 
-void Link::roll_bin() const {
-  const Time now = loop_->now();
+void Link::roll_bin(Time now) const {
   while (now - bin_start_ >= kBin) {
     const double capacity_bytes = cfg_.bandwidth_bps / 8.0 * to_sec(kBin);
     const double bin_util =
@@ -85,7 +95,7 @@ void Link::roll_bin() const {
 }
 
 double Link::utilization() const {
-  roll_bin();
+  roll_bin(loop_->now());
   return util_ewma_;
 }
 

@@ -113,24 +113,30 @@ class Link {
   void reset_stats() { stats_ = LinkStats{}; }
 
  private:
-  void roll_bin() const;
+  void roll_bin(Time now) const;
 
+  // Member order is send()-hot first: everything the per-packet fast
+  // path loads sits in the first cache line or two; cold/config state
+  // follows.
   EventLoop* loop_;
   NodeId src_;
   NodeId dst_;
-  LinkConfig cfg_;
-  Rng rng_;
   Time busy_until_ = 0;
-  LinkStats stats_;
+  /// Last computed serialization delay and its inputs (see send()).
+  std::size_t memo_bytes_ = 0;
+  double memo_bw_ = 0.0;
+  Duration memo_serialization_ = 0;
   bool down_ = false;
   double loss_override_ = -1.0;
-  Duration extra_delay_ = 0;
-
   // Utilization accounting: fixed 1-second bins, last completed bin's
   // utilization is reported (smoothed with EWMA).
   static constexpr Duration kBin = 1 * kSec;
   mutable Time bin_start_ = 0;
   mutable std::uint64_t bin_bytes_ = 0;
+  LinkConfig cfg_;
+  LinkStats stats_;
+  Duration extra_delay_ = 0;
+  Rng rng_;
   mutable double util_ewma_ = 0.0;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "telemetry/trace.h"
 #include "util/logging.h"
@@ -25,21 +26,39 @@ std::size_t Network::index_pos(NodeId src, NodeId dst) const {
       idx.begin());
 }
 
-Link* Network::lookup(NodeId src, NodeId dst) const {
+const Network::Edge* Network::find_edge(NodeId src, NodeId dst) const {
   if (src < 0 || static_cast<std::size_t>(src) >= rows_.size()) return nullptr;
   const auto& row = rows_[static_cast<std::size_t>(src)];
   const auto& idx = row_index_[static_cast<std::size_t>(src)];
   const std::size_t p = index_pos(src, dst);
   if (p == idx.size() || row[idx[p]].dst != dst) return nullptr;
-  return row[idx[p]].link.get();
+  return &row[idx[p]];
+}
+
+Network::Edge* Network::find_edge(NodeId src, NodeId dst) {
+  return const_cast<Edge*>(
+      static_cast<const Network*>(this)->find_edge(src, dst));
+}
+
+Link* Network::lookup(NodeId src, NodeId dst) const {
+  const Edge* e = find_edge(src, dst);
+  return e != nullptr ? e->link.get() : nullptr;
 }
 
 Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg) {
+  if (src < 0 || dst < 0) {
+    // Reject loudly: a negative id would previously index rows_ with a
+    // huge size_t (UB) or create a link the frozen matrix can never
+    // see, silently shadowed behind the sorted-row fallback.
+    LIVENET_LOG(kError) << "add_link: invalid node pair " << src << "->"
+                        << dst;
+    return nullptr;
+  }
   // Fork the per-link rng before anything else so the stream a link
   // receives depends only on the add_link call order.
   auto link_ptr = std::make_unique<Link>(loop_, src, dst, cfg, rng_.fork());
   Link* raw = link_ptr.get();
-  if (src >= 0 && static_cast<std::size_t>(src) >= rows_.size()) {
+  if (static_cast<std::size_t>(src) >= rows_.size()) {
     rows_.resize(static_cast<std::size_t>(src) + 1);
     row_index_.resize(static_cast<std::size_t>(src) + 1);
   }
@@ -47,15 +66,22 @@ Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg) {
   auto& idx = row_index_[static_cast<std::size_t>(src)];
   const std::size_t p = index_pos(src, dst);
   if (p < idx.size() && row[idx[p]].dst == dst) {
-    row[idx[p]].link = std::move(link_ptr);  // replace in place
+    // Replace in place; the inbox (and any in-flight deliveries) stays,
+    // matching the old behaviour where already-scheduled deliveries
+    // were unaffected by a link swap.
+    row[idx[p]].link = std::move(link_ptr);
   } else {
     idx.insert(idx.begin() + static_cast<std::ptrdiff_t>(p),
                static_cast<std::uint32_t>(row.size()));
-    row.push_back(Edge{dst, std::move(link_ptr)});
+    auto inbox = std::make_unique<Inbox>();
+    inbox->src = src;
+    inbox->dst = dst;
+    row.push_back(Edge{dst, std::move(link_ptr), std::move(inbox)});
   }
-  if (src < frozen_n_ && dst >= 0 && dst < frozen_n_) {
+  if (src < frozen_n_ && dst < frozen_n_) {
+    const Edge& e = row[idx[index_pos(src, dst)]];
     matrix_[static_cast<std::size_t>(src) * static_cast<std::size_t>(frozen_n_) +
-            static_cast<std::size_t>(dst)] = raw;
+            static_cast<std::size_t>(dst)] = Route{raw, e.inbox.get()};
   }
   return raw;
 }
@@ -68,11 +94,12 @@ void Network::add_bidi_link(NodeId a, NodeId b, const LinkConfig& cfg) {
 void Network::freeze_topology() {
   frozen_n_ = static_cast<NodeId>(nodes_.size());
   const auto n = static_cast<std::size_t>(frozen_n_);
-  matrix_.assign(n * n, nullptr);
+  matrix_.assign(n * n, Route{});
   for (std::size_t src = 0; src < rows_.size() && src < n; ++src) {
     for (const auto& e : rows_[src]) {
       if (e.dst >= 0 && static_cast<std::size_t>(e.dst) < n) {
-        matrix_[src * n + static_cast<std::size_t>(e.dst)] = e.link.get();
+        matrix_[src * n + static_cast<std::size_t>(e.dst)] =
+            Route{e.link.get(), e.inbox.get()};
       }
     }
   }
@@ -81,13 +108,22 @@ void Network::freeze_topology() {
 bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
   // Hot path: frozen core pairs resolve with one indexed load.
   Link* l;
+  Inbox* ib;
   if (static_cast<std::uint32_t>(src) < static_cast<std::uint32_t>(frozen_n_) &&
       static_cast<std::uint32_t>(dst) < static_cast<std::uint32_t>(frozen_n_)) {
-    l = matrix_[static_cast<std::size_t>(src) *
-                    static_cast<std::size_t>(frozen_n_) +
-                static_cast<std::size_t>(dst)];
+    const Route& r = matrix_[static_cast<std::size_t>(src) *
+                                 static_cast<std::size_t>(frozen_n_) +
+                             static_cast<std::size_t>(dst)];
+    l = r.link;
+    ib = r.inbox;
+    // The dense matrix must never shadow the authoritative rows: every
+    // add_link on a frozen pair updates both.
+    assert(l == lookup(src, dst) &&
+           "frozen matrix out of sync with sorted-row index");
   } else {
-    l = lookup(src, dst);
+    Edge* e = find_edge(src, dst);
+    l = e != nullptr ? e->link.get() : nullptr;
+    ib = e != nullptr ? e->inbox.get() : nullptr;
   }
   if (l == nullptr) {
     LIVENET_LOG(kWarn) << "send: no link " << src << "->" << dst << " for "
@@ -123,17 +159,188 @@ bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
     }
   }
   if (!res.delivered) return false;
-  SimNode* receiver = node(dst);
-  loop_->schedule_at(res.arrival_time,
-                     [receiver, src, msg = std::move(msg)]() {
-                       receiver->on_message(src, msg);
-                     });
+  // Reserve the packet's dispatch slot now — exactly the seq the old
+  // per-packet schedule_at would have consumed — and park it in the
+  // link's inbox.
+  const Time arrival = std::max(res.arrival_time, loop_->now());
+  enqueue_delivery(ib, arrival, loop_->reserve_seq(), std::move(msg));
   return true;
 }
 
-Link* Network::link(NodeId src, NodeId dst) { return lookup(src, dst); }
+void Network::schedule_flush(Inbox* ib, Time when, std::uint64_t seq) {
+  ib->flush = loop_->schedule_at_seq(when, seq, [this, ib] {
+    ib->flush = kInvalidEvent;
+    drain(ib);
+  });
+  ib->flush_at = when;
+  ib->flush_seq = seq;
+}
+
+void Network::Inbox::push(Time arrival, std::uint64_t seq, MessagePtr msg) {
+  if (!heaped) {
+    if (!draining && head != 0 && ms.size() == ms.capacity()) {
+      // Amortized compaction: a never-quite-empty inbox must not grow
+      // its consumed prefix without bound. (Never while a drain slice
+      // of this inbox is live in an upcall — it would move under it.)
+      key.erase(key.begin(), key.begin() + head);
+      ms.erase(ms.begin(), ms.begin() + head);
+      head = 0;
+    }
+    const bool in_order = ms.size() == head || key.back().at < arrival ||
+                          (key.back().at == arrival && key.back().seq < seq);
+    if (in_order && !(draining && ms.size() == ms.capacity())) {
+      key.push_back(Key{arrival, seq});
+      ms.push_back(std::move(msg));
+      return;
+    }
+    // Out-of-order arrival (jitter reorder) — or an append that would
+    // reallocate while this inbox's drain slice is live in an upcall:
+    // move the live suffix into the heap and stay there until the
+    // inbox drains empty. The consumed prefix [0, head) — including a
+    // mid-upcall slice — stays in place.
+    for (std::size_t i = head; i < ms.size(); ++i) {
+      hq.push_back(Pending{key[i].at, key[i].seq, std::move(ms[i])});
+    }
+    key.resize(head);
+    ms.resize(head);
+    hq.push_back(Pending{arrival, seq, std::move(msg)});
+    std::make_heap(hq.begin(), hq.end(), PendingAfter{});
+    heaped = true;
+    return;
+  }
+  hq.push_back(Pending{arrival, seq, std::move(msg)});
+  std::push_heap(hq.begin(), hq.end(), PendingAfter{});
+}
+
+MessagePtr Network::Inbox::pop_min() {
+  std::pop_heap(hq.begin(), hq.end(), PendingAfter{});
+  MessagePtr m = std::move(hq.back().msg);
+  hq.pop_back();
+  if (hq.empty()) heaped = false;  // re-enter the sorted fast path
+  return m;
+}
+
+void Network::enqueue_delivery(Inbox* ib, Time arrival, std::uint64_t seq,
+                               MessagePtr msg) {
+  ib->push(arrival, seq, std::move(msg));
+  const Time head_at = ib->front_arrival();
+  const std::uint64_t head_seq = ib->front_seq();
+  if (ib->flush != kInvalidEvent) {
+    if (head_at == ib->flush_at && head_seq == ib->flush_seq) return;
+    // Jitter reordering put a new packet ahead of the scheduled head:
+    // move the flush event to the new head's dispatch slot.
+    loop_->cancel(ib->flush);
+  }
+  schedule_flush(ib, head_at, head_seq);
+}
+
+void Network::drain(Inbox* ib) {
+  SimNode* receiver = node(ib->dst);
+  if (receiver == nullptr) {
+    // A link to an unregistered node: drop the traffic loudly rather
+    // than crash on the upcall.
+    LIVENET_LOG(kError) << "drain: no node " << ib->dst << " for link "
+                        << ib->src << "->" << ib->dst;
+    ib->clear();
+    return;
+  }
+  const Time start = loop_->now();
+  std::uint32_t budget = std::max<std::uint32_t>(batch_.max_packets, 1);
+  for (;;) {
+    // Take the maximal fusable run at the front entry's instant. The
+    // first entry of a run needs no proof: the flush event is
+    // dispatching at exactly its (arrival, seq) slot (first run), or
+    // the loop bottom just proved it next (later runs). Every other
+    // entry is taken only if the loop proves a dedicated event at its
+    // (arrival, seq) would run next anyway.
+    const Time t = ib->front_arrival();
+    loop_->advance_to(t);
+    if (!ib->heaped) {
+      // Sorted fast path: the run [begin, end) is a contiguous
+      // MessagePtr slice — hand it to the receiver in place, no pops,
+      // no element moves. head advances first so a push() from inside
+      // the upcall cannot disturb the slice.
+      const std::uint32_t begin = ib->head;
+      std::uint32_t end = begin + 1;
+      --budget;
+      if (budget != 0 && end < ib->ms.size() && ib->key[end].at == t) {
+        // The event queue cannot change during the scan (no dispatch,
+        // no scheduling): hoist its top out of the per-entry guard.
+        // Keys are sorted, so the scan stops exactly where per-entry
+        // next_is_after(t, seq) calls would have.
+        Time top_at;
+        std::uint64_t top_seq;
+        if (!loop_->peek_next(&top_at, &top_seq) || top_at > t) {
+          while (budget != 0 && end < ib->ms.size() &&
+                 ib->key[end].at == t) {
+            ++end;
+            --budget;
+          }
+        } else if (top_at == t) {
+          while (budget != 0 && end < ib->ms.size() &&
+                 ib->key[end].at == t && ib->key[end].seq < top_seq) {
+            ++end;
+            --budget;
+          }
+        }
+      }
+      ib->head = end;
+      ib->draining = true;
+      ++batch_upcalls_;
+      batch_packets_ += end - begin;
+      receiver->on_message_batch(ib->src, ib->ms.data() + begin, end - begin);
+      ib->draining = false;
+      // Release the slice refs now, not at the next drain.
+      for (std::uint32_t i = begin; i < end; ++i) ib->ms[i].reset();
+      if (!ib->heaped && ib->head == ib->ms.size()) {
+        ib->key.clear();
+        ib->ms.clear();
+        ib->head = 0;
+      }
+    } else {
+      while (budget != 0 && !ib->empty() && ib->front_arrival() == t) {
+        if (!scratch_.empty() && !loop_->next_is_after(t, ib->front_seq())) {
+          break;
+        }
+        scratch_.push_back(ib->pop_min());
+        --budget;
+      }
+      ++batch_upcalls_;
+      batch_packets_ += scratch_.size();
+      receiver->on_message_batch(ib->src, scratch_.data(), scratch_.size());
+      scratch_.clear();  // release the refs now, not at the next drain
+    }
+    if (ib->empty()) return;
+    // Continue into the next arrival instant only while within the
+    // batch bounds, inside the active run horizon, and provably next in
+    // the global dispatch order. Re-read the front: the upcall may have
+    // pushed new packets.
+    const Time na = ib->front_arrival();
+    const std::uint64_t ns = ib->front_seq();
+    if (budget == 0 || na - start > batch_.quantum || na > loop_->horizon() ||
+        !loop_->next_is_after(na, ns)) {
+      schedule_flush(ib, na, ns);
+      return;
+    }
+  }
+}
+
+Link* Network::link(NodeId src, NodeId dst) {
+  return const_cast<Link*>(
+      static_cast<const Network*>(this)->link(src, dst));
+}
 
 const Link* Network::link(NodeId src, NodeId dst) const {
+  // Same fast path as send(): frozen pairs resolve through the matrix.
+  if (static_cast<std::uint32_t>(src) < static_cast<std::uint32_t>(frozen_n_) &&
+      static_cast<std::uint32_t>(dst) < static_cast<std::uint32_t>(frozen_n_)) {
+    const Route& r = matrix_[static_cast<std::size_t>(src) *
+                                 static_cast<std::size_t>(frozen_n_) +
+                             static_cast<std::size_t>(dst)];
+    assert(r.link == lookup(src, dst) &&
+           "frozen matrix out of sync with sorted-row index");
+    return r.link;
+  }
   return lookup(src, dst);
 }
 

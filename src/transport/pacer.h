@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "media/rtp.h"
 #include "sim/event_loop.h"
+#include "sim/network.h"
 #include "util/time.h"
 
 // Priority-aware pacer (paper §5.2, "Priority-Aware Data Sending").
@@ -25,10 +26,56 @@ class Pacer {
     double rate_bps = 10e6;
     double i_frame_gain = 1.5;  ///< pacing gain while sending I frames
     std::size_t max_queue_bytes = 8 * 1024 * 1024;  ///< hard cap; drops video
-    Duration max_burst = 1 * kMs;  ///< idle credit the pacer may burn
+    /// Idle credit the pacer may burn as a back-to-back burst. Applied
+    /// as a clamp on the virtual send clock *at drain time* — clamping
+    /// at arm time (as the pre-batching code did) was dead: the fire
+    /// path immediately erased the credit with max(clock, now), so any
+    /// configured value behaved like 0. The default is 0 to keep that
+    /// effective behaviour; set > 0 to actually allow catch-up bursts.
+    Duration max_burst = 0;
+    /// Packet cap for one drain callback; a burst with remaining credit
+    /// beyond this re-arms at the same instant instead of looping on.
+    std::uint32_t max_burst_packets = 64;
   };
 
-  using SendFn = std::function<void(const media::RtpPacketPtr&)>;
+  /// By-value so the drain path can move the packet all the way to the
+  /// wire (fire() relinquishes its reference; a callee that forwards
+  /// with std::move pays zero refcount traffic per packet). Callables
+  /// taking `const RtpPacketPtr&` still wrap fine.
+  using SendFn = std::function<void(media::RtpPacketPtr)>;
+
+  /// A queued packet plus its wire size, captured at enqueue so the
+  /// drain path never re-derives it (wire_size() chases the shared
+  /// body pointer).
+  struct Queued {
+    media::RtpPacketPtr pkt;
+    std::uint32_t bytes = 0;
+  };
+
+  /// Power-of-two ring-buffer FIFO. A std::deque here paid a malloc /
+  /// free every block crossing on the enqueue→send cycle; the ring
+  /// reallocates only on growth and stays allocation-free in steady
+  /// state.
+  class PacketFifo {
+   public:
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    void push_back(Queued q) {
+      if (tail_ - head_ == buf_.size()) grow();
+      buf_[tail_++ & (buf_.size() - 1)] = std::move(q);
+    }
+    Queued pop_front() {
+      Queued q = std::move(buf_[head_++ & (buf_.size() - 1)]);
+      if (head_ == tail_) head_ = tail_ = 0;
+      return q;
+    }
+
+   private:
+    void grow();
+    std::vector<Queued> buf_;
+    std::size_t head_ = 0;  ///< monotonic; masked into buf_
+    std::size_t tail_ = 0;
+  };
 
   Pacer(sim::EventLoop* loop, SendFn send) : Pacer(loop, std::move(send), Config()) {}
   Pacer(sim::EventLoop* loop, SendFn send, const Config& cfg);
@@ -39,6 +86,16 @@ class Pacer {
   /// Enqueues a packet; priority class is derived from the packet
   /// (audio / rtx / video).
   void enqueue(media::RtpPacketPtr pkt);
+
+  /// Wires the pacer straight into the network: fire() stamps the
+  /// packet's hop departure time and calls net->send(src, dst, ...)
+  /// directly instead of going through the SendFn std::function — one
+  /// predicted branch instead of a double-indirect call per packet.
+  void set_wire(sim::Network* net, sim::NodeId src, sim::NodeId dst) {
+    net_ = net;
+    wire_src_ = src;
+    wire_dst_ = dst;
+  }
 
   /// Updates the pacing rate (called by the GCC sender on feedback).
   void set_rate_bps(double bps);
@@ -60,16 +117,24 @@ class Pacer {
  private:
   void arm();
   void fire();
-  media::RtpPacketPtr pop_next();
+  Queued pop_next();
 
   sim::EventLoop* loop_;
   SendFn send_;
+  sim::Network* net_ = nullptr;  ///< non-null: direct wire (set_wire)
+  sim::NodeId wire_src_ = sim::kNoNode;
+  sim::NodeId wire_dst_ = sim::kNoNode;
   Config cfg_;
-  std::deque<media::RtpPacketPtr> audio_q_;
-  std::deque<media::RtpPacketPtr> rtx_q_;
-  std::deque<media::RtpPacketPtr> video_q_;
+  PacketFifo audio_q_;
+  PacketFifo rtx_q_;
+  PacketFifo video_q_;
   std::size_t queue_bytes_ = 0;
   Time next_send_ok_ = 0;
+  /// Last computed pacing interval and its inputs (see fire()).
+  std::size_t memo_bytes_ = 0;
+  double memo_gain_ = 0.0;
+  double memo_rate_ = 0.0;
+  Duration memo_interval_ = 0;
   sim::EventId timer_ = sim::kInvalidEvent;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;

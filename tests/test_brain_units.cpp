@@ -2,6 +2,7 @@
 
 #include "brain/brain.h"
 #include "brain/global_discovery.h"
+#include "brain/path_decision.h"
 #include "brain/stream_mgmt.h"
 #include "sim/network.h"
 
@@ -216,6 +217,76 @@ TEST(BrainNode, ZeroLengthPathWhenConsumerIsProducer) {
   ASSERT_EQ(consumer.responses.size(), 1u);
   ASSERT_EQ(consumer.responses[0]->paths.size(), 1u);
   EXPECT_EQ(overlay::path_length(consumer.responses[0]->paths[0]), 0);
+}
+
+// ------------------------------------------------ PathDecision cache
+
+/// The cached lookup must agree with the uncached oracle after every
+/// kind of PIB/SIB mutation the control plane performs.
+void expect_cached_matches_oracle(const PathDecision& pd, media::StreamId s,
+                                  sim::NodeId consumer) {
+  const PathDecision::Lookup ref = pd.get_path(s, consumer);
+  const PathDecision::Lookup& cached = pd.get_path_cached(s, consumer);
+  EXPECT_EQ(ref.stream_known, cached.stream_known);
+  EXPECT_EQ(ref.last_resort, cached.last_resort);
+  EXPECT_EQ(ref.paths, cached.paths);
+}
+
+TEST(PathDecision, CachedLookupTracksPibChurn) {
+  Pib pib;
+  Sib sib;
+  sib.set_producer(7, 0);
+  pib.set_paths(0, 3, {{0, 1, 3}, {0, 2, 3}});
+  pib.set_last_resort(0, 3, {0, 5, 3});
+  PathDecision pd(&pib, &sib);
+
+  expect_cached_matches_oracle(pd, 7, 3);
+  // Warm hit: unchanged stamp serves the same entry, no recompute.
+  const auto* entry = &pd.get_path_cached(7, 3);
+  EXPECT_EQ(entry, &pd.get_path_cached(7, 3));
+  EXPECT_EQ(pd.cache_size(), 1u);
+
+  pib.mark_node_overloaded(1);  // kills candidate {0,1,3}
+  expect_cached_matches_oracle(pd, 7, 3);
+  pib.mark_node_overloaded(2);  // kills the rest: last resort serves
+  expect_cached_matches_oracle(pd, 7, 3);
+  pib.clear_node_overloaded(1);
+  expect_cached_matches_oracle(pd, 7, 3);
+  pib.mark_link_overloaded(0, 2);
+  expect_cached_matches_oracle(pd, 7, 3);
+  pib.set_paths(0, 3, {{0, 4, 3}});  // route reinstall
+  expect_cached_matches_oracle(pd, 7, 3);
+
+  // Producer migration: the stream re-keys to a different pair entry.
+  sib.set_producer(7, 2);
+  pib.set_paths(2, 3, {{2, 3}});
+  expect_cached_matches_oracle(pd, 7, 3);
+  // Unknown stream and producer == consumer corners.
+  expect_cached_matches_oracle(pd, 999, 3);
+  expect_cached_matches_oracle(pd, 7, 2);
+
+  // Global Routing's double-buffered install path.
+  Pib scratch;
+  scratch.set_paths(2, 3, {{2, 6, 3}});
+  pib.swap_routes(&scratch);
+  expect_cached_matches_oracle(pd, 7, 3);
+  pib.copy_routes_from(scratch);
+  expect_cached_matches_oracle(pd, 7, 3);
+  pib.clear();
+  expect_cached_matches_oracle(pd, 7, 3);
+}
+
+TEST(Pib, NoOpOverloadMarksDoNotBumpTheVersion) {
+  Pib pib;
+  const std::uint64_t v0 = pib.version();
+  pib.clear_node_overloaded(42);   // was never marked
+  pib.clear_link_overloaded(1, 2);
+  EXPECT_EQ(pib.version(), v0);
+  pib.mark_node_overloaded(42);
+  const std::uint64_t v1 = pib.version();
+  EXPECT_NE(v1, v0);
+  pib.mark_node_overloaded(42);    // already marked: no churn
+  EXPECT_EQ(pib.version(), v1);
 }
 
 }  // namespace

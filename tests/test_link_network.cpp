@@ -6,6 +6,7 @@
 
 #include "sim/link.h"
 #include "sim/network.h"
+#include "telemetry/metrics.h"
 
 namespace livenet::sim {
 namespace {
@@ -152,6 +153,190 @@ TEST(Network, ReplacingLinkKeepsSingleAdjacencyEntry) {
   net.add_link(0, 1, fast_link());
   net.add_link(0, 1, fast_link());
   EXPECT_EQ(net.neighbors(0).size(), 1u);
+}
+
+TEST(Network, NegativeNodeIdsRejectedLoudly) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe n0;
+  net.add_node(&n0);
+  EXPECT_EQ(net.add_link(-1, 0, fast_link()), nullptr);
+  EXPECT_EQ(net.add_link(0, -1, fast_link()), nullptr);
+  EXPECT_EQ(net.neighbors(0).size(), 0u);
+  EXPECT_FALSE(net.send(0, -1, sim::make_message<Blob>(100)));
+}
+
+TEST(Network, LinkAddedAfterFreezeIsRoutable) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a, b, c;
+  net.add_node(&a);
+  net.add_node(&b);
+  net.add_node(&c);
+  net.add_link(0, 1, fast_link());
+  net.freeze_topology();
+  // A frozen pair gains a link after the freeze: the dense matrix path
+  // (send's fast path, with its sync assert) must find it.
+  ASSERT_NE(net.add_link(0, 2, fast_link()), nullptr);
+  EXPECT_NE(net.link(0, 2), nullptr);
+  EXPECT_TRUE(net.send(0, 2, sim::make_message<Blob>(100)));
+  loop.run();
+  ASSERT_EQ(c.arrivals.size(), 1u);
+  // A node registered after the freeze falls back to the sorted rows.
+  Probe d;
+  const NodeId idd = net.add_node(&d);
+  ASSERT_NE(net.add_link(0, idd, fast_link()), nullptr);
+  EXPECT_TRUE(net.send(0, idd, sim::make_message<Blob>(100)));
+  loop.run();
+  EXPECT_EQ(d.arrivals.size(), 1u);
+}
+
+// ------------------------------------------------------ batched delivery
+
+/// Records upcall grouping alongside per-message arrival times.
+class BatchProbe final : public SimNode {
+ public:
+  explicit BatchProbe(EventLoop* loop) : loop_(loop) {}
+  void on_message(NodeId from, const MessagePtr& msg) override {
+    (void)msg;
+    arrivals.emplace_back(loop_->now(), from);
+  }
+  void on_message_batch(NodeId from, const MessagePtr* msgs,
+                        std::size_t n) override {
+    batch_sizes.push_back(n);
+    SimNode::on_message_batch(from, msgs, n);
+  }
+
+  std::vector<std::pair<Time, NodeId>> arrivals;
+  std::vector<std::size_t> batch_sizes;
+
+ private:
+  EventLoop* loop_;
+};
+
+LinkConfig instant_link() {
+  LinkConfig lc;
+  lc.propagation_delay = 10 * kMs;
+  lc.bandwidth_bps = 8e13;  // sub-us serialization: truncates to 0
+  lc.loss_rate = 0.0;
+  lc.jitter_stddev = 0;
+  return lc;
+}
+
+TEST(Network, SameInstantBurstGroupsIntoOneUpcall) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a;
+  BatchProbe b(&loop);
+  net.add_node(&a);
+  net.add_node(&b);
+  net.add_link(0, 1, instant_link());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(net.send(0, 1, sim::make_message<Blob>(100)));
+  }
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 5u);
+  for (const auto& [t, from] : b.arrivals) EXPECT_EQ(t, 10 * kMs);
+  ASSERT_EQ(b.batch_sizes.size(), 1u);
+  EXPECT_EQ(b.batch_sizes[0], 5u);
+  EXPECT_EQ(net.batch_upcalls(), 1u);
+  EXPECT_EQ(net.batch_packets(), 5u);
+}
+
+TEST(Network, QuantumZeroDegeneratesToPerPacketUpcalls) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a;
+  BatchProbe b(&loop);
+  net.add_node(&a);
+  net.add_node(&b);
+  net.add_link(0, 1, instant_link());
+  net.set_delivery_batch(DeliveryBatch{0, 1});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(net.send(0, 1, sim::make_message<Blob>(100)));
+  }
+  loop.run();
+  // Same arrivals at the same instants, one callback each.
+  ASSERT_EQ(b.arrivals.size(), 5u);
+  for (const auto& [t, from] : b.arrivals) EXPECT_EQ(t, 10 * kMs);
+  EXPECT_EQ(b.batch_sizes, std::vector<std::size_t>(5, 1));
+  EXPECT_EQ(net.batch_upcalls(), 5u);
+}
+
+TEST(Network, MaxPacketsBudgetSplitsTheBurst) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a;
+  BatchProbe b(&loop);
+  net.add_node(&a);
+  net.add_node(&b);
+  net.add_link(0, 1, instant_link());
+  net.set_delivery_batch(DeliveryBatch{1 * kMs, 2});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(net.send(0, 1, sim::make_message<Blob>(100)));
+  }
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 5u);
+  for (const auto& [t, from] : b.arrivals) EXPECT_EQ(t, 10 * kMs);
+  EXPECT_EQ(b.batch_sizes, (std::vector<std::size_t>{2, 2, 1}));
+}
+
+TEST(Network, EarlierArrivalReschedulesPendingFlush) {
+  EventLoop loop;
+  Network net(&loop);
+  Probe a;
+  BatchProbe b(&loop);
+  net.add_node(&a);
+  net.add_node(&b);
+  Link* l = net.add_link(0, 1, instant_link());
+  // First packet delayed by a degradation fault; the fault clears
+  // before the second send, so the later send arrives *earlier* — the
+  // inbox flush must move to the new head.
+  l->set_extra_delay(5 * kMs);
+  EXPECT_TRUE(net.send(0, 1, sim::make_message<Blob>(100)));  // t = 15 ms
+  l->set_extra_delay(0);
+  EXPECT_TRUE(net.send(0, 1, sim::make_message<Blob>(200)));  // t = 10 ms
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[0].first, 10 * kMs);
+  EXPECT_EQ(b.arrivals[1].first, 15 * kMs);
+  EXPECT_EQ(b.batch_sizes, (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(Network, MidBurstLinkFlapCountsDropsOncePerPacket) {
+  // The same send sequence with a link flap in the middle must produce
+  // identical drop counts and delivery times whatever the delivery
+  // quantum: drops are accounted at send time, exactly once, and
+  // batching is callback granularity only.
+  auto run = [](const DeliveryBatch& batch) {
+    EventLoop loop;
+    Network net(&loop);
+    Probe a;
+    BatchProbe b(&loop);
+    net.add_node(&a);
+    net.add_node(&b);
+    Link* l = net.add_link(0, 1, instant_link());
+    net.set_delivery_batch(batch);
+    const std::uint64_t down_before =
+        telemetry::handles().link_drops_down->value();
+    for (int i = 0; i < 5; ++i) net.send(0, 1, sim::make_message<Blob>(100));
+    l->set_down(true);  // flap strikes mid-burst
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(net.send(0, 1, sim::make_message<Blob>(100)));
+    }
+    l->set_down(false);
+    for (int i = 0; i < 5; ++i) net.send(0, 1, sim::make_message<Blob>(100));
+    loop.run();
+    const std::uint64_t down_drops =
+        telemetry::handles().link_drops_down->value() - down_before;
+    return std::make_pair(b.arrivals, down_drops);
+  };
+  const auto batched = run(DeliveryBatch{});          // default: on
+  const auto per_packet = run(DeliveryBatch{0, 1});   // legacy granularity
+  EXPECT_EQ(batched.second, 5u);
+  EXPECT_EQ(per_packet.second, 5u);
+  EXPECT_EQ(batched.first, per_packet.first);
+  ASSERT_EQ(batched.first.size(), 10u);
 }
 
 }  // namespace
