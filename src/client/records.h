@@ -18,6 +18,10 @@ struct QoeRecord {
   media::StreamId stream = media::kNoStream;
   sim::NodeId viewer = sim::kNoNode;
   sim::NodeId consumer = sim::kNoNode;
+  /// How many real viewers this record stands for. 1 for an explicit
+  /// Viewer; a ViewerCohort's representative record carries the cohort
+  /// multiplier, so population-level aggregates weight by this.
+  std::uint32_t weight = 1;
 
   Time view_start = kNever;       ///< when the view request was sent
   Time first_display = kNever;    ///< first frame shown
@@ -47,6 +51,14 @@ class ClientMetrics {
   QoeRecord& new_record() { return records_.emplace_back(); }
   const std::deque<QoeRecord>& records() const { return records_; }
   std::deque<QoeRecord>& records() { return records_; }
+
+  /// Modeled viewer-population size: records weighted by cohort
+  /// multiplier (== records().size() when everything is explicit).
+  std::uint64_t modeled_viewers() const {
+    std::uint64_t total = 0;
+    for (const auto& r : records_) total += r.weight;
+    return total;
+  }
 
  private:
   std::deque<QoeRecord> records_;

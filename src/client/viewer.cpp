@@ -36,6 +36,7 @@ void Viewer::start_view(NodeId consumer, media::StreamId stream,
   stall_shift_ = 0;
   in_stall_ = false;
   stalls_since_report_ = 0;
+  skips_since_report_ = 0;  // a fresh record must not inherit old skips
 
   record_ = &metrics_->new_record();
   record_->stream = stream;
@@ -97,7 +98,24 @@ void Viewer::migrate(NodeId new_consumer) {
         ++skips_since_report_;
       },
       cfg_.receiver);
-  framers_.clear();  // new client-facing seq spaces at the new consumer
+  // The framers restart with the new consumer's client-facing seq
+  // spaces, which zeroes their cumulative drop counters — fold the
+  // drops that accrued since the last quality report into the interval
+  // first, or the mid-interval tally silently loses them (and the next
+  // report's delta computation would go backwards).
+  std::uint64_t dropped_total = 0;
+  for (auto& [stream, jf] : framers_) {
+    jf->flush(net_->loop()->now());
+    dropped_total += jf->frames_dropped();
+  }
+  if (dropped_total > jitter_drops_reported_) {
+    const auto delta =
+        static_cast<std::uint32_t>(dropped_total - jitter_drops_reported_);
+    skips_since_report_ += delta;
+    if (record_ != nullptr) record_->frames_skipped += delta;
+  }
+  jitter_drops_reported_ = 0;
+  framers_.clear();
 
   auto req = sim::make_message<overlay::ViewRequest>();
   req->stream_id = requested_stream_;
@@ -115,6 +133,10 @@ void Viewer::on_message(NodeId from, const sim::MessagePtr& msg) {
     return;
   }
   if (const auto ack = sim::msg_cast<const overlay::ViewAck>(msg)) {
+    // Acks only bind from the *current* consumer: after a migration the
+    // old consumer's (possibly failing) ack for the torn-down view must
+    // not kill the new view or strand its report timer.
+    if (from != consumer_) return;
     if (!ack->ok && record_ != nullptr) {
       record_->view_failed = true;
       stopped_ = true;
@@ -194,6 +216,7 @@ void Viewer::on_frame(const Frame& frame) {
       // Buffered frames after the join point display at their deadline.
       const Time d = f.capture_time + playout_offset_;
       record_->streaming_delay_ms.add(to_ms(d - f.capture_time));
+      if (delay_probe_) delay_probe_(to_ms(d - f.capture_time));
       if (f.is_keyframe() || f.frame_id == prebuffer_.front().frame_id) {
         record_->header_ext_delay_ms.add(
             to_ms(f.delay_ext_us + (d > now ? d - now : 0) +
@@ -253,6 +276,7 @@ void Viewer::on_frame(const Frame& frame) {
   }
   last_display_time_ = display;
   record_->streaming_delay_ms.add(to_ms(display - frame.capture_time));
+  if (delay_probe_) delay_probe_(to_ms(display - frame.capture_time));
   if (frame.is_keyframe()) {
     // The delay header extension is carried in the first packet of each
     // I frame (§6.1); the client adds buffering and decode time.
@@ -302,6 +326,7 @@ void Viewer::send_quality_report() {
   stalls_since_report_ = 0;
   skips_since_report_ = 0;
   net_->send(node_id(), consumer_, std::move(rep));
+  ++reports_sent_;
   report_timer_ = net_->loop()->schedule_after(
       cfg_.quality_report_interval, [this] { send_quality_report(); });
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -64,6 +65,16 @@ class Viewer final : public sim::SimNode {
   bool viewing() const { return record_ != nullptr && !stopped_; }
   const QoeRecord* record() const { return record_; }
   const overlay::LinkReceiver* receiver() const { return receiver_.get(); }
+  /// Quality reports sent over this viewer's lifetime (all views).
+  std::uint64_t reports_sent() const { return reports_sent_; }
+
+  /// Observation hook: called with every displayed frame's streaming
+  /// delay (ms), exactly the values fed to the QoE record. A cohort
+  /// (see viewer_cohort.h) uses it to build its weighted delay
+  /// histogram; playback behaviour is unaffected.
+  void set_delay_probe(std::function<void(double)> probe) {
+    delay_probe_ = std::move(probe);
+  }
 
  private:
   void assemble(const media::RtpPacketPtr& pkt);
@@ -96,7 +107,9 @@ class Viewer final : public sim::SimNode {
   std::uint32_t stalls_since_report_ = 0;
   std::uint32_t skips_since_report_ = 0;
   std::uint64_t jitter_drops_reported_ = 0;
+  std::uint64_t reports_sent_ = 0;
   sim::EventId report_timer_ = sim::kInvalidEvent;
+  std::function<void(double)> delay_probe_;
 };
 
 }  // namespace livenet::client

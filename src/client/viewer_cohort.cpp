@@ -1,0 +1,40 @@
+#include "client/viewer_cohort.h"
+
+#include <utility>
+
+namespace livenet::client {
+
+ViewerCohort::ViewerCohort(sim::Network* net, ClientMetrics* metrics,
+                           std::uint64_t seed, const ViewerCohortConfig& cfg)
+    : net_(net),
+      metrics_(metrics),
+      cfg_(cfg),
+      rep_(net, metrics, cfg.viewer),
+      acc_(&rep_, cfg.multiplier == 0 ? 1 : cfg.multiplier) {
+  if (cfg_.multiplier == 0) cfg_.multiplier = 1;
+  if (cfg_.join_spread > 0) {
+    jitter_ = static_cast<Duration>(
+        Rng(seed).next_u64() % static_cast<std::uint64_t>(cfg_.join_spread));
+  }
+  rep_.set_delay_probe([this](double ms) { acc_.observe_delay(ms); });
+}
+
+void ViewerCohort::schedule_view(sim::NodeId consumer, media::StreamId stream,
+                                 Time nominal_join, Time nominal_leave,
+                                 std::vector<media::StreamId> fallbacks) {
+  const Time join = join_time(nominal_join);
+  net_->loop()->schedule_at(
+      join, [this, consumer, stream, fb = std::move(fallbacks)]() mutable {
+        rep_.start_view(consumer, stream, std::move(fb));
+        // The representative's fresh record stands for the whole
+        // population; weighting it here is what makes
+        // ClientMetrics::modeled_viewers() count cohorts correctly.
+        metrics_->records().back().weight = cfg_.multiplier;
+      });
+  if (nominal_leave != kNever) {
+    const Time leave = std::max(leave_time(nominal_leave), join + 1);
+    net_->loop()->schedule_at(leave, [this] { rep_.stop_view(); });
+  }
+}
+
+}  // namespace livenet::client

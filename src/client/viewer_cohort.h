@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/viewer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+// Aggregate viewer populations (ROADMAP open item 1, first half).
+//
+// Simulating millions of last-mile viewers one object each is pure
+// redundancy: viewers behind the same consumer with the same access
+// profile see statistically identical delivery. A ViewerCohort drives
+// ONE representative Viewer pipeline (jitter framer, playback/stall
+// model, NACK recovery) and weights its QoE by a fan-out `multiplier`,
+// so a cohort of 10 000 costs exactly one viewer's events.
+//
+// What is exact vs. approximated (see DESIGN.md "Sharded simulation"):
+// when the access link draws no randomness (zero jitter, zero loss —
+// the differential test's setting), K explicit viewers behind one
+// consumer run bit-identical pipelines, and every cohort counter
+// equals the sum over K explicit viewers *exactly*. With lossy/jittery
+// access links the cohort collapses K independent draws into one — a
+// statistical model of the population mean, not K samples; the
+// uplink-side load a real population would add (K view requests, K
+// report flows) is likewise represented once.
+//
+// Churn smoothing: join/leave times are perturbed by a per-cohort
+// seeded offset, so a wave of cohorts spreads over the join window
+// instead of stepping the concurrent-viewer curve in multiplier-sized
+// increments.
+namespace livenet::client {
+
+struct ViewerCohortConfig {
+  std::uint32_t multiplier = 1;  ///< real viewers this cohort stands for
+  /// Join/leave times are shifted by a seeded offset in [0, spread).
+  Duration join_spread = 200 * kMs;
+  ViewerConfig viewer;
+};
+
+/// Weighted QoE view over a cohort's representative pipeline: every
+/// counter is the representative's times the multiplier (exact when the
+/// last mile draws no randomness), plus a weighted streaming-delay
+/// histogram fed per displayed frame through the Viewer's delay probe.
+class CohortQoeAccumulator {
+ public:
+  CohortQoeAccumulator(const Viewer* rep, std::uint32_t multiplier)
+      : rep_(rep),
+        multiplier_(multiplier),
+        delay_hist_(0.0, 2000.0, 200) {}
+
+  std::uint32_t multiplier() const { return multiplier_; }
+  /// Modeled viewers currently represented (0 before the view starts).
+  std::uint64_t viewers() const {
+    return rep_->record() != nullptr ? multiplier_ : 0;
+  }
+
+  std::uint64_t stalls() const { return scaled(rec() ? rec()->stalls : 0); }
+  std::uint64_t dead_air_stalls() const {
+    return scaled(rec() ? rec()->dead_air_stalls : 0);
+  }
+  std::uint64_t total_stall_time_us() const {
+    return scaled(rec() ? static_cast<std::uint64_t>(rec()->total_stall_time)
+                        : 0);
+  }
+  std::uint64_t frames_displayed() const {
+    return scaled(rec() ? rec()->frames_displayed : 0);
+  }
+  /// Jitter drops + whole-frame gaps, weighted.
+  std::uint64_t frames_skipped() const {
+    return scaled(rec() ? rec()->frames_skipped : 0);
+  }
+  std::uint64_t reports() const { return scaled(rep_->reports_sent()); }
+
+  /// Per-frame streaming delay, each frame binned with weight
+  /// `multiplier` (integer-weighted adds, so the histogram is exactly
+  /// what K identical explicit viewers would have produced).
+  const Histogram& streaming_delay_ms() const { return delay_hist_; }
+  void observe_delay(double ms) { delay_hist_.add_weighted(ms, multiplier_); }
+
+ private:
+  const QoeRecord* rec() const { return rep_->record(); }
+  std::uint64_t scaled(std::uint64_t v) const {
+    return v * static_cast<std::uint64_t>(multiplier_);
+  }
+
+  const Viewer* rep_;
+  std::uint32_t multiplier_;
+  Histogram delay_hist_;
+};
+
+class ViewerCohort {
+ public:
+  /// The representative must still be registered with the network
+  /// (net->add_node(&cohort.viewer())) and given an access link, like
+  /// a plain Viewer — a cohort occupies exactly one last-mile slot.
+  ViewerCohort(sim::Network* net, ClientMetrics* metrics, std::uint64_t seed,
+               const ViewerCohortConfig& cfg);
+
+  Viewer& viewer() { return rep_; }
+  const Viewer& viewer() const { return rep_; }
+  std::uint32_t multiplier() const { return cfg_.multiplier; }
+  const CohortQoeAccumulator& qoe() const { return acc_; }
+
+  /// Schedules the view with the cohort's seeded join/leave
+  /// perturbation; the leave is skipped when nominal_leave == kNever
+  /// (view runs to the end of the simulation).
+  void schedule_view(sim::NodeId consumer, media::StreamId stream,
+                     Time nominal_join, Time nominal_leave,
+                     std::vector<media::StreamId> fallback_versions = {});
+
+  /// The perturbed times the cohort will actually use.
+  Time join_time(Time nominal_join) const { return nominal_join + jitter_; }
+  Time leave_time(Time nominal_leave) const {
+    return nominal_leave == kNever ? kNever : nominal_leave + jitter_;
+  }
+
+ private:
+  sim::Network* net_;
+  ClientMetrics* metrics_;
+  ViewerCohortConfig cfg_;
+  Viewer rep_;
+  CohortQoeAccumulator acc_;
+  Duration jitter_ = 0;  ///< seeded, drawn once per cohort
+};
+
+}  // namespace livenet::client

@@ -12,7 +12,7 @@
 namespace livenet::hier {
 
 /// L1 -> controller: which L2 should this L1 use for `stream`?
-class MapRequest final : public sim::Message {
+class MapRequest final : public sim::CloneableMessage<MapRequest> {
  public:
   std::uint64_t request_id = 0;
   media::StreamId stream_id = media::kNoStream;
@@ -27,7 +27,7 @@ class MapRequest final : public sim::Message {
 };
 
 /// Controller -> L1: the assigned L2.
-class MapResponse final : public sim::Message {
+class MapResponse final : public sim::CloneableMessage<MapResponse> {
  public:
   std::uint64_t request_id = 0;
   media::StreamId stream_id = media::kNoStream;
@@ -42,7 +42,7 @@ class MapResponse final : public sim::Message {
 };
 
 /// Downstream node -> upstream node: subscribe to a stream.
-class HierSubscribe final : public sim::Message {
+class HierSubscribe final : public sim::CloneableMessage<HierSubscribe> {
  public:
   media::StreamId stream_id = media::kNoStream;
 
@@ -55,7 +55,7 @@ class HierSubscribe final : public sim::Message {
 };
 
 /// Downstream node -> upstream node: no more subscribers here.
-class HierUnsubscribe final : public sim::Message {
+class HierUnsubscribe final : public sim::CloneableMessage<HierUnsubscribe> {
  public:
   media::StreamId stream_id = media::kNoStream;
 

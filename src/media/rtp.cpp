@@ -4,7 +4,7 @@
 
 namespace livenet::media {
 
-std::uint64_t RtpBody::deep_copies_ = 0;
+std::atomic<std::uint64_t> RtpBody::deep_copies_{0};
 
 std::string RtpPacket::describe() const {
   std::ostringstream ss;

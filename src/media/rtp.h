@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -81,7 +82,12 @@ struct RtpBody {
 
   /// Total body deep copies since process start (forward-path copies
   /// would show up here; the zero-copy invariant keeps this flat).
-  static std::uint64_t deep_copy_count() { return deep_copies_; }
+  /// Summed across all shard threads: the counter is atomic because
+  /// shard-boundary clones run concurrently — never on the fast path,
+  /// which shares bodies and thus never touches it.
+  static std::uint64_t deep_copy_count() {
+    return deep_copies_.load(std::memory_order_relaxed);
+  }
 
   // Intrusive refcount (single-threaded, like sim::Message's).
   void body_add_ref() const noexcept { ++refs_; }
@@ -91,7 +97,7 @@ struct RtpBody {
 
  private:
   mutable std::uint32_t refs_ = 0;
-  static std::uint64_t deep_copies_;
+  static std::atomic<std::uint64_t> deep_copies_;
 };
 
 /// Refcounted handle to a shared immutable body.
@@ -189,6 +195,24 @@ class RtpPacket final : public sim::Message {
     return TraceTag{body_->trace_id, body_->stream_id, body_->seq};
   }
 
+  /// Shard-boundary clone: the shared body makes the trailer-only copy
+  /// of fork() unsafe across threads (the body refcount is non-atomic),
+  /// so crossing a shard deep-copies the body — the counted copy, so
+  /// tests can assert how many packets paid it — and replicates the
+  /// trailer. transfer_safe() stays false for the same reason: even a
+  /// sole-reference trailer may share its body with the sending shard.
+  sim::IntrusivePtr<const sim::Message> clone_message() const override {
+    RtpPacketMut copy =
+        sim::make_message<RtpPacket>(BodyRef(util::pool_new<RtpBody>(*body_)));
+    copy->seq = seq;
+    copy->delay_ext_us = delay_ext_us;
+    copy->is_rtx = is_rtx;
+    copy->cdn_ingress_time = cdn_ingress_time;
+    copy->cdn_hops = cdn_hops;
+    copy->hop_send_time = hop_send_time;
+    return copy;
+  }
+
   /// Trailer copy sharing the body (make_message / fork use this; a
   /// direct copy never duplicates the body).
   RtpPacket(const RtpPacket&) = default;
@@ -205,7 +229,7 @@ class RtpPacket final : public sim::Message {
 /// node which retransmits from its send history (§5.1, 50 ms scan).
 /// Audio and video are separate RTP flows with independent sequence
 /// spaces (as in WebRTC), so the NACK names the flow kind.
-class NackMessage final : public sim::Message {
+class NackMessage final : public sim::CloneableMessage<NackMessage> {
  public:
   StreamId stream_id = kNoStream;
   bool audio = false;
@@ -219,7 +243,7 @@ class NackMessage final : public sim::Message {
 /// neighbor (not per stream): carries the delay-based rate estimate
 /// computed on the receiver side of GCC (REMB-style) and the measured
 /// loss fraction for the sender-side loss-based controller.
-class CcFeedbackMessage final : public sim::Message {
+class CcFeedbackMessage final : public sim::CloneableMessage<CcFeedbackMessage> {
  public:
   double remb_bps = 0.0;       ///< receiver-estimated max bitrate
   double loss_fraction = 0.0;  ///< loss observed since last feedback

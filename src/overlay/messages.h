@@ -24,7 +24,7 @@ using ClientId = std::uint64_t;
 /// producer. `remaining_reverse_path` lists the nodes still to walk
 /// (next hop first). A node that already carries the stream stops the
 /// backtracking (cache hit) — the source of the long-chain problem.
-class SubscribeRequest final : public sim::Message {
+class SubscribeRequest final : public sim::CloneableMessage<SubscribeRequest> {
  public:
   media::StreamId stream_id = media::kNoStream;
   std::vector<sim::NodeId> remaining_reverse_path;
@@ -38,7 +38,7 @@ class SubscribeRequest final : public sim::Message {
 /// Flows back downstream once the subscription anchored (at the
 /// producer or at a cache-hit relay). `cache_hit` is true if an
 /// intermediate node already carried the stream.
-class SubscribeAck final : public sim::Message {
+class SubscribeAck final : public sim::CloneableMessage<SubscribeAck> {
  public:
   media::StreamId stream_id = media::kNoStream;
   bool ok = true;
@@ -50,7 +50,7 @@ class SubscribeAck final : public sim::Message {
 };
 
 /// Sent upstream when the last subscriber/viewer of a stream leaves.
-class UnsubscribeRequest final : public sim::Message {
+class UnsubscribeRequest final : public sim::CloneableMessage<UnsubscribeRequest> {
  public:
   media::StreamId stream_id = media::kNoStream;
 
@@ -62,7 +62,7 @@ class UnsubscribeRequest final : public sim::Message {
 
 /// Broadcaster -> producer node: announce a stream (one per simulcast
 /// version).
-class PublishRequest final : public sim::Message {
+class PublishRequest final : public sim::CloneableMessage<PublishRequest> {
  public:
   media::StreamId stream_id = media::kNoStream;
   ClientId client_id = 0;
@@ -77,7 +77,7 @@ class PublishRequest final : public sim::Message {
 /// `fallback_versions` lists lower-bitrate simulcast versions of the
 /// same broadcast (from the app manifest), best first — the consumer
 /// uses them for delegated bitrate selection (§5.2, "Thin Clients").
-class ViewRequest final : public sim::Message {
+class ViewRequest final : public sim::CloneableMessage<ViewRequest> {
  public:
   media::StreamId stream_id = media::kNoStream;
   ClientId client_id = 0;
@@ -90,7 +90,7 @@ class ViewRequest final : public sim::Message {
 };
 
 /// Broadcaster -> producer node: the stream ended.
-class PublishStop final : public sim::Message {
+class PublishStop final : public sim::CloneableMessage<PublishStop> {
  public:
   media::StreamId stream_id = media::kNoStream;
   ClientId client_id = 0;
@@ -103,7 +103,7 @@ class PublishStop final : public sim::Message {
 /// (§5.2, "Seamless Stream Switching"): consumers resubscribe viewers
 /// of `from_stream` to `to_stream` on their behalf, flipping each
 /// client once a complete GoP of the new stream is available.
-class StreamSwitchNotice final : public sim::Message {
+class StreamSwitchNotice final : public sim::CloneableMessage<StreamSwitchNotice> {
  public:
   media::StreamId from_stream = media::kNoStream;
   media::StreamId to_stream = media::kNoStream;
@@ -113,7 +113,7 @@ class StreamSwitchNotice final : public sim::Message {
 };
 
 /// Viewer -> consumer node: stop viewing.
-class ViewStop final : public sim::Message {
+class ViewStop final : public sim::CloneableMessage<ViewStop> {
  public:
   media::StreamId stream_id = media::kNoStream;
   ClientId client_id = 0;
@@ -124,7 +124,7 @@ class ViewStop final : public sim::Message {
 
 /// Consumer node -> viewer: the view is active (first control response;
 /// media follows on the same access link).
-class ViewAck final : public sim::Message {
+class ViewAck final : public sim::CloneableMessage<ViewAck> {
  public:
   media::StreamId stream_id = media::kNoStream;
   bool ok = true;
@@ -135,7 +135,7 @@ class ViewAck final : public sim::Message {
 
 /// Viewer -> consumer node: periodic QoE report (stall count since last
 /// report); drives the quality-based path switching of §4.4.
-class ClientQualityReport final : public sim::Message {
+class ClientQualityReport final : public sim::CloneableMessage<ClientQualityReport> {
  public:
   media::StreamId stream_id = media::kNoStream;
   ClientId client_id = 0;
@@ -150,7 +150,7 @@ class ClientQualityReport final : public sim::Message {
 // ---------------------------------------------------------- brain traffic
 
 /// Consumer -> Brain: path lookup for a stream (Algorithm 1, GetPath).
-class PathRequest final : public sim::Message {
+class PathRequest final : public sim::CloneableMessage<PathRequest> {
  public:
   std::uint64_t request_id = 0;
   media::StreamId stream_id = media::kNoStream;
@@ -162,7 +162,7 @@ class PathRequest final : public sim::Message {
 
 /// Brain -> consumer: candidate paths ordered by preference (3 in the
 /// paper's implementation), or empty on failure (unknown stream).
-class PathResponse final : public sim::Message {
+class PathResponse final : public sim::CloneableMessage<PathResponse> {
  public:
   std::uint64_t request_id = 0;
   media::StreamId stream_id = media::kNoStream;
@@ -176,7 +176,7 @@ class PathResponse final : public sim::Message {
 /// Brain -> nodes: proactive push of paths for popular broadcasters
 /// (§4.4: "for popular broadcasters, up-to-date overlay paths are
 /// proactively pushed to all overlay nodes in advance").
-class PathPush final : public sim::Message {
+class PathPush final : public sim::CloneableMessage<PathPush> {
  public:
   media::StreamId stream_id = media::kNoStream;
   std::vector<Path> paths;
@@ -189,7 +189,7 @@ class PathPush final : public sim::Message {
 /// broadcaster moved; the old producer should become a relay fed by the
 /// new producer so existing downstream paths keep working (§7.1,
 /// "Mobility Support").
-class ProducerMigrate final : public sim::Message {
+class ProducerMigrate final : public sim::CloneableMessage<ProducerMigrate> {
  public:
   std::vector<media::StreamId> streams;
   sim::NodeId old_producer = sim::kNoNode;
@@ -200,7 +200,7 @@ class ProducerMigrate final : public sim::Message {
 
 /// Brain -> old producer: subscribe to the new producer for `stream`
 /// and keep serving your existing subscribers.
-class ProducerRelayInstruction final : public sim::Message {
+class ProducerRelayInstruction final : public sim::CloneableMessage<ProducerRelayInstruction> {
  public:
   media::StreamId stream_id = media::kNoStream;
   sim::NodeId new_producer = sim::kNoNode;
@@ -210,7 +210,7 @@ class ProducerRelayInstruction final : public sim::Message {
 };
 
 /// Producer -> Brain: stream (de)registration for the SIB.
-class StreamRegister final : public sim::Message {
+class StreamRegister final : public sim::CloneableMessage<StreamRegister> {
  public:
   media::StreamId stream_id = media::kNoStream;
   sim::NodeId producer = sim::kNoNode;
@@ -230,7 +230,7 @@ struct LinkReport {
 };
 
 /// Node -> Brain: periodic (1-minute) local view report.
-class NodeStateReport final : public sim::Message {
+class NodeStateReport final : public sim::CloneableMessage<NodeStateReport> {
  public:
   sim::NodeId node = sim::kNoNode;
   double node_load = 0.0;  ///< combined streams/CPU/memory metric, [0,1]
@@ -241,7 +241,7 @@ class NodeStateReport final : public sim::Message {
 };
 
 /// Node -> Brain: real-time overload alarm (utilization >= target).
-class OverloadAlarm final : public sim::Message {
+class OverloadAlarm final : public sim::CloneableMessage<OverloadAlarm> {
  public:
   sim::NodeId node = sim::kNoNode;
   double node_load = 0.0;

@@ -36,10 +36,11 @@ struct LinkStats {
 
 /// Why a link refused (or lost) a packet; telemetry keys on this.
 enum class SendDrop : std::uint8_t {
-  kNone,   ///< delivered
-  kDown,   ///< black-holed on an administratively downed link
-  kQueue,  ///< tail drop (transmit queue over limit)
-  kWire,   ///< random wire loss
+  kNone,     ///< delivered
+  kDown,     ///< black-holed on an administratively downed link
+  kQueue,    ///< tail drop (transmit queue over limit)
+  kWire,     ///< random wire loss
+  kNoRoute,  ///< no link for the (src, dst) pair (misroute / bad partition)
 };
 
 /// Outcome of offering a packet to the link.

@@ -29,6 +29,9 @@ namespace livenet::sim {
 using NodeId = std::int32_t;
 inline constexpr NodeId kNoNode = -1;
 
+template <typename T>
+class IntrusivePtr;
+
 class Message {
  public:
   Message() = default;
@@ -56,6 +59,31 @@ class Message {
   };
   virtual TraceTag trace_tag() const { return {}; }
 
+  // ---- Shard-boundary support (see DESIGN.md "Sharded simulation").
+  //
+  // A message crossing from one shard's thread to another must not
+  // share mutable state (the non-atomic refcount, pooled sub-objects)
+  // with anything the sending shard retains. Two safe transfers exist:
+  //   - move-through: the handoff queue holds the *only* reference and
+  //     the subclass owns all of its state exclusively
+  //     (transfer_safe() == true) — the pointer itself migrates;
+  //   - deep copy: clone_message() builds an independent replica on the
+  //     sending thread; the original stays behind.
+  // The base defaults are maximally conservative: not transfer-safe and
+  // not cloneable (a nullptr clone makes the boundary drop the message
+  // loudly). Plain-data messages opt in via CloneableMessage<T> below;
+  // RtpPacket implements a counted deep-body clone of its own.
+
+  /// True if handing the sole reference to another thread shares no
+  /// state with the originating shard. False for anything holding a
+  /// refcounted sub-object (RtpPacket's shared body).
+  virtual bool transfer_safe() const { return false; }
+
+  /// Independent deep replica allocated from the calling thread's pool;
+  /// a null pointer means "not cloneable" (the shard boundary drops the
+  /// message and logs).
+  virtual IntrusivePtr<const Message> clone_message() const;
+
   // Intrusive refcount plumbing (used by IntrusivePtr; not part of the
   // message API proper).
   void msg_add_ref() const noexcept { ++refs_; }
@@ -74,6 +102,10 @@ class Message {
   void msg_set_deleter(void (*d)(const Message*) noexcept) noexcept {
     deleter_ = d;
   }
+
+  /// Current reference count (shard-boundary move-through is legal only
+  /// at exactly one reference — the handoff queue's own).
+  std::uint32_t msg_ref_count() const noexcept { return refs_; }
 
  private:
   mutable std::uint32_t refs_ = 0;
@@ -187,5 +219,23 @@ template <typename To, typename From>
 IntrusivePtr<To> msg_cast(const IntrusivePtr<From>& m) {
   return IntrusivePtr<To>(dynamic_cast<To*>(m.get()));
 }
+
+inline IntrusivePtr<const Message> Message::clone_message() const {
+  return {};
+}
+
+/// CRTP base for plain-data messages (no refcounted sub-objects): gives
+/// the subclass a pooled copy-constructor clone and marks it safe to
+/// move through a shard boundary when the handoff holds the only
+/// reference. All control-plane messages derive from this; RtpPacket
+/// does not (its body is shared and needs a counted deep copy).
+template <typename Derived>
+class CloneableMessage : public Message {
+ public:
+  IntrusivePtr<const Message> clone_message() const override {
+    return make_message<Derived>(static_cast<const Derived&>(*this));
+  }
+  bool transfer_safe() const override { return true; }
+};
 
 }  // namespace livenet::sim

@@ -15,6 +15,12 @@ NodeId Network::add_node(SimNode* node) {
   return id;
 }
 
+NodeId Network::add_remote_node() {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(nullptr);
+  return id;
+}
+
 std::size_t Network::index_pos(NodeId src, NodeId dst) const {
   const auto& row = rows_[static_cast<std::size_t>(src)];
   const auto& idx = row_index_[static_cast<std::size_t>(src)];
@@ -46,6 +52,18 @@ Link* Network::lookup(NodeId src, NodeId dst) const {
 }
 
 Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg) {
+  // Fork the per-link rng before anything else so the stream a link
+  // receives depends only on the add_link call order.
+  return add_link_impl(src, dst, cfg, rng_.fork());
+}
+
+Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg,
+                        std::uint64_t rng_seed) {
+  return add_link_impl(src, dst, cfg, Rng(rng_seed));
+}
+
+Link* Network::add_link_impl(NodeId src, NodeId dst, const LinkConfig& cfg,
+                             Rng rng) {
   if (src < 0 || dst < 0) {
     // Reject loudly: a negative id would previously index rows_ with a
     // huge size_t (UB) or create a link the frozen matrix can never
@@ -54,9 +72,7 @@ Link* Network::add_link(NodeId src, NodeId dst, const LinkConfig& cfg) {
                         << dst;
     return nullptr;
   }
-  // Fork the per-link rng before anything else so the stream a link
-  // receives depends only on the add_link call order.
-  auto link_ptr = std::make_unique<Link>(loop_, src, dst, cfg, rng_.fork());
+  auto link_ptr = std::make_unique<Link>(loop_, src, dst, cfg, rng);
   Link* raw = link_ptr.get();
   if (static_cast<std::size_t>(src) >= rows_.size()) {
     rows_.resize(static_cast<std::size_t>(src) + 1);
@@ -105,7 +121,7 @@ void Network::freeze_topology() {
   }
 }
 
-bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
+SendResult Network::send_ex(NodeId src, NodeId dst, MessagePtr msg) {
   // Hot path: frozen core pairs resolve with one indexed load.
   Link* l;
   Inbox* ib;
@@ -126,9 +142,17 @@ bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
     ib = e != nullptr ? e->inbox.get() : nullptr;
   }
   if (l == nullptr) {
-    LIVENET_LOG(kWarn) << "send: no link " << src << "->" << dst << " for "
-                       << msg->describe();
-    return false;
+    // Routing miss: reason-coded drop, never an abort. A bad partition
+    // map (or any post-freeze misroute) shows up as kNoRoute drops that
+    // tests can count; Release runs keep going.
+    ++route_misses_;
+    if (route_miss_policy_ == RouteMissPolicy::kStrict) {
+      LIVENET_LOG(kError) << "send: no link " << src << "->" << dst << " for "
+                          << msg->describe();
+    } else {
+      LIVENET_LOG(kDebug) << "send: no link " << src << "->" << dst;
+    }
+    return SendResult{false, kNever, SendDrop::kNoRoute};
   }
   const SendResult res = l->send(msg->wire_size());
   // Sampled per-hop tracing: record the link transit (or its loss) for
@@ -158,13 +182,35 @@ bool Network::send(NodeId src, NodeId dst, MessagePtr msg) {
       }
     }
   }
-  if (!res.delivered) return false;
+  if (!res.delivered) return res;
+  const Time arrival = std::max(res.arrival_time, loop_->now());
+  if (region_of_ != nullptr && region_of_[src] != region_of_[dst]) {
+    // Region boundary: hand the delivered packet to the sharded runtime
+    // instead of the local inbox. Taken for *every* cross-region send,
+    // in single-shard runs too — the delivery path must not depend on
+    // the shard count or the goldens would.
+    xregion_(src, dst, arrival, std::move(msg));
+    return res;
+  }
   // Reserve the packet's dispatch slot now — exactly the seq the old
   // per-packet schedule_at would have consumed — and park it in the
   // link's inbox.
-  const Time arrival = std::max(res.arrival_time, loop_->now());
   enqueue_delivery(ib, arrival, loop_->reserve_seq(), std::move(msg));
-  return true;
+  return res;
+}
+
+void Network::deliver_remote(NodeId src, NodeId dst, Time arrival,
+                             MessagePtr msg) {
+  SimNode* receiver = node(dst);
+  if (receiver == nullptr) {
+    LIVENET_LOG(kError) << "deliver_remote: no node " << dst << " for "
+                        << src << "->" << dst;
+    return;
+  }
+  loop_->schedule_at(arrival, [receiver, src, m = std::move(msg)] {
+    MessagePtr one = m;
+    receiver->on_message_batch(src, &one, 1);
+  });
 }
 
 void Network::schedule_flush(Inbox* ib, Time when, std::uint64_t seq) {

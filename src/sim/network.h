@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -58,10 +59,24 @@ class Network {
   /// not own the node; callers keep it alive for the Network's lifetime.
   NodeId add_node(SimNode* node);
 
+  /// Reserves the next NodeId without a local receiver — the node lives
+  /// in another shard's Network. Keeps the global id space identical
+  /// across shards; traffic toward a remote id must be intercepted by
+  /// the cross-region handler (delivering to it locally error-drops).
+  NodeId add_remote_node();
+
   /// Creates a directed link src -> dst. Replaces any existing link on
   /// that pair (in-flight deliveries survive the replacement). Invalid
   /// (negative) node ids are rejected loudly: error log + nullptr.
   Link* add_link(NodeId src, NodeId dst, const LinkConfig& cfg);
+
+  /// Same, but with an explicitly seeded per-link RNG instead of a fork
+  /// of the Network's stream. Sharded builds use this: the fork order
+  /// differs per shard (each shard only adds the links it owns), so a
+  /// link's randomness must be a pure function of (seed, src, dst) for
+  /// the shard sweep to stay bit-identical.
+  Link* add_link(NodeId src, NodeId dst, const LinkConfig& cfg,
+                 std::uint64_t rng_seed);
 
   /// Creates both directions with the same configuration.
   void add_bidi_link(NodeId a, NodeId b, const LinkConfig& cfg);
@@ -79,7 +94,48 @@ class Network {
   /// if no link exists or the packet was dropped/lost. On success the
   /// receiver's upcall runs at the arrival time (possibly fused with
   /// same-link neighbours into one on_message_batch call).
-  bool send(NodeId src, NodeId dst, MessagePtr msg);
+  bool send(NodeId src, NodeId dst, MessagePtr msg) {
+    return send_ex(src, dst, std::move(msg)).delivered;
+  }
+
+  /// send() with the full reason-coded outcome. A missing link is a
+  /// SendDrop::kNoRoute drop (arrival kNever), not an abort: a bad
+  /// partition map must fail loudly in tests without killing Release
+  /// runs. See RouteMissPolicy.
+  SendResult send_ex(NodeId src, NodeId dst, MessagePtr msg);
+
+  /// How loudly a routing miss (send with no link) complains. kStrict —
+  /// the default, and what tests run under — error-logs every miss;
+  /// kLenient demotes them to debug chatter for Release-scale runs
+  /// where the count is the signal. Both count and reason-code the
+  /// drop identically.
+  enum class RouteMissPolicy : std::uint8_t { kStrict, kLenient };
+  void set_route_miss_policy(RouteMissPolicy p) { route_miss_policy_ = p; }
+  RouteMissPolicy route_miss_policy() const { return route_miss_policy_; }
+  /// Total sends that found no link.
+  std::uint64_t route_miss_count() const { return route_misses_; }
+
+  /// Sharded-run hook: a delivered send whose endpoints live in
+  /// different regions is handed to `handoff` (with its computed
+  /// arrival time) instead of the local inbox — the sharded runtime
+  /// ferries it to the owning shard at the next window barrier.
+  /// `region_of` must cover every NodeId and outlive the Network.
+  /// Installed in every mode including single-shard runs, so the
+  /// delivery path (and therefore the golden) is shard-count-invariant.
+  using CrossRegionHandoff =
+      std::function<void(NodeId src, NodeId dst, Time arrival, MessagePtr)>;
+  void set_cross_region(const std::int32_t* region_of,
+                        CrossRegionHandoff handoff) {
+    region_of_ = region_of;
+    xregion_ = std::move(handoff);
+  }
+
+  /// Delivers a ferried cross-region message: schedules the receiver
+  /// upcall at `arrival` with the given dispatch seq (reserved by the
+  /// caller in deterministic order). Bypasses inbox fusion in every
+  /// mode — cross-region traffic is rare and the bypass keeps S=1 and
+  /// S=N dispatch identical.
+  void deliver_remote(NodeId src, NodeId dst, Time arrival, MessagePtr msg);
 
   /// Delivery batching bounds (defaults on; {0, 1} restores one upcall
   /// per packet). Takes effect for packets sent after the call.
@@ -196,6 +252,7 @@ class Network {
   /// Finds src's edge to dst via the sorted row index; returns the
   /// position in row_index_[src] where dst is (or would be inserted).
   std::size_t index_pos(NodeId src, NodeId dst) const;
+  Link* add_link_impl(NodeId src, NodeId dst, const LinkConfig& cfg, Rng rng);
   Link* lookup(NodeId src, NodeId dst) const;
   Edge* find_edge(NodeId src, NodeId dst);
   const Edge* find_edge(NodeId src, NodeId dst) const;
@@ -220,6 +277,11 @@ class Network {
   std::vector<MessagePtr> scratch_;
   std::uint64_t batch_upcalls_ = 0;
   std::uint64_t batch_packets_ = 0;
+  RouteMissPolicy route_miss_policy_ = RouteMissPolicy::kStrict;
+  std::uint64_t route_misses_ = 0;
+  /// Sharded-run region map + boundary handoff (null when unsharded).
+  const std::int32_t* region_of_ = nullptr;
+  CrossRegionHandoff xregion_;
 };
 
 }  // namespace livenet::sim

@@ -1,0 +1,181 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace livenet::sim {
+
+namespace {
+/// Window width used when no cross-region link exists: one window
+/// covers any horizon (the shards never need to talk).
+constexpr Time kUnbounded = std::numeric_limits<Time>::max() / 2;
+}  // namespace
+
+ShardedSim::ShardedSim(std::size_t shards, std::size_t regions)
+    : shards_(std::clamp<std::size_t>(shards, 1, regions > 0 ? regions : 1)),
+      regions_(regions),
+      loops_(shards_),
+      region_out_seq_(regions, 0),
+      queues_(shards_ * shards_),
+      integrate_scratch_(shards_) {
+  nets_.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    nets_.push_back(std::make_unique<Network>(&loops_[s]));
+  }
+}
+
+void ShardedSim::set_node_region(NodeId id, std::int32_t region) {
+  const auto i = static_cast<std::size_t>(id);
+  if (region_of_.size() <= i) region_of_.resize(i + 1, 0);
+  region_of_[i] = region;
+}
+
+void ShardedSim::start() {
+  // Lookahead = min propagation delay over cross-region links. Only
+  // propagation is a sound bound: serialization, queueing, fault extra
+  // delay and |jitter| all delay arrival further, never advance it.
+  // Cross-region links added after start() must respect it (checked at
+  // integration in debug builds).
+  Time w = kUnbounded;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    Network& n = *nets_[s];
+    const auto count = static_cast<NodeId>(n.node_count());
+    for (NodeId src = 0; src < count; ++src) {
+      for (NodeId dst : n.neighbors(src)) {
+        if (region_of_[static_cast<std::size_t>(src)] ==
+            region_of_[static_cast<std::size_t>(dst)]) {
+          continue;
+        }
+        const Link* l = n.link(src, dst);
+        if (l != nullptr) w = std::min(w, l->propagation_delay());
+      }
+    }
+  }
+  if (w <= 0) {
+    LIVENET_LOG(kError) << "ShardedSim: zero-delay cross-region link; "
+                           "clamping lookahead to 1";
+    w = 1;
+  }
+  lookahead_ = w;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    nets_[s]->set_cross_region(
+        region_of_.data(),
+        [this, s](NodeId src, NodeId dst, Time arrival, MessagePtr msg) {
+          on_cross(s, src, dst, arrival, std::move(msg));
+        });
+  }
+  started_ = true;
+}
+
+void ShardedSim::on_cross(std::size_t src_shard, NodeId src, NodeId dst,
+                          Time arrival, MessagePtr msg) {
+  cross_count_.fetch_add(1, std::memory_order_relaxed);
+  MessagePtr out;
+  if (msg->msg_ref_count() == 1 && msg->transfer_safe()) {
+    // Sole reference to a self-contained message: the pointer itself
+    // migrates (the block later frees into the receiving thread's
+    // arena, which is safe — chunks are never unmapped).
+    out = std::move(msg);
+  } else {
+    out = msg->clone_message();
+    if (!out) {
+      drop_count_.fetch_add(1, std::memory_order_relaxed);
+      LIVENET_LOG(kError) << "ShardedSim: uncloneable message dropped at "
+                          << src << "->" << dst << ": " << msg->describe();
+      return;
+    }
+    clone_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto sr = region_of_[static_cast<std::size_t>(src)];
+  const std::size_t ds =
+      shard_of_region(region_of_[static_cast<std::size_t>(dst)]);
+  queues_[src_shard * shards_ + ds].push_back(
+      CrossEntry{arrival, sr, region_out_seq_[static_cast<std::size_t>(sr)]++,
+                 src, dst, std::move(out)});
+}
+
+void ShardedSim::integrate(std::size_t shard) {
+  auto& batch = integrate_scratch_[shard];
+  for (std::size_t src = 0; src < shards_; ++src) {
+    auto& q = queues_[src * shards_ + shard];
+    for (auto& e : q) batch.push_back(std::move(e));
+    q.clear();
+  }
+  if (batch.empty()) return;
+  // The sort key carries no shard- or loop-level identity, so the
+  // delivery order — and the seqs the deliveries draw from this loop —
+  // depends only on the partition-invariant region histories.
+  std::sort(batch.begin(), batch.end(),
+            [](const CrossEntry& a, const CrossEntry& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.src_region != b.src_region) {
+                return a.src_region < b.src_region;
+              }
+              return a.out_seq < b.out_seq;
+            });
+  Network& n = *nets_[shard];
+  for (auto& e : batch) {
+    // Conservative-window invariant: the message was emitted in an
+    // earlier window, so it arrives at or after this barrier's
+    // boundary, i.e. strictly after the loop's current time.
+    assert(e.arrival > loops_[shard].now() &&
+           "cross-region arrival inside the emitting window");
+    n.deliver_remote(e.src, e.dst, e.arrival, std::move(e.msg));
+  }
+  batch.clear();
+}
+
+void ShardedSim::window_loop(std::size_t shard, Time end, Barrier* bar) {
+  EventLoop& loop = loops_[shard];
+  Time cursor = loop.now();
+  const Time w = lookahead_;
+  while (cursor < end) {
+    // (guarded subtraction: w may be the huge no-cross-links sentinel)
+    const Time boundary = end - cursor <= w ? end : cursor + w;
+    // Events at exactly `boundary` belong to the next window (they may
+    // race integrated deliveries at the same instant), except at `end`,
+    // which run_until treats inclusively in every mode alike.
+    loop.run_until(boundary == end ? end : boundary - 1);
+    if (bar != nullptr) bar->arrive_and_wait();
+    integrate(shard);
+    if (bar != nullptr) bar->arrive_and_wait();
+    cursor = boundary;
+  }
+  // Deliveries integrated at the final barrier can land at exactly
+  // `end`; anything later stays queued for a future run_until.
+  loop.run_until(end);
+}
+
+void ShardedSim::run_until(Time end) {
+  assert(started_ && "ShardedSim::run_until before start()");
+  if (shards_ == 1) {
+    window_loop(0, end, nullptr);
+    return;
+  }
+  Barrier bar(static_cast<std::ptrdiff_t>(shards_));
+  // Workers fold their thread-local metrics into the caller's registry
+  // before exiting; the caller runs shard 0, so its metrics are already
+  // home. The mutex serializes the folds (main is blocked in join).
+  telemetry::MetricsRegistry* home = &telemetry::MetricsRegistry::instance();
+  std::mutex merge_mu;
+  std::vector<std::thread> workers;
+  workers.reserve(shards_ - 1);
+  for (std::size_t s = 1; s < shards_; ++s) {
+    workers.emplace_back([this, s, end, &bar, home, &merge_mu] {
+      window_loop(s, end, &bar);
+      std::lock_guard<std::mutex> lk(merge_mu);
+      home->merge_from(telemetry::MetricsRegistry::instance());
+    });
+  }
+  window_loop(0, end, &bar);
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace livenet::sim

@@ -5,7 +5,9 @@
 namespace livenet::telemetry {
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry reg;
+  // Per-thread: each shard records lock-free into its own registry and
+  // the sharded runtime merges workers into the main thread's copy.
+  static thread_local MetricsRegistry reg;
   return reg;
 }
 
@@ -50,6 +52,18 @@ void MetricsRegistry::reset() {
   for (auto& l : latencies_) l.reset();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counter_names_) {
+    counter(name)->add(c->value());
+  }
+  for (const auto& [name, g] : other.gauge_names_) {
+    gauge(name)->set_max(g->value());
+  }
+  for (const auto& [name, l] : other.latency_names_) {
+    latency(name, l->lo(), l->hi(), l->buckets())->merge(*l);
+  }
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   auto sorted_names = [](const auto& names) {
     auto copy = names;
@@ -85,7 +99,10 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 const Handles& handles() {
-  static const Handles h = [] {
+  // thread_local so every handle points into the calling thread's
+  // registry (built once per thread; the simulator's per-packet sites
+  // hit only the pointer loads after that).
+  static thread_local const Handles h = [] {
     auto& reg = MetricsRegistry::instance();
     Handles out;
     out.fast_forwards = reg.counter("overlay.fast_forwards");
@@ -111,6 +128,7 @@ const Handles& handles() {
     out.trace_records = reg.counter("telemetry.trace_records");
     out.peak_pending_events = reg.gauge("sim.peak_pending_events");
     out.concurrent_viewers = reg.gauge("scenario.concurrent_viewers");
+    out.modeled_viewers = reg.gauge("client.modeled_viewers");
     out.cdn_path_delay_ms =
         reg.latency("overlay.cdn_path_delay_ms", 0.0, 2000.0, 200);
     return out;

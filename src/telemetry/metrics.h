@@ -38,6 +38,8 @@ class Counter {
 };
 
 /// Last-written instantaneous value (queue depths, loads, viewers).
+/// Cross-shard merges keep the maximum across shards, which is exact
+/// for peak-style gauges and a conservative summary for the rest.
 class Gauge {
  public:
   void set(double v) { value_ = v; }
@@ -63,8 +65,15 @@ class LatencyStat {
     hist_.add(v);
     stats_.add(v);
   }
+  void merge(const LatencyStat& other) {
+    hist_.merge(other.hist_);
+    stats_.merge(other.stats_);
+  }
   const Histogram& histogram() const { return hist_; }
   const OnlineStats& stats() const { return stats_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t buckets() const { return buckets_; }
   void reset() {
     hist_ = Histogram(lo_, hi_, buckets_);
     stats_ = OnlineStats();
@@ -79,6 +88,11 @@ class LatencyStat {
 
 class MetricsRegistry {
  public:
+  /// The calling thread's registry. One registry per thread (not per
+  /// process): every shard of a sharded run records into its own
+  /// registry lock-free, and the runtime folds worker registries into
+  /// the main thread's via merge_from() at teardown. Single-threaded
+  /// runs see exactly the old process-wide behaviour.
   static MetricsRegistry& instance();
 
   /// Idempotent by name: the first call registers, later calls return
@@ -91,6 +105,13 @@ class MetricsRegistry {
   /// Zeroes every value; handles stay valid (per-run isolation in
   /// tests and repeated scenario runs in one process).
   void reset();
+
+  /// Folds another thread's registry into this one by metric name:
+  /// counters add, gauges keep the max, latency stats merge histogram
+  /// and moments. Metrics only the other registry knows are registered
+  /// here first. The caller serializes access (the sharded runtime
+  /// merges under its teardown mutex).
+  void merge_from(const MetricsRegistry& other);
 
   /// metrics.json: {"counters": {...}, "gauges": {...},
   /// "latencies": {name: {count, mean, p50, p90, p99, max}}}.
@@ -139,6 +160,7 @@ struct Handles {
   // Simulator.
   Gauge* peak_pending_events;    ///< high-water mark of event-loop queue
   Gauge* concurrent_viewers;     ///< last timeline sample
+  Gauge* modeled_viewers;        ///< cohort-weighted viewer population peak
   LatencyStat* cdn_path_delay_ms;   ///< per-forwarded-packet CDN delay
 };
 

@@ -28,7 +28,10 @@ class Logger {
 
  private:
   static inline LogLevel level_ = LogLevel::kWarn;
-  static inline Time now_ = 0;
+  /// thread_local: every shard thread of a sharded run stamps its own
+  /// virtual clock (the level stays global — set once before threads
+  /// spawn, read-only while they run).
+  static inline thread_local Time now_ = 0;
 };
 
 /// Stream-style log statement builder:

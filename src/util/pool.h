@@ -7,13 +7,20 @@
 
 // Freelist arenas for the simulator's per-packet hot path.
 //
-// The whole simulator is single-threaded by design (one EventLoop, one
-// virtual clock), so these pools deliberately skip all synchronisation:
-// an allocation is a pointer pop, a deallocation a pointer push. Blocks
-// are carved from geometrically-growing chunks that are never returned
-// to the OS — the working set of in-flight packets/events reaches a
-// steady state within the first simulated seconds and the arena stops
-// touching the system allocator entirely after that.
+// Each simulation thread is single-threaded by design (one EventLoop,
+// one virtual clock per shard), so these pools deliberately skip all
+// synchronisation: an allocation is a pointer pop, a deallocation a
+// pointer push. The freelist head is thread_local, which makes every
+// shard of a sharded run (see sim/shard.h) its own arena with zero
+// cross-thread contention. Blocks are carved from geometrically-growing
+// chunks that are never returned to the OS — the working set of
+// in-flight packets/events reaches a steady state within the first
+// simulated seconds and the arena stops touching the system allocator
+// entirely after that. A block freed on a different thread than the one
+// that allocated it simply migrates to the freeing thread's freelist
+// (chunks are never unmapped, so the memory stays valid); the sharded
+// runtime still keeps object *ownership* single-threaded — only whole,
+// sole-owner handoffs cross a shard boundary.
 namespace livenet::util {
 
 /// Fixed-size block arena. All users of the same `Size` bucket share
@@ -42,14 +49,14 @@ class FreeListArena {
   };
 
   static Node*& head_ref() {
-    static Node* head = nullptr;
+    static thread_local Node* head = nullptr;
     return head;
   }
 
   static void refill() {
     // Geometric growth, capped: start small so micro uses stay cheap,
     // grow fast enough that a 600-node run does O(log n) system allocs.
-    static std::size_t chunk_nodes = 64;
+    static thread_local std::size_t chunk_nodes = 64;
     Node* chunk =
         static_cast<Node*>(::operator new(chunk_nodes * sizeof(Node)));
     for (std::size_t i = 0; i < chunk_nodes; ++i) {

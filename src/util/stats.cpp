@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/logging.h"
+
 namespace livenet {
 
 void OnlineStats::add(double x) {
@@ -131,6 +133,33 @@ void Histogram::add(double x) {
     idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
     ++counts_[idx];
   }
+}
+
+void Histogram::add_weighted(double x, std::size_t w) {
+  total_ += w;
+  if (x < lo_) {
+    underflow_ += w;
+  } else if (x >= hi_) {
+    overflow_ += w;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+    counts_[idx] += w;
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    // Differently-shaped histograms have no faithful bucket mapping;
+    // refusing beats silently mis-binning.
+    LIVENET_LOG(kError) << "Histogram::merge: shape mismatch, ignored";
+    return;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

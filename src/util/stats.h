@@ -81,6 +81,12 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
+  /// Adds `x` with an integer weight — exactly `w` repeated add(x)
+  /// calls, in one bucket increment (cohort fan-out uses this).
+  void add_weighted(double x, std::size_t w);
+  /// Bucket-wise accumulate of an identically-configured histogram
+  /// (same [lo, hi) and bucket count; mismatches are ignored loudly).
+  void merge(const Histogram& other);
   std::size_t count() const { return total_; }
   std::size_t bucket_count() const { return counts_.size(); }
   std::size_t bucket(std::size_t i) const { return counts_[i]; }

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "client/viewer.h"
+#include "client/viewer_cohort.h"
+#include "media/packetizer.h"
+#include "media/rtp.h"
+#include "media/video_source.h"
+#include "overlay/messages.h"
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+
+// ViewerCohort differential coverage (ISSUE 7 satellites 1 and 3):
+//  - a cohort with multiplier K reports exactly K x the QoE counters of
+//    K explicit viewers under identical seeds on a 3-node chain, with
+//    and without a scripted link-flap fault plan;
+//  - a migrate() between two quality reports neither double-counts nor
+//    loses the interval's stalls/skips, and leaves exactly one report
+//    timer running.
+namespace livenet::client {
+namespace {
+
+using media::RtpPacket;
+using sim::NodeId;
+
+constexpr media::StreamId kStream = 7;
+
+/// Test feeder: packetizes a deterministic synthetic video stream and
+/// pushes every packet to its children (3-node-chain head).
+class Feeder final : public sim::SimNode {
+ public:
+  Feeder(sim::Network* net, std::uint64_t seed) : net_(net) {
+    media::VideoSourceConfig vcfg;
+    vcfg.bitrate_bps = 1.5e6;
+    source_ = std::make_unique<media::VideoSource>(kStream, vcfg, Rng(seed));
+    packetizer_ = std::make_unique<media::Packetizer>(kStream);
+  }
+
+  void add_child(NodeId c) { children_.push_back(c); }
+  void start() { tick(); }
+  void on_message(NodeId, const sim::MessagePtr&) override {}
+
+ private:
+  void tick() {
+    const media::Frame f = source_->next_frame(net_->loop()->now());
+    for (auto& pkt : packetizer_->packetize(f)) {
+      const media::RtpPacketPtr shared = std::move(pkt);
+      for (const NodeId c : children_) net_->send(node_id(), c, shared);
+    }
+    net_->loop()->schedule_after(source_->frame_interval(),
+                                 [this] { tick(); });
+  }
+
+  sim::Network* net_;
+  std::unique_ptr<media::VideoSource> source_;
+  std::unique_ptr<media::Packetizer> packetizer_;
+  std::vector<NodeId> children_;
+};
+
+/// Pass-through relay (the chain's middle node).
+class Relay final : public sim::SimNode {
+ public:
+  explicit Relay(sim::Network* net) : net_(net) {}
+  void add_child(NodeId c) { children_.push_back(c); }
+  void on_message(NodeId, const sim::MessagePtr& msg) override {
+    if (sim::msg_cast<const RtpPacket>(msg) == nullptr) return;
+    for (const NodeId c : children_) net_->send(node_id(), c, msg);
+  }
+
+ private:
+  sim::Network* net_;
+  std::vector<NodeId> children_;
+};
+
+/// Thin-client consumer stub: ok-acks views, fans the stream out to
+/// subscribers, records every quality report verbatim.
+class Consumer final : public sim::SimNode {
+ public:
+  explicit Consumer(sim::Network* net) : net_(net) {}
+
+  struct Report {
+    NodeId viewer;
+    std::uint32_t stalls;
+    std::uint32_t skips;
+  };
+
+  void on_message(NodeId from, const sim::MessagePtr& msg) override {
+    if (sim::msg_cast<const RtpPacket>(msg) != nullptr) {
+      for (const NodeId v : subscribers_) net_->send(node_id(), v, msg);
+      return;
+    }
+    if (const auto req = sim::msg_cast<const overlay::ViewRequest>(msg)) {
+      subscribers_.push_back(from);
+      auto ack = sim::make_message<overlay::ViewAck>();
+      ack->stream_id = req->stream_id;
+      net_->send(node_id(), from, std::move(ack));
+      return;
+    }
+    if (sim::msg_cast<const overlay::ViewStop>(msg) != nullptr) {
+      std::erase(subscribers_, from);
+      return;
+    }
+    if (const auto rep =
+            sim::msg_cast<const overlay::ClientQualityReport>(msg)) {
+      reports.push_back(
+          Report{from, rep->stalls_since_last, rep->skips_since_last});
+      return;
+    }
+    // NACK / CC feedback: absorbed (loss recovery is exercised through
+    // receive-buffer giveup, which is what the flap scenario counts).
+  }
+
+  std::vector<Report> reports;
+
+ private:
+  sim::Network* net_;
+  std::vector<NodeId> subscribers_;
+};
+
+sim::LinkConfig quiet_link(Duration delay) {
+  sim::LinkConfig lc;
+  lc.propagation_delay = delay;
+  lc.bandwidth_bps = 1e9;
+  lc.loss_rate = 0.0;
+  lc.jitter_stddev = 0;  // zero randomness: cohort counters stay exact
+  return lc;
+}
+
+struct QoeTotals {
+  std::uint64_t stalls = 0;
+  std::uint64_t dead_air = 0;
+  std::uint64_t stall_us = 0;
+  std::uint64_t displayed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t delay_samples = 0;
+};
+
+/// Runs the 3-node chain (feeder -> relay -> consumer) with either K
+/// explicit viewers or one cohort of multiplier K behind the consumer.
+/// `flap` adds a scripted relay->consumer link flap (the PR 1 fault
+/// plan) upstream of the access links, so every viewer sees it alike.
+QoeTotals run_chain(std::uint32_t k, bool cohort_mode, bool flap,
+                    std::vector<QoeTotals>* per_viewer = nullptr) {
+  sim::EventLoop loop;
+  sim::Network net(&loop, 17);
+  Feeder feeder(&net, 99);
+  Relay relay(&net);
+  Consumer consumer(&net);
+  const NodeId fid = net.add_node(&feeder);
+  const NodeId rid = net.add_node(&relay);
+  const NodeId cid = net.add_node(&consumer);
+  net.add_link(fid, rid, quiet_link(5 * kMs));
+  net.add_link(rid, cid, quiet_link(5 * kMs));
+  feeder.add_child(rid);
+  relay.add_child(cid);
+
+  ClientMetrics metrics;
+  std::vector<std::unique_ptr<Viewer>> viewers;
+  std::unique_ptr<ViewerCohort> cohort;
+  const Time join = 400 * kMs;
+  if (cohort_mode) {
+    ViewerCohortConfig ccfg;
+    ccfg.multiplier = k;
+    ccfg.join_spread = 0;  // differential runs join at the nominal time
+    cohort = std::make_unique<ViewerCohort>(&net, &metrics, 5, ccfg);
+    const NodeId vid = net.add_node(&cohort->viewer());
+    net.add_link(cid, vid, quiet_link(8 * kMs));
+    net.add_link(vid, cid, quiet_link(8 * kMs));
+    cohort->schedule_view(cid, kStream, join, kNever);
+  } else {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      auto v = std::make_unique<Viewer>(&net, &metrics);
+      const NodeId vid = net.add_node(v.get());
+      net.add_link(cid, vid, quiet_link(8 * kMs));
+      net.add_link(vid, cid, quiet_link(8 * kMs));
+      loop.schedule_at(join, [vp = v.get(), cid] {
+        vp->start_view(cid, kStream);
+      });
+      viewers.push_back(std::move(v));
+    }
+  }
+
+  sim::FaultInjector injector(&net);
+  if (flap) {
+    sim::FaultSpec spec;
+    spec.kind = sim::FaultKind::kLinkFlap;
+    spec.at = 2 * kSec;
+    spec.duration = 400 * kMs;
+    spec.a = rid;
+    spec.b = cid;
+    injector.inject(spec);
+  }
+
+  loop.schedule_at(100 * kMs, [&feeder] { feeder.start(); });
+  loop.run_until(6 * kSec);
+
+  QoeTotals t;
+  if (cohort_mode) {
+    const auto& q = cohort->qoe();
+    t.stalls = q.stalls();
+    t.dead_air = q.dead_air_stalls();
+    t.stall_us = q.total_stall_time_us();
+    t.displayed = q.frames_displayed();
+    t.skipped = q.frames_skipped();
+    t.reports = q.reports();
+    t.delay_samples = q.streaming_delay_ms().count();
+    EXPECT_EQ(metrics.modeled_viewers(), k == 0 ? 1 : k);
+  } else {
+    for (const auto& v : viewers) {
+      const QoeRecord* r = v->record();
+      EXPECT_NE(r, nullptr);
+      if (r == nullptr) continue;
+      QoeTotals one;
+      one.stalls = r->stalls;
+      one.dead_air = r->dead_air_stalls;
+      one.stall_us = static_cast<std::uint64_t>(r->total_stall_time);
+      one.displayed = r->frames_displayed;
+      one.skipped = r->frames_skipped;
+      one.reports = v->reports_sent();
+      one.delay_samples = r->streaming_delay_ms.count();
+      if (per_viewer != nullptr) per_viewer->push_back(one);
+      t.stalls += one.stalls;
+      t.dead_air += one.dead_air;
+      t.stall_us += one.stall_us;
+      t.displayed += one.displayed;
+      t.skipped += one.skipped;
+      t.reports += one.reports;
+      t.delay_samples += one.delay_samples;
+    }
+    EXPECT_EQ(metrics.modeled_viewers(), k);
+  }
+  return t;
+}
+
+void expect_equal(const QoeTotals& a, const QoeTotals& b) {
+  EXPECT_EQ(a.stalls, b.stalls);
+  EXPECT_EQ(a.dead_air, b.dead_air);
+  EXPECT_EQ(a.stall_us, b.stall_us);
+  EXPECT_EQ(a.displayed, b.displayed);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.reports, b.reports);
+  EXPECT_EQ(a.delay_samples, b.delay_samples);
+}
+
+TEST(ViewerCohort, MatchesExplicitViewersExactly) {
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    SCOPED_TRACE(k);
+    std::vector<QoeTotals> per_viewer;
+    const QoeTotals explicit_sum = run_chain(k, false, false, &per_viewer);
+    const QoeTotals cohort = run_chain(k, true, false);
+    // The quiet last mile makes every explicit viewer bit-identical...
+    for (const auto& one : per_viewer) {
+      EXPECT_EQ(one.displayed, per_viewer.front().displayed);
+      EXPECT_EQ(one.stalls, per_viewer.front().stalls);
+      EXPECT_EQ(one.skipped, per_viewer.front().skipped);
+    }
+    // ...so the cohort's weighted counters equal the explicit sum.
+    expect_equal(cohort, explicit_sum);
+    EXPECT_GT(cohort.displayed, 0u);
+    EXPECT_GT(cohort.reports, 0u);
+  }
+}
+
+TEST(ViewerCohort, MatchesExplicitViewersUnderLinkFlap) {
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    SCOPED_TRACE(k);
+    const QoeTotals explicit_sum = run_chain(k, false, true);
+    const QoeTotals cohort = run_chain(k, true, true);
+    expect_equal(cohort, explicit_sum);
+    // The flap must actually bite, or the equality is vacuous.
+    EXPECT_GT(cohort.stalls + cohort.skipped, 0u);
+  }
+}
+
+TEST(ViewerCohort, SeededJoinPerturbationIsDeterministic) {
+  sim::EventLoop loop;
+  sim::Network net(&loop);
+  ClientMetrics metrics;
+  ViewerCohortConfig cfg;
+  cfg.multiplier = 10;
+  cfg.join_spread = 200 * kMs;
+  ViewerCohort a(&net, &metrics, 1, cfg);
+  ViewerCohort a2(&net, &metrics, 1, cfg);
+  ViewerCohort b(&net, &metrics, 2, cfg);
+  EXPECT_EQ(a.join_time(1 * kSec), a2.join_time(1 * kSec));
+  EXPECT_NE(a.join_time(1 * kSec), b.join_time(1 * kSec));
+  EXPECT_GE(a.join_time(1 * kSec), 1 * kSec);
+  EXPECT_LT(a.join_time(1 * kSec), 1 * kSec + cfg.join_spread);
+  EXPECT_EQ(a.leave_time(kNever), kNever);
+  // multiplier 0 clamps to 1 (a cohort always stands for someone).
+  ViewerCohortConfig zero;
+  zero.multiplier = 0;
+  ViewerCohort z(&net, &metrics, 3, zero);
+  EXPECT_EQ(z.multiplier(), 1u);
+}
+
+// Satellite 1: migrating between two quality reports must conserve the
+// interval's stalls/skips (no double count, no loss) and must leave
+// exactly one report timer running.
+TEST(ViewerMigrate, ReportCadenceSurvivesMidIntervalMigrate) {
+  sim::EventLoop loop;
+  sim::Network net(&loop, 23);
+  Feeder feeder(&net, 99);
+  Consumer c1(&net);
+  Consumer c2(&net);
+  const NodeId fid = net.add_node(&feeder);
+  const NodeId id1 = net.add_node(&c1);
+  const NodeId id2 = net.add_node(&c2);
+  // Both consumers carry the stream the whole time; the viewer switches
+  // between them.
+  net.add_link(fid, id1, quiet_link(5 * kMs));
+  net.add_link(fid, id2, quiet_link(5 * kMs));
+  feeder.add_child(id1);
+  feeder.add_child(id2);
+
+  ClientMetrics metrics;
+  Viewer viewer(&net, &metrics);
+  const NodeId vid = net.add_node(&viewer);
+  for (const NodeId cid : {id1, id2}) {
+    net.add_link(cid, vid, quiet_link(8 * kMs));
+    net.add_link(vid, cid, quiet_link(8 * kMs));
+  }
+
+  loop.schedule_at(100 * kMs, [&feeder] { feeder.start(); });
+  loop.schedule_at(200 * kMs,
+                   [&viewer, id1] { viewer.start_view(id1, kStream); });
+  // Lose ~6 frames just before the migrate: the flap's holes are still
+  // unreported (and some still inside the receive buffer / framer) when
+  // the viewer switches consumers mid report interval.
+  sim::Link* last_mile = net.link(id1, vid);
+  loop.schedule_at(2400 * kMs, [last_mile] { last_mile->set_down(true); });
+  loop.schedule_at(2600 * kMs, [last_mile] { last_mile->set_down(false); });
+  loop.schedule_at(2700 * kMs, [&viewer, id2] { viewer.migrate(id2); });
+  loop.run_until(5400 * kMs);
+
+  const QoeRecord* rec = viewer.record();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->frames_skipped, 0u) << "the flap must cost frames";
+  EXPECT_GT(rec->frames_displayed, 0u);
+
+  // Reports fire every second from view start (1.2 s, 2.2 s, ... 5.2 s):
+  // exactly one timer must survive the migrate — neither zero (dangling
+  // cancel) nor two (duplicate schedule).
+  const std::size_t total_reports = c1.reports.size() + c2.reports.size();
+  EXPECT_EQ(viewer.reports_sent(), total_reports);
+  EXPECT_EQ(total_reports, 5u);
+
+  // Conservation: everything the record counted by the last report was
+  // reported exactly once, across both consumers. (The run ends 200 ms
+  // after the final report; the feeder keeps the stream clean after the
+  // flap, so no stalls/skips accrue in that tail.)
+  std::uint64_t reported_stalls = 0;
+  std::uint64_t reported_skips = 0;
+  for (const auto* reports : {&c1.reports, &c2.reports}) {
+    for (const auto& r : *reports) {
+      reported_stalls += r.stalls;
+      reported_skips += r.skips;
+    }
+  }
+  EXPECT_EQ(reported_stalls, rec->stalls);
+  EXPECT_EQ(reported_skips, rec->frames_skipped);
+}
+
+}  // namespace
+}  // namespace livenet::client
