@@ -1,0 +1,245 @@
+// Loss-recovery tier comparison: recovery-time CDFs for the three rungs
+// of the recovery ladder under bursty loss on the viewer's upstream
+// overlay link.
+//
+//   nack-only      — the legacy tier: holes are NACKed to the single
+//                    upstream; a lost RTX waits out the holdoff
+//                    (upstream RTT + margin) before the next try.
+//   fec            — link-local XOR parity (K=5, full probe rate): a
+//                    single loss per group is reconstructed at the
+//                    receiving node with no upstream round trip.
+//   multi-supplier — standby RTX-only suppliers: NACKs race to the
+//                    lowest-RTT established supplier and escalate
+//                    surviving holes to the next one, so retransmissions
+//                    can bypass the degraded link entirely.
+//
+// One broadcast/viewer pair on a relay topology; a FaultInjector applies
+// a fixed schedule of kLinkDegrade bursts (loss-rate override + extra
+// delay) to the node->node link feeding the viewer's edge. Recovery time
+// is the hole-age-at-fill histogram the receive buffers publish
+// (overlay.recovery_ms), split by the tier that filled the hole.
+//
+// Each mode writes its CDF as CSV (committed under bench/golden/); the
+// binary exits non-zero unless FEC and multi-supplier each strictly
+// improve p99 recovery time over NACK-only — this is the regression gate
+// bench_smoke_recovery runs under ctest.
+#include "repro_common.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "client/broadcaster.h"
+#include "client/viewer.h"
+#include "sim/fault_injector.h"
+#include "telemetry/metrics.h"
+#include "util/stats.h"
+
+using namespace livenet;
+
+namespace {
+
+// Degrade-burst schedule: settle, then a burst every kBurstPeriod for
+// the remainder of the run. Loss well above the FEC single-loss sweet
+// spot on average arrival order, but bursty enough that RTX round trips
+// land inside follow-on bursts.
+constexpr Time kSettle = 16 * kSec;
+constexpr Duration kBurstPeriod = 6 * kSec;
+constexpr Duration kBurstLen = 2500 * kMs;
+constexpr int kBursts = 12;
+constexpr Time kEnd = kSettle + kBursts * kBurstPeriod + 8 * kSec;
+
+struct ModeResult {
+  std::string name;
+  std::size_t holes = 0;       ///< recovered holes (recovery_ms count)
+  double p50 = 0, p90 = 0, p99 = 0;
+  std::uint64_t fec_recovered = 0;
+  std::uint64_t alt_rtx = 0;
+  std::uint64_t rtx_sent = 0;
+  std::uint64_t parity_sent = 0;
+  std::uint64_t frames = 0;
+  int stalls = 0;
+  Histogram hist{0.0, 1000.0, 200};
+};
+
+SystemConfig base_config() {
+  // 3 countries x 4 nodes with one DNS candidate: the producer and the
+  // viewer land on different nodes with a relay between them, so the
+  // measured link is a real node->node overlay hop (FEC + NACK tier).
+  SystemConfig cfg = paper_system_config(99);
+  cfg.countries = 3;
+  cfg.nodes_per_country = 4;
+  cfg.dns_candidates = 1;
+  cfg.last_resort_nodes = 1;
+  return cfg;
+}
+
+ModeResult run_mode(const std::string& name,
+                    void (*tune)(SystemConfig&)) {
+  reset_telemetry();  // per-mode isolation: handles stay valid, values zero
+
+  SystemConfig cfg = base_config();
+  tune(cfg);
+  LiveNetSystem sys(cfg);
+
+  client::ClientMetrics qoe;
+  client::BroadcasterConfig bc;
+  media::VideoSourceConfig vc;
+  vc.fps = 25;
+  vc.gop_frames = 25;
+  vc.bitrate_bps = 1e6;
+  bc.versions = {vc};
+  client::Broadcaster bcast(&sys.network(), 1, bc);
+  sys.build_once();
+  sys.start();
+  const auto producer = sys.attach_client(&bcast, sys.geo().sample_site(0));
+  bcast.start(producer, {1});
+  sys.loop().run_until(8 * kSec);
+
+  client::Viewer viewer(&sys.network(), &qoe);
+  const auto consumer = sys.attach_client(&viewer, sys.geo().sample_site(1));
+  viewer.start_view(consumer, 1);
+  sys.loop().run_until(kSettle);
+
+  const auto* entry = sys.node(consumer).fib().find(1);
+  if (entry == nullptr || entry->upstream == sim::kNoNode ||
+      entry->upstream == producer) {
+    std::printf("unexpected topology (no relay hop); aborting\n");
+    std::exit(2);
+  }
+  const auto upstream = entry->upstream;
+
+  sim::FaultInjector inj(&sys.network());
+  for (int i = 0; i < kBursts; ++i) {
+    sim::FaultSpec burst;
+    burst.kind = sim::FaultKind::kLinkDegrade;
+    burst.at = kSettle + i * kBurstPeriod;
+    burst.duration = kBurstLen;
+    burst.a = upstream;
+    burst.b = consumer;
+    burst.bidirectional = true;  // RTX + NACK directions both suffer
+    burst.loss = 0.25;
+    burst.extra_delay = 5 * kMs;
+    inj.inject(burst);
+  }
+  sys.loop().run_until(kEnd);
+
+  const auto& h = telemetry::handles();
+  ModeResult r;
+  r.name = name;
+  r.hist = h.recovery_ms->histogram();
+  r.holes = r.hist.count();
+  r.p50 = r.hist.quantile(0.50);
+  r.p90 = r.hist.quantile(0.90);
+  r.p99 = r.hist.quantile(0.99);
+  r.fec_recovered = h.fec_recovered->value();
+  r.alt_rtx = h.alt_supplier_rtx->value();
+  r.rtx_sent = h.rtx_sent->value();
+  r.parity_sent = h.fec_parity_sent->value();
+  r.frames = qoe.records().front().frames_displayed;
+  r.stalls = qoe.records().front().stalls;
+  return r;
+}
+
+void write_cdf_csv(const ModeResult& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "recovery_ms,cdf\n");
+  const double total = static_cast<double>(r.hist.count());
+  std::size_t cum = r.hist.underflow();
+  for (std::size_t i = 0; i < r.hist.bucket_count(); ++i) {
+    cum += r.hist.bucket(i);
+    // Sparse output: only buckets that move the CDF (plus the last one),
+    // so the golden stays small and diffable.
+    if (r.hist.bucket(i) == 0 && i + 1 != r.hist.bucket_count()) continue;
+    std::fprintf(f, "%.0f,%.6f\n", r.hist.bucket_hi(i),
+                 total > 0 ? static_cast<double>(cum) / total : 0.0);
+  }
+  if (r.hist.overflow() > 0) std::fprintf(f, "inf,1.000000\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void tune_nack(SystemConfig&) {}
+
+void tune_fec(SystemConfig& cfg) {
+  cfg.overlay_node.fec_rate = 1.0;
+  cfg.overlay_node.fec_group_packets = 5;
+}
+
+void tune_multi(SystemConfig& cfg) {
+  cfg.overlay_node.multi_supplier_rtx = true;
+  cfg.overlay_node.standby_suppliers = 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv-dir=", 10) == 0) csv_dir = argv[i] + 10;
+  }
+
+  repro::header("Loss recovery tiers — bursty degrade on the viewer's "
+                "upstream link");
+  std::printf("%d bursts of %.1fs at %.0f%% loss (+%.0fms delay), "
+              "one every %.0fs\n\n",
+              kBursts, to_sec(kBurstLen), 25.0, 5.0, to_sec(kBurstPeriod));
+
+  const std::vector<ModeResult> results = {
+      run_mode("nack-only", tune_nack),
+      run_mode("fec", tune_fec),
+      run_mode("multi-supplier", tune_multi),
+  };
+
+  std::printf("%-15s %7s %8s %8s %8s %8s %8s %7s %7s\n", "mode", "holes",
+              "p50 ms", "p90 ms", "p99 ms", "fec_rec", "alt_rtx", "rtx",
+              "frames");
+  for (const auto& r : results) {
+    std::printf("%-15s %7zu %8.1f %8.1f %8.1f %8" PRIu64 " %8" PRIu64
+                " %7" PRIu64 " %7" PRIu64 "\n",
+                r.name.c_str(), r.holes, r.p50, r.p90, r.p99,
+                r.fec_recovered, r.alt_rtx, r.rtx_sent, r.frames);
+  }
+
+  if (!csv_dir.empty()) {
+    for (const auto& r : results) {
+      write_cdf_csv(r, csv_dir + "/recovery_cdf_" + r.name + ".csv");
+    }
+  }
+
+  const auto& nack = results[0];
+  const auto& fec = results[1];
+  const auto& multi = results[2];
+  bool ok = true;
+  if (fec.parity_sent == 0 || fec.fec_recovered == 0) {
+    std::printf("\nFAIL: fec mode emitted no parity / recovered nothing\n");
+    ok = false;
+  }
+  if (multi.alt_rtx == 0) {
+    std::printf("\nFAIL: multi-supplier mode never raced an alt-supplier "
+                "RTX\n");
+    ok = false;
+  }
+  if (!(fec.p99 < nack.p99)) {
+    std::printf("\nFAIL: fec p99 %.1f ms !< nack-only p99 %.1f ms\n", fec.p99,
+                nack.p99);
+    ok = false;
+  }
+  if (!(multi.p99 < nack.p99)) {
+    std::printf("\nFAIL: multi-supplier p99 %.1f ms !< nack-only p99 "
+                "%.1f ms\n",
+                multi.p99, nack.p99);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nboth recovery tiers strictly improve p99 hole-fill time "
+                "over NACK-only.\nsame seeds reproduce this output "
+                "bit-for-bit.\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -31,16 +31,22 @@ asan_dir="${BENCH_ASAN_DIR:-${repo_root}/build-asan}"
 # linger/report/retry event touching freed engine state — or a fused
 # slice outliving its inbox storage — dies loudly here long before it
 # would skew a benchmark. Skip with BENCH_SKIP_ASAN=1.
+#
+# repro_recovery rides along (bench_smoke_recovery): the loss-recovery
+# tier exercises FEC group state, the GoP caches of standby suppliers,
+# and NACK redirection across supplier pipelines under sustained link
+# degradation — exactly the churny shared-state code ASan should walk.
 if [[ "${BENCH_SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B "${asan_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >&2
   cmake --build "${asan_dir}" -j \
-      --target test_node_failure test_stream_context micro_dataplane >&2
+      --target test_node_failure test_stream_context micro_dataplane \
+               repro_recovery >&2
   (cd "${asan_dir}" && ctest --output-on-failure \
-      -R 'test_node_failure|test_stream_context|bench_smoke_dataplane_batched') >&2
-  echo "verify: ASan chaos + batched data-plane smoke passed" >&2
+      -R 'test_node_failure|test_stream_context|bench_smoke_dataplane_batched|bench_smoke_recovery') >&2
+  echo "verify: ASan chaos + recovery-tier + batched data-plane smoke passed" >&2
 fi
 
 # ThreadSanitizer smoke of the sharded runtime (-DLIVENET_SANITIZE=thread):

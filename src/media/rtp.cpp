@@ -8,6 +8,11 @@ std::atomic<std::uint64_t> RtpBody::deep_copies_{0};
 
 std::string RtpPacket::describe() const {
   std::ostringstream ss;
+  if (is_fec_parity()) {
+    ss << "FEC s" << stream_id() << " #" << seq << " base" << fec_base_seq()
+       << " k" << fec_group_count();
+    return ss.str();
+  }
   ss << (is_rtx ? "RTX" : "RTP") << " s" << stream_id() << " #" << seq << " "
      << to_string(frame_type()) << " f" << frame_id() << " frag"
      << frag_index() << "/" << frag_count();

@@ -41,6 +41,39 @@ inline constexpr std::size_t kMtuPayloadBytes = 1200;
 
 using Seq = std::uint64_t;  ///< per-stream RTP sequence number
 
+/// XOR aggregate of the covered bodies' fields, carried by a parity
+/// packet. The simulator models packets as metadata, so "payload XOR"
+/// becomes a field-wise XOR of the metadata a receiver must be able to
+/// reconstruct. The missing packet's seq is NOT part of the aggregate:
+/// the decoder derives it from group geometry (base_seq + hole index).
+struct FecXor {
+  std::uint64_t frame_id = 0;
+  std::uint64_t gop_id = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t capture_time = 0;
+  std::uint64_t trace_id = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 0;
+  std::uint8_t frame_type = 0;
+  std::uint8_t referenced = 0;
+
+  void accumulate(const struct RtpBody& b);
+  /// XOR-merge another aggregate (peeling received packets off a
+  /// parity: parity ^ received... leaves the missing packet).
+  void merge(const FecXor& o) {
+    frame_id ^= o.frame_id;
+    gop_id ^= o.gop_id;
+    payload_bytes ^= o.payload_bytes;
+    capture_time ^= o.capture_time;
+    trace_id ^= o.trace_id;
+    frag_index ^= o.frag_index;
+    frag_count ^= o.frag_count;
+    frame_type ^= o.frame_type;
+    referenced ^= o.referenced;
+  }
+  bool operator==(const FecXor&) const = default;
+};
+
 /// Immutable, refcount-shared packet body (identity + payload).
 struct RtpBody {
   StreamId stream_id = kNoStream;
@@ -58,6 +91,14 @@ struct RtpBody {
   /// one stamp follows the packet across all hops. Observation-only:
   /// no forwarding decision reads it.
   std::uint64_t trace_id = 0;
+  /// FEC parity marker: > 0 on link-local parity packets, covering
+  /// fec_group_count media packets starting at fec_base_seq on the link
+  /// that generated it. Media packets always carry 0. A parity body's
+  /// own payload_bytes models its wire size (max payload in the group);
+  /// the XOR aggregate of the covered bodies travels in fec.
+  std::uint32_t fec_group_count = 0;
+  Seq fec_base_seq = 0;
+  FecXor fec;
 
   RtpBody() = default;
   /// Deep copy. Never taken on the forwarding fast path — counted so
@@ -67,7 +108,8 @@ struct RtpBody {
         gop_id(o.gop_id), frame_type(o.frame_type), referenced(o.referenced),
         frag_index(o.frag_index), frag_count(o.frag_count),
         payload_bytes(o.payload_bytes), capture_time(o.capture_time),
-        trace_id(o.trace_id) {
+        trace_id(o.trace_id), fec_group_count(o.fec_group_count),
+        fec_base_seq(o.fec_base_seq), fec(o.fec) {
     ++deep_copies_;
   }
   /// Moves don't count: make() moves the caller's staging body into
@@ -77,7 +119,8 @@ struct RtpBody {
         gop_id(o.gop_id), frame_type(o.frame_type), referenced(o.referenced),
         frag_index(o.frag_index), frag_count(o.frag_count),
         payload_bytes(o.payload_bytes), capture_time(o.capture_time),
-        trace_id(o.trace_id) {}
+        trace_id(o.trace_id), fec_group_count(o.fec_group_count),
+        fec_base_seq(o.fec_base_seq), fec(o.fec) {}
   RtpBody& operator=(const RtpBody&) = delete;
 
   /// Total body deep copies since process start (forward-path copies
@@ -99,6 +142,18 @@ struct RtpBody {
   mutable std::uint32_t refs_ = 0;
   static std::atomic<std::uint64_t> deep_copies_;
 };
+
+inline void FecXor::accumulate(const RtpBody& b) {
+  frame_id ^= b.frame_id;
+  gop_id ^= b.gop_id;
+  payload_bytes ^= static_cast<std::uint64_t>(b.payload_bytes);
+  capture_time ^= static_cast<std::uint64_t>(b.capture_time);
+  trace_id ^= b.trace_id;
+  frag_index ^= b.frag_index;
+  frag_count ^= b.frag_count;
+  frame_type ^= static_cast<std::uint8_t>(b.frame_type);
+  referenced ^= static_cast<std::uint8_t>(b.referenced);
+}
 
 /// Refcounted handle to a shared immutable body.
 class BodyRef {
@@ -138,6 +193,8 @@ class RtpPacket final : public sim::Message {
                               ///< rewrite happens at the edge)
   Duration delay_ext_us = 0;  ///< accumulated delay header extension
   bool is_rtx = false;        ///< retransmission of an earlier packet
+  bool fec_recovered = false; ///< reconstructed from a parity group at
+                              ///< this hop (never crossed the wire)
 
   // Measurement fields (stand-ins for per-hop log correlation in the
   // production system; they do not influence forwarding decisions).
@@ -170,6 +227,8 @@ class RtpPacket final : public sim::Message {
   }
 
   // ---- Shared-body accessors. ----
+  /// The shared immutable body (FEC encoders aggregate its fields).
+  const RtpBody& body() const { return *body_; }
   StreamId stream_id() const { return body_->stream_id; }
   /// The producer-assigned sequence number (survives edge seq rewrite).
   Seq producer_seq() const { return body_->seq; }
@@ -186,6 +245,12 @@ class RtpPacket final : public sim::Message {
   bool marker() const { return frag_index() + 1 == frag_count(); }
   bool is_audio() const { return frame_type() == FrameType::kAudio; }
   bool is_keyframe_packet() const { return frame_type() == FrameType::kI; }
+
+  // ---- FEC parity accessors (see RtpBody::fec_group_count). ----
+  bool is_fec_parity() const { return body_->fec_group_count > 0; }
+  std::uint32_t fec_group_count() const { return body_->fec_group_count; }
+  Seq fec_base_seq() const { return body_->fec_base_seq; }
+  const FecXor& fec_xor() const { return body_->fec; }
 
   std::size_t wire_size() const override {
     return kRtpHeaderBytes + payload_bytes();
@@ -207,6 +272,7 @@ class RtpPacket final : public sim::Message {
     copy->seq = seq;
     copy->delay_ext_us = delay_ext_us;
     copy->is_rtx = is_rtx;
+    copy->fec_recovered = fec_recovered;
     copy->cdn_ingress_time = cdn_ingress_time;
     copy->cdn_hops = cdn_hops;
     copy->hop_send_time = hop_send_time;

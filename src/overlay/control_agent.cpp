@@ -39,6 +39,19 @@ bool ControlAgent::carries_stream(StreamId s) const {
   return e->upstream != sim::kNoNode && recovery_->cache().has_content(s);
 }
 
+void ControlAgent::set_primary_supplier(StreamContext& st, NodeId n) {
+  auto& v = st.suppliers;
+  v.erase(std::remove(v.begin(), v.end(), n), v.end());
+  v.insert(v.begin(), n);
+}
+
+void ControlAgent::remove_supplier(StreamContext& st, NodeId n) {
+  auto& v = st.suppliers;
+  v.erase(std::remove(v.begin(), v.end(), n), v.end());
+  auto& p = st.pending_standbys;
+  p.erase(std::remove(p.begin(), p.end(), n), p.end());
+}
+
 double ControlAgent::node_load() const {
   const double rate_load =
       forwarding_->egress_meter().rate_bps(env_->net->loop()->now()) /
@@ -88,7 +101,9 @@ void ControlAgent::handle_producer_relay(const ProducerRelayInstruction& msg) {
   if (!entry.locally_produced) return;
   entry.locally_produced = false;
   entry.upstream = msg.new_producer;
-  ensure_stream(msg.stream_id).establishing = true;
+  auto& st = ensure_stream(msg.stream_id);
+  st.establishing = true;
+  set_primary_supplier(st, msg.new_producer);
   auto sub = sim::make_message<SubscribeRequest>();
   sub->stream_id = msg.stream_id;
   env_->net->send(env_->self(), msg.new_producer, std::move(sub));
@@ -259,7 +274,8 @@ bool ControlAgent::try_establish(StreamId stream) {
   return true;
 }
 
-void ControlAgent::establish_via_path(StreamId stream, const Path& path) {
+void ControlAgent::establish_via_path(StreamId stream, const Path& path,
+                                      bool keep_prev_supplier) {
   if (path.size() < 2) {
     // 0-length path: this node is the producer; nothing to establish.
     return;
@@ -272,8 +288,16 @@ void ControlAgent::establish_via_path(StreamId stream, const Path& path) {
   auto& entry = table_->fib_entry(stream);
   auto& st = ensure_stream(stream);
   const NodeId upstream = path[path.size() - 2];
+  if (!keep_prev_supplier && entry.upstream != sim::kNoNode &&
+      entry.upstream != upstream) {
+    // Re-establish over a different hop without make-before-break
+    // grace: the old upstream is gone (dead feed / lost state) — sweep
+    // it so multi-supplier NACKs stop racing toward a corpse.
+    remove_supplier(st, entry.upstream);
+  }
   entry.upstream = upstream;
   st.establishing = true;
+  set_primary_supplier(st, upstream);
 
   auto req = sim::make_message<SubscribeRequest>();
   req->stream_id = stream;
@@ -286,6 +310,10 @@ void ControlAgent::establish_via_path(StreamId stream, const Path& path) {
 }
 
 void ControlAgent::handle_subscribe(NodeId from, const SubscribeRequest& req) {
+  if (req.rtx_only) {
+    handle_standby_subscribe(from, req);
+    return;
+  }
   table_->add_node_subscriber(req.stream_id, from);
   senders_->sender_for(from);  // make sure the hop sender exists
 
@@ -338,6 +366,7 @@ void ControlAgent::handle_subscribe(NodeId from, const SubscribeRequest& req) {
   const NodeId upstream = req.remaining_reverse_path.front();
   entry.upstream = upstream;
   st.establishing = true;
+  set_primary_supplier(st, upstream);
   auto fwd = sim::make_message<SubscribeRequest>();
   fwd->stream_id = req.stream_id;
   fwd->remaining_reverse_path.assign(req.remaining_reverse_path.begin() + 1,
@@ -345,24 +374,102 @@ void ControlAgent::handle_subscribe(NodeId from, const SubscribeRequest& req) {
   env_->net->send(env_->self(), upstream, std::move(fwd));
 }
 
+void ControlAgent::handle_standby_subscribe(NodeId from,
+                                            const SubscribeRequest& req) {
+  // Standby (RTX-only) subscription: the requester wants NACK service,
+  // not media. Register it outside subscriber_nodes so the fast path
+  // never fans out to it, and skip the startup burst — a standby's
+  // holes are filled one NACK at a time.
+  auto& entry = table_->fib_entry(req.stream_id);
+  entry.rtx_only_nodes.insert(from);
+  senders_->sender_for(from);  // make sure the hop sender exists
+
+  const bool anchored =
+      entry.locally_produced || entry.upstream != sim::kNoNode;
+  auto ack = sim::make_message<SubscribeAck>();
+  ack->stream_id = req.stream_id;
+  ack->ok = true;
+  ack->rtx_only = true;
+  ack->cache_hit = anchored && !entry.locally_produced;
+  env_->net->send(env_->self(), from, std::move(ack));
+
+  if (!anchored) {
+    // Not carrying the stream yet: pull it with a normal subscription
+    // of our own, so the cache can actually answer the standby's NACKs.
+    auto& st = ensure_stream(req.stream_id);
+    if (!st.establishing && !try_establish(req.stream_id)) {
+      request_path(req.stream_id);
+    }
+  }
+}
+
 void ControlAgent::handle_subscribe_ack(NodeId from, const SubscribeAck& ack) {
-  (void)from;
   auto& st = ensure_stream(ack.stream_id);
+  if (ack.rtx_only) {
+    // A standby answered. It never touches establishing/upstream —
+    // only the supplier set the NACK router races across.
+    auto& pend = st.pending_standbys;
+    pend.erase(std::remove(pend.begin(), pend.end(), from), pend.end());
+    if (ack.ok &&
+        std::find(st.suppliers.begin(), st.suppliers.end(), from) ==
+            st.suppliers.end()) {
+      st.suppliers.push_back(from);
+    }
+    return;
+  }
   st.establishing = false;
   if (!ack.ok) {
     // Upstream could not anchor the subscription; retry via lookup.
+    remove_supplier(st, from);
     auto& entry = table_->fib_entry(ack.stream_id);
     entry.upstream = sim::kNoNode;
     if (table_->find(ack.stream_id) != nullptr &&
         table_->find(ack.stream_id)->has_subscribers()) {
       request_path(ack.stream_id);
     }
+    return;
+  }
+  if (cfg_->standby_suppliers > 0) establish_standbys(ack.stream_id);
+}
+
+void ControlAgent::establish_standbys(StreamId stream) {
+  StreamContext* stp = table_->find_context(stream);
+  const StreamFib::Entry* entry = table_->find(stream);
+  if (stp == nullptr || entry == nullptr || entry->locally_produced) return;
+  auto& st = *stp;
+
+  // Standbys already live (suppliers beyond the primary) or in flight.
+  std::size_t have =
+      st.suppliers.empty() ? 0 : st.suppliers.size() - 1;
+  have += st.pending_standbys.size();
+
+  for (const Path& p : st.cached_paths) {
+    if (have >= cfg_->standby_suppliers) break;
+    if (p.size() < 2 || p.back() != env_->self()) continue;
+    const NodeId cand = p[p.size() - 2];
+    if (cand == entry->upstream) continue;
+    if (std::find(st.suppliers.begin(), st.suppliers.end(), cand) !=
+        st.suppliers.end()) {
+      continue;
+    }
+    if (std::find(st.pending_standbys.begin(), st.pending_standbys.end(),
+                  cand) != st.pending_standbys.end()) {
+      continue;
+    }
+    st.pending_standbys.push_back(cand);
+    auto req = sim::make_message<SubscribeRequest>();
+    req->stream_id = stream;
+    req->rtx_only = true;
+    env_->net->send(env_->self(), cand, std::move(req));
+    ++have;
   }
 }
 
 void ControlAgent::handle_unsubscribe(NodeId from,
                                       const UnsubscribeRequest& req) {
   table_->remove_node_subscriber(req.stream_id, from);
+  StreamContext* ctx = table_->find_context(req.stream_id);
+  if (ctx != nullptr) ctx->fib.rtx_only_nodes.erase(from);
   maybe_release_stream(req.stream_id);
 }
 
@@ -388,12 +495,27 @@ void ControlAgent::maybe_release_stream(StreamId stream) {
 }
 
 void ControlAgent::release_stream(StreamId stream) {
+  // Unsubscribe from every supplier: the primary upstream first, then
+  // standby (RTX-only) upstreams and half-established standbys. With
+  // multi-supplier off this is exactly the old single-upstream unsub.
   const StreamFib::Entry* entry = table_->find(stream);
+  std::vector<NodeId> ups;
   if (entry != nullptr && entry->upstream != sim::kNoNode) {
+    ups.push_back(entry->upstream);
+  }
+  if (const StreamContext* c = table_->find_context(stream)) {
+    for (const NodeId n : c->suppliers) {
+      if (std::find(ups.begin(), ups.end(), n) == ups.end()) ups.push_back(n);
+    }
+    for (const NodeId n : c->pending_standbys) {
+      if (std::find(ups.begin(), ups.end(), n) == ups.end()) ups.push_back(n);
+    }
+  }
+  for (const NodeId up : ups) {
     auto unsub = sim::make_message<UnsubscribeRequest>();
     unsub->stream_id = stream;
-    env_->net->send(env_->self(), entry->upstream, std::move(unsub));
-    recovery_->forget_upstream(entry->upstream, stream);
+    env_->net->send(env_->self(), up, std::move(unsub));
+    recovery_->forget_upstream(up, stream);
   }
   senders_->forget_stream(stream);
   recovery_->cache().forget_stream(stream);
@@ -443,7 +565,9 @@ void ControlAgent::switch_path(StreamId stream) {
       st.last_switch = now;
       // Make-before-break (§7.1): establish the new path first; the old
       // subscription lingers for a grace period so content never gaps.
-      establish_via_path(stream, next);
+      // It stays a supplier for the same window — racing NACKs to it is
+      // exactly what the grace period is for.
+      establish_via_path(stream, next, /*keep_prev_supplier=*/true);
       if (old_upstream != sim::kNoNode) {
         env_->net->loop()->schedule_after(
             3 * kSec, [this, stream, old_upstream] {
@@ -453,6 +577,8 @@ void ControlAgent::switch_path(StreamId stream) {
               unsub->stream_id = stream;
               env_->net->send(env_->self(), old_upstream, std::move(unsub));
               recovery_->forget_upstream(old_upstream, stream);
+              StreamContext* c2 = table_->find_context(stream);
+              if (c2 != nullptr) remove_supplier(*c2, old_upstream);
             });
       }
       session_->note_path_switch(stream);

@@ -85,7 +85,21 @@ class ControlAgent {
 
  private:
   bool try_establish(media::StreamId stream);
-  void establish_via_path(media::StreamId stream, const Path& path);
+  /// Subscribes over `path`. The previous (different) upstream is swept
+  /// from the supplier set unless `keep_prev_supplier` — the
+  /// make-before-break switch keeps it alive for its grace period; the
+  /// dead-feed re-establish must not (a crashed upstream lingering as a
+  /// "supplier" would keep attracting racing NACKs forever).
+  void establish_via_path(media::StreamId stream, const Path& path,
+                          bool keep_prev_supplier = false);
+  void handle_standby_subscribe(sim::NodeId from, const SubscribeRequest& req);
+  /// Subscribes standby (RTX-only) suppliers from the remaining cached
+  /// path candidates, up to cfg->standby_suppliers beyond the primary.
+  void establish_standbys(media::StreamId stream);
+  /// Moves/inserts `n` at the front of the context's supplier set (the
+  /// primary slot; standbys keep their relative order behind it).
+  void set_primary_supplier(StreamContext& st, sim::NodeId n);
+  static void remove_supplier(StreamContext& st, sim::NodeId n);
   bool stream_still_wanted(media::StreamId stream) const;
   bool paths_fresh(const StreamContext& ctx) const;
   void report_state();

@@ -1,5 +1,6 @@
 #include "overlay/forwarding_engine.h"
 
+#include <limits>
 #include <utility>
 
 #include "overlay/overlay_node.h"
@@ -51,6 +52,50 @@ void ForwardingEngine::fast_forward(NodeId from, const RtpPacketPtr& pkt,
                        static_cast<std::uint32_t>(b.clients.size())});
 }
 
+void ForwardingEngine::feed_fec(const RtpPacketPtr& pkt, NodeId n, Time now) {
+  FecLinkState& st = fec_links_[{pkt->stream_id(), n}];
+  st.enc.set_k(cfg_->fec_group_packets);
+  std::optional<media::RtpBody> parity = st.enc.add(pkt->body());
+  if (!parity) return;
+
+  // Probe rate: fixed, or adapted to the loss the link's peer last
+  // reported (heavy loss -> every group, light loss -> every other
+  // group, clean link -> no parity at all).
+  LinkSender& snd = senders_->sender_for(n);
+  double rate = cfg_->fec_rate;
+  if (cfg_->fec_adaptive) {
+    const double loss = snd.last_loss_fraction();
+    rate = loss >= 0.02 ? 1.0 : (loss > 0.0 ? 0.5 : 0.0);
+  }
+  st.err_accum += rate;
+  if (st.err_accum < 1.0) return;
+  st.err_accum -= 1.0;
+
+  // Budget clamp: parity output on this link stays under the
+  // configured fraction of the link's current pacing rate.
+  const double budget = cfg_->fec_budget_fraction * snd.pacer().rate_bps();
+  if (st.parity_meter.valid(now) && st.parity_meter.rate_bps(now) > budget) {
+    return;
+  }
+  media::RtpPacketMut pp = media::RtpPacket::make(std::move(*parity));
+  pp->delay_ext_us = pkt->delay_ext_us + cfg_->fast_proc_delay +
+                     half_rtt_between(env_->net, env_->self(), n);
+  pp->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+  st.parity_meter.add(now, pp->wire_size());
+  egress_meter_.add(now, pp->wire_size());
+  ++fec_parity_sent_;
+  telemetry::handles().fec_parity_sent->add();
+  snd.send_parity(std::move(pp));
+}
+
+void ForwardingEngine::forget_stream(media::StreamId stream) {
+  auto it = fec_links_.lower_bound(
+      {stream, std::numeric_limits<sim::NodeId>::min()});
+  while (it != fec_links_.end() && it->first.first == stream) {
+    it = fec_links_.erase(it);
+  }
+}
+
 std::uint32_t ForwardingEngine::acquire_batch() {
   if (free_slots_.empty()) {
     pool_.push_back(std::make_unique<Batch>());
@@ -87,6 +132,9 @@ void ForwardingEngine::flush_batch(std::uint32_t slot) {
                             pkt->producer_seq(), env_->self(), n,
                             telemetry::HopEvent::kForward);
       senders_->sender_for(n).send_media(std::move(clone));
+      if ((cfg_->fec_rate > 0.0 || cfg_->fec_adaptive) && !pkt->is_audio()) {
+        feed_fec(pkt, n, now);
+      }
     }
     for (std::uint32_t i = client_begin; i < row.client_end; ++i) {
       session_->deliver_to_client(static_cast<NodeId>(b.clients[i]), pkt);

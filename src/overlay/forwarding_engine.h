@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "media/fec.h"
 #include "media/rtp.h"
 #include "overlay/node_env.h"
 #include "overlay/peer_senders.h"
@@ -55,6 +58,11 @@ class ForwardingEngine {
   const transport::RateMeter& egress_meter() const { return egress_meter_; }
 
   std::uint64_t fast_forwards() const { return fast_forwards_; }
+  std::uint64_t fec_parity_sent() const { return fec_parity_sent_; }
+
+  /// Stream teardown / crash: drop per-(stream, link) FEC group state.
+  void forget_stream(media::StreamId stream);
+  void reset_fec() { fec_links_.clear(); }
 
   /// Deferred fan-out callbacks actually scheduled (>= 1 packet each;
   /// the gap to the packet count is the event-fusion win).
@@ -81,6 +89,16 @@ class ForwardingEngine {
 
   std::uint32_t acquire_batch();
   void flush_batch(std::uint32_t slot);
+  void feed_fec(const media::RtpPacketPtr& pkt, sim::NodeId n, Time now);
+
+  /// Per-(stream, link) FEC sender state: the open parity group, the
+  /// probe-rate error accumulator (rate < 1 emits every 1/rate groups),
+  /// and the parity byte meter the budget clamp reads.
+  struct FecLinkState {
+    media::FecGroupEncoder enc;
+    double err_accum = 0.0;
+    transport::RateMeter parity_meter{1 * kSec};
+  };
 
   const OverlayNodeConfig* cfg_;
   const NodeEnv* env_;
@@ -89,6 +107,8 @@ class ForwardingEngine {
   transport::RateMeter egress_meter_{1 * kSec};
   std::uint64_t fast_forwards_ = 0;
   std::uint64_t batch_flushes_ = 0;
+  std::uint64_t fec_parity_sent_ = 0;
+  std::map<std::pair<media::StreamId, sim::NodeId>, FecLinkState> fec_links_;
 
   /// Batch slot arena (unique_ptr: slots must stay address-stable while
   /// pool_ grows; scratch vectors inside are reused across flushes).

@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 
+#include "media/fec.h"
 #include "media/rtp.h"
 #include "sim/network.h"
 #include "transport/gcc.h"
@@ -10,8 +11,10 @@
 
 // Receiver half of one overlay hop (one upstream peer -> this node):
 // the slow path's receive buffer (ordering, hole detection, NACK
-// emission) and the receiver side of GCC, which periodically feeds a
-// REMB + loss feedback message back to the upstream sender.
+// emission), the link-local FEC decoder (parity-group reconstruction —
+// the recovery tier that beats a NACK by a full RTT), and the receiver
+// side of GCC, which periodically feeds a REMB + loss feedback message
+// back to the upstream sender.
 namespace livenet::overlay {
 
 class LinkReceiver {
@@ -20,6 +23,8 @@ class LinkReceiver {
     transport::ReceiveBuffer::Config buffer;
     Duration feedback_interval = 100 * kMs;
     double gcc_start_rate_bps = 20e6;
+    media::FecDecoder::Config fec;
+    bool telemetry = true;  ///< FEC-recovery counters + hop records
   };
 
   /// `deliver` receives packets in seq order per stream (the slow-path
@@ -27,6 +32,11 @@ class LinkReceiver {
   /// unrecoverable hole in a stream.
   using DeliverFn = std::function<void(const media::RtpPacketPtr&)>;
   using GapFn = std::function<void(media::StreamId)>;
+  /// NACK routing override: when installed (multi-supplier mode), hole
+  /// lists go to the recovery engine's supplier router instead of
+  /// straight to this link's upstream peer.
+  using NackRouteFn = std::function<void(media::StreamId, bool,
+                                         const std::vector<media::Seq>&)>;
 
   LinkReceiver(sim::Network* net, sim::NodeId self, sim::NodeId peer,
                DeliverFn deliver, GapFn gap)
@@ -38,8 +48,13 @@ class LinkReceiver {
   LinkReceiver(const LinkReceiver&) = delete;
   LinkReceiver& operator=(const LinkReceiver&) = delete;
 
-  /// Slow-path entry: feeds GCC and the receive buffer.
+  /// Slow-path entry: feeds GCC, the FEC decoder, and the receive
+  /// buffer. Parity packets stop at the decoder — they never enter the
+  /// media seq space (no GCC sample, no hole accounting).
   void on_rtp(const media::RtpPacketPtr& pkt);
+
+  /// Install the multi-supplier NACK router (see NackRouteFn).
+  void set_nack_route(NackRouteFn route) { nack_route_ = std::move(route); }
 
   void forget_stream(media::StreamId stream) {
     buffer_.forget_stream(stream);
@@ -47,14 +62,22 @@ class LinkReceiver {
 
   sim::NodeId peer() const { return peer_; }
   const transport::ReceiveBuffer& buffer() const { return buffer_; }
+  const media::FecDecoder& fec() const { return fec_; }
   std::vector<media::RtpPacketPtr> buffered_packets(
       media::StreamId stream) const {
     return buffer_.buffered_packets(stream);
   }
   double remb_bps() const { return gcc_.remb_bps(); }
+  /// Still-missing subset probe for the staggered supplier fallback.
+  std::vector<media::Seq> missing_subset(
+      media::StreamId stream, bool audio,
+      const std::vector<media::Seq>& seqs) const {
+    return buffer_.missing_subset(stream, audio, seqs);
+  }
 
  private:
   void send_feedback();
+  void inject_recovered(media::RtpPacketMut rec);
 
   sim::Network* net_;
   sim::NodeId self_;
@@ -62,6 +85,8 @@ class LinkReceiver {
   Config cfg_;
   transport::GccReceiver gcc_;
   transport::ReceiveBuffer buffer_;
+  media::FecDecoder fec_;
+  NackRouteFn nack_route_;
   sim::EventId feedback_timer_ = sim::kInvalidEvent;
 };
 

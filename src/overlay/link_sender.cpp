@@ -64,7 +64,12 @@ void LinkSender::send_rtx(const media::RtpPacketPtr& pkt) {
   pacer_.enqueue(std::move(rtx));
 }
 
+void LinkSender::send_parity(media::RtpPacketPtr pkt) {
+  pacer_.enqueue(std::move(pkt));
+}
+
 void LinkSender::on_cc_feedback(double remb_bps, double loss_fraction) {
+  last_loss_fraction_ = loss_fraction;
   gcc_.on_feedback(remb_bps, loss_fraction);
   pacer_.set_rate_bps(gcc_.pacing_rate_bps());
 }

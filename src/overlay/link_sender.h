@@ -44,6 +44,11 @@ class LinkSender {
   /// Retransmits an explicit packet (slow-path cache fallback).
   void send_rtx(const media::RtpPacketPtr& pkt);
 
+  /// Enqueues an FEC parity packet. Parity is never recorded in the
+  /// send history (it is not NACKable — losing redundancy costs
+  /// nothing) and rides the pacer's lowest-priority queue.
+  void send_parity(media::RtpPacketPtr pkt);
+
   /// GCC feedback from the peer; updates the pacing rate.
   void on_cc_feedback(double remb_bps, double loss_fraction);
 
@@ -57,6 +62,9 @@ class LinkSender {
   const transport::GccSender& gcc() const { return gcc_; }
   Duration queue_drain_time() const { return pacer_.drain_time(); }
   std::uint64_t rtx_sent() const { return rtx_sent_; }
+  /// Loss fraction the peer reported in its most recent CC feedback —
+  /// the adaptive FEC probe rate keys off this.
+  double last_loss_fraction() const { return last_loss_fraction_; }
 
  private:
   sim::Network* net_;
@@ -66,6 +74,7 @@ class LinkSender {
   transport::GccSender gcc_;
   transport::Pacer pacer_;  // wired straight to net_ (set_wire in ctor)
   std::uint64_t rtx_sent_ = 0;
+  double last_loss_fraction_ = 0.0;
 };
 
 }  // namespace livenet::overlay

@@ -6,14 +6,15 @@ namespace livenet::overlay {
 
 std::string SubscribeRequest::describe() const {
   std::ostringstream ss;
-  ss << "SUB s" << stream_id << " rem=" << remaining_reverse_path.size();
+  ss << "SUB s" << stream_id << " rem=" << remaining_reverse_path.size()
+     << (rtx_only ? " rtx-only" : "");
   return ss.str();
 }
 
 std::string SubscribeAck::describe() const {
   std::ostringstream ss;
   ss << "SUBACK s" << stream_id << (ok ? " ok" : " fail")
-     << (cache_hit ? " hit" : "");
+     << (cache_hit ? " hit" : "") << (rtx_only ? " rtx-only" : "");
   return ss.str();
 }
 

@@ -28,6 +28,9 @@ class SubscribeRequest final : public sim::CloneableMessage<SubscribeRequest> {
  public:
   media::StreamId stream_id = media::kNoStream;
   std::vector<sim::NodeId> remaining_reverse_path;
+  /// Standby-supplier subscription (multi-supplier RTX): the requester
+  /// wants NACK service only — no media fan-out toward it.
+  bool rtx_only = false;
 
   std::size_t wire_size() const override {
     return 32 + 4 * remaining_reverse_path.size();
@@ -43,6 +46,7 @@ class SubscribeAck final : public sim::CloneableMessage<SubscribeAck> {
   media::StreamId stream_id = media::kNoStream;
   bool ok = true;
   bool cache_hit = false;
+  bool rtx_only = false;  ///< acks a standby (RTX-only) subscription
   int upstream_chain_hops = 0;  ///< hops from the anchor to this node
 
   std::size_t wire_size() const override { return 24; }

@@ -19,7 +19,8 @@ OverlayNode::OverlayNode(sim::Network* net, OverlayMetrics* metrics,
       recovery_(net, this,
                 RecoveryEngine::Config{cfg_.receiver, cfg_.packet_cache_gops,
                                        cfg_.packet_cache_max_packets,
-                                       /*telemetry=*/true}),
+                                       /*telemetry=*/true,
+                                       cfg_.multi_supplier_rtx}),
       forwarding_(&cfg_, &env_, &senders_),
       session_(net, this, metrics,
                SessionConfig{cfg_.fast_proc_delay, cfg_.switch_stall_threshold,
@@ -59,6 +60,11 @@ void OverlayNode::wire_engines() {
         StreamContext* ctx = streams_.find_context(stream);
         if (ctx != nullptr && ctx->framer) ctx->framer->on_gap();
       });
+  recovery_.set_supplier_source(
+      [this](StreamId s) -> const std::vector<NodeId>* {
+        const StreamContext* ctx = streams_.find_context(s);
+        return ctx != nullptr ? &ctx->suppliers : nullptr;
+      });
 }
 
 OverlayNode::~OverlayNode() {
@@ -90,6 +96,7 @@ void OverlayNode::crash() {
   // totals did before.)
   streams_.clear();
   recovery_.reset();
+  forwarding_.reset_fec();
   senders_.clear();
   session_.clear();
 }
@@ -205,6 +212,14 @@ void OverlayNode::handle_rtp(NodeId from, const RtpPacketPtr& pkt_in) {
   StreamContext* ctx = streams_.find_context(pkt_in->stream_id());
   if (ctx == nullptr || !ctx->fib_active) {
     return;  // late packet for a released stream
+  }
+
+  // Parity packets are link-local redundancy: they feed only the slow
+  // path's FEC decoder (which may hand reconstructed media back to the
+  // receive buffer). They are never forwarded, stamped, or cached.
+  if (pkt_in->is_fec_parity()) {
+    recovery_.ingest(from, pkt_in);
+    return;
   }
 
   RtpPacketPtr pkt = pkt_in;

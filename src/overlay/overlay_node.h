@@ -64,6 +64,29 @@ struct OverlayNodeConfig {
   std::size_t packet_cache_max_packets = 4096;  ///< per-stream hard cap
   LinkSender::Config sender;
   LinkReceiver::Config receiver;
+
+  // ---- Loss-recovery tier (all default-off: byte-identical legacy
+  // ---- behaviour until a scenario opts in). ----
+  /// Fixed FEC probe rate: fraction of parity groups actually emitted
+  /// per (stream, link). 0 = FEC off; 1 = one parity packet per
+  /// fec_group_packets media packets.
+  double fec_rate = 0.0;
+  /// Adaptive probe rate driven by the link's last reported loss
+  /// fraction (>=2% loss -> 1.0, >0 -> 0.5, 0 -> 0). Overrides
+  /// fec_rate when set.
+  bool fec_adaptive = false;
+  std::uint32_t fec_group_packets = 10;  ///< K media packets per parity
+  /// Parity bandwidth clamp: parity output on a link may not exceed
+  /// this fraction of the link's current pacing rate.
+  double fec_budget_fraction = 0.05;
+  /// Multi-supplier RTX: race NACKs to the lowest-RTT established
+  /// supplier with staggered fallback to the next.
+  bool multi_supplier_rtx = false;
+  /// Extra standby (RTX-only) suppliers the control agent subscribes
+  /// beyond the primary upstream. A standby registers this node as an
+  /// RTX-only subscriber: it pulls + caches the stream itself (so its
+  /// GoP cache can answer) but sends no media fan-out here.
+  std::uint32_t standby_suppliers = 0;
 };
 
 class OverlayNode final : public sim::SimNode {

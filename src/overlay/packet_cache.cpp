@@ -6,6 +6,10 @@ namespace livenet::overlay {
 
 void PacketGopCache::add(const media::RtpPacketPtr& pkt) {
   if (pkt->is_audio()) return;  // only video is GoP-cached
+  // Parity is link-local redundancy: serving it in startup bursts would
+  // hand a joiner mid-group XOR state it cannot use (and double-count
+  // the seq space). Only real media is cached.
+  if (pkt->is_fec_parity()) return;
   auto& sc = streams_[pkt->stream_id()];
   const bool boundary = pkt->is_keyframe_packet() && pkt->frag_index() == 0;
   if (sc.packets.empty() || sc.packets.back()->seq < pkt->seq) {

@@ -1,5 +1,8 @@
 #include "overlay/recovery_engine.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -8,13 +11,111 @@ namespace livenet::overlay {
 LinkReceiver& RecoveryEngine::receiver_for(sim::NodeId peer) {
   auto it = receivers_.find(peer);
   if (it == receivers_.end()) {
+    LinkReceiver::Config rc = cfg_.receiver;
+    rc.telemetry = cfg_.telemetry;
+    rc.buffer.telemetry = cfg_.telemetry;
     it = receivers_
              .emplace(peer, std::make_unique<LinkReceiver>(
                                 net_, owner_->node_id(), peer, deliver_,
-                                gap_, cfg_.receiver))
+                                gap_, rc))
              .first;
+    if (cfg_.multi_supplier) {
+      LinkReceiver* rx = it->second.get();
+      rx->set_nack_route([this, peer](media::StreamId stream, bool audio,
+                                      const std::vector<media::Seq>& m) {
+        route_nack(peer, stream, audio, m);
+      });
+    }
   }
   return *it->second;
+}
+
+void RecoveryEngine::note_alt_rtx_arrival(
+    sim::NodeId from, const media::RtpPacketPtr& pkt) const {
+  if (!cfg_.telemetry) return;
+  telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
+                        pkt->stream_id(), pkt->producer_seq(), from,
+                        owner_->node_id(), telemetry::HopEvent::kAltRtx);
+}
+
+Duration RecoveryEngine::rtt_to(sim::NodeId peer) const {
+  const sim::Link* l = net_->link(peer, owner_->node_id());
+  return l != nullptr ? l->base_rtt()
+                      : std::numeric_limits<Duration>::max() / 4;
+}
+
+void RecoveryEngine::send_nack_to(sim::NodeId target, sim::NodeId primary,
+                                  media::StreamId stream, bool audio,
+                                  const std::vector<media::Seq>& seqs) {
+  if (target != primary) {
+    // The alternate's RTX must land in the primary pipeline whose holes
+    // it fills; register redirects before the NACK leaves.
+    for (const media::Seq s : seqs) {
+      rtx_redirects_[{stream, s}] = primary;
+    }
+    while (rtx_redirects_.size() > cfg_.max_redirects) {
+      rtx_redirects_.erase(rtx_redirects_.begin());
+    }
+    if (cfg_.telemetry) {
+      telemetry::handles().alt_supplier_rtx->add(seqs.size());
+    }
+  }
+  auto nack = sim::make_message<media::NackMessage>();
+  nack->stream_id = stream;
+  nack->audio = audio;
+  nack->missing = seqs;
+  net_->send(owner_->node_id(), target, std::move(nack));
+}
+
+void RecoveryEngine::route_nack(sim::NodeId primary, media::StreamId stream,
+                                bool audio,
+                                const std::vector<media::Seq>& missing) {
+  const std::vector<sim::NodeId>* sup =
+      suppliers_ ? suppliers_(stream) : nullptr;
+  if (!cfg_.multi_supplier || sup == nullptr || sup->size() < 2) {
+    send_nack_to(primary, primary, stream, audio, missing);
+    return;
+  }
+  // Race to the lowest-RTT supplier; remember the runner-up for the
+  // staggered escalation.
+  std::vector<sim::NodeId> order(*sup);
+  std::sort(order.begin(), order.end(),
+            [this](sim::NodeId a, sim::NodeId b) {
+              const Duration ra = rtt_to(a), rb = rtt_to(b);
+              return ra != rb ? ra < rb : a < b;
+            });
+  const sim::NodeId best = order.front();
+  const sim::NodeId next = order[1];
+  send_nack_to(best, primary, stream, audio, missing);
+
+  // Staggered fallback: if the holes survive a best-supplier round trip
+  // (plus slack), escalate the survivors to the next supplier.
+  const Duration stagger = rtt_to(best) + cfg_.stagger_extra;
+  const sim::EventId id = net_->loop()->schedule_after(
+      stagger, [this, primary, next, stream, audio, missing] {
+        const LinkReceiver* rx = find_receiver(primary);
+        if (rx == nullptr) return;
+        const std::vector<media::Seq> still =
+            rx->missing_subset(stream, audio, missing);
+        if (!still.empty()) {
+          send_nack_to(next, primary, stream, audio, still);
+        }
+      });
+  stagger_timers_.insert(id);
+  // Bound the timer set: drop bookkeeping for long-fired events (the
+  // loop ignores cancel() of an already-fired id, so stale entries are
+  // harmless but unbounded growth is not).
+  if (stagger_timers_.size() > 4096) {
+    stagger_timers_.clear();
+    stagger_timers_.insert(id);
+  }
+}
+
+void RecoveryEngine::cancel_staggers() {
+  for (const sim::EventId id : stagger_timers_) {
+    net_->loop()->cancel(id);
+  }
+  stagger_timers_.clear();
 }
 
 void RecoveryEngine::serve_nack_fallback(

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "overlay/link_receiver.h"
@@ -27,6 +30,17 @@ class RecoveryEngine {
     std::size_t cache_gops = 2;
     std::size_t cache_max_packets = 4096;
     bool telemetry = true;  ///< record cache-hit counters + trace hops
+    /// Multi-supplier RTX (AutoRec-style): route each NACK to the
+    /// lowest-RTT established supplier of the stream instead of the
+    /// pipeline's own upstream, with a staggered fallback to the next
+    /// supplier if the holes survive a round trip. Off = the NACK goes
+    /// straight to the upstream peer (bit-identical legacy behaviour).
+    bool multi_supplier = false;
+    /// Slack added to the best supplier's RTT before escalating to the
+    /// next supplier.
+    Duration stagger_extra = 20 * kMs;
+    /// Bound on outstanding (stream, seq) -> origin-pipeline redirects.
+    std::size_t max_redirects = 1024;
   };
 
   RecoveryEngine(sim::Network* net, const sim::SimNode* owner,
@@ -36,6 +50,8 @@ class RecoveryEngine {
         cfg_(cfg),
         packet_cache_(cfg.cache_gops, cfg.cache_max_packets) {}
 
+  ~RecoveryEngine() { cancel_staggers(); }
+
   /// Ordered-delivery and gap upcalls shared by every receiver the
   /// engine creates. Set once at wiring time, before any RTP arrives.
   void set_hooks(LinkReceiver::DeliverFn deliver, LinkReceiver::GapFn gap) {
@@ -43,11 +59,39 @@ class RecoveryEngine {
     gap_ = std::move(gap);
   }
 
+  /// Supplier lookup for multi-supplier NACK routing: returns the
+  /// established upstreams of a stream (nullptr / empty = single
+  /// upstream, no racing). Fed by the control agent's StreamContext.
+  using SupplierFn =
+      std::function<const std::vector<sim::NodeId>*(media::StreamId)>;
+  void set_supplier_source(SupplierFn fn) { suppliers_ = std::move(fn); }
+
   /// Slow-path ingress: a copy of every received packet enters the
-  /// per-upstream receive pipeline.
+  /// per-upstream receive pipeline. A retransmission served by an
+  /// alternate supplier is redirected into the pipeline of the upstream
+  /// whose holes it fills — otherwise it would open a phantom seq space
+  /// on the alternate's (media-less) pipeline.
   void ingest(sim::NodeId from, const media::RtpPacketPtr& pkt) {
+    if (pkt->is_rtx && !rtx_redirects_.empty()) {
+      const auto it =
+          rtx_redirects_.find({pkt->stream_id(), pkt->producer_seq()});
+      if (it != rtx_redirects_.end()) {
+        const sim::NodeId origin = it->second;
+        rtx_redirects_.erase(it);
+        note_alt_rtx_arrival(from, pkt);
+        receiver_for(origin).on_rtp(pkt);
+        return;
+      }
+    }
     receiver_for(from).on_rtp(pkt);
   }
+
+  /// Multi-supplier NACK routing (installed as every receiver's
+  /// NackRouteFn when cfg.multi_supplier): race the NACK to the
+  /// lowest-RTT supplier, schedule a staggered re-check that escalates
+  /// surviving holes to the next-best supplier.
+  void route_nack(sim::NodeId primary, media::StreamId stream, bool audio,
+                  const std::vector<media::Seq>& missing);
 
   LinkReceiver& receiver_for(sim::NodeId peer);
   const LinkReceiver* find_receiver(sim::NodeId peer) const {
@@ -93,20 +137,36 @@ class RecoveryEngine {
 
   /// Crash: all in-memory recovery state dies with the process.
   void reset() {
+    cancel_staggers();
+    rtx_redirects_.clear();
     receivers_.clear();
     packet_cache_ = PacketGopCache(cfg_.cache_gops, cfg_.cache_max_packets);
   }
 
  private:
+  void cancel_staggers();
+  void note_alt_rtx_arrival(sim::NodeId from,
+                            const media::RtpPacketPtr& pkt) const;
+  void send_nack_to(sim::NodeId target, sim::NodeId primary,
+                    media::StreamId stream, bool audio,
+                    const std::vector<media::Seq>& seqs);
+  Duration rtt_to(sim::NodeId peer) const;
+
   sim::Network* net_;
   const sim::SimNode* owner_;
   Config cfg_;
   LinkReceiver::DeliverFn deliver_;
   LinkReceiver::GapFn gap_;
+  SupplierFn suppliers_;
   PacketGopCache packet_cache_;
   std::unordered_map<sim::NodeId, std::unique_ptr<LinkReceiver>,
                      SeededHash<sim::NodeId>>
       receivers_;
+  /// (stream, producer seq) -> pipeline (upstream peer) whose hole an
+  /// alternate supplier's RTX fills. FIFO-bounded at max_redirects.
+  std::map<std::pair<media::StreamId, media::Seq>, sim::NodeId>
+      rtx_redirects_;
+  std::unordered_set<sim::EventId> stagger_timers_;
 };
 
 }  // namespace livenet::overlay

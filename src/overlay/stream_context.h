@@ -76,6 +76,14 @@ struct StreamContext {
   media::StreamId costream_from = media::kNoStream;
   /// Hier only: the upstream node this stream is subscribed through.
   sim::NodeId upstream_sub = sim::kNoNode;
+  /// Established suppliers of this stream (primary upstream first, then
+  /// standby RTX-only upstreams, make-before-break grace upstreams...).
+  /// Multi-supplier RTX races NACKs across this set; the control agent
+  /// keeps it swept of released/crashed upstreams.
+  std::vector<sim::NodeId> suppliers;
+  /// Standby subscribe requests in flight (ack outstanding), so crash /
+  /// release can tell live standbys from half-established ones.
+  std::vector<sim::NodeId> pending_standbys;
 
   // ----------------------------------------------------------- session
   std::vector<PendingView> pending_views;

@@ -20,11 +20,17 @@ class StreamFib {
   struct Entry {
     std::unordered_set<sim::NodeId> subscriber_nodes;
     std::unordered_set<ClientId> subscriber_clients;
+    /// Standby-supplier downstreams: nodes that may NACK this stream
+    /// here (served from history/cache) but receive NO media fan-out.
+    /// Kept out of subscriber_nodes so the fast path never iterates
+    /// them — multi-supplier RTX costs the hot loop nothing.
+    std::unordered_set<sim::NodeId> rtx_only_nodes;
     sim::NodeId upstream = sim::kNoNode;  ///< where we receive it from
     bool locally_produced = false;        ///< this node is the producer
 
     bool has_subscribers() const {
-      return !subscriber_nodes.empty() || !subscriber_clients.empty();
+      return !subscriber_nodes.empty() || !subscriber_clients.empty() ||
+             !rtx_only_nodes.empty();
     }
   };
 

@@ -112,6 +112,9 @@ const Handles& handles() {
     out.drops_gop = reg.counter("overlay.drops_gop");
     out.cache_hits = reg.counter("overlay.cache_hits");
     out.rtx_sent = reg.counter("overlay.rtx_sent");
+    out.fec_parity_sent = reg.counter("overlay.fec_parity_sent");
+    out.fec_recovered = reg.counter("overlay.fec_recovered");
+    out.alt_supplier_rtx = reg.counter("overlay.alt_supplier_rtx");
     out.link_drops_queue = reg.counter("link.drops_queue");
     out.link_drops_wire = reg.counter("link.drops_wire");
     out.link_drops_down = reg.counter("link.drops_down");
@@ -131,6 +134,11 @@ const Handles& handles() {
     out.modeled_viewers = reg.gauge("client.modeled_viewers");
     out.cdn_path_delay_ms =
         reg.latency("overlay.cdn_path_delay_ms", 0.0, 2000.0, 200);
+    out.recovery_ms = reg.latency("overlay.recovery_ms", 0.0, 1000.0, 200);
+    out.recovery_fec_ms =
+        reg.latency("overlay.recovery_fec_ms", 0.0, 1000.0, 200);
+    out.recovery_rtx_ms =
+        reg.latency("overlay.recovery_rtx_ms", 0.0, 1000.0, 200);
     return out;
   }();
   return h;

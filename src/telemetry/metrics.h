@@ -142,6 +142,10 @@ struct Handles {
   Counter* drops_gop;
   Counter* cache_hits;           ///< GoP-cache serves (NACK + bursts)
   Counter* rtx_sent;             ///< retransmissions enqueued
+  // Loss-recovery tier (FEC + multi-supplier RTX).
+  Counter* fec_parity_sent;      ///< parity packets enqueued on links
+  Counter* fec_recovered;        ///< packets reconstructed from parity
+  Counter* alt_supplier_rtx;     ///< NACKs raced to a non-primary supplier
   // Link layer.
   Counter* link_drops_queue;     ///< tail drops
   Counter* link_drops_wire;      ///< random wire loss
@@ -162,6 +166,11 @@ struct Handles {
   Gauge* concurrent_viewers;     ///< last timeline sample
   Gauge* modeled_viewers;        ///< cohort-weighted viewer population peak
   LatencyStat* cdn_path_delay_ms;   ///< per-forwarded-packet CDN delay
+  /// Hole-to-fill recovery time, overall and split by the tier that
+  /// filled the hole (FEC reconstruction vs RTX arrival).
+  LatencyStat* recovery_ms;
+  LatencyStat* recovery_fec_ms;
+  LatencyStat* recovery_rtx_ms;
 };
 
 /// The shared handle set (registered on first use).

@@ -78,6 +78,8 @@ const char* to_string(HopEvent e) {
     case HopEvent::kCacheHit: return "cache_hit";
     case HopEvent::kRtx: return "rtx";
     case HopEvent::kJitterRelease: return "jitter_release";
+    case HopEvent::kFecRecovered: return "fec_recovered";
+    case HopEvent::kAltRtx: return "alt_rtx";
   }
   return "unknown";
 }

@@ -27,6 +27,8 @@ enum class HopEvent : std::uint8_t {
   kCacheHit = 6,       ///< served from a node's GoP packet cache
   kRtx = 7,            ///< retransmission enqueued for this packet
   kJitterRelease = 8,  ///< completed a frame in a client jitter buffer
+  kFecRecovered = 9,   ///< reconstructed from a link-local parity group
+  kAltRtx = 10,        ///< NACK raced to a non-primary supplier
 };
 
 enum class DropReason : std::uint8_t {

@@ -26,6 +26,12 @@ Pacer::~Pacer() {
 
 void Pacer::enqueue(RtpPacketPtr pkt) {
   const std::size_t sz = pkt->wire_size();
+  const bool parity = pkt->is_fec_parity();
+  if (parity && queue_bytes_ + sz > cfg_.max_queue_bytes * 3 / 4) {
+    // Redundancy is shed first: a congested link keeps its media budget.
+    ++parity_dropped_;
+    return;
+  }
   if (queue_bytes_ + sz > cfg_.max_queue_bytes && !pkt->is_audio()) {
     // Overflow: video (and rtx) beyond the cap is dropped; loss recovery
     // upstream of the receiver deals with the hole.
@@ -34,7 +40,10 @@ void Pacer::enqueue(RtpPacketPtr pkt) {
   }
   queue_bytes_ += sz;
   Queued q{std::move(pkt), static_cast<std::uint32_t>(sz)};
-  if (q.pkt->is_audio()) {
+  if (parity) {
+    ++parity_enqueued_;
+    parity_q_.push_back(std::move(q));
+  } else if (q.pkt->is_audio()) {
     audio_q_.push_back(std::move(q));
   } else if (q.pkt->is_rtx) {
     rtx_q_.push_back(std::move(q));
@@ -62,6 +71,7 @@ Pacer::Queued Pacer::pop_next() {
   if (!audio_q_.empty()) return take(audio_q_);
   if (!rtx_q_.empty()) return take(rtx_q_);
   if (!video_q_.empty()) return take(video_q_);
+  if (!parity_q_.empty()) return take(parity_q_);
   return Queued{};
 }
 

@@ -104,7 +104,8 @@ class Pacer {
   /// Total bytes waiting across all priority queues.
   std::size_t queue_bytes() const { return queue_bytes_; }
   std::size_t queue_packets() const {
-    return audio_q_.size() + rtx_q_.size() + video_q_.size();
+    return audio_q_.size() + rtx_q_.size() + video_q_.size() +
+           parity_q_.size();
   }
 
   /// Time to drain the current queue at the current rate — the signal
@@ -113,6 +114,8 @@ class Pacer {
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t parity_enqueued() const { return parity_enqueued_; }
+  std::uint64_t parity_dropped() const { return parity_dropped_; }
 
  private:
   void arm();
@@ -128,6 +131,10 @@ class Pacer {
   PacketFifo audio_q_;
   PacketFifo rtx_q_;
   PacketFifo video_q_;
+  /// FEC parity rides below video: redundancy must never displace the
+  /// media it protects. Parity is also rejected early (at 3/4 of the
+  /// byte cap) so a congested link sheds redundancy first.
+  PacketFifo parity_q_;
   std::size_t queue_bytes_ = 0;
   Time next_send_ok_ = 0;
   /// Last computed pacing interval and its inputs (see fire()).
@@ -138,6 +145,8 @@ class Pacer {
   sim::EventId timer_ = sim::kInvalidEvent;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t parity_enqueued_ = 0;
+  std::uint64_t parity_dropped_ = 0;
 };
 
 }  // namespace livenet::transport

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace livenet::transport {
 
 using media::RtpPacketPtr;
@@ -47,7 +49,25 @@ void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
       }
     }
   }
-  st.missing.erase(pkt->seq);
+  // A recovered packet (RTX or FEC reconstruction) filling a tracked
+  // hole implicitly cancels any in-flight re-request for that seq (the
+  // hole record goes away), and its hole age is the recovery latency.
+  const auto miss_it = st.missing.find(pkt->seq);
+  if (miss_it != st.missing.end()) {
+    if (cfg_.telemetry && (pkt->is_rtx || pkt->fec_recovered)) {
+      const double ms =
+          static_cast<double>(loop_->now() - miss_it->second.first_missed) /
+          static_cast<double>(kMs);
+      const auto& h = telemetry::handles();
+      h.recovery_ms->observe(ms);
+      if (pkt->fec_recovered) {
+        h.recovery_fec_ms->observe(ms);
+      } else {
+        h.recovery_rtx_ms->observe(ms);
+      }
+    }
+    st.missing.erase(miss_it);
+  }
   st.buffered.emplace(pkt->seq, pkt);
   drain_in_order(st);
 
@@ -85,6 +105,12 @@ void ReceiveBuffer::drain_in_order(StreamState& st) {
 
 void ReceiveBuffer::scan() {
   const Time now = loop_->now();
+  // Re-NACK holdoff: a requested retransmission needs a full upstream
+  // round trip (plus pacer slack) to arrive. Re-requesting every
+  // nack_interval — the old behaviour — duplicated every RTX on links
+  // whose RTT exceeds the scan period.
+  const Duration holdoff =
+      std::max(cfg_.nack_interval, rtt_hint_ + cfg_.rtx_holdoff_margin);
   bool any_pending = false;
   for (auto& [key, st] : streams_) {
     const media::StreamId stream = key / 2;
@@ -97,8 +123,7 @@ void ReceiveBuffer::scan() {
         to_abandon.push_back(seq);
         continue;
       }
-      if (info.last_nack == kNever ||
-          now - info.last_nack >= cfg_.nack_interval) {
+      if (info.last_nack == kNever || now - info.last_nack >= holdoff) {
         to_nack.push_back(seq);
         info.last_nack = now;
         ++info.nacks;
@@ -149,6 +174,27 @@ std::vector<RtpPacketPtr> ReceiveBuffer::buffered_packets(
     for (const auto& [seq, pkt] : it->second.buffered) {
       out.push_back(pkt);
     }
+  }
+  return out;
+}
+
+bool ReceiveBuffer::would_accept(StreamId stream, bool audio,
+                                 Seq seq) const {
+  const auto it = streams_.find(flow_key(stream, audio));
+  if (it == streams_.end()) return true;
+  const StreamState& st = it->second;
+  if (!st.started) return true;
+  if (seq < st.next_expected) return false;
+  return st.buffered.count(seq) == 0;
+}
+
+std::vector<Seq> ReceiveBuffer::missing_subset(
+    StreamId stream, bool audio, const std::vector<Seq>& seqs) const {
+  std::vector<Seq> out;
+  const auto it = streams_.find(flow_key(stream, audio));
+  if (it == streams_.end()) return out;
+  for (const Seq s : seqs) {
+    if (it->second.missing.count(s) != 0) out.push_back(s);
   }
   return out;
 }

@@ -29,6 +29,12 @@ class ReceiveBuffer {
     Duration giveup_after = 500 * kMs;  ///< abandon recovery beyond this
     int max_nacks_per_seq = 8;          ///< retry bound per missing seq
     std::size_t max_buffered = 4096;    ///< out-of-order packets per stream
+    /// Extra slack on top of the upstream RTT before a NACKed seq may be
+    /// re-NACKed (see set_rtt_hint): covers pacer queueing on the
+    /// retransmission path.
+    Duration rtx_holdoff_margin = 10 * kMs;
+    /// Record hole-fill recovery latencies into the metrics registry.
+    bool telemetry = false;
   };
 
   /// Ordered delivery upcall (packet is the original or a recovered
@@ -53,6 +59,25 @@ class ReceiveBuffer {
   ReceiveBuffer& operator=(const ReceiveBuffer&) = delete;
 
   void on_packet(const media::RtpPacketPtr& pkt);
+
+  /// Upstream-link RTT hint. A NACKed seq is not re-NACKed until the
+  /// requested retransmission had a full round trip (plus
+  /// rtx_holdoff_margin) to arrive. Without this, any link whose RTT
+  /// exceeds nack_interval re-requested every scan while the RTX was
+  /// still in flight — duplicate retransmissions of the same seq.
+  void set_rtt_hint(Duration rtt) { rtt_hint_ = rtt < 0 ? 0 : rtt; }
+
+  /// Would this seq be new to the given flow (not already delivered or
+  /// buffered)? Used to gate out-of-band recovery injections (FEC
+  /// reconstruction) so they never regress to duplicates.
+  bool would_accept(media::StreamId stream, bool audio, media::Seq seq) const;
+
+  /// The subset of `seqs` still tracked as missing on this flow —
+  /// the staggered multi-supplier fallback re-checks before escalating
+  /// a NACK to the next supplier.
+  std::vector<media::Seq> missing_subset(
+      media::StreamId stream, bool audio,
+      const std::vector<media::Seq>& seqs) const;
 
   /// Drops all state for a stream.
   void forget_stream(media::StreamId stream);
@@ -98,6 +123,7 @@ class ReceiveBuffer {
   GapFn gap_;
   NackFn nack_;
   Config cfg_;
+  Duration rtt_hint_ = 0;
   std::unordered_map<std::uint64_t, StreamState> streams_;
   sim::EventId scan_timer_ = sim::kInvalidEvent;
   std::uint64_t delivered_ = 0;
