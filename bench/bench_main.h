@@ -1,0 +1,30 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+// Shared benchmark main with honest context stamping.
+//
+// The JSON context's "library_build_type" key describes how the *host
+// libbenchmark* was compiled (debug, on this image's system package) —
+// it says nothing about the code under test, but reads as if the whole
+// measurement ran unoptimized. Every livenet bench binary therefore
+// stamps two extra context keys: `livenet_build_type`, the CMake build
+// type the measured code was actually compiled with (set by
+// bench/CMakeLists.txt), and a note pointing readers at it.
+#ifndef LIVENET_BUILD_TYPE
+#define LIVENET_BUILD_TYPE "unknown"
+#endif
+
+#define LIVENET_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                       \
+    benchmark::AddCustomContext("livenet_build_type", LIVENET_BUILD_TYPE); \
+    benchmark::AddCustomContext(                                          \
+        "library_build_type_note",                                        \
+        "library_build_type describes the host libbenchmark package, "    \
+        "not the livenet code under test; see livenet_build_type");       \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }

@@ -4,6 +4,8 @@
 // built from.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -370,4 +372,4 @@ BENCHMARK(BM_ShardedScale)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LIVENET_BENCHMARK_MAIN();

@@ -4,6 +4,8 @@
 // and the stamp-invalidated lookup cache that serves the request path.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -169,4 +171,4 @@ BENCHMARK(BM_PibInvalidate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LIVENET_BENCHMARK_MAIN();

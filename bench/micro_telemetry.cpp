@@ -6,6 +6,8 @@
 // idle.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "media/packetizer.h"
 #include "overlay/stream_fib.h"
 #include "telemetry/metrics.h"
@@ -108,4 +110,4 @@ BENCHMARK(BM_FibForwardWithSampling)->Arg(0)->Arg(100)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LIVENET_BENCHMARK_MAIN();

@@ -53,19 +53,24 @@ fi
 # the shard-sweep differential + chaos-flap tests and the boundary
 # move/clone units run with real worker threads, so a data race on the
 # barrier handoff, the thread-local pools, or the telemetry merge dies
-# here rather than silently corrupting a benchmark. Then the golden
-# gate: repro_scale --shards=1 vs --shards=4 at the full acceptance
-# topology must produce byte-identical QoE CSVs (TSan build, so the
-# diff also runs under the race detector). Skip with BENCH_SKIP_TSAN=1.
+# here rather than silently corrupting a benchmark. The Parallel Brain
+# rides along: the routing differential suite (thread-sweep recompute
+# bit-identity) and the threads=4 recompute smoke run under TSan, so a
+# race on the worker fan-out, the shared SolveCtx tables, or the lazily
+# materialized CSR dies here too. Then the golden gate: repro_scale
+# --shards=1 vs --shards=4 at the full acceptance topology must produce
+# byte-identical QoE CSVs (TSan build, so the diff also runs under the
+# race detector). Skip with BENCH_SKIP_TSAN=1.
 tsan_dir="${BENCH_TSAN_DIR:-${repo_root}/build-tsan}"
 if [[ "${BENCH_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "${tsan_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DLIVENET_SANITIZE=thread >&2
   cmake --build "${tsan_dir}" -j \
-      --target test_sharded_sim test_viewer_cohort repro_scale >&2
+      --target test_sharded_sim test_viewer_cohort repro_scale \
+               test_routing_differential micro_routing >&2
   (cd "${tsan_dir}" && ctest --output-on-failure \
-      -R 'test_sharded_sim|test_viewer_cohort') >&2
+      -R 'test_sharded_sim|test_viewer_cohort|test_routing_differential|bench_smoke_brain_parallel') >&2
   "${tsan_dir}/bench/repro_scale" --shards=1 --qoe-csv="${tsan_dir}/qoe_s1.csv" >&2
   "${tsan_dir}/bench/repro_scale" --shards=4 --qoe-csv="${tsan_dir}/qoe_s4.csv" >&2
   if ! cmp -s "${tsan_dir}/qoe_s1.csv" "${tsan_dir}/qoe_s4.csv"; then
@@ -73,7 +78,7 @@ if [[ "${BENCH_SKIP_TSAN:-0}" != "1" ]]; then
     diff "${tsan_dir}/qoe_s1.csv" "${tsan_dir}/qoe_s4.csv" | head -20 >&2
     exit 1
   fi
-  echo "verify: TSan sharded differential + chaos smoke passed; shard-sweep goldens identical" >&2
+  echo "verify: TSan sharded + parallel-Brain differential smoke passed; shard-sweep goldens identical" >&2
 fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \

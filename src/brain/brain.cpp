@@ -82,6 +82,10 @@ void BrainNode::recompute_routes() {
   tel.brain_recompute_ms->observe(
       std::chrono::duration<double, std::milli>(wall_end - wall_start)
           .count());
+  tel.brain_graph_build_ms->observe(metrics_.last_recompute.graph_build_ms);
+  tel.brain_solve_ms->observe(metrics_.last_recompute.solve_ms);
+  tel.brain_install_ms->observe(metrics_.last_recompute.install_ms);
+  tel.brain_threads->set_max(static_cast<double>(cfg_.routing.threads));
   push_popular_paths();
   sync_replicas_pib();
 }

@@ -93,6 +93,12 @@ double GlobalDiscovery::node_load(sim::NodeId n) const {
   return it != nodes_.end() ? it->second.load : 0.0;
 }
 
+const GlobalDiscovery::NodeView* GlobalDiscovery::find_node(
+    sim::NodeId n) const {
+  const auto it = nodes_.find(n);
+  return it != nodes_.end() ? &it->second : nullptr;
+}
+
 const LinkState* GlobalDiscovery::link(sim::NodeId a, sim::NodeId b) const {
   const auto it = nodes_.find(a);
   if (it == nodes_.end()) return nullptr;

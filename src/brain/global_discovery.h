@@ -54,6 +54,13 @@ class GlobalDiscovery {
   double node_load(sim::NodeId n) const;
   const LinkState* link(sim::NodeId a, sim::NodeId b) const;
 
+  /// Whole per-node view (load + link table) in one probe, or nullptr
+  /// for a node never reported. Graph construction iterates the link
+  /// table directly through this instead of probing link(a, b) for
+  /// every candidate pair — O(nodes + links) hash work per cycle
+  /// rather than O(n^2).
+  const NodeView* find_node(sim::NodeId n) const;
+
   /// Sequence number of the newest dirty mark (0 = nothing ever moved).
   std::uint64_t dirty_seq() const { return dirty_seq_; }
 

@@ -1,8 +1,10 @@
 #include "brain/global_routing.h"
 
+#include <chrono>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace livenet::brain {
 
@@ -15,31 +17,166 @@ std::uint64_t link_key(sim::NodeId a, sim::NodeId b) {
 
 constexpr double kMissingRtt = -1.0;
 
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Everything a per-source solve reads; shared read-only across every
+/// worker during the fan-out (the Discovery view is only probed through
+/// const lookups).
+struct SolveCtx {
+  const GlobalDiscovery* view = nullptr;
+  const std::vector<sim::NodeId>* nodes = nullptr;
+  const std::vector<sim::NodeId>* last_resort = nullptr;
+  const GlobalRoutingConfig* cfg = nullptr;
+  const std::vector<std::uint8_t>* node_over = nullptr;
+  const std::vector<std::uint8_t>* link_over = nullptr;
+  const std::vector<double>* lr_to = nullptr;
+  std::size_t n = 0;
+  std::size_t lr_count = 0;
+};
+
+struct SourceCounts {
+  std::size_t paths_installed = 0;
+  std::size_t last_resort_pairs = 0;
+};
+
+/// Buffered output of one source solve in parallel mode: everything the
+/// ordered install phase needs to replay the source's Pib writes.
+struct SourceOutput {
+  std::vector<std::vector<overlay::Path>> kept_by_dst;  ///< size n
+  std::vector<std::uint32_t> fallback;  ///< relay index; lr_count = none
+  SourceCounts counts;
+};
+
+/// Solves every destination for source `a` and hands each destination's
+/// kept paths plus fallback-relay choice (`best_l`, lr_count = none) to
+/// `emit(b, kept, best_l)` in ascending destination order. The emit
+/// callback is the only difference between the inline (threads == 1)
+/// install and the buffered parallel path — which is the argument that
+/// the two produce byte-identical Pib contents.
+template <typename Emit>
+SourceCounts solve_source(const SolveCtx& c, KspSolver& solver, std::size_t a,
+                          std::vector<double>& lr_from,
+                          std::vector<overlay::Path>& kept, Emit&& emit) {
+  const std::vector<sim::NodeId>& nodes = *c.nodes;
+  SourceCounts out;
+  // src -> relay RTTs, hoisted per source.
+  lr_from.resize(c.lr_count);
+  for (std::size_t l = 0; l < c.lr_count; ++l) {
+    const LinkState* ls = c.view->link(nodes[a], (*c.last_resort)[l]);
+    lr_from[l] = ls != nullptr ? static_cast<double>(ls->rtt) : kMissingRtt;
+  }
+  // One forward tree for source `a` serves all destinations; spur trees
+  // accumulate across sources (and, via rebind(), across cycles).
+  solver.set_source(a);
+  for (std::size_t b = 0; b < c.n; ++b) {
+    if (a == b) continue;
+    const std::size_t cnt = solver.k_shortest_scratch(b, c.cfg->k);
+
+    kept.clear();
+    for (std::size_t ci = 0; ci < cnt; ++ci) {
+      const std::vector<std::size_t>& wp = solver.accepted_nodes(ci);
+      // Constraint (iii): bounded path length.
+      if (static_cast<int>(wp.size()) - 1 > c.cfg->max_hops) continue;
+      // Constraints (i)/(ii): skip paths crossing overloaded elements
+      // (relay nodes and links; the endpoints are fixed by the pair).
+      bool bad = false;
+      for (std::size_t i = 0; i < wp.size() && !bad; ++i) {
+        const std::size_t u = wp[i];
+        const bool endpoint = (i == 0 || i + 1 == wp.size());
+        if (!endpoint && (*c.node_over)[u] != 0) bad = true;
+        if (i + 1 < wp.size() && (*c.link_over)[u * c.n + wp[i + 1]] != 0) {
+          bad = true;
+        }
+      }
+      if (bad) continue;
+      overlay::Path p;
+      p.reserve(wp.size());
+      for (const std::size_t idx : wp) p.push_back(nodes[idx]);
+      kept.push_back(std::move(p));
+    }
+    out.paths_installed += kept.size();
+
+    // Last-resort fallback: src -> reserved relay -> dst, choosing the
+    // relay with the lowest total reported RTT.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_l = c.lr_count;
+    for (std::size_t l = 0; l < c.lr_count; ++l) {
+      if (lr_from[l] < 0.0) continue;
+      const double to = (*c.lr_to)[l * c.n + b];
+      if (to < 0.0) continue;
+      const double cost = lr_from[l] + to;
+      if (cost < best) {
+        best = cost;
+        best_l = l;
+      }
+    }
+    if (kept.empty() && best_l != c.lr_count) ++out.last_resort_pairs;
+    emit(b, kept, best_l);
+    kept.clear();
+  }
+  return out;
+}
+
 }  // namespace
+
+void GlobalRouting::fill_graph_cells(
+    const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes,
+    const std::unordered_map<sim::NodeId, std::size_t>& idx_of,
+    const std::vector<double>& loads, std::vector<double>* cells) const {
+  const std::size_t n = nodes.size();
+  cells->assign(n * n, RoutingGraph::kNoEdge);
+  for (std::size_t a = 0; a < n; ++a) {
+    const GlobalDiscovery::NodeView* nv = view.find_node(nodes[a]);
+    if (nv == nullptr) continue;
+    double* row = cells->data() + a * n;
+    for (const auto& [idb, ls] : nv->links) {
+      if (!ls.valid) continue;
+      const auto ib = idx_of.find(idb);
+      if (ib == idx_of.end() || ib->second == a) continue;
+      row[ib->second] =
+          link_weight(ls, loads[a], loads[ib->second], cfg_.weights);
+    }
+  }
+}
 
 RoutingGraph GlobalRouting::build_graph(
     const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes) const {
-  RoutingGraph g(nodes.size());
-  for (std::size_t a = 0; a < nodes.size(); ++a) {
-    for (std::size_t b = 0; b < nodes.size(); ++b) {
-      if (a == b) continue;
-      const LinkState* ls = view.link(nodes[a], nodes[b]);
-      if (ls == nullptr || !ls->valid) continue;
-      const double w = link_weight(*ls, view.node_load(nodes[a]),
-                                   view.node_load(nodes[b]), cfg_.weights);
-      g.set_weight(a, b, w);
-    }
-  }
+  const std::size_t n = nodes.size();
+  RoutingGraph g(n);
+  std::unordered_map<sim::NodeId, std::size_t> idx_of;
+  idx_of.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) idx_of[nodes[a]] = a;
+  std::vector<double> loads(n);
+  for (std::size_t a = 0; a < n; ++a) loads[a] = view.node_load(nodes[a]);
+  std::vector<double> cells;
+  fill_graph_cells(view, nodes, idx_of, loads, &cells);
+  g.rebuild_from(n, &cells);
   return g;
 }
 
 GlobalRouting::Result GlobalRouting::recompute(
     const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes,
     const std::vector<sim::NodeId>& last_resort_nodes, Pib* pib) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
   Result res;
   const std::size_t n = nodes.size();
   const std::size_t lr_count = last_resort_nodes.size();
-  const RoutingGraph g = build_graph(view, nodes);
+
+  // ---- Phase 1: graph build + cycle planning ------------------------
+  idx_of_.clear();
+  idx_of_.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) idx_of_[nodes[a]] = a;
+  loads_.resize(n);
+  for (std::size_t a = 0; a < n; ++a) loads_[a] = view.node_load(nodes[a]);
+  fill_graph_cells(view, nodes, idx_of_, loads_, &cells_);
+  graph_.rebuild_from(n, &cells_);
+  // The CSR view is built lazily inside a const accessor; materialize
+  // it here so no two workers race to build it during the fan-out.
+  graph_.csr();
 
   // Full vs. incremental: a topology change (or the very first cycle)
   // forces a full solve, as does the periodic refresh cadence.
@@ -73,38 +210,32 @@ GlobalRouting::Result GlobalRouting::recompute(
 
   // Precomputed constraint tables: one hash lookup per element per
   // cycle instead of per candidate path.
-  std::vector<std::uint8_t> node_over(n, 0);
+  node_over_.assign(n, 0);
   for (std::size_t a = 0; a < n; ++a) {
-    node_over[a] =
-        view.node_load(nodes[a]) >= cfg_.overload_threshold ? 1 : 0;
+    node_over_[a] = loads_[a] >= cfg_.overload_threshold ? 1 : 0;
   }
-  std::unordered_map<sim::NodeId, std::size_t> idx_of;
-  idx_of.reserve(n);
-  for (std::size_t a = 0; a < n; ++a) idx_of[nodes[a]] = a;
-  std::vector<std::uint8_t> link_over(n * n, 0);
+  link_over_.assign(n * n, 0);
   for (const auto& [ida, nv] : view.nodes()) {
-    const auto ia = idx_of.find(ida);
-    if (ia == idx_of.end()) continue;
+    const auto ia = idx_of_.find(ida);
+    if (ia == idx_of_.end()) continue;
     for (const auto& [idb, ls] : nv.links) {
-      const auto ib = idx_of.find(idb);
-      if (ib == idx_of.end()) continue;
+      const auto ib = idx_of_.find(idb);
+      if (ib == idx_of_.end()) continue;
       if (ls.utilization >= cfg_.overload_threshold) {
-        link_over[ia->second * n + ib->second] = 1;
+        link_over_[ia->second * n + ib->second] = 1;
       }
     }
   }
 
-  // Last-resort RTT tables. The relay->dst half is per-cycle invariant;
-  // the src->relay half is hoisted per source below (it used to be
-  // re-queried for every destination).
-  std::vector<double> lr_to(lr_count * n, kMissingRtt);
+  // Last-resort relay->dst RTT table (per-cycle invariant; the
+  // src->relay half is hoisted per source inside solve_source).
+  lr_to_.assign(lr_count * n, kMissingRtt);
   for (std::size_t l = 0; l < lr_count; ++l) {
     for (std::size_t b = 0; b < n; ++b) {
       const LinkState* ls = view.link(last_resort_nodes[l], nodes[b]);
-      if (ls != nullptr) lr_to[l * n + b] = static_cast<double>(ls->rtt);
+      if (ls != nullptr) lr_to_[l * n + b] = static_cast<double>(ls->rtt);
     }
   }
-  std::vector<double> lr_from(lr_count);
 
   // Incremental skip test: a source keeps last cycle's routes iff every
   // installed pair has candidates and none of its paths (candidate or
@@ -140,10 +271,9 @@ GlobalRouting::Result GlobalRouting::recompute(
   scratch_.clear();
   if (!full) scratch_.copy_routes_from(*pib);
 
-  KspSolver solver(g);
-  std::vector<WeightedPath> ksp;
-  std::vector<overlay::Path> kept;
-
+  // Plan the cycle's source list up front (skip accounting included),
+  // so the solve phase is pure KSP work and partitions trivially.
+  to_solve_.clear();
   for (std::size_t a = 0; a < n; ++a) {
     if (!full) {
       // Empty dirty set short-circuits the per-path scan entirely.
@@ -155,72 +285,110 @@ GlobalRouting::Result GlobalRouting::recompute(
         continue;
       }
     }
-    ++res.sources_solved;
-    for (std::size_t l = 0; l < lr_count; ++l) {
-      const LinkState* ls = view.link(nodes[a], last_resort_nodes[l]);
-      lr_from[l] = ls != nullptr ? static_cast<double>(ls->rtt) : kMissingRtt;
+    to_solve_.push_back(static_cast<std::uint32_t>(a));
+  }
+
+  // Worker pool + per-worker solvers: created once, warm-started every
+  // cycle via rebind() (tree caches survive when the graph version did
+  // not move, scratch capacity survives always).
+  const std::size_t want = cfg_.threads > 0 ? cfg_.threads : 1;
+  if (workers_.size() != want) {
+    workers_.clear();
+    workers_.resize(want);
+  }
+  if (want > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(want);
+  }
+  for (KspSolver& w : workers_) w.rebind(graph_);
+
+  SolveCtx ctx;
+  ctx.view = &view;
+  ctx.nodes = &nodes;
+  ctx.last_resort = &last_resort_nodes;
+  ctx.cfg = &cfg_;
+  ctx.node_over = &node_over_;
+  ctx.link_over = &link_over_;
+  ctx.lr_to = &lr_to_;
+  ctx.n = n;
+  ctx.lr_count = lr_count;
+
+  const auto t1 = Clock::now();
+
+  // ---- Phase 2: solve -----------------------------------------------
+  std::vector<SourceOutput> outputs;
+  if (want == 1) {
+    // Inline fast path: install into the scratch Pib as each pair
+    // resolves — no buffering, exactly the pre-parallel pipeline.
+    KspSolver& solver = workers_[0];
+    for (const std::uint32_t a : to_solve_) {
+      const SourceCounts counts = solve_source(
+          ctx, solver, a, lr_from_, kept_,
+          [&](std::size_t b, std::vector<overlay::Path>& kept,
+              std::size_t best_l) {
+            scratch_.set_paths(nodes[a], nodes[b], std::move(kept));
+            if (best_l != lr_count) {
+              scratch_.set_last_resort(
+                  nodes[a], nodes[b],
+                  overlay::Path{nodes[a], last_resort_nodes[best_l],
+                                nodes[b]});
+            }
+          });
+      res.paths_installed += counts.paths_installed;
+      res.last_resort_pairs += counts.last_resort_pairs;
     }
-    // One solver per cycle: the forward tree for source `a` serves all
-    // destinations, and spur trees accumulate across sources.
-    solver.set_source(a);
-    for (std::size_t b = 0; b < n; ++b) {
-      if (a == b) continue;
-      ++res.pairs;
-      ++res.pairs_solved;
-      ksp.clear();
-      if (cfg_.k == 1) {
-        // k = 1 needs no spur paths: read the pair off the source tree.
-        if (auto p = solver.first_path(b)) ksp.push_back(std::move(*p));
-      } else {
-        solver.k_shortest(b, cfg_.k, &ksp);
+  } else {
+    // Fan-out: worker w takes sources to_solve_[w], [w + T], ... Every
+    // source is an independent subproblem over the shared read-only
+    // cycle state; outputs are buffered per source and merged below.
+    outputs.resize(to_solve_.size());
+    const std::size_t num_workers = pool_->size();
+    pool_->run([&](std::size_t w) {
+      std::vector<double> lr_from;
+      std::vector<overlay::Path> kept;
+      for (std::size_t i = w; i < to_solve_.size(); i += num_workers) {
+        SourceOutput& o = outputs[i];
+        o.kept_by_dst.resize(n);
+        o.fallback.assign(n, static_cast<std::uint32_t>(lr_count));
+        o.counts = solve_source(
+            ctx, workers_[w], to_solve_[i], lr_from, kept,
+            [&o](std::size_t b, std::vector<overlay::Path>& kept_b,
+                 std::size_t best_l) {
+              o.kept_by_dst[b] = std::move(kept_b);
+              o.fallback[b] = static_cast<std::uint32_t>(best_l);
+            });
       }
+    });
+  }
+  // Per-pair counters for the solved sources: plain sums, so the
+  // totals are independent of worker partitioning.
+  res.sources_solved = to_solve_.size();
+  if (n > 0) {
+    res.pairs += to_solve_.size() * (n - 1);
+    res.pairs_solved += to_solve_.size() * (n - 1);
+  }
 
-      kept.clear();
-      for (const auto& wp : ksp) {
-        // Constraint (iii): bounded path length.
-        if (static_cast<int>(wp.nodes.size()) - 1 > cfg_.max_hops) continue;
-        // Constraints (i)/(ii): skip paths crossing overloaded elements
-        // (relay nodes and links; the endpoints are fixed by the pair).
-        bool bad = false;
-        for (std::size_t i = 0; i < wp.nodes.size() && !bad; ++i) {
-          const std::size_t u = wp.nodes[i];
-          const bool endpoint = (i == 0 || i + 1 == wp.nodes.size());
-          if (!endpoint && node_over[u] != 0) bad = true;
-          if (i + 1 < wp.nodes.size() &&
-              link_over[u * n + wp.nodes[i + 1]] != 0) {
-            bad = true;
-          }
-        }
-        if (bad) continue;
-        overlay::Path p;
-        p.reserve(wp.nodes.size());
-        for (const std::size_t idx : wp.nodes) p.push_back(nodes[idx]);
-        kept.push_back(std::move(p));
-      }
-      res.paths_installed += kept.size();
+  const auto t2 = Clock::now();
 
-      // Last-resort fallback: src -> reserved relay -> dst, choosing the
-      // relay with the lowest total reported RTT.
-      double best = std::numeric_limits<double>::infinity();
-      std::size_t best_l = lr_count;
-      for (std::size_t l = 0; l < lr_count; ++l) {
-        if (lr_from[l] < 0.0) continue;
-        const double to = lr_to[l * n + b];
-        if (to < 0.0) continue;
-        const double cost = lr_from[l] + to;
-        if (cost < best) {
-          best = cost;
-          best_l = l;
+  // ---- Phase 3: install ---------------------------------------------
+  if (want > 1) {
+    // Ordered merge: replays the exact set_paths/set_last_resort call
+    // sequence of the inline path (ascending source index, ascending
+    // destination), hence byte-identical Pib contents for any T.
+    for (std::size_t i = 0; i < to_solve_.size(); ++i) {
+      const std::size_t a = to_solve_[i];
+      SourceOutput& o = outputs[i];
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        scratch_.set_paths(nodes[a], nodes[b], std::move(o.kept_by_dst[b]));
+        if (o.fallback[b] != lr_count) {
+          scratch_.set_last_resort(
+              nodes[a], nodes[b],
+              overlay::Path{nodes[a], last_resort_nodes[o.fallback[b]],
+                            nodes[b]});
         }
       }
-      if (kept.empty() && best_l != lr_count) ++res.last_resort_pairs;
-      scratch_.set_paths(nodes[a], nodes[b], std::move(kept));
-      kept.clear();
-      if (best_l != lr_count) {
-        scratch_.set_last_resort(
-            nodes[a], nodes[b],
-            overlay::Path{nodes[a], last_resort_nodes[best_l], nodes[b]});
-      }
+      res.paths_installed += o.counts.paths_installed;
+      res.last_resort_pairs += o.counts.last_resort_pairs;
     }
   }
 
@@ -232,6 +400,11 @@ GlobalRouting::Result GlobalRouting::recompute(
   prev_nodes_ = nodes;
   prev_last_resort_ = last_resort_nodes;
   has_state_ = true;
+
+  const auto t3 = Clock::now();
+  res.graph_build_ms = ms_between(t0, t1);
+  res.solve_ms = ms_between(t1, t2);
+  res.install_ms = ms_between(t2, t3);
   return res;
 }
 

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "brain/global_discovery.h"
 #include "brain/ksp.h"
 #include "brain/pib.h"
 #include "brain/routing_graph.h"
+#include "util/thread_pool.h"
 
 // Global Routing module (paper §4.3): every cycle (10 minutes in
 // production), rebuild the abstracted graph from the Global Discovery
@@ -23,6 +26,17 @@
 // the Discovery dirty set (see GlobalDiscovery::dirty_since); skipped
 // sources keep their previous cycle's routes. Incremental results are
 // an approximation by design — the full refresh bounds the staleness.
+//
+// Parallel Brain (DESIGN.md): with `threads > 1` the per-source solves
+// fan out over a persistent worker pool. Every source is an independent
+// subproblem, each worker owns its own solver (scratch, arenas, tree
+// caches), and worker outputs are buffered and merged into the scratch
+// Pib in source-index order — so the installed routes are byte-for-byte
+// identical for ANY thread count, including 1. The module also
+// warm-starts across cycles: the weight graph is rebuilt in place and
+// keeps its version when nothing moved, which lets the per-worker
+// solvers carry their forward-SPT caches (and all scratch capacity)
+// from cycle to cycle.
 namespace livenet::brain {
 
 struct GlobalRoutingConfig {
@@ -34,6 +48,11 @@ struct GlobalRoutingConfig {
   /// Every Nth incremental cycle becomes a full refresh (0 disables
   /// the cadence and trusts the dirty set alone).
   std::size_t full_refresh_every = 6;
+  /// Worker threads for the per-source KSP fan-out. 1 (the default)
+  /// solves inline on the caller with no pool and no buffering —
+  /// exactly the pre-parallel behavior. Output is byte-identical for
+  /// every value.
+  std::size_t threads = 1;
 };
 
 class GlobalRouting {
@@ -47,6 +66,15 @@ class GlobalRouting {
     std::size_t sources_solved = 0;
     std::size_t sources_skipped = 0;
     bool full_refresh = true;  ///< false when the dirty set pruned sources
+    // Wall-clock phase split (telemetry; zero for recompute_reference).
+    // graph_build covers view -> weight graph plus cycle planning
+    // (dirty scan, constraint tables); solve is the per-source KSP work
+    // — fan-out wall time when threads > 1, the inline solve/install
+    // loop when threads == 1; install is the ordered merge (threads >
+    // 1) plus the double-buffer swap.
+    double graph_build_ms = 0.0;
+    double solve_ms = 0.0;
+    double install_ms = 0.0;
   };
 
   GlobalRouting() : GlobalRouting(GlobalRoutingConfig()) {}
@@ -55,7 +83,8 @@ class GlobalRouting {
   /// `nodes`: the regular overlay nodes; `last_resort_nodes`: the
   /// reserved relays (excluded from regular routing). Installs paths
   /// into `pib`. Non-const: the module carries the double-buffer
-  /// scratch and the incremental bookkeeping across cycles.
+  /// scratch, the warm-start graph/solver state and the incremental
+  /// bookkeeping across cycles.
   Result recompute(const GlobalDiscovery& view,
                    const std::vector<sim::NodeId>& nodes,
                    const std::vector<sim::NodeId>& last_resort_nodes,
@@ -77,6 +106,15 @@ class GlobalRouting {
   const GlobalRoutingConfig& config() const { return cfg_; }
 
  private:
+  /// Fills the dense n*n weight matrix for `nodes` by walking the
+  /// Discovery link table once (O(nodes + links) hash probes instead
+  /// of the old O(n^2) per-pair link() probing). `idx_of` maps node id
+  /// -> dense index, `loads` the per-index node loads.
+  void fill_graph_cells(
+      const GlobalDiscovery& view, const std::vector<sim::NodeId>& nodes,
+      const std::unordered_map<sim::NodeId, std::size_t>& idx_of,
+      const std::vector<double>& loads, std::vector<double>* cells) const;
+
   GlobalRoutingConfig cfg_;
 
   // Double-buffer + incremental state (see recompute()).
@@ -86,6 +124,26 @@ class GlobalRouting {
   bool has_state_ = false;
   std::vector<sim::NodeId> prev_nodes_;
   std::vector<sim::NodeId> prev_last_resort_;
+
+  // Warm-start state: the weight graph persists and is rebuilt in
+  // place (version moves only when a cell changed), so the per-worker
+  // solvers' tree caches stay valid across quiet cycles. All scratch
+  // below keeps its capacity for the lifetime of the module.
+  RoutingGraph graph_{0};
+  std::vector<double> cells_;  ///< rebuild fill buffer (swapped in/out)
+  std::unordered_map<sim::NodeId, std::size_t> idx_of_;
+  std::vector<double> loads_;
+  std::vector<std::uint8_t> node_over_;
+  std::vector<std::uint8_t> link_over_;
+  std::vector<double> lr_to_;
+  std::vector<double> lr_from_;
+  std::vector<overlay::Path> kept_;
+  std::vector<std::uint32_t> to_solve_;
+
+  // Parallel fan-out: one solver per worker (index-aligned with the
+  // pool's worker ids), created on first use, rebound every cycle.
+  std::vector<KspSolver> workers_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace livenet::brain

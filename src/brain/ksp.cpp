@@ -39,43 +39,74 @@ struct CoreBans {
   /// Arbitrary banned directed edges (public shortest_path API only).
   const std::vector<std::pair<std::size_t, std::size_t>>* banned_edges =
       nullptr;
-  /// Bound pruning (Yen spur fallback): when `h_cols` is set, a write
+  /// Bound pruning (Yen spur fallback): when `h_to_dst` is set, a write
   /// of nd into v is skipped if nd + h(v) > prune_bound, where
-  /// h(v) = h_cols[v * h_stride + h_dst] (the cached unrestricted tree
-  /// distance v..dst, a lower bound on any banned continuation; 0 when
-  /// v's tree is not built yet) and prune_bound is the cost of a known
-  /// valid path. Such writes can never participate in dst's final
+  /// h(v) = h_to_dst[v] (the cached unrestricted tree distance v..dst
+  /// read from the solver's transposed matrix — one contiguous column,
+  /// not a stride-n probe; a lower bound on any banned continuation;
+  /// 0 when v's tree is not built yet) and prune_bound is the cost of a
+  /// known valid path. Such writes can never participate in dst's final
   /// dist/prev chain — every chain write extends to dst within the
   /// bound — so dst's extracted path and cost bits are unchanged while
   /// hopeless nodes stay at infinity and are never settled.
-  const double* h_cols = nullptr;
+  const double* h_to_dst = nullptr;
   const std::uint8_t* h_built = nullptr;
-  std::size_t h_stride = 0;
-  std::size_t h_dst = 0;
   double prune_bound = kInf;
 };
 
 /// Runs Dijkstra from `src`; stops after settling `stop` (pass n for a
-/// full tree). `dist`/`prev`/`settled` must each hold n elements; they
-/// are (re)initialized here.
+/// full tree). `dist`/`prev`/`settled` must each hold n elements.
+///
+/// Initialization contract: with `touched == nullptr` the arrays are
+/// fully (re)initialized here (one-shot callers). With a `touched`
+/// list, the arrays must already be at baseline (+inf / n / 0) except
+/// for the cells named by the list — the cells the *previous* call
+/// wrote — which are reset here, and the list is rebuilt for the next
+/// call. The pruned spur fallback writes a handful of cells, so this
+/// turns three O(n) fills into O(cells written) resets.
+///
+/// Node selection scans the frontier (touched ∧ unsettled) for the
+/// minimal (dist, index). The reference scans all n indices ascending
+/// and keeps the first strict minimum — the same element, since nodes
+/// outside the frontier all sit at +inf and can never be selected
+/// before a finite one, and when only +inf remains both forms stop.
 void dijkstra_core(const RoutingGraph::CsrView& csr, std::size_t n,
                    std::size_t src, std::size_t stop, const CoreBans& bans,
-                   double* dist, std::uint32_t* prev,
-                   std::uint8_t* settled) {
-  std::fill(dist, dist + n, kInf);
-  std::fill(prev, prev + n, static_cast<std::uint32_t>(n));
-  std::fill(settled, settled + n, std::uint8_t{0});
+                   double* dist, std::uint32_t* prev, std::uint8_t* settled,
+                   std::vector<std::uint32_t>* frontier,
+                   std::vector<std::uint32_t>* touched) {
+  if (touched != nullptr) {
+    for (const std::uint32_t v : *touched) {
+      dist[v] = kInf;
+      prev[v] = static_cast<std::uint32_t>(n);
+      settled[v] = 0;
+    }
+    touched->clear();
+  } else {
+    std::fill(dist, dist + n, kInf);
+    std::fill(prev, prev + n, static_cast<std::uint32_t>(n));
+    std::fill(settled, settled + n, std::uint8_t{0});
+  }
+  frontier->clear();
   dist[src] = 0.0;
+  frontier->push_back(static_cast<std::uint32_t>(src));
+  if (touched != nullptr) touched->push_back(static_cast<std::uint32_t>(src));
   for (;;) {
     double best = kInf;
     std::size_t u = n;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (settled[v] == 0 && dist[v] < best) {
-        best = dist[v];
+    std::size_t upos = 0;
+    for (std::size_t i = 0; i < frontier->size(); ++i) {
+      const std::uint32_t v = (*frontier)[i];
+      const double dv = dist[v];
+      if (dv < best || (dv == best && v < u)) {
+        best = dv;
         u = v;
+        upos = i;
       }
     }
     if (u == n) break;  // queue exhausted
+    (*frontier)[upos] = frontier->back();
+    frontier->pop_back();
     settled[u] = 1;
     if (u == stop) break;  // reference breaks before relaxing dst
     const std::uint32_t row_end = csr.row_start[u + 1];
@@ -103,11 +134,13 @@ void dijkstra_core(const RoutingGraph::CsrView& csr, std::size_t n,
       }
       const double nd = du + csr.weight[e];
       if (nd < dist[v]) {
-        if (bans.h_cols != nullptr) {
-          const double hv = bans.h_built[v] != 0
-                                ? bans.h_cols[v * bans.h_stride + bans.h_dst]
-                                : 0.0;
+        if (bans.h_to_dst != nullptr) {
+          const double hv = bans.h_built[v] != 0 ? bans.h_to_dst[v] : 0.0;
           if (nd + hv > bans.prune_bound) continue;
+        }
+        if (dist[v] == kInf) {  // first touch: enters frontier + undo list
+          frontier->push_back(v);
+          if (touched != nullptr) touched->push_back(v);
         }
         dist[v] = nd;
         prev[v] = u;
@@ -159,8 +192,9 @@ std::optional<WeightedPath> shortest_path(
   std::vector<double> dist(n);
   std::vector<std::uint32_t> prev(n);
   std::vector<std::uint8_t> settled(n);
+  std::vector<std::uint32_t> frontier;
   dijkstra_core(g.csr(), n, src, dst, bans, dist.data(), prev.data(),
-                settled.data());
+                settled.data(), &frontier, nullptr);
   if (dist[dst] == kInf) return std::nullopt;
   WeightedPath out;
   out.cost = dist[dst];
@@ -176,8 +210,9 @@ ShortestPathTree shortest_path_tree(const RoutingGraph& g, std::size_t src) {
   if (src >= n) return t;
   std::vector<std::uint32_t> prev(n);
   std::vector<std::uint8_t> settled(n);
+  std::vector<std::uint32_t> frontier;
   dijkstra_core(g.csr(), n, src, n, CoreBans{}, t.dist.data(), prev.data(),
-                settled.data());
+                settled.data(), &frontier, nullptr);
   for (std::size_t v = 0; v < n; ++v) t.prev[v] = prev[v];
   return t;
 }
@@ -212,20 +247,48 @@ std::vector<WeightedPath> k_shortest_paths(const RoutingGraph& g,
 // ---------------------------------------------------------------------------
 // KspSolver.
 
-KspSolver::KspSolver(const RoutingGraph& g)
-    : g_(&g), n_(g.size()) {
-  tree_dist_.resize(n_ * n_);
-  tree_prev_.resize(n_ * n_);
-  tree_built_.assign(n_, 0);
-  ws_.bind(n_);
+void KspSolver::rebind(const RoutingGraph& g) {
+  const bool same_graph = (g_ == &g);
+  const std::size_t n = g.size();
+  g_ = &g;
+  if (n != n_) {
+    n_ = n;
+    tree_dist_.resize(n_ * n_);
+    tree_dist_t_.resize(n_ * n_);
+    tree_prev_.resize(n_ * n_);
+    tree_settled_.resize(n_);
+    tree_built_.assign(n_, 0);
+    built_count_ = 0;
+    ws_.bind(n_);
+    bound_version_ = g.version();
+    src_set_ = false;
+    return;
+  }
+  if (!same_graph || bound_version_ != g.version()) {
+    // Graph moved: every cached tree is stale. Drop validity flags
+    // only — the n*n tree rows and the workspace keep their storage.
+    std::fill(tree_built_.begin(), tree_built_.end(), std::uint8_t{0});
+    built_count_ = 0;
+    bound_version_ = g.version();
+    src_set_ = false;
+  }
 }
 
 void KspSolver::ensure_tree(std::size_t root) {
   if (tree_built_[root] != 0) return;
+  // Full-fill mode (touched = nullptr): the row holds stale data from a
+  // previous cycle. tree_settled_ keeps the fill away from ws_.settled,
+  // whose baseline the fallback's touched list maintains.
   dijkstra_core(g_->csr(), n_, root, n_, CoreBans{},
                 tree_dist_.data() + root * n_, tree_prev_.data() + root * n_,
-                ws_.settled.data());
+                tree_settled_.data(), &ws_.frontier, nullptr);
+  // Mirror the fresh row into the transposed matrix (one O(n) scatter
+  // per build, amortized over every stitch scan that reads the column).
+  const double* row = tree_dist_.data() + root * n_;
+  double* col = tree_dist_t_.data() + root;
+  for (std::size_t d = 0; d < n_; ++d) col[d * n_] = row[d];
   tree_built_[root] = 1;
+  ++built_count_;
 }
 
 void KspSolver::set_source(std::size_t src) {
@@ -249,23 +312,24 @@ std::optional<WeightedPath> KspSolver::first_path(std::size_t dst) const {
   return out;
 }
 
-void KspSolver::SeenPaths::clear() {
-  buckets_.clear();
-  stored_.clear();
+std::size_t KspSolver::acquire_slot() {
+  if (arena_used_ == arena_.size()) arena_.emplace_back();
+  arena_[arena_used_].clear();
+  return arena_used_++;
 }
 
-bool KspSolver::SeenPaths::insert(const std::vector<std::size_t>& nodes) {
+bool KspSolver::seen_insert(std::size_t slot) {
+  const std::vector<std::size_t>& nodes = arena_[slot];
   std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
   for (const std::size_t v : nodes) {
     h ^= static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ull + (h << 6) +
          (h >> 2);
   }
-  auto& idxs = buckets_[h];
-  for (const std::uint32_t i : idxs) {  // exact compare on signature hit
-    if (stored_[i] == nodes) return false;
+  for (const SeenSig& s : seen_) {  // exact compare on signature hit
+    if (s.hash == h && arena_[s.slot] == nodes) return false;
   }
-  idxs.push_back(static_cast<std::uint32_t>(stored_.size()));
-  stored_.push_back(nodes);
+  seen_.push_back(
+      SeenSig{h, static_cast<std::uint32_t>(slot)});
   return true;
 }
 
@@ -321,10 +385,8 @@ bool KspSolver::spur_search(std::size_t spur, std::size_t dst,
   bans.banned_node = ws_.banned_node.data();
   bans.banned_next = &ws_.banned_next;
   if (bound < kInf) {
-    bans.h_cols = tree_dist_.data();
+    bans.h_to_dst = tree_dist_t_.data() + dst * n_;
     bans.h_built = tree_built_.data();
-    bans.h_stride = n_;
-    bans.h_dst = dst;
     // Margin: nd + h(v) re-sums a path the final chain accumulates
     // left-to-right, so on the chain the two sums agree only to within
     // a few ulps of rounding — and the bound frequently *equals* the
@@ -335,7 +397,8 @@ bool KspSolver::spur_search(std::size_t spur, std::size_t dst,
     bans.prune_bound = bound + 1e-12 * (bound + 1.0);
   }
   dijkstra_core(g_->csr(), n_, spur, dst, bans, ws_.dist.data(),
-                ws_.prev.data(), ws_.settled.data());
+                ws_.prev.data(), ws_.settled.data(), &ws_.frontier,
+                &ws_.touched);
   if (ws_.dist[dst] == kInf) return false;
   out->cost = ws_.dist[dst];
   extract_path(ws_.prev.data(), spur, dst, &out->nodes);
@@ -384,24 +447,13 @@ bool KspSolver::stitch_search(std::size_t spur, std::size_t dst,
   std::size_t best_v = n_;
   bool tie = false;            // exact tie on the current best
   double dirty_lb = kInf;      // minimal lower bound among dirty hops
-  for (std::uint32_t e = csr.row_start[spur]; e < row_end; ++e) {
-    const std::uint32_t v = csr.col[e];
-    if (ws_.banned_node[v] != 0) continue;
-    bool banned = false;
-    for (const std::uint32_t b : ws_.banned_next) {
-      if (b == v) {
-        banned = true;
-        break;
-      }
-    }
-    if (banned) continue;
-    ensure_tree(v);
-    const double* dv = tree_dist_.data() + static_cast<std::size_t>(v) * n_;
-    if (dv[dst] == kInf) continue;  // hop cannot reach dst at all
-    // Strictly-worse hops can't affect the outcome (their true banned
-    // cost is bounded below by this sum); skip the walk.
-    const double quick = csr.weight[e] + dv[dst];
-    if (quick > best) continue;
+  // Classification of one surviving hop: walk its tree path for
+  // cleanliness, then re-fold the exact cost. The final best/tie/
+  // dirty_lb triple is visit-order independent (best is a min, tie
+  // means >= 2 hops achieve it, and a dirty hop is recorded iff its
+  // bound can threaten the final best), which is what licenses the two
+  // scan shapes below to share it.
+  const auto consider = [&](double w, std::uint32_t v, double quick) {
     const std::uint32_t* pv =
         tree_prev_.data() + static_cast<std::size_t>(v) * n_;
     bool clean = true;
@@ -416,9 +468,9 @@ bool KspSolver::stitch_search(std::size_t spur, std::size_t dst,
     }
     if (!clean) {
       if (quick < dirty_lb) dirty_lb = quick;
-      continue;
+      return;
     }
-    double c = csr.weight[e];
+    double c = w;
     std::size_t from = v;
     for (std::size_t j = stitch_nodes_.size(); j-- > 0;) {
       c += g_->weight(from, stitch_nodes_[j]);
@@ -430,6 +482,58 @@ bool KspSolver::stitch_search(std::size_t spur, std::size_t dst,
       tie = false;
     } else if (c == best) {
       tie = true;
+    }
+  };
+  if (built_count_ == n_) {
+    // Steady state (every tree cached, the warm cycle shape): mask the
+    // banned hops' transposed cells with +inf up front, so the hot loop
+    // runs with no per-hop ban or cache checks — the dense weight row
+    // and the transposed dist column stream sequentially (no CSR column
+    // gather), leaving one add, one compare, one predictable branch per
+    // hop. Banned hops never contribute to best/tie/dirty_lb, so
+    // masking them is behavior-free; the undo log restores the cells
+    // (in reverse, in case a hop was masked twice).
+    double* dtm = tree_dist_t_.data() + dst * n_;
+    mask_saved_.clear();
+    const auto mask_hop = [&](std::uint32_t v) {
+      mask_saved_.push_back(Cand{dtm[v], v});
+      dtm[v] = kInf;
+    };
+    for (const std::uint32_t v : banned_roots_) mask_hop(v);
+    for (const std::uint32_t v : ws_.banned_next) mask_hop(v);
+    for (std::uint32_t e = csr.row_start[spur]; e < row_end; ++e) {
+      const std::uint32_t v = csr.col[e];
+      const double dvd = dtm[v];
+      if (dvd == kInf) continue;  // masked, or cannot reach dst at all
+      // Strictly-worse hops can't affect the outcome (their true banned
+      // cost is bounded below by this sum); skip the walk.
+      const double quick = csr.weight[e] + dvd;
+      if (quick > best) continue;
+      consider(csr.weight[e], v, quick);
+    }
+    for (std::size_t j = mask_saved_.size(); j-- > 0;) {
+      dtm[mask_saved_[j].slot] = mask_saved_[j].cost;
+    }
+  } else {
+    // Cold path: trees may still be missing; check bans per hop.
+    const double* dt = tree_dist_t_.data() + dst * n_;
+    for (std::uint32_t e = csr.row_start[spur]; e < row_end; ++e) {
+      const std::uint32_t v = csr.col[e];
+      if (ws_.banned_node[v] != 0) continue;
+      if (tree_built_[v] == 0) ensure_tree(v);
+      const double dvd = dt[v];
+      if (dvd == kInf) continue;  // hop cannot reach dst at all
+      const double quick = csr.weight[e] + dvd;
+      if (quick > best) continue;
+      bool banned = false;
+      for (const std::uint32_t b : ws_.banned_next) {
+        if (b == v) {
+          banned = true;
+          break;
+        }
+      }
+      if (banned) continue;
+      consider(csr.weight[e], v, quick);
     }
   }
   *bound = best;  // a valid banned-graph path cost (or +inf)
@@ -464,27 +568,54 @@ bool KspSolver::stitch_search(std::size_t spur, std::size_t dst,
 
 void KspSolver::k_shortest(std::size_t dst, std::size_t k,
                            std::vector<WeightedPath>* out) {
+  const std::size_t cnt = k_shortest_scratch(dst, k);
   out->clear();
-  if (k == 0) return;
+  out->reserve(cnt);
+  for (std::size_t i = 0; i < cnt; ++i) {
+    out->push_back(WeightedPath{accepted_nodes(i), accepted_cost(i)});
+  }
+}
+
+std::size_t KspSolver::k_shortest_scratch(std::size_t dst, std::size_t k) {
+  arena_used_ = 0;
+  accepted_.clear();
+  heap_.clear();
+  seen_.clear();
+  if (k == 0) return 0;
   ++pairs_served_;
-  auto first = first_path(dst);
-  if (!first.has_value()) return;
-  out->push_back(std::move(*first));
-  if (out->size() >= k) return;
+
+  // First (shortest) path, read off the source tree into an arena
+  // slot (exactly first_path(), minus the per-call allocation).
+  if (!src_set_ || dst >= n_) return 0;
+  {
+    const std::size_t slot = acquire_slot();
+    std::vector<std::size_t>& nodes = arena_[slot];
+    double cost = 0.0;
+    if (dst == src_) {
+      nodes.push_back(src_);
+    } else {
+      const double* d = tree_dist_.data() + src_ * n_;
+      if (d[dst] == kInf) return 0;
+      cost = d[dst];
+      extract_path(tree_prev_.data() + src_ * n_, src_, dst, &nodes);
+    }
+    accepted_.push_back(Cand{cost, static_cast<std::uint32_t>(slot)});
+    seen_insert(slot);
+  }
 
   // Candidate pool: manual binary heap replicating
   // std::priority_queue's push/pop (push_back + push_heap, pop_heap +
   // pop_back with the same cost-only comparator), so equal-cost
-  // candidates pop in the reference's order.
-  const auto cost_greater = [](const WeightedPath& a, const WeightedPath& b) {
+  // candidates pop in the reference's order. The sift path of
+  // push/pop_heap is decided by comparator outcomes alone, and the
+  // comparator reads only the cost — moving slot handles instead of
+  // whole WeightedPaths cannot reorder anything.
+  const auto cost_greater = [](const Cand& a, const Cand& b) {
     return a.cost > b.cost;
   };
-  heap_.clear();
-  seen_.clear();
-  seen_.insert((*out)[0].nodes);
 
-  while (out->size() < k) {
-    const auto& last = out->back().nodes;
+  while (accepted_.size() < k) {
+    const std::vector<std::size_t>& last = arena_[accepted_.back().slot];
     double root_cost = 0.0;  // running prefix sum, same addition order
                              // as the reference's per-spur rescan
     for (std::size_t i = 0; i + 1 < last.size(); ++i) {
@@ -492,41 +623,52 @@ void KspSolver::k_shortest(std::size_t dst, std::size_t k,
       // Banned first hops: edges used by earlier accepted paths sharing
       // this root (they all start at the spur node).
       ws_.banned_next.clear();
-      for (const auto& pth : *out) {
-        if (pth.nodes.size() > i + 1 &&
+      for (const Cand& acc : accepted_) {
+        const std::vector<std::size_t>& pth = arena_[acc.slot];
+        if (pth.size() > i + 1 &&
             std::equal(last.begin(),
                        last.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                       pth.nodes.begin())) {
-          ws_.banned_next.push_back(
-              static_cast<std::uint32_t>(pth.nodes[i + 1]));
+                       pth.begin())) {
+          ws_.banned_next.push_back(static_cast<std::uint32_t>(pth[i + 1]));
         }
       }
-      // Ban root nodes (except the spur) to keep paths loopless.
-      for (std::size_t j = 0; j < i; ++j) ws_.banned_node[last[j]] = 1;
-      WeightedPath spur_path;
-      const bool found = spur_search(spur, dst, &spur_path);
+      // Ban root nodes (except the spur) to keep paths loopless. The
+      // list mirror of the byte map feeds the stitch scan's masking.
+      banned_roots_.clear();
+      for (std::size_t j = 0; j < i; ++j) {
+        ws_.banned_node[last[j]] = 1;
+        banned_roots_.push_back(static_cast<std::uint32_t>(last[j]));
+      }
+      const bool found = spur_search(spur, dst, &spur_path_);
       for (std::size_t j = 0; j < i; ++j) ws_.banned_node[last[j]] = 0;
 
       if (found) {
-        WeightedPath total;
-        total.nodes.reserve(i + spur_path.nodes.size());
-        total.nodes.assign(last.begin(),
-                           last.begin() + static_cast<std::ptrdiff_t>(i));
-        total.nodes.insert(total.nodes.end(), spur_path.nodes.begin(),
-                           spur_path.nodes.end());
-        total.cost = root_cost + spur_path.cost;
-        if (seen_.insert(total.nodes)) {
-          heap_.push_back(std::move(total));
+        // Arena slots are deque elements: acquiring one never moves
+        // `last` or any other live slot.
+        const std::size_t slot = acquire_slot();
+        std::vector<std::size_t>& total = arena_[slot];
+        total.reserve(i + spur_path_.nodes.size());
+        total.assign(last.begin(),
+                     last.begin() + static_cast<std::ptrdiff_t>(i));
+        total.insert(total.end(), spur_path_.nodes.begin(),
+                     spur_path_.nodes.end());
+        if (seen_insert(slot)) {
+          heap_.push_back(
+              Cand{root_cost + spur_path_.cost,
+                   static_cast<std::uint32_t>(slot)});
           std::push_heap(heap_.begin(), heap_.end(), cost_greater);
+        } else {
+          --arena_used_;  // duplicate: hand the slot straight back
         }
       }
       root_cost += g_->weight(last[i], last[i + 1]);
     }
     if (heap_.empty()) break;
     std::pop_heap(heap_.begin(), heap_.end(), cost_greater);
-    out->push_back(std::move(heap_.back()));
+    accepted_.push_back(heap_.back());
     heap_.pop_back();
   }
+  return accepted_.size();
 }
 
 // ---------------------------------------------------------------------------

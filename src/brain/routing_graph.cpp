@@ -23,6 +23,16 @@ double link_weight(const LinkState& link, double node_util_a,
   return expected_rtt * utilization_penalty(u, params);
 }
 
+bool RoutingGraph::rebuild_from(std::size_t n, std::vector<double>* cells) {
+  if (n == n_ && *cells == weights_) {
+    return false;  // bit-identical matrix: keep version (and caches)
+  }
+  n_ = n;
+  weights_.swap(*cells);
+  ++version_;
+  return true;
+}
+
 const RoutingGraph::CsrView& RoutingGraph::csr() const {
   if (csr_version_ == version_) return csr_;
   csr_.row_start.assign(n_ + 1, 0);

@@ -60,9 +60,23 @@ class RoutingGraph {
     weights_[a * n_ + b] = w;
     ++version_;
   }
+
+  /// Wholesale in-place rebuild from a freshly-filled dense matrix
+  /// (`cells` holds n*n weights, kNoEdge for absent edges; it is
+  /// swapped in, and the previous matrix is handed back through the
+  /// same pointer for the caller to reuse as next cycle's fill
+  /// buffer). The version is bumped only when at least one cell
+  /// actually changed, so per-graph caches (the CSR view, solver
+  /// shortest-path trees) stay valid across cycles whose inputs did
+  /// not move — the warm-start key of the Parallel Brain.
+  /// Returns true when the graph changed.
+  bool rebuild_from(std::size_t n, std::vector<double>* cells);
   double weight(std::size_t a, std::size_t b) const {
     return weights_[a * n_ + b];
   }
+  /// Dense out-weight row of `a` (n cells, kNoEdge for absent edges) —
+  /// lets scans stream a whole row without per-edge indexing.
+  const double* row(std::size_t a) const { return weights_.data() + a * n_; }
   bool has_edge(std::size_t a, std::size_t b) const {
     return weights_[a * n_ + b] >= 0.0;
   }

@@ -127,6 +127,13 @@ const Handles& handles() {
         reg.counter("brain.recompute_last_resort_pairs");
     out.brain_recompute_ms =
         reg.latency("brain.recompute_ms", 0.0, 10000.0, 200);
+    out.brain_graph_build_ms =
+        reg.latency("brain.recompute_graph_build_ms", 0.0, 10000.0, 200);
+    out.brain_solve_ms =
+        reg.latency("brain.recompute_solve_ms", 0.0, 10000.0, 200);
+    out.brain_install_ms =
+        reg.latency("brain.recompute_install_ms", 0.0, 10000.0, 200);
+    out.brain_threads = reg.gauge("brain.threads");
     out.traced_packets = reg.counter("telemetry.traced_packets");
     out.trace_records = reg.counter("telemetry.trace_records");
     out.peak_pending_events = reg.gauge("sim.peak_pending_events");

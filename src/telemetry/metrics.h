@@ -158,6 +158,12 @@ struct Handles {
   Counter* brain_pairs_skipped;     ///< pairs skipped via the dirty set
   Counter* brain_last_resort_pairs; ///< pairs left on a last-resort path
   LatencyStat* brain_recompute_ms;  ///< wall time of a routing cycle
+  /// Routing-cycle phase split (Parallel Brain): view->graph build,
+  /// KSP solve (fan-out wall time when threaded), ordered install.
+  LatencyStat* brain_graph_build_ms;
+  LatencyStat* brain_solve_ms;
+  LatencyStat* brain_install_ms;
+  Gauge* brain_threads;             ///< configured solver fan-out width
   // Tracing itself.
   Counter* traced_packets;       ///< bodies stamped with a trace_id
   Counter* trace_records;        ///< hop records appended

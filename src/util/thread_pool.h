@@ -1,0 +1,108 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Small persistent fork-join worker pool for the control plane's
+// deterministic fan-out (Parallel Brain, DESIGN.md). Deliberately
+// minimal: one blocking `run(fn)` that invokes fn(worker_index) once
+// per worker and returns when every invocation has — no futures, no
+// task queue, no stealing. Callers that need determinism partition
+// their work by worker index (e.g. a stride over a pre-built work
+// list) and merge results in a fixed order after run() returns; the
+// pool itself never reorders anything.
+//
+// The calling thread participates as worker 0, so a pool of size W
+// spawns only W-1 threads and `ThreadPool(1)` spawns none at all —
+// run() then degenerates to a plain call, which is what keeps the
+// single-threaded default exactly as cheap as having no pool.
+//
+// Threads are parked on a condition variable between run() calls
+// (generation-counter handshake), so repeated cycles reuse warm
+// threads instead of paying spawn/join each time.
+namespace livenet::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    const std::size_t spawn = workers > 1 ? workers - 1 : 0;
+    threads_.reserve(spawn);
+    for (std::size_t i = 0; i < spawn; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i + 1); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers run() fans out to, the calling thread included.
+  std::size_t size() const { return threads_.size() + 1; }
+
+  /// Invokes fn(w) for every w in [0, size()) — index 0 on the calling
+  /// thread, the rest on the pool threads — and blocks until all have
+  /// returned. fn must not throw (a throwing job terminates) and must
+  /// not re-enter run() on the same pool.
+  void run(const std::function<void(std::size_t)>& fn) {
+    if (threads_.empty()) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      job_ = &fn;
+      remaining_ = threads_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)(index);
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        --remaining_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace livenet::util

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -492,6 +493,149 @@ TEST(CsrView, MatchesDenseMatrixAndTracksMutation) {
   check();
   EXPECT_EQ(g.weight(0, 1), 123.0);
   EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Brain: the thread-pooled fan-out must be byte-identical to
+// the threads=1 inline path (and hence, transitively, to the preserved
+// reference pipeline) for every thread count — the ordered merge is the
+// only thing standing between worker scheduling and the installed PIB.
+
+TEST(ThreadSweep, FullRecomputeBitIdenticalAcrossThreadCounts) {
+  std::vector<PibCase> cases;
+  {
+    PibCase c{"dense", ViewSpec{}, 3};
+    c.spec.n = 12;
+    c.spec.seed = 61;
+    cases.push_back(c);
+  }
+  {
+    PibCase c{"sparse+relays", ViewSpec{}, 3};
+    c.spec.n = 14;
+    c.spec.link_prob = 0.35;
+    c.spec.lr = 2;
+    c.spec.seed = 62;
+    cases.push_back(c);
+  }
+  {
+    PibCase c{"hot", ViewSpec{}, 3};  // overloads exercise the
+    c.spec.n = 12;                    // last-resort path of the merge
+    c.spec.util_lo = 0.5;
+    c.spec.util_hi = 0.95;
+    c.spec.load_lo = 0.4;
+    c.spec.load_hi = 0.95;
+    c.spec.lr = 2;
+    c.spec.seed = 63;
+    cases.push_back(c);
+  }
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const GlobalDiscovery view = make_view(c.spec);
+    const auto nodes = id_range(0, c.spec.n);
+    const auto relays = id_range(c.spec.n, c.spec.n + c.spec.lr);
+    GlobalRoutingConfig cfg;
+    cfg.k = c.k;
+    GlobalRouting reference(cfg);
+    Pib want;
+    const auto ref = reference.recompute_reference(view, nodes, relays, &want);
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      cfg.threads = threads;
+      GlobalRouting routing(cfg);
+      Pib got;
+      const auto res = routing.recompute(view, nodes, relays, &got);
+      EXPECT_EQ(res.pairs, ref.pairs);
+      EXPECT_EQ(res.paths_installed, ref.paths_installed);
+      EXPECT_EQ(res.last_resort_pairs, ref.last_resort_pairs);
+      expect_pib_routes_equal(got, want);
+    }
+  }
+}
+
+TEST(ThreadSweep, IncrementalChurnSequenceBitIdenticalAcrossThreadCounts) {
+  // One long-lived module per thread count, each fed an identical view
+  // and an identical churn sequence: every cycle's installed PIB (and
+  // its skip/solve accounting) must match the threads=1 instance —
+  // including cycles where the dirty set prunes most sources, a
+  // no-change cycle that skips everything, and the cadence-forced full
+  // refresh mid-sequence.
+  const int n = 12;
+  const std::vector<std::size_t> sweep{1, 2, 4, 8};
+  ViewSpec spec;
+  spec.n = n;
+  spec.link_prob = 0.6;
+  spec.seed = 64;
+  GlobalRoutingConfig cfg;
+  cfg.incremental = true;
+  cfg.full_refresh_every = 4;  // forces a full refresh inside the run
+  std::vector<GlobalDiscovery> views;
+  std::vector<GlobalRouting> routings;
+  std::vector<Pib> pibs(sweep.size());
+  for (const std::size_t threads : sweep) {
+    views.push_back(make_view(spec));
+    cfg.threads = threads;
+    routings.emplace_back(cfg);
+  }
+  const auto nodes = id_range(0, n);
+  bool saw_cadence_refresh = false;
+  bool saw_pruned_cycle = false;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    SCOPED_TRACE("cycle=" + std::to_string(cycle));
+    // Deterministic churn, applied identically to every instance (so
+    // the dirty sets agree bit-for-bit): two links of one node move
+    // each cycle, except every third cycle which leaves the view
+    // untouched to exercise the skip-everything path.
+    if (cycle > 0 && cycle % 3 != 0) {
+      const int victim = cycle % n;
+      const double ms = 15.0 + 37.0 * cycle;
+      for (auto& view : views) {
+        overlay::NodeStateReport rep;
+        rep.node = victim;
+        rep.node_load = view.node_load(victim);
+        for (int b = 1; b <= 2; ++b) {
+          overlay::LinkReport lr;
+          lr.to = (victim + b) % n;
+          lr.rtt = static_cast<Duration>(ms * static_cast<double>(kMs));
+          lr.loss_rate = 0.0005;
+          lr.utilization = 0.3;
+          rep.links.push_back(lr);
+        }
+        view.on_report(rep, 0, nullptr);
+      }
+    }
+    std::vector<GlobalRouting::Result> results;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      results.push_back(routings[i].recompute(views[i], nodes, {}, &pibs[i]));
+    }
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(sweep[i]));
+      EXPECT_EQ(results[i].full_refresh, results[0].full_refresh);
+      EXPECT_EQ(results[i].sources_solved, results[0].sources_solved);
+      EXPECT_EQ(results[i].sources_skipped, results[0].sources_skipped);
+      EXPECT_EQ(results[i].pairs_solved, results[0].pairs_solved);
+      EXPECT_EQ(results[i].pairs_skipped, results[0].pairs_skipped);
+      EXPECT_EQ(results[i].paths_installed, results[0].paths_installed);
+      EXPECT_EQ(results[i].last_resort_pairs, results[0].last_resort_pairs);
+      expect_pib_routes_equal(pibs[i], pibs[0]);
+    }
+    // On full-refresh cycles the incremental state is irrelevant, so
+    // every instance must also agree with a from-scratch reference
+    // solve. (Pruned cycles can be legitimately stale for sources the
+    // dirty-set heuristic skipped — there the cross-thread comparison
+    // above is the whole contract.)
+    if (results[0].full_refresh) {
+      GlobalRouting oracle;
+      Pib want;
+      oracle.recompute_reference(views[0], nodes, {}, &want);
+      expect_pib_routes_equal(pibs[0], want);
+      if (cycle > 0) saw_cadence_refresh = true;
+    } else {
+      saw_pruned_cycle = true;
+    }
+  }
+  // The sequence must actually have exercised both regimes.
+  EXPECT_TRUE(saw_cadence_refresh);
+  EXPECT_TRUE(saw_pruned_cycle);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 //   livenet_run [--system livenet|hier] [--days N] [--seed S]
 //               [--replicas N] [--flash] [--chaos] [--fault-seed S]
 //               [--csv-dir DIR] [--trace-sample F] [--metrics-out DIR]
+//               [--brain-threads N]
 //
 // With --csv-dir, writes sessions.csv / views.csv / path_requests.csv /
 // timeline.csv into DIR; always prints the Table-1-style summary.
@@ -40,6 +41,7 @@ struct Options {
   std::string csv_dir;
   double trace_sample = 0.0;
   std::string metrics_dir;
+  int brain_threads = 1;
 };
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -85,6 +87,10 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->metrics_dir = v;
+    } else if (arg == "--brain-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->brain_threads = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -93,7 +99,7 @@ bool parse(int argc, char** argv, Options* opt) {
     }
   }
   return opt->days > 0 && opt->trace_sample >= 0.0 &&
-         opt->trace_sample <= 1.0 &&
+         opt->trace_sample <= 1.0 && opt->brain_threads > 0 &&
          (opt->system == "livenet" || opt->system == "hier");
 }
 
@@ -117,13 +123,17 @@ int main(int argc, char** argv) {
                  "usage: %s [--system livenet|hier] [--days N] [--seed S]\n"
                  "          [--replicas N] [--flash] [--chaos]\n"
                  "          [--fault-seed S] [--csv-dir DIR]\n"
-                 "          [--trace-sample F] [--metrics-out DIR]\n",
+                 "          [--trace-sample F] [--metrics-out DIR]\n"
+                 "          [--brain-threads N]\n",
                  argv[0]);
     return 2;
   }
 
   SystemConfig sys_cfg = paper_system_config(opt.seed);
   sys_cfg.path_decision_replicas = opt.replicas;
+  // Parallel Brain fan-out width; output is byte-identical for every
+  // value, so this is purely a wall-clock knob.
+  sys_cfg.brain.routing.threads = static_cast<std::size_t>(opt.brain_threads);
   ScenarioConfig scn = paper_scenario_config(opt.seed ^ 0x5C3A);
   scn.duration = opt.days * scn.day_length;
   if (opt.flash) {

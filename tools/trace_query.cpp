@@ -7,6 +7,13 @@
 //                                 latency breakdown
 //   trace_query FILE --demo      path of the longest trace (exit 1 if
 //                                 the file holds no records)
+//   trace_query FILE --metrics [PREFIX]
+//                                 FILE is a metrics.json; prints every
+//                                 counter/gauge/latency whose name
+//                                 starts with PREFIX (default "brain."
+//                                 — the routing-cycle phase breakdown:
+//                                 graph build / solve / install, plus
+//                                 the brain.threads fan-out gauge)
 //
 // Records are sorted by timestamp before reconstruction: the exporter
 // writes link_dequeue rows pre-dated with the arrival time at the
@@ -116,10 +123,53 @@ void print_path(const Trace& t) {
                               : "delivered");
 }
 
+/// metrics.json reader. The exporter writes one metric per line
+/// (`    "name": value` / `    "name": {summary}`) under three section
+/// keys, so a line scanner is a complete parser for this format —
+/// no JSON library in the image, none needed.
+int show_metrics(const std::string& path, const std::string& prefix) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string line, section;
+  std::size_t shown = 0;
+  while (std::getline(is, line)) {
+    const std::size_t q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+    if (name == "counters" || name == "gauges" || name == "latencies") {
+      section = name;
+      continue;
+    }
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    std::size_t v = line.find(':', q2);
+    if (v == std::string::npos) continue;
+    ++v;
+    while (v < line.size() && line[v] == ' ') ++v;
+    std::string value = line.substr(v);
+    while (!value.empty() && (value.back() == ',' || value.back() == ' ')) {
+      value.pop_back();
+    }
+    std::printf("%-10s %-36s %s\n", section.c_str(), name.c_str(),
+                value.c_str());
+    ++shown;
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "no metrics matching \"%s*\" in %s\n",
+                 prefix.c_str(), path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string file, mode = "summary";
+  std::string file, mode = "summary", metrics_prefix = "brain.";
   std::uint64_t want_id = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,19 +178,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" && i + 1 < argc) {
       mode = "trace";
       want_id = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--metrics") {
+      mode = "metrics";
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_prefix = argv[++i];
     } else if (file.empty() && arg[0] != '-') {
       file = arg;
     } else {
       std::fprintf(stderr,
-                   "usage: %s FILE [--list | --trace N | --demo]\n", argv[0]);
+                   "usage: %s FILE [--list | --trace N | --demo |"
+                   " --metrics [PREFIX]]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (file.empty()) {
-    std::fprintf(stderr, "usage: %s FILE [--list | --trace N | --demo]\n",
+    std::fprintf(stderr,
+                 "usage: %s FILE [--list | --trace N | --demo |"
+                 " --metrics [PREFIX]]\n",
                  argv[0]);
     return 2;
   }
+  if (mode == "metrics") return show_metrics(file, metrics_prefix);
 
   bool ok = false;
   const std::vector<Row> rows = load(file, &ok);
