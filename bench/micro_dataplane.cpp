@@ -66,6 +66,60 @@ void BM_FibLookupAndForward(benchmark::State& state) {
 }
 BENCHMARK(BM_FibLookupAndForward);
 
+void BM_LayerFilterForward(benchmark::State& state) {
+  // The masked variant of the per-packet fan-out: half the subscribers
+  // carry an SVC layer mask that excludes this packet's layer. The
+  // filter is decided at append time, before the fork, so a filtered
+  // subscriber costs one mask AND — never a trailer allocation. The
+  // all-layers subscribers pay the same fork as BM_FibLookupAndForward,
+  // keeping the unmasked fast path at its baseline cost.
+  overlay::StreamFib fib;
+  for (media::StreamId s = 1; s <= 200; ++s) {
+    fib.add_node_subscriber(s, static_cast<sim::NodeId>(s % 20));
+    fib.add_node_subscriber(s, static_cast<sim::NodeId>((s + 1) % 20));
+  }
+  fib.add_node_subscriber(77, 5);
+  fib.add_node_subscriber(77, 6);
+  // Node 5 keeps everything; node 6 wants the base temporal layer only.
+  fib.entry(77).set_node_mask(6, media::layer_bit(0, 0));
+  media::RtpBody body;
+  body.stream_id = 77;
+  body.seq = 1;
+  body.frame_type = media::FrameType::kP;
+  body.frame_id = 1;
+  body.gop_id = 1;
+  body.frag_count = 1;
+  body.payload_bytes = 1200;
+  body.layer = media::LayerId{0, 2};  // top temporal enhancement
+  body.temporal_layers = 3;
+  body.discardable = true;
+  const auto pkt = media::RtpPacket::make(std::move(body));
+  const media::LayerMask bit = pkt->layer_mask_bit();
+  std::uint64_t filtered = 0;
+  for (auto _ : state) {
+    const auto* e = fib.find(pkt->stream_id());
+    benchmark::DoNotOptimize(e);
+    const bool masked = e->any_layer_filter();
+    for (const auto n : e->subscriber_nodes) {
+      if (masked && (e->node_mask(n) & bit) == 0) {
+        ++filtered;  // excluded before the fork: no copy, no allocation
+        continue;
+      }
+      auto clone = pkt->fork();
+      clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
+      benchmark::DoNotOptimize(clone->seq + static_cast<media::Seq>(n));
+    }
+  }
+  benchmark::DoNotOptimize(filtered);
+  if (filtered != static_cast<std::uint64_t>(state.iterations())) {
+    state.SkipWithError("masked subscriber was not filtered");
+  }
+  if (media::RtpBody::deep_copy_count() != 0) {
+    state.SkipWithError("filtered fan-out performed a body deep copy");
+  }
+}
+BENCHMARK(BM_LayerFilterForward);
+
 // Before/after of the StreamContext unification. The old node resolved
 // per-stream state through parallel hash maps: the RTP handler probed
 // the FIB, and the per-stream state map (framer, caches, path state)

@@ -1,0 +1,213 @@
+// SVC mask-flip vs simulcast-ladder comparison: the same degraded
+// workload served two ways.
+//
+//   ladder — the legacy quality control: every broadcast encodes a
+//            2-version simulcast ladder and a struggling viewer is
+//            switched to the lower-bitrate stream (keyframe wait,
+//            startup seam, full stream teardown/establish).
+//   svc    — the top ladder version carries an L1T3 temporal lattice;
+//            quality control becomes a per-viewer layer-mask flip.
+//            Shedding the enhancement layers keeps the stream and its
+//            recovery state, takes effect on the very next packet, and
+//            costs zero copies on the forwarding fast path (filtered
+//            packets are never forked). The lower simulcast version
+//            stays as the fallback rung below the base layer.
+//
+// Identical seeds, topology and chaos schedule (link degradations +
+// flaps riding the diurnal loss peak) in both modes, so the only
+// difference is the adaptation mechanism. Reported per mode: stall
+// rate (stalls per view and the zero-stall ratio) and the per-view
+// delivered-bitrate CDF — SVC viewers degrade smoothly through
+// sub-lattice bitrates where ladder viewers sit on two rungs.
+//
+// Each mode writes its delivered-bitrate CDF as CSV (committed under
+// bench/golden/); the binary exits non-zero unless SVC strictly beats
+// the ladder on stall rate while actually flipping masks and filtering
+// layers — this is the regression gate bench_smoke_svc runs under
+// ctest.
+#include "repro_common.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "util/stats.h"
+
+using namespace livenet;
+
+namespace {
+
+struct ModeResult {
+  std::string name;
+  std::size_t views = 0;          ///< views that displayed anything
+  double stalls_per_view = 0.0;
+  double zero_stall_percent = 0.0;
+  double bitrate_p50_kbps = 0.0;
+  double bitrate_p90_kbps = 0.0;
+  std::uint64_t mask_flips = 0;
+  std::uint64_t layer_filtered = 0;
+  std::uint64_t ladder_switches = 0;
+  Histogram bitrate_kbps{0.0, 2000.0, 100};
+};
+
+ScenarioConfig workload(int days) {
+  ScenarioConfig scn = paper_scenario_config(7);
+  scn.day_length = 30 * kSec;
+  scn.duration = days * scn.day_length;
+  scn.broadcasts = 6;
+  scn.simulcast_versions = 2;
+  scn.viewer_rate_peak = 2.0;
+  scn.mean_view_time = 20 * kSec;
+  // Chaos riding the diurnal loss peak: last-mile and overlay links
+  // degrade hard enough that adaptation is exercised constantly.
+  scn.faults.seed = 11;
+  scn.faults.degrades_per_min = 3.0;
+  scn.faults.link_flaps_per_min = 0.5;
+  return scn;
+}
+
+ModeResult run_mode(const std::string& name, int days, bool svc) {
+  reset_telemetry();  // per-mode isolation: handles stay valid, values zero
+
+  SystemConfig cfg = paper_system_config(99);
+  cfg.countries = 3;
+  cfg.nodes_per_country = 4;
+  // Tight last miles: the top version (~1.2 Mbps + audio + recovery
+  // overhead) barely fits, so the diurnal loss peak pushes GCC below
+  // the stream rate and forces quality adaptation — the mechanism under
+  // comparison. With roomy access links neither mode ever adapts.
+  cfg.access_bandwidth_bps = 2.2e6;
+  ScenarioConfig scn = workload(days);
+  if (svc) {
+    if (!apply_svc_mode(scn, "L1T3")) std::exit(2);
+  }
+  LiveNetSystem sys(cfg);
+  ScenarioRunner runner(sys, scn);
+  const ScenarioResult result = runner.run();
+
+  ModeResult r;
+  r.name = name;
+  std::uint64_t stalls = 0;
+  std::size_t zero_stall = 0;
+  for (const auto& rec : result.clients.records()) {
+    if (rec.frames_displayed == 0) continue;
+    ++r.views;
+    stalls += rec.stalls;
+    if (rec.stalls == 0) ++zero_stall;
+    // Bitrate of what was actually shown: average displayed bytes per
+    // frame at the capture rate. Stall time does not dilute it; shed
+    // SVC layers (and ladder down-switches) do.
+    const double bps = static_cast<double>(rec.bytes_displayed) * 8.0 *
+                       scn.fps / static_cast<double>(rec.frames_displayed);
+    r.bitrate_kbps.add(bps / 1000.0);
+  }
+  if (r.views > 0) {
+    r.stalls_per_view =
+        static_cast<double>(stalls) / static_cast<double>(r.views);
+    r.zero_stall_percent =
+        100.0 * static_cast<double>(zero_stall) / static_cast<double>(r.views);
+  }
+  r.bitrate_p50_kbps = r.bitrate_kbps.quantile(0.50);
+  r.bitrate_p90_kbps = r.bitrate_kbps.quantile(0.90);
+  const auto& h = telemetry::handles();
+  r.mask_flips = h.svc_mask_flips->value();
+  r.layer_filtered = h.layer_filtered->value();
+  for (const auto& s : result.overlay.sessions()) {
+    r.ladder_switches += static_cast<std::uint64_t>(s.bitrate_downgrades);
+  }
+  return r;
+}
+
+void write_cdf_csv(const ModeResult& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "delivered_kbps,cdf\n");
+  const double total = static_cast<double>(r.bitrate_kbps.count());
+  std::size_t cum = r.bitrate_kbps.underflow();
+  for (std::size_t i = 0; i < r.bitrate_kbps.bucket_count(); ++i) {
+    cum += r.bitrate_kbps.bucket(i);
+    // Sparse output: only buckets that move the CDF (plus the last one),
+    // so the golden stays small and diffable.
+    if (r.bitrate_kbps.bucket(i) == 0 &&
+        i + 1 != r.bitrate_kbps.bucket_count()) {
+      continue;
+    }
+    std::fprintf(f, "%.0f,%.6f\n", r.bitrate_kbps.bucket_hi(i),
+                 total > 0 ? static_cast<double>(cum) / total : 0.0);
+  }
+  if (r.bitrate_kbps.overflow() > 0) std::fprintf(f, "inf,1.000000\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv-dir=", 10) == 0) csv_dir = argv[i] + 10;
+  }
+  const int days = repro::repro_days(4);
+
+  repro::header("SVC layer-mask flips vs the simulcast ladder — same "
+                "chaos-degraded workload");
+  std::printf("%d compressed day(s), link degradations + flaps over the "
+              "diurnal loss peak\n\n", days);
+
+  const std::vector<ModeResult> results = {
+      run_mode("ladder", days, /*svc=*/false),
+      run_mode("svc", days, /*svc=*/true),
+  };
+
+  std::printf("%-8s %6s %11s %11s %9s %9s %10s %9s %9s\n", "mode", "views",
+              "stalls/view", "0-stall %", "p50 kbps", "p90 kbps",
+              "mask_flips", "filtered", "switches");
+  for (const auto& r : results) {
+    std::printf("%-8s %6zu %11.2f %11.1f %9.0f %9.0f %10" PRIu64
+                " %9" PRIu64 " %9" PRIu64 "\n",
+                r.name.c_str(), r.views, r.stalls_per_view,
+                r.zero_stall_percent, r.bitrate_p50_kbps, r.bitrate_p90_kbps,
+                r.mask_flips, r.layer_filtered, r.ladder_switches);
+  }
+
+  if (!csv_dir.empty()) {
+    for (const auto& r : results) {
+      write_cdf_csv(r, csv_dir + "/svc_bitrate_cdf_" + r.name + ".csv");
+    }
+  }
+
+  const auto& ladder = results[0];
+  const auto& svc = results[1];
+  bool ok = true;
+  if (ladder.mask_flips != 0 || ladder.layer_filtered != 0) {
+    std::printf("\nFAIL: ladder mode touched SVC machinery (flips=%" PRIu64
+                ", filtered=%" PRIu64 ")\n",
+                ladder.mask_flips, ladder.layer_filtered);
+    ok = false;
+  }
+  if (svc.mask_flips == 0) {
+    std::printf("\nFAIL: svc mode never flipped a layer mask\n");
+    ok = false;
+  }
+  if (svc.layer_filtered == 0) {
+    std::printf("\nFAIL: svc mode never filtered a layer on the fast "
+                "path\n");
+    ok = false;
+  }
+  if (!(svc.stalls_per_view < ladder.stalls_per_view)) {
+    std::printf("\nFAIL: svc stalls/view %.3f !< ladder stalls/view %.3f\n",
+                svc.stalls_per_view, ladder.stalls_per_view);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nmask flips strictly reduce the stall rate vs ladder "
+                "switching, degrading\nthrough sub-lattice bitrates instead "
+                "of rungs. same seeds reproduce this\noutput bit-for-bit.\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -36,6 +36,12 @@ asan_dir="${BENCH_ASAN_DIR:-${repo_root}/build-asan}"
 # tier exercises FEC group state, the GoP caches of standby suppliers,
 # and NACK redirection across supplier pipelines under sustained link
 # degradation — exactly the churny shared-state code ASan should walk.
+#
+# repro_svc rides along too (bench_smoke_svc): the SVC tier drives
+# per-viewer mask flips under the same chaos, walking the append-time
+# layer filter, the chained prev_link_seq vouchers, sparse FEC groups,
+# and the NackVoid answer path — all of it bookkeeping over shared
+# per-link state that ASan should see churn.
 if [[ "${BENCH_SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B "${asan_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -43,10 +49,10 @@ if [[ "${BENCH_SKIP_ASAN:-0}" != "1" ]]; then
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >&2
   cmake --build "${asan_dir}" -j \
       --target test_node_failure test_stream_context micro_dataplane \
-               repro_recovery >&2
+               repro_recovery repro_svc >&2
   (cd "${asan_dir}" && ctest --output-on-failure \
-      -R 'test_node_failure|test_stream_context|bench_smoke_dataplane_batched|bench_smoke_recovery') >&2
-  echo "verify: ASan chaos + recovery-tier + batched data-plane smoke passed" >&2
+      -R 'test_node_failure|test_stream_context|bench_smoke_dataplane_batched|bench_smoke_recovery|bench_smoke_svc') >&2
+  echo "verify: ASan chaos + recovery-tier + SVC-tier + batched data-plane smoke passed" >&2
 fi
 
 # ThreadSanitizer smoke of the sharded runtime (-DLIVENET_SANITIZE=thread):

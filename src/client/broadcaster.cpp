@@ -109,10 +109,13 @@ void Broadcaster::video_tick(std::size_t v) {
   auto& ver = versions_[v];
   ver.video_timer = sim::kInvalidEvent;
   if (!broadcasting_) return;
-  const Frame frame = ver.source->next_frame(net_->loop()->now());
-  // The frame becomes sendable after the encoder latency.
-  net_->loop()->schedule_after(cfg_.encode_delay,
-                               [this, v, frame] { upload_frame(v, frame); });
+  // One capture tick = one picture: the base-layer frame plus any SVC
+  // spatial enhancement frames (a 1-wide lattice yields exactly one).
+  // All become sendable together after the encoder latency.
+  for (const Frame& frame : ver.source->next_picture(net_->loop()->now())) {
+    net_->loop()->schedule_after(cfg_.encode_delay,
+                                 [this, v, frame] { upload_frame(v, frame); });
+  }
   ver.video_timer = net_->loop()->schedule_after(
       ver.source->frame_interval(), [this, v] { video_tick(v); });
 }

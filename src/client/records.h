@@ -32,6 +32,9 @@ struct QoeRecord {
   OnlineStats header_ext_delay_ms; ///< delay-extension measurement (I frames)
   std::uint64_t frames_displayed = 0;
   std::uint64_t frames_skipped = 0;
+  /// Video bytes actually shown — with SVC layer filtering, delivered
+  /// bitrate varies per viewer even within one stream version.
+  std::uint64_t bytes_displayed = 0;
   bool view_failed = false;
   bool completed = false;          ///< ViewStop sent (vs. cut off at sim end)
 

@@ -10,8 +10,19 @@
 namespace livenet::client {
 
 using media::Frame;
+using media::LayerMask;
 using media::RtpPacket;
 using sim::NodeId;
+
+namespace {
+
+/// The base layer can never be masked off; an empty mask means "all".
+LayerMask sanitize_mask(LayerMask mask) {
+  if (mask == 0) return media::kAllLayers;
+  return static_cast<LayerMask>(mask | media::layer_bit(0, 0));
+}
+
+}  // namespace
 
 Viewer::Viewer(sim::Network* net, ClientMetrics* metrics,
                const ViewerConfig& cfg)
@@ -37,6 +48,11 @@ void Viewer::start_view(NodeId consumer, media::StreamId stream,
   in_stall_ = false;
   stalls_since_report_ = 0;
   skips_since_report_ = 0;  // a fresh record must not inherit old skips
+  mask_ = sanitize_mask(cfg_.initial_layer_mask);
+  svc_s_ = 1;
+  svc_t_ = 1;
+  filtered_credit_ = 0.0;
+  clean_windows_ = 0;
 
   record_ = &metrics_->new_record();
   record_->stream = stream;
@@ -58,6 +74,7 @@ void Viewer::start_view(NodeId consumer, media::StreamId stream,
   req->stream_id = stream;
   req->client_id = static_cast<overlay::ClientId>(node_id());
   req->fallback_versions = std::move(fallback_versions);
+  req->layer_mask = mask_;
   net_->send(node_id(), consumer_, std::move(req));
 
   if (report_timer_ == sim::kInvalidEvent) {
@@ -120,6 +137,8 @@ void Viewer::migrate(NodeId new_consumer) {
   auto req = sim::make_message<overlay::ViewRequest>();
   req->stream_id = requested_stream_;
   req->client_id = static_cast<overlay::ClientId>(node_id());
+  req->layer_mask = mask_;  // the layer selection survives the migration
+  filtered_credit_ = 0.0;
   net_->send(node_id(), consumer_, std::move(req));
 }
 
@@ -144,6 +163,15 @@ void Viewer::on_message(NodeId from, const sim::MessagePtr& msg) {
         net_->loop()->cancel(report_timer_);
         report_timer_ = sim::kInvalidEvent;
       }
+    }
+    return;
+  }
+  if (const auto lmu = sim::msg_cast<const overlay::LayerMaskUpdate>(msg)) {
+    // The consumer confirmed a committed mask (ours, or one it imposed
+    // under last-mile pressure): this is exactly what it now filters,
+    // so the skip expectation tracks it.
+    if (from == consumer_ && lmu->stream_id != media::kNoStream) {
+      mask_ = sanitize_mask(lmu->layer_mask);
     }
     return;
   }
@@ -178,13 +206,33 @@ void Viewer::on_frame(const Frame& frame) {
   if (stopped_ || record_ == nullptr) return;
   if (frame.is_audio()) return;  // playback accounting is video-driven
 
+  // SVC: latch the stream's lattice and accrue the filtered-frame
+  // expectation — every delivered frame implies (1-keep)/keep frames
+  // the committed mask excluded, which show up as frame-id gaps below
+  // and must not be read as network damage. (The cap bounds drift
+  // across mask flips.)
+  if (frame.is_svc()) {
+    svc_s_ = frame.spatial_layers;
+    svc_t_ = frame.temporal_layers;
+    const double keep = keep_fraction();
+    if (keep > 0.0 && keep < 1.0) {
+      filtered_credit_ =
+          std::min(filtered_credit_ + (1.0 - keep) / keep, 64.0);
+    }
+  }
+
   // Whole frames that never arrived are invisible to the transport
   // (the consumer renumbers client-facing seqs); detect them from the
   // frame-id sequence instead.
   auto& last_id = last_frame_id_[frame.stream_id];
   if (last_id != 0 && frame.frame_id > last_id + 1) {
-    const auto missing =
-        static_cast<std::uint32_t>(frame.frame_id - last_id - 1);
+    auto missing = static_cast<std::uint32_t>(frame.frame_id - last_id - 1);
+    // Spend the expectation credit first: gaps the mask explains are
+    // intentional, not skips.
+    const auto expected = static_cast<std::uint32_t>(filtered_credit_);
+    const std::uint32_t voided = std::min(missing, expected);
+    filtered_credit_ -= voided;
+    missing -= voided;
     record_->frames_skipped += missing;
     skips_since_report_ += missing;
   }
@@ -223,6 +271,7 @@ void Viewer::on_frame(const Frame& frame) {
                   cfg_.decode_delay));
       }
       ++record_->frames_displayed;
+      record_->bytes_displayed += f.size_bytes;
     }
     prebuffer_.clear();
     return;
@@ -285,6 +334,7 @@ void Viewer::on_frame(const Frame& frame) {
         to_ms(frame.delay_ext_us + buffer_wait + cfg_.decode_delay));
   }
   ++record_->frames_displayed;
+  record_->bytes_displayed += frame.size_bytes;
 }
 
 void Viewer::send_quality_report() {
@@ -323,12 +373,74 @@ void Viewer::send_quality_report() {
   rep->skips_since_last = skips_since_report_;
   rep->avg_delay_us = static_cast<Duration>(
       record_ != nullptr ? record_->streaming_delay_ms.mean() * kMs : 0);
+  maybe_adapt_layers(stalls_since_report_, skips_since_report_);
   stalls_since_report_ = 0;
   skips_since_report_ = 0;
   net_->send(node_id(), consumer_, std::move(rep));
   ++reports_sent_;
   report_timer_ = net_->loop()->schedule_after(
       cfg_.quality_report_interval, [this] { send_quality_report(); });
+}
+
+void Viewer::maybe_adapt_layers(std::uint32_t stalls, std::uint32_t skips) {
+  if (!cfg_.svc_adapt || (svc_s_ <= 1 && svc_t_ <= 1)) return;
+  const LayerMask lattice = media::lattice_mask(svc_s_, svc_t_);
+  const LayerMask base = media::layer_bit(0, 0);
+
+  // A quality flip is a mask flip (§5.2 delegated selection, SVC form):
+  // trouble sheds the highest enhancement layer; sustained clean
+  // windows ask the lowest missing layer back. The consumer commits
+  // (widens only at a decodable anchor) and confirms with its own
+  // LayerMaskUpdate — mask_ changes there, never here.
+  if (stalls > 0 || skips >= 4) {
+    clean_windows_ = 0;
+    const LayerMask candidates =
+        static_cast<LayerMask>(mask_ & lattice & ~base);
+    if (candidates == 0) return;  // base-only; worse goes to the ladder
+    int hi = 15;
+    while (((candidates >> hi) & 1u) == 0) --hi;
+    request_mask(static_cast<LayerMask>(
+        ((mask_ & lattice) & ~(LayerMask{1} << hi)) | base));
+    return;
+  }
+  if (stalls == 0 && skips == 0) {
+    if (++clean_windows_ >= cfg_.svc_upswitch_windows) {
+      clean_windows_ = 0;
+      const LayerMask have = static_cast<LayerMask>(mask_ & lattice);
+      const LayerMask missing = static_cast<LayerMask>(lattice & ~have);
+      if (missing != 0) {
+        const auto lowest =
+            static_cast<LayerMask>(missing & (~missing + 1u));
+        request_mask(static_cast<LayerMask>(have | lowest));
+      }
+    }
+  } else {
+    clean_windows_ = 0;
+  }
+}
+
+void Viewer::request_mask(LayerMask mask) {
+  auto upd = sim::make_message<overlay::LayerMaskUpdate>();
+  upd->stream_id = requested_stream_;
+  upd->layer_mask = sanitize_mask(mask);
+  net_->send(node_id(), consumer_, std::move(upd));
+  ++mask_flips_requested_;
+}
+
+double Viewer::keep_fraction() const {
+  if (svc_s_ <= 1 && svc_t_ <= 1) return 1.0;
+  const LayerMask lattice = media::lattice_mask(svc_s_, svc_t_);
+  const LayerMask kept_mask = static_cast<LayerMask>(mask_ & lattice);
+  int total = 0;
+  int kept = 0;
+  for (std::uint8_t s = 0; s < svc_s_; ++s) {
+    for (std::uint8_t t = 0; t < svc_t_; ++t) {
+      const int w = t == 0 ? 1 : (1 << (t - 1));
+      total += w;
+      if ((kept_mask & media::layer_bit(s, t)) != 0) kept += w;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(kept) / total;
 }
 
 }  // namespace livenet::client

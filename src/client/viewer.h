@@ -38,6 +38,15 @@ struct ViewerConfig {
   /// loss-recovery spikes inside the buffer.
   double catchup_rate = 0.25;
   Duration catchup_headroom = 120 * kMs;
+  /// Initial SVC layer mask requested with the view (kAllLayers = take
+  /// everything; meaningful only for SVC streams).
+  media::LayerMask initial_layer_mask = media::kAllLayers;
+  /// Drive SVC mask flips from the viewer's own stall/skip windows
+  /// (quality flips become LayerMaskUpdate messages, not stream
+  /// switches). Irrelevant for non-SVC streams.
+  bool svc_adapt = true;
+  /// Consecutive clean report windows before requesting a layer back.
+  int svc_upswitch_windows = 3;
   overlay::LinkReceiver::Config receiver;
 };
 
@@ -67,6 +76,10 @@ class Viewer final : public sim::SimNode {
   const overlay::LinkReceiver* receiver() const { return receiver_.get(); }
   /// Quality reports sent over this viewer's lifetime (all views).
   std::uint64_t reports_sent() const { return reports_sent_; }
+  /// Committed SVC mask, as last confirmed by the consumer.
+  media::LayerMask layer_mask() const { return mask_; }
+  /// LayerMaskUpdate requests this viewer originated (tests/repro).
+  std::uint64_t mask_flips_requested() const { return mask_flips_requested_; }
 
   /// Observation hook: called with every displayed frame's streaming
   /// delay (ms), exactly the values fed to the QoE record. A cohort
@@ -80,6 +93,13 @@ class Viewer final : public sim::SimNode {
   void assemble(const media::RtpPacketPtr& pkt);
   void on_frame(const media::Frame& frame);
   void send_quality_report();
+  /// SVC: request a narrower/wider mask from the consumer based on this
+  /// report window's stall/skip signal.
+  void maybe_adapt_layers(std::uint32_t stalls, std::uint32_t skips);
+  void request_mask(media::LayerMask mask);
+  /// Fraction of the stream's frames the committed mask keeps, using
+  /// the dyadic temporal weights (t=0 -> 1, t>0 -> 2^(t-1) per column).
+  double keep_fraction() const;
 
   sim::Network* net_;
   ClientMetrics* metrics_;
@@ -110,6 +130,17 @@ class Viewer final : public sim::SimNode {
   std::uint64_t reports_sent_ = 0;
   sim::EventId report_timer_ = sim::kInvalidEvent;
   std::function<void(double)> delay_probe_;
+
+  // SVC state: the committed mask (confirmed by the consumer), the
+  // stream's observed lattice, and the filtered-frame expectation
+  // credit — frames the mask excludes appear as frame-id gaps, and the
+  // credit keeps them out of the skip (damage) signal.
+  media::LayerMask mask_ = media::kAllLayers;
+  std::uint8_t svc_s_ = 1;
+  std::uint8_t svc_t_ = 1;
+  double filtered_credit_ = 0.0;
+  int clean_windows_ = 0;
+  std::uint64_t mask_flips_requested_ = 0;
 };
 
 }  // namespace livenet::client

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "livenet/scenario.h"
 #include "livenet/system.h"
 
@@ -62,6 +64,27 @@ inline SystemConfig paper_system_config(std::uint64_t seed = 42) {
 
   cfg.seed = seed;
   return cfg;
+}
+
+/// Applies an SVC mode name to a scenario: "off" (default — plain
+/// simulcast, bit-identical to the pre-SVC world), "L1T3" (1 spatial x
+/// 3 temporal layers) or "L3T3" (3 x 3). Returns false on an unknown
+/// name. The lattice rides the top simulcast version; the rest of the
+/// ladder stays plain as the fallback.
+inline bool apply_svc_mode(ScenarioConfig& cfg, const std::string& mode) {
+  if (mode == "off") {
+    cfg.svc_spatial_layers = 1;
+    cfg.svc_temporal_layers = 1;
+  } else if (mode == "L1T3") {
+    cfg.svc_spatial_layers = 1;
+    cfg.svc_temporal_layers = 3;
+  } else if (mode == "L3T3") {
+    cfg.svc_spatial_layers = 3;
+    cfg.svc_temporal_layers = 3;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 /// The Taobao-Live-like workload driving most experiments.

@@ -36,6 +36,12 @@ void ScenarioRunner::start_broadcasters() {
       vc.bitrate_bps = rate;
       vc.b_per_p = cfg_.b_per_p;
       vc.i_frame_weight = cfg_.i_frame_weight;
+      if (v == 0) {
+        // Only the top version carries the SVC lattice; the lower
+        // simulcast rungs stay plain (they are the fallback ladder).
+        vc.svc_spatial_layers = cfg_.svc_spatial_layers;
+        vc.svc_temporal_layers = cfg_.svc_temporal_layers;
+      }
       bc.versions.push_back(vc);
       rate *= cfg_.ladder_step;
     }
@@ -90,8 +96,10 @@ void ScenarioRunner::spawn_viewer() {
     site = system_.geo().sample_site();
   }
 
+  client::ViewerConfig vcfg;
+  vcfg.initial_layer_mask = cfg_.viewer_layer_mask;
   auto viewer = std::make_unique<client::Viewer>(&system_.network(),
-                                                 &client_metrics_);
+                                                 &client_metrics_, vcfg);
   const NodeId consumer = system_.attach_client(viewer.get(), site);
 
   std::vector<media::StreamId> fallback(streams.begin() + 1, streams.end());

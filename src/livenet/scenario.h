@@ -34,6 +34,16 @@ struct ScenarioConfig {
   std::size_t b_per_p = 0;
   double i_frame_weight = 5.0;
 
+  // SVC layered encoding (DESIGN.md "SVC layered forwarding"). 1x1 =
+  // off: plain simulcast, bit-identical to the pre-SVC world. When on,
+  // the *top* ladder version carries the SxT lattice (L1T3 = 1x3,
+  // L3T3 = 3x3); quality adaptation becomes a per-viewer layer-mask
+  // flip, with the lower simulcast versions kept as the fallback.
+  std::uint8_t svc_spatial_layers = 1;
+  std::uint8_t svc_temporal_layers = 1;
+  /// Initial SVC layer mask viewers request (0xFFFF = everything).
+  media::LayerMask viewer_layer_mask = media::kAllLayers;
+
   // Viewers.
   double viewer_rate_peak = 3.0;     ///< arrivals/sec at diurnal peak
   double diurnal_trough = 0.25;

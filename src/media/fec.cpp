@@ -4,15 +4,45 @@
 
 namespace livenet::media {
 
+namespace {
+
+/// Visit each member seq of a parity group. A zero bitmap is the legacy
+/// dense encoding (base..base+k-1); otherwise bit i marks base+i.
+template <typename Fn>
+void for_each_member(Seq base, std::uint32_t k, std::uint64_t bitmap,
+                     Fn&& fn) {
+  if (bitmap == 0) {
+    for (Seq s = base; s < base + k; ++s) fn(s);
+    return;
+  }
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if (bitmap & (std::uint64_t{1} << i)) fn(base + i);
+  }
+}
+
+bool is_member(Seq base, std::uint32_t k, std::uint64_t bitmap, Seq seq) {
+  if (seq < base) return false;
+  if (bitmap == 0) return seq < base + k;
+  const Seq off = seq - base;
+  return off < 64 && (bitmap & (std::uint64_t{1} << off)) != 0;
+}
+
+}  // namespace
+
 std::optional<RtpBody> FecGroupEncoder::add(const RtpBody& b) {
   if (count_ > 0 && b.seq != next_seq_) count_ = 0;  // hole: restart group
+  // Skipped-layer gaps stretch the group's seq span; past the bitmap's
+  // reach the membership can no longer be described, so start over.
+  if (count_ > 0 && b.seq - base_seq_ > 63) count_ = 0;
   if (count_ == 0) {
     base_seq_ = b.seq;
     open_k_ = k_;
     acc_ = FecXor{};
+    bitmap_ = 0;
     max_payload_ = 0;
   }
   acc_.accumulate(b);
+  bitmap_ |= std::uint64_t{1} << (b.seq - base_seq_);
   max_payload_ = std::max<std::uint64_t>(max_payload_, b.payload_bytes);
   last_frame_id_ = b.frame_id;
   last_gop_id_ = b.gop_id;
@@ -37,9 +67,26 @@ std::optional<RtpBody> FecGroupEncoder::add(const RtpBody& b) {
   parity.capture_time = last_capture_;
   parity.fec_group_count = open_k_;
   parity.fec_base_seq = base_seq_;
+  // Dense groups keep the legacy zero encoding, so a run with no layer
+  // filtering emits byte-identical parity.
+  const std::uint64_t dense =
+      open_k_ >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << open_k_) - 1;
+  parity.fec_seq_bitmap = bitmap_ == dense ? 0 : bitmap_;
   parity.fec = acc_;
   count_ = 0;
   return parity;
+}
+
+void FecGroupEncoder::skip(Seq seq) {
+  if (count_ == 0) return;  // no open group: nothing to describe
+  if (seq != next_seq_) {   // unexpected reordering: play safe, restart
+    count_ = 0;
+    return;
+  }
+  next_seq_ = seq + 1;
+  // The next member would land past the bitmap's reach: give up early
+  // rather than accumulating packets add() must discard anyway.
+  if (next_seq_ - base_seq_ > 63) count_ = 0;
 }
 
 RtpPacketMut FecDecoder::on_media(const RtpPacket& pkt) {
@@ -60,6 +107,10 @@ RtpPacketMut FecDecoder::on_media(const RtpPacket& pkt) {
   shadow.frag_count = pkt.frag_count();
   shadow.frame_type = pkt.frame_type();
   shadow.referenced = pkt.referenced();
+  shadow.layer = pkt.layer();
+  shadow.spatial_layers = pkt.spatial_layers();
+  shadow.temporal_layers = pkt.temporal_layers();
+  shadow.discardable = pkt.discardable();
   contrib.accumulate(shadow);
   if (!sf.window.emplace(seq, contrib).second) return nullptr;  // duplicate
   prune(sf);
@@ -68,7 +119,7 @@ RtpPacketMut FecDecoder::on_media(const RtpPacket& pkt) {
   for (auto it = sf.pending.begin(); it != sf.pending.end(); ++it) {
     const Seq base = it->first;
     const Group& g = it->second;
-    if (seq < base || seq >= base + g.k) continue;
+    if (!is_member(base, g.k, g.bitmap, seq)) continue;
     RtpPacketMut rec = try_resolve(pkt.stream_id(), base, g);
     if (rec != nullptr) {
       sf.pending.erase(it);
@@ -76,7 +127,8 @@ RtpPacketMut FecDecoder::on_media(const RtpPacket& pkt) {
     }
     // Fully received now? Drop the held parity.
     std::size_t have = 0;
-    for (Seq s = base; s < base + g.k; ++s) have += sf.window.count(s);
+    for_each_member(base, g.k, g.bitmap,
+                    [&](Seq s) { have += sf.window.count(s); });
     if (have == g.k) sf.pending.erase(it);
     return nullptr;
   }
@@ -88,6 +140,7 @@ RtpPacketMut FecDecoder::on_parity(const RtpPacket& pkt) {
   auto& sf = streams_[pkt.stream_id()];
   Group g;
   g.k = pkt.fec_group_count();
+  g.bitmap = pkt.fec_seq_bitmap();
   g.parity = pkt.fec_xor();
   g.parity_payload = pkt.payload_bytes();
   g.delay_ext_us = pkt.delay_ext_us;
@@ -103,7 +156,8 @@ RtpPacketMut FecDecoder::on_parity(const RtpPacket& pkt) {
   // hold the group — an RTX may refill one hole and re-arm it — unless
   // it is already fully received.
   std::size_t have = 0;
-  for (Seq s = base; s < base + g.k; ++s) have += sf.window.count(s);
+  for_each_member(base, g.k, g.bitmap,
+                  [&](Seq s) { have += sf.window.count(s); });
   if (have >= g.k) return nullptr;
   sf.pending.emplace(base, g);
   while (sf.pending.size() > cfg_.max_groups) {
@@ -118,20 +172,20 @@ RtpPacketMut FecDecoder::try_resolve(StreamId stream, Seq base,
   auto& sf = streams_[stream];
   Seq missing = 0;
   std::size_t holes = 0;
-  for (Seq s = base; s < base + g.k; ++s) {
+  for_each_member(base, g.k, g.bitmap, [&](Seq s) {
     if (sf.window.count(s) == 0) {
       missing = s;
-      if (++holes > 1) return nullptr;
+      ++holes;
     }
-  }
+  });
   if (holes != 1) return nullptr;
 
   // Peel every received packet of the group off the parity aggregate;
   // what remains is exactly the missing body's contribution.
   FecXor x = g.parity;
-  for (Seq s = base; s < base + g.k; ++s) {
+  for_each_member(base, g.k, g.bitmap, [&](Seq s) {
     if (s != missing) x.merge(sf.window.at(s));
-  }
+  });
   RtpBody body;
   body.stream_id = stream;
   body.seq = missing;
@@ -144,6 +198,10 @@ RtpPacketMut FecDecoder::try_resolve(StreamId stream, Seq base,
   body.payload_bytes = static_cast<std::size_t>(x.payload_bytes);
   body.capture_time = static_cast<Time>(x.capture_time);
   body.trace_id = x.trace_id;
+  body.layer = media::LayerId{x.layer_spatial, x.layer_temporal};
+  body.spatial_layers = x.spatial_layers == 0 ? 1 : x.spatial_layers;
+  body.temporal_layers = x.temporal_layers == 0 ? 1 : x.temporal_layers;
+  body.discardable = x.discardable != 0;
   RtpPacketMut pkt = RtpPacket::make(std::move(body));
   pkt->fec_recovered = true;
   // Never crossed the wire at this hop: no abs-send-time for GCC.

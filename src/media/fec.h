@@ -44,12 +44,20 @@ class FecGroupEncoder {
   /// Returns the parity body when this packet completes a group.
   std::optional<RtpBody> add(const RtpBody& b);
 
+  /// Declare `seq` intentionally absent on this link (a layer the
+  /// subscriber filtered out). The group stays open and spends no
+  /// parity on the skipped seq; its membership travels in the parity's
+  /// fec_seq_bitmap so the decoder knows the gap is not a loss. A
+  /// group whose seq span outgrows the 64-bit bitmap restarts.
+  void skip(Seq seq);
+
  private:
   std::uint32_t k_;
   std::uint32_t count_ = 0;   ///< packets in the open group
   std::uint32_t open_k_ = 0;  ///< K latched at group start
   Seq base_seq_ = 0;
   Seq next_seq_ = 0;          ///< contiguity check
+  std::uint64_t bitmap_ = 0;  ///< members relative to base_seq_
   FecXor acc_;
   std::uint64_t max_payload_ = 0;
   std::uint64_t last_frame_id_ = 0;
@@ -90,6 +98,7 @@ class FecDecoder {
  private:
   struct Group {
     std::uint32_t k = 0;
+    std::uint64_t bitmap = 0;  ///< sparse membership; 0 = dense legacy
     FecXor parity;
     std::size_t parity_payload = 0;
     // Trailer context copied from the parity packet so the

@@ -29,6 +29,46 @@ enum class FrameType : std::uint8_t {
 
 const char* to_string(FrameType t);
 
+/// SVC layer coordinates (ROADMAP item 1). A scalable stream carries
+/// one lattice of spatial x temporal layers inside a single StreamId;
+/// subscribers select a sub-lattice with a 16-bit mask instead of
+/// switching to a different simulcast stream.
+struct LayerId {
+  std::uint8_t spatial = 0;   ///< 0 = base resolution
+  std::uint8_t temporal = 0;  ///< 0 = base frame rate
+};
+
+/// Per-subscriber layer selection: bit (spatial * 4 + temporal) set =
+/// forward that layer. The default (all bits) is the non-SVC world —
+/// every packet of a plain simulcast stream carries layer {0,0}, whose
+/// bit is set in every sane mask, so masks are invisible until someone
+/// narrows one. Lattices are capped at 4x4.
+using LayerMask = std::uint16_t;
+inline constexpr LayerMask kAllLayers = 0xFFFF;
+inline constexpr std::uint8_t kMaxSpatialLayers = 4;
+inline constexpr std::uint8_t kMaxTemporalLayers = 4;
+
+constexpr LayerMask layer_bit(std::uint8_t spatial, std::uint8_t temporal) {
+  return static_cast<LayerMask>(1u << (spatial * 4u + temporal));
+}
+constexpr LayerMask layer_bit(LayerId id) {
+  return layer_bit(id.spatial, id.temporal);
+}
+
+/// Mask selecting the full S x T lattice (every spatial layer < S,
+/// every temporal layer < T). lattice_mask(1, 1) = the base layer only.
+constexpr LayerMask lattice_mask(std::uint8_t spatial_layers,
+                                 std::uint8_t temporal_layers) {
+  LayerMask m = 0;
+  for (std::uint8_t s = 0; s < spatial_layers && s < kMaxSpatialLayers; ++s) {
+    for (std::uint8_t t = 0; t < temporal_layers && t < kMaxTemporalLayers;
+         ++t) {
+      m |= layer_bit(s, t);
+    }
+  }
+  return m;
+}
+
 struct Frame {
   StreamId stream_id = kNoStream;
   std::uint64_t frame_id = 0;  ///< monotonic per stream
@@ -40,8 +80,21 @@ struct Frame {
   Duration delay_ext_us = 0;   ///< accumulated delay header extension (from
                                ///< the frame's first packet, at reassembly)
 
+  // SVC lattice coordinates. A plain simulcast frame is {0,0} of a 1x1
+  // lattice, so every pre-SVC code path sees unchanged values.
+  LayerId layer;                      ///< this frame's layer
+  std::uint8_t spatial_layers = 1;    ///< lattice width the encoder emits
+  std::uint8_t temporal_layers = 1;   ///< lattice height the encoder emits
+  /// Dependency flag: no later frame references this one (the top
+  /// temporal layer), so it can be dropped without poisoning anything.
+  bool discardable = false;
+
   bool is_keyframe() const { return type == FrameType::kI; }
   bool is_audio() const { return type == FrameType::kAudio; }
+  bool is_svc() const { return spatial_layers > 1 || temporal_layers > 1; }
+  LayerMask layer_mask_bit() const {
+    return is_audio() ? kAllLayers : layer_bit(layer);
+  }
 };
 
 /// A group of pictures: one I frame plus dependent frames, the caching

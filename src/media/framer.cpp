@@ -25,6 +25,10 @@ void Framer::on_packet(const RtpPacket& pkt) {
     f.capture_time = pkt.capture_time();
     f.delay_ext_us = pkt.delay_ext_us;
     f.size_bytes = pkt.payload_bytes();
+    f.layer = pkt.layer();
+    f.spatial_layers = pkt.spatial_layers();
+    f.temporal_layers = pkt.temporal_layers();
+    f.discardable = pkt.discardable();
     ++frames_completed_;
     on_frame_(f);
     return;
@@ -47,6 +51,10 @@ void Framer::on_packet(const RtpPacket& pkt) {
     cur_frame_.capture_time = pkt.capture_time();
     cur_frame_.delay_ext_us = pkt.delay_ext_us;
     cur_frame_.size_bytes = 0;
+    cur_frame_.layer = pkt.layer();
+    cur_frame_.spatial_layers = pkt.spatial_layers();
+    cur_frame_.temporal_layers = pkt.temporal_layers();
+    cur_frame_.discardable = pkt.discardable();
   }
   cur_frame_.size_bytes += pkt.payload_bytes();
   ++frags_seen_;

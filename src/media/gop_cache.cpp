@@ -4,7 +4,11 @@ namespace livenet::media {
 
 void GopCache::add_frame(const Frame& frame) {
   if (frame.is_audio()) return;  // audio is not GoP-cached
-  if (frame.is_keyframe()) {
+  // Only one GoP per gop_id: an SVC key picture's enhancement frames
+  // ride as kP, but guard against any duplicate keyframe reopening the
+  // GoP it already started (RTX races on the slow path).
+  if (frame.is_keyframe() &&
+      (gops_.empty() || gops_.back().gop_id != frame.gop_id)) {
     Gop g;
     g.gop_id = frame.gop_id;
     gops_.push_back(std::move(g));
@@ -23,6 +27,17 @@ std::size_t GopCache::total_bytes() const {
 std::vector<Frame> GopCache::startup_frames() const {
   if (gops_.empty()) return {};
   return gops_.back().frames;
+}
+
+std::vector<Frame> GopCache::startup_frames(LayerMask mask) const {
+  if (mask == kAllLayers) return startup_frames();
+  if (gops_.empty()) return {};
+  std::vector<Frame> out;
+  out.reserve(gops_.back().frames.size());
+  for (const Frame& f : gops_.back().frames) {
+    if ((mask & f.layer_mask_bit()) != 0) out.push_back(f);
+  }
+  return out;
 }
 
 std::uint64_t GopCache::latest_frame_id() const {

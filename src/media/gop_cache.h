@@ -32,6 +32,11 @@ class GopCache {
   /// startup.
   std::vector<Frame> startup_frames() const;
 
+  /// Layer-aware startup burst: the same window filtered to the frames
+  /// whose layer bit the subscriber's mask selects (kAllLayers = the
+  /// unfiltered burst above, audio always passes).
+  std::vector<Frame> startup_frames(LayerMask mask) const;
+
   /// Most recent cached frame id (0 if empty).
   std::uint64_t latest_frame_id() const;
 

@@ -14,6 +14,10 @@ void JitterFramer::on_packet(const RtpPacket& pkt, Time now) {
     f.capture_time = pkt.capture_time();
     f.delay_ext_us = pkt.delay_ext_us;
     f.size_bytes = pkt.payload_bytes();
+    f.layer = pkt.layer();
+    f.spatial_layers = pkt.spatial_layers();
+    f.temporal_layers = pkt.temporal_layers();
+    f.discardable = pkt.discardable();
     ++frames_completed_;
     on_frame_(f);
     return;
@@ -31,6 +35,10 @@ void JitterFramer::on_packet(const RtpPacket& pkt, Time now) {
     p.frame.capture_time = pkt.capture_time();
     p.frame.delay_ext_us = pkt.delay_ext_us;
     p.frame.size_bytes = 0;
+    p.frame.layer = pkt.layer();
+    p.frame.spatial_layers = pkt.spatial_layers();
+    p.frame.temporal_layers = pkt.temporal_layers();
+    p.frame.discardable = pkt.discardable();
     p.frags_expected = pkt.frag_count();
     p.first_seen = now;
     it = pending_.emplace(pkt.frame_id(), std::move(p)).first;

@@ -24,6 +24,10 @@ std::vector<RtpPacketMut> Packetizer::packetize(
     body.frag_count = frags;
     body.payload_bytes = std::min(remaining, mtu_);
     body.capture_time = frame.capture_time;
+    body.layer = frame.layer;
+    body.spatial_layers = frame.spatial_layers;
+    body.temporal_layers = frame.temporal_layers;
+    body.discardable = frame.discardable;
     body.trace_id = sampler_.sample();
     remaining -= body.payload_bytes;
     auto pkt = RtpPacket::make(std::move(body));

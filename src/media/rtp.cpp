@@ -25,6 +25,12 @@ std::string NackMessage::describe() const {
   return ss.str();
 }
 
+std::string NackVoidMessage::describe() const {
+  std::ostringstream ss;
+  ss << "NACKVOID s" << stream_id << " x" << voided.size();
+  return ss.str();
+}
+
 std::string CcFeedbackMessage::describe() const {
   std::ostringstream ss;
   ss << "CCFB remb=" << remb_bps << " loss=" << loss_fraction;

@@ -56,6 +56,13 @@ struct FecXor {
   std::uint32_t frag_count = 0;
   std::uint8_t frame_type = 0;
   std::uint8_t referenced = 0;
+  // SVC lattice coordinates, XOR-carried like every other body field so
+  // a reconstructed enhancement packet still filters correctly.
+  std::uint8_t layer_spatial = 0;
+  std::uint8_t layer_temporal = 0;
+  std::uint8_t spatial_layers = 0;
+  std::uint8_t temporal_layers = 0;
+  std::uint8_t discardable = 0;
 
   void accumulate(const struct RtpBody& b);
   /// XOR-merge another aggregate (peeling received packets off a
@@ -70,6 +77,11 @@ struct FecXor {
     frag_count ^= o.frag_count;
     frame_type ^= o.frame_type;
     referenced ^= o.referenced;
+    layer_spatial ^= o.layer_spatial;
+    layer_temporal ^= o.layer_temporal;
+    spatial_layers ^= o.spatial_layers;
+    temporal_layers ^= o.temporal_layers;
+    discardable ^= o.discardable;
   }
   bool operator==(const FecXor&) const = default;
 };
@@ -99,6 +111,16 @@ struct RtpBody {
   std::uint32_t fec_group_count = 0;
   Seq fec_base_seq = 0;
   FecXor fec;
+  /// Group membership bitmap for parity over a layer-filtered link: bit
+  /// i set = fec_base_seq + i belongs to the group. 0 = the legacy
+  /// dense group [fec_base_seq, fec_base_seq + fec_group_count).
+  std::uint64_t fec_seq_bitmap = 0;
+
+  // SVC lattice coordinates of the carried frame (see media::Frame).
+  LayerId layer;
+  std::uint8_t spatial_layers = 1;
+  std::uint8_t temporal_layers = 1;
+  bool discardable = false;
 
   RtpBody() = default;
   /// Deep copy. Never taken on the forwarding fast path — counted so
@@ -109,7 +131,10 @@ struct RtpBody {
         frag_index(o.frag_index), frag_count(o.frag_count),
         payload_bytes(o.payload_bytes), capture_time(o.capture_time),
         trace_id(o.trace_id), fec_group_count(o.fec_group_count),
-        fec_base_seq(o.fec_base_seq), fec(o.fec) {
+        fec_base_seq(o.fec_base_seq), fec(o.fec),
+        fec_seq_bitmap(o.fec_seq_bitmap), layer(o.layer),
+        spatial_layers(o.spatial_layers), temporal_layers(o.temporal_layers),
+        discardable(o.discardable) {
     ++deep_copies_;
   }
   /// Moves don't count: make() moves the caller's staging body into
@@ -120,7 +145,10 @@ struct RtpBody {
         frag_index(o.frag_index), frag_count(o.frag_count),
         payload_bytes(o.payload_bytes), capture_time(o.capture_time),
         trace_id(o.trace_id), fec_group_count(o.fec_group_count),
-        fec_base_seq(o.fec_base_seq), fec(o.fec) {}
+        fec_base_seq(o.fec_base_seq), fec(o.fec),
+        fec_seq_bitmap(o.fec_seq_bitmap), layer(o.layer),
+        spatial_layers(o.spatial_layers), temporal_layers(o.temporal_layers),
+        discardable(o.discardable) {}
   RtpBody& operator=(const RtpBody&) = delete;
 
   /// Total body deep copies since process start (forward-path copies
@@ -153,6 +181,11 @@ inline void FecXor::accumulate(const RtpBody& b) {
   frag_count ^= b.frag_count;
   frame_type ^= static_cast<std::uint8_t>(b.frame_type);
   referenced ^= static_cast<std::uint8_t>(b.referenced);
+  layer_spatial ^= b.layer.spatial;
+  layer_temporal ^= b.layer.temporal;
+  spatial_layers ^= b.spatial_layers;
+  temporal_layers ^= b.temporal_layers;
+  discardable ^= static_cast<std::uint8_t>(b.discardable);
 }
 
 /// Refcounted handle to a shared immutable body.
@@ -195,6 +228,12 @@ class RtpPacket final : public sim::Message {
   bool is_rtx = false;        ///< retransmission of an earlier packet
   bool fec_recovered = false; ///< reconstructed from a parity group at
                               ///< this hop (never crossed the wire)
+  /// Layer-filtered links are sparse in producer-seq space: the sender
+  /// stamps the previous producer seq it forwarded on this hop, so the
+  /// receive buffer treats the gap (prev_link_seq, producer_seq) as
+  /// intentionally absent (no NACKs for filtered layers). 0 = dense
+  /// hop or unknown (RTX, parity, legacy sender) — plain hole logic.
+  Seq prev_link_seq = 0;
 
   // Measurement fields (stand-ins for per-hop log correlation in the
   // production system; they do not influence forwarding decisions).
@@ -215,7 +254,14 @@ class RtpPacket final : public sim::Message {
   }
 
   /// Fan-out primitive: new pool-allocated trailer sharing this body.
-  RtpPacketMut fork() const { return sim::make_message<RtpPacket>(*this); }
+  /// prev_link_seq is a link-local annotation of the hop that stamped
+  /// it — a fork is the start of a new hop, so it resets to dense (a
+  /// stale value would make the next receiver void genuine losses).
+  RtpPacketMut fork() const {
+    RtpPacketMut copy = sim::make_message<RtpPacket>(*this);
+    copy->prev_link_seq = 0;
+    return copy;
+  }
 
   /// Copies this packet adjusting the delay extension; used by
   /// forwarding hops (the body is shared — the trailer copy stands in
@@ -241,6 +287,20 @@ class RtpPacket final : public sim::Message {
   std::size_t payload_bytes() const { return body_->payload_bytes; }
   Time capture_time() const { return body_->capture_time; }
   std::uint64_t trace_id() const { return body_->trace_id; }
+  LayerId layer() const { return body_->layer; }
+  std::uint8_t spatial_layers() const { return body_->spatial_layers; }
+  std::uint8_t temporal_layers() const { return body_->temporal_layers; }
+  bool discardable() const { return body_->discardable; }
+  bool is_svc() const {
+    return body_->spatial_layers > 1 || body_->temporal_layers > 1;
+  }
+  /// The mask bit this packet needs to pass a subscriber's layer
+  /// filter. Audio and parity ride every mask (parity coverage is
+  /// decided at the encoder, not per packet).
+  LayerMask layer_mask_bit() const {
+    return is_audio() || is_fec_parity() ? kAllLayers
+                                         : layer_bit(body_->layer);
+  }
 
   bool marker() const { return frag_index() + 1 == frag_count(); }
   bool is_audio() const { return frame_type() == FrameType::kAudio; }
@@ -251,6 +311,7 @@ class RtpPacket final : public sim::Message {
   std::uint32_t fec_group_count() const { return body_->fec_group_count; }
   Seq fec_base_seq() const { return body_->fec_base_seq; }
   const FecXor& fec_xor() const { return body_->fec; }
+  std::uint64_t fec_seq_bitmap() const { return body_->fec_seq_bitmap; }
 
   std::size_t wire_size() const override {
     return kRtpHeaderBytes + payload_bytes();
@@ -273,6 +334,7 @@ class RtpPacket final : public sim::Message {
     copy->delay_ext_us = delay_ext_us;
     copy->is_rtx = is_rtx;
     copy->fec_recovered = fec_recovered;
+    copy->prev_link_seq = prev_link_seq;
     copy->cdn_ingress_time = cdn_ingress_time;
     copy->cdn_hops = cdn_hops;
     copy->hop_send_time = hop_send_time;
@@ -302,6 +364,22 @@ class NackMessage final : public sim::CloneableMessage<NackMessage> {
   std::vector<Seq> missing;
 
   std::size_t wire_size() const override { return 16 + 4 * missing.size(); }
+  std::string describe() const override;
+};
+
+/// NACK answer for holes that are voids, not losses: the supplier
+/// vouches that these seqs were excluded by the requester's SVC layer
+/// mask and will never be retransmitted. The receiver folds them into
+/// its void set, unblocking the in-order drain immediately instead of
+/// burning the NACK retry budget on an unfillable hole (which starves
+/// every downstream viewer of the stream until the give-up timeout).
+class NackVoidMessage final : public sim::CloneableMessage<NackVoidMessage> {
+ public:
+  StreamId stream_id = kNoStream;
+  bool audio = false;
+  std::vector<Seq> voided;
+
+  std::size_t wire_size() const override { return 16 + 4 * voided.size(); }
   std::string describe() const override;
 };
 

@@ -1,5 +1,6 @@
 #include "media/video_source.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace livenet::media {
@@ -45,7 +46,28 @@ FrameType VideoSource::next_type() {
   return FrameType::kP;
 }
 
+std::uint8_t VideoSource::temporal_layer_of(std::size_t pos_in_gop) const {
+  const std::uint8_t t_layers = cfg_.svc_temporal_layers;
+  if (t_layers <= 1) return 0;
+  // Dyadic hierarchy: period 2^(T-1); picture 0 of each period is the
+  // base, and the layer falls by one per trailing zero of the offset
+  // (T=3: 0 2 1 2 | 0 2 1 2 | ...).
+  const std::size_t period = static_cast<std::size_t>(1)
+                             << (std::min<std::uint8_t>(t_layers,
+                                                        kMaxTemporalLayers) -
+                                 1);
+  std::size_t m = pos_in_gop % period;
+  if (m == 0) return 0;
+  std::uint8_t tz = 0;
+  while ((m & 1) == 0) {
+    m >>= 1;
+    ++tz;
+  }
+  return static_cast<std::uint8_t>(t_layers - 1 - tz);
+}
+
 Frame VideoSource::next_frame(Time now) {
+  const std::size_t pos = pos_in_gop_;
   const FrameType type = next_type();
   Frame f;
   f.stream_id = stream_id_;
@@ -57,6 +79,16 @@ Frame VideoSource::next_frame(Time now) {
     ++gop_id_;
   }
   f.gop_id = gop_id_;
+  if (cfg_.svc_spatial_layers > 1 || cfg_.svc_temporal_layers > 1) {
+    f.spatial_layers =
+        std::min<std::uint8_t>(cfg_.svc_spatial_layers, kMaxSpatialLayers);
+    f.temporal_layers =
+        std::min<std::uint8_t>(cfg_.svc_temporal_layers, kMaxTemporalLayers);
+    f.layer.temporal = temporal_layer_of(pos);
+    f.discardable = !f.referenced ||
+                    (f.temporal_layers > 1 &&
+                     f.layer.temporal + 1 == f.temporal_layers);
+  }
 
   const double mean = mean_frame_size(type);
   // Lognormal multiplicative jitter with mean 1.
@@ -71,6 +103,30 @@ Frame VideoSource::next_frame(Time now) {
     b_run_ = 0;
   }
   return f;
+}
+
+std::vector<Frame> VideoSource::next_picture(Time now) {
+  std::vector<Frame> out;
+  const Frame base = next_frame(now);
+  out.reserve(base.spatial_layers);
+  out.push_back(base);
+  // Spatial enhancements: deterministic scale of the base draw (no
+  // extra RNG), so a 1-wide lattice stays bit-identical to the legacy
+  // stream. The key picture's base frame is the only kI — GoP caching
+  // and keyframe gating key on the base layer; enhancements of the key
+  // picture are intra-refreshed but ride as kP with the same gop_id.
+  double scale = 1.0;
+  for (std::uint8_t s = 1; s < base.spatial_layers; ++s) {
+    scale *= cfg_.svc_spatial_gain;
+    Frame e = base;
+    e.frame_id = next_frame_id_++;
+    e.type = base.type == FrameType::kI ? FrameType::kP : base.type;
+    e.layer.spatial = s;
+    e.size_bytes = static_cast<std::size_t>(
+        std::max(64.0, static_cast<double>(base.size_bytes) * scale));
+    out.push_back(e);
+  }
+  return out;
 }
 
 Frame AudioSource::next_frame(Time now) {

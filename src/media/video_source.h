@@ -23,6 +23,17 @@ struct VideoSourceConfig {
   double b_frame_weight = 0.5;      ///< B size relative to P
   std::size_t b_per_p = 0;          ///< unreferenced B frames after each P
   double size_jitter_sigma = 0.15;  ///< lognormal sigma of frame sizes
+
+  // SVC lattice (ROADMAP item 1). 1x1 = plain simulcast frame stream,
+  // bit-identical to the pre-SVC source (no extra RNG draws, same
+  // frame ids). L1T3 = {1, 3}; L3T3 = {3, 3}. Temporal layers follow
+  // the dyadic pattern (T=3: 0 2 1 2 ...); spatial enhancement frames
+  // ride the same capture tick with their own frame ids. bitrate_bps
+  // describes the base spatial layer; each spatial enhancement scales
+  // its picture's base-layer frame by svc_spatial_gain^s.
+  std::uint8_t svc_spatial_layers = 1;
+  std::uint8_t svc_temporal_layers = 1;
+  double svc_spatial_gain = 1.7;
 };
 
 class VideoSource {
@@ -30,7 +41,15 @@ class VideoSource {
   VideoSource(StreamId stream_id, const VideoSourceConfig& cfg, Rng rng);
 
   /// Produces the next frame in capture order, stamped with `now`.
+  /// Under SVC this is the base spatial layer of the next picture,
+  /// carrying its lattice coordinates.
   Frame next_frame(Time now);
+
+  /// Produces one full picture: the base-layer frame plus one frame
+  /// per configured spatial enhancement layer (same capture tick and
+  /// gop, consecutive frame ids). With a 1-wide lattice this is
+  /// exactly {next_frame(now)}.
+  std::vector<Frame> next_picture(Time now);
 
   /// Capture interval between consecutive frames.
   Duration frame_interval() const {
@@ -45,6 +64,7 @@ class VideoSource {
 
  private:
   FrameType next_type();
+  std::uint8_t temporal_layer_of(std::size_t pos_in_gop) const;
 
   StreamId stream_id_;
   VideoSourceConfig cfg_;

@@ -9,8 +9,19 @@
 
 namespace livenet::overlay {
 
+using media::LayerMask;
 using media::StreamId;
 using sim::NodeId;
+
+namespace {
+
+/// The base layer can never be masked off; an empty mask means "all".
+LayerMask sanitize_mask(LayerMask mask) {
+  if (mask == 0) return media::kAllLayers;
+  return static_cast<LayerMask>(mask | media::layer_bit(0, 0));
+}
+
+}  // namespace
 
 // ------------------------------------------------------------ stream state
 
@@ -50,6 +61,53 @@ void ControlAgent::remove_supplier(StreamContext& st, NodeId n) {
   v.erase(std::remove(v.begin(), v.end(), n), v.end());
   auto& p = st.pending_standbys;
   p.erase(std::remove(p.begin(), p.end(), n), p.end());
+}
+
+// ---------------------------------------------------- SVC mask aggregation
+
+LayerMask ControlAgent::downstream_aggregate(const StreamFib::Entry& e) const {
+  // Standby (RTX-only) downstreams are served from the local cache and
+  // may NACK any layer; their presence pins the aggregate wide open.
+  // So does an empty edge — release handles the no-subscriber case.
+  if (!e.rtx_only_nodes.empty()) return media::kAllLayers;
+  if (e.subscriber_nodes.empty() && e.subscriber_clients.empty()) {
+    return media::kAllLayers;
+  }
+  LayerMask agg = 0;
+  for (const NodeId n : e.subscriber_nodes) {
+    agg = static_cast<LayerMask>(agg | e.node_mask(n));
+    if (agg == media::kAllLayers) return agg;
+  }
+  for (const ClientId c : e.subscriber_clients) {
+    agg = static_cast<LayerMask>(agg | e.client_mask(c));
+    if (agg == media::kAllLayers) return agg;
+  }
+  return sanitize_mask(agg);
+}
+
+void ControlAgent::update_upstream_mask(StreamId stream) {
+  const StreamFib::Entry* e = table_->find(stream);
+  if (e == nullptr || e->locally_produced || e->upstream == sim::kNoNode) {
+    return;
+  }
+  StreamContext* st = table_->find_context(stream);
+  if (st == nullptr) return;
+  const LayerMask agg = downstream_aggregate(*e);
+  if (agg == st->upstream_mask_sent) return;
+  st->upstream_mask_sent = agg;
+  auto upd = sim::make_message<LayerMaskUpdate>();
+  upd->stream_id = stream;
+  upd->layer_mask = agg;
+  env_->net->send(env_->self(), e->upstream, std::move(upd));
+}
+
+void ControlAgent::handle_layer_mask_update(NodeId from,
+                                            const LayerMaskUpdate& msg) {
+  StreamContext* ctx = table_->find_context(msg.stream_id);
+  if (ctx == nullptr || !ctx->fib_active) return;
+  if (ctx->fib.subscriber_nodes.count(from) == 0) return;
+  ctx->fib.set_node_mask(from, sanitize_mask(msg.layer_mask));
+  update_upstream_mask(msg.stream_id);
 }
 
 double ControlAgent::node_load() const {
@@ -306,6 +364,10 @@ void ControlAgent::establish_via_path(StreamId stream, const Path& path,
   for (std::size_t i = path.size() - 2; i-- > 0;) {
     req->remaining_reverse_path.push_back(path[i]);
   }
+  // Carry the current downstream SVC aggregate so the new upstream
+  // filters from the first packet (no separate LayerMaskUpdate race).
+  req->layer_mask = downstream_aggregate(entry);
+  st.upstream_mask_sent = req->layer_mask;
   env_->net->send(env_->self(), upstream, std::move(req));
 }
 
@@ -318,6 +380,7 @@ void ControlAgent::handle_subscribe(NodeId from, const SubscribeRequest& req) {
   senders_->sender_for(from);  // make sure the hop sender exists
 
   auto& entry = table_->fib_entry(req.stream_id);
+  entry.set_node_mask(from, sanitize_mask(req.layer_mask));
   const bool anchored = entry.locally_produced ||
                         entry.upstream != sim::kNoNode;
 
@@ -349,6 +412,8 @@ void ControlAgent::handle_subscribe(NodeId from, const SubscribeRequest& req) {
         snd.send_media(std::move(clone));
       }
     }
+    // The new subscriber may widen (or narrow) our downstream aggregate.
+    update_upstream_mask(req.stream_id);
     return;
   }
 
@@ -371,6 +436,8 @@ void ControlAgent::handle_subscribe(NodeId from, const SubscribeRequest& req) {
   fwd->stream_id = req.stream_id;
   fwd->remaining_reverse_path.assign(req.remaining_reverse_path.begin() + 1,
                                      req.remaining_reverse_path.end());
+  fwd->layer_mask = downstream_aggregate(entry);
+  st.upstream_mask_sent = fwd->layer_mask;
   env_->net->send(env_->self(), upstream, std::move(fwd));
 }
 
@@ -392,6 +459,9 @@ void ControlAgent::handle_standby_subscribe(NodeId from,
   ack->rtx_only = true;
   ack->cache_hit = anchored && !entry.locally_produced;
   env_->net->send(env_->self(), from, std::move(ack));
+  // A standby may NACK any layer: its arrival pins our upstream edge
+  // wide open (and its departure re-narrows it, via unsubscribe).
+  update_upstream_mask(req.stream_id);
 
   if (!anchored) {
     // Not carrying the stream yet: pull it with a normal subscription
@@ -470,6 +540,7 @@ void ControlAgent::handle_unsubscribe(NodeId from,
   table_->remove_node_subscriber(req.stream_id, from);
   StreamContext* ctx = table_->find_context(req.stream_id);
   if (ctx != nullptr) ctx->fib.rtx_only_nodes.erase(from);
+  update_upstream_mask(req.stream_id);
   maybe_release_stream(req.stream_id);
 }
 

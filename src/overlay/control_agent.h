@@ -45,6 +45,13 @@ class ControlAgent {
   void handle_unsubscribe(sim::NodeId from, const UnsubscribeRequest& req);
   void handle_switch_notice(sim::NodeId from, const StreamSwitchNotice& msg);
   void handle_producer_relay(const ProducerRelayInstruction& msg);
+  /// A downstream node's SVC layer aggregate changed on our edge.
+  void handle_layer_mask_update(sim::NodeId from, const LayerMaskUpdate& msg);
+
+  /// Re-aggregates the downstream SVC masks (OR over subscriber nodes
+  /// and clients; standby/absent entries pin the aggregate wide open)
+  /// and propagates the result to the primary upstream when it moved.
+  void update_upstream_mask(media::StreamId stream);
 
   // -------------------------------------------------- session-layer hooks
   /// Algorithm 1 line 1: producing the stream, or subscribed with
@@ -84,6 +91,8 @@ class ControlAgent {
   void cancel_timers();
 
  private:
+  /// OR of the SVC layer masks the stream's downstream edge wants.
+  media::LayerMask downstream_aggregate(const StreamFib::Entry& e) const;
   bool try_establish(media::StreamId stream);
   /// Subscribes over `path`. The previous (different) upstream is swept
   /// from the supplier set unless `keep_prev_supplier` — the

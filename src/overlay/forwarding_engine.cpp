@@ -46,10 +46,68 @@ void ForwardingEngine::fast_forward(NodeId from, const RtpPacketPtr& pkt,
     open_seq_ = loop->seq_cursor();  // after scheduling: counts our event
   }
   Batch& b = *pool_[slot];
-  for (const NodeId n : entry.subscriber_nodes) b.nodes.push_back(n);
+  std::uint32_t prev_begin = kNoBatch;
+  if (entry.any_layer_filter()) {
+    // SVC filter: decided here, at append time, so a filtered target is
+    // never forked at all — the zero-copy fast path stays zero-copy.
+    // Masked-link seq history also advances here because appends (not
+    // flushes) see packets in arrival order.
+    prev_begin = static_cast<std::uint32_t>(b.prevs.size());
+    const media::LayerMask bit = pkt->layer_mask_bit();
+    const media::Seq s = pkt->producer_seq();
+    for (const NodeId n : entry.subscriber_nodes) {
+      const media::LayerMask mask =
+          n == from ? media::kAllLayers : entry.node_mask(n);
+      if (mask == media::kAllLayers) {  // dense link (or echo: flush skips)
+        b.nodes.push_back(n);
+        b.prevs.push_back(0);
+        continue;
+      }
+      LinkSeqState& ls = link_seq_[{pkt->stream_id(), n}];
+      const bool in_order = s > ls.last_seen;
+      // An arrival gap vouched by the packet's own prev_link_seq is an
+      // upstream hop's filtering, not damage — without honoring it, the
+      // voucher chain breaks at the second filtering hop and every
+      // downstream receiver NACKs seqs nobody can retransmit.
+      const bool gap_vouched =
+          pkt->prev_link_seq != 0 && pkt->prev_link_seq <= ls.last_seen;
+      if ((mask & bit) != 0) {
+        media::Seq prev = 0;
+        if (in_order) {
+          if (ls.last_seen != 0 && s != ls.last_seen + 1 && !gap_vouched) {
+            ls.clean = false;
+          }
+          if (ls.clean && ls.last_fwd != 0 && s != ls.last_fwd + 1) {
+            prev = ls.last_fwd;
+          }
+          ls.last_fwd = s;
+          ls.last_seen = s;
+          ls.clean = true;
+        }
+        b.nodes.push_back(n);
+        b.prevs.push_back(prev);
+      } else {
+        if (in_order) {
+          if (ls.last_seen != 0 && s != ls.last_seen + 1 && !gap_vouched) {
+            ls.clean = false;
+          }
+          ls.last_seen = s;
+        }
+        b.nodes.push_back(n);
+        b.prevs.push_back(kSkipEntry);
+        telemetry::handles().layer_filtered->add();
+        telemetry::record_hop(pkt->trace_id(), loop->now(), pkt->stream_id(),
+                              s, env_->self(), n, telemetry::HopEvent::kDrop,
+                              telemetry::DropReason::kLayerFiltered);
+      }
+    }
+  } else {
+    for (const NodeId n : entry.subscriber_nodes) b.nodes.push_back(n);
+  }
   for (const ClientId c : entry.subscriber_clients) b.clients.push_back(c);
   b.rows.push_back(Row{pkt, from, static_cast<std::uint32_t>(b.nodes.size()),
-                       static_cast<std::uint32_t>(b.clients.size())});
+                       static_cast<std::uint32_t>(b.clients.size()),
+                       prev_begin});
 }
 
 void ForwardingEngine::feed_fec(const RtpPacketPtr& pkt, NodeId n, Time now) {
@@ -88,11 +146,23 @@ void ForwardingEngine::feed_fec(const RtpPacketPtr& pkt, NodeId n, Time now) {
   snd.send_parity(std::move(pp));
 }
 
+void ForwardingEngine::feed_fec_skip(const RtpPacketPtr& pkt, NodeId n) {
+  // Only an already-open group cares; never create state for a link the
+  // packet was filtered off of.
+  const auto it = fec_links_.find({pkt->stream_id(), n});
+  if (it != fec_links_.end()) it->second.enc.skip(pkt->producer_seq());
+}
+
 void ForwardingEngine::forget_stream(media::StreamId stream) {
   auto it = fec_links_.lower_bound(
       {stream, std::numeric_limits<sim::NodeId>::min()});
   while (it != fec_links_.end() && it->first.first == stream) {
     it = fec_links_.erase(it);
+  }
+  auto ls = link_seq_.lower_bound(
+      {stream, std::numeric_limits<sim::NodeId>::min()});
+  while (ls != link_seq_.end() && ls->first.first == stream) {
+    ls = link_seq_.erase(ls);
   }
 }
 
@@ -121,8 +191,22 @@ void ForwardingEngine::flush_batch(std::uint32_t slot) {
     const RtpPacketPtr& pkt = row.pkt;
     for (std::uint32_t i = node_begin; i < row.node_end; ++i) {
       const NodeId n = b.nodes[i];
+      media::Seq prev = 0;
+      if (row.prev_begin != kNoBatch) {  // stream had a layer filter
+        prev = b.prevs[row.prev_begin + (i - node_begin)];
+        if (prev == kSkipEntry) {
+          // Filtered at append time: no fork, no send — only the FEC
+          // group on the link learns the seq is intentionally absent.
+          if ((cfg_->fec_rate > 0.0 || cfg_->fec_adaptive) &&
+              !pkt->is_audio()) {
+            feed_fec_skip(pkt, n);
+          }
+          continue;
+        }
+      }
       if (n == row.from) continue;  // never echo upstream
       auto clone = pkt->fork();
+      clone->prev_link_seq = prev;
       clone->delay_ext_us +=
           cfg_->fast_proc_delay + half_rtt_between(env_->net, env_->self(), n);
       clone->cdn_hops = static_cast<std::uint8_t>(pkt->cdn_hops + 1);
@@ -148,6 +232,7 @@ void ForwardingEngine::flush_batch(std::uint32_t slot) {
   b.rows.clear();
   b.nodes.clear();
   b.clients.clear();
+  b.prevs.clear();
   free_slots_.push_back(slot);
 }
 

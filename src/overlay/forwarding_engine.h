@@ -71,6 +71,10 @@ class ForwardingEngine {
  private:
   static constexpr std::uint32_t kNoBatch = 0xFFFFFFFFu;
 
+  /// Marks a filtered node entry inside a masked row's prevs span: the
+  /// packet is NOT forked for that link (only the FEC group advances).
+  static constexpr media::Seq kSkipEntry = static_cast<media::Seq>(-1);
+
   /// One packet's snapshot: target extents into the batch's flat
   /// arrays. Subscriber sets are copied out at fast_forward time (they
   /// may mutate before the deferred callback runs), `from` rides along
@@ -80,16 +84,36 @@ class ForwardingEngine {
     sim::NodeId from;
     std::uint32_t node_end;    ///< exclusive end in Batch::nodes
     std::uint32_t client_end;  ///< exclusive end in Batch::clients
+    /// Start of this row's span in Batch::prevs when the stream had a
+    /// layer filter at append time; kNoBatch for the common unmasked
+    /// row (whose flush loop stays byte-for-byte the old one).
+    std::uint32_t prev_begin = kNoBatch;
   };
   struct Batch {
     std::vector<Row> rows;
     std::vector<sim::NodeId> nodes;
     std::vector<ClientId> clients;
+    /// Masked rows only, aligned with their node span: prev_link_seq
+    /// to stamp on the fork (0 = dense) or kSkipEntry for a filtered
+    /// target.
+    std::vector<media::Seq> prevs;
+  };
+
+  /// Per-(stream, node) producer-seq history of a masked link, kept so
+  /// the sender can stamp prev_link_seq void ranges. `clean` means
+  /// every seq in (last_fwd, last_seen] was seen here and filtered on
+  /// purpose — an upstream hole in the gap clears it, and the next
+  /// forward then ships prev = 0 so the receiver NACKs normally.
+  struct LinkSeqState {
+    media::Seq last_fwd = 0;
+    media::Seq last_seen = 0;
+    bool clean = true;
   };
 
   std::uint32_t acquire_batch();
   void flush_batch(std::uint32_t slot);
   void feed_fec(const media::RtpPacketPtr& pkt, sim::NodeId n, Time now);
+  void feed_fec_skip(const media::RtpPacketPtr& pkt, sim::NodeId n);
 
   /// Per-(stream, link) FEC sender state: the open parity group, the
   /// probe-rate error accumulator (rate < 1 emits every 1/rate groups),
@@ -109,6 +133,9 @@ class ForwardingEngine {
   std::uint64_t batch_flushes_ = 0;
   std::uint64_t fec_parity_sent_ = 0;
   std::map<std::pair<media::StreamId, sim::NodeId>, FecLinkState> fec_links_;
+  /// Only populated for (stream, node) links with a layer mask — the
+  /// unmasked world never probes it.
+  std::map<std::pair<media::StreamId, sim::NodeId>, LinkSeqState> link_seq_;
 
   /// Batch slot arena (unique_ptr: slots must stay address-stable while
   /// pool_ grows; scratch vectors inside are reused across flushes).

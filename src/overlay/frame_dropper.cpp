@@ -21,6 +21,10 @@ DropReason FrameDropper::drop(DropReason reason, bool is_rtx) {
       case DropReason::kPoisonedGop:
         h.drops_p->add();
         break;
+      case DropReason::kTemporalLayer:
+      case DropReason::kSpatialLayer:
+        h.drops_layer->add();
+        break;
       default:
         h.drops_gop->add();
         break;
@@ -60,8 +64,21 @@ DropReason FrameDropper::decide(const media::RtpPacket& pkt,
     return drop(DropReason::kPoisonedGop, pkt.is_rtx);
   }
 
+  // SVC rungs before the P/B ladder: an enhancement frame is never a
+  // GoP dependency for lower layers, so these drops don't poison.
+  if (queue_drain > cfg_.drop_discardable_above && pkt.discardable()) {
+    return drop(DropReason::kTemporalLayer, pkt.is_rtx);
+  }
+  if (queue_drain > cfg_.drop_temporal_above && pkt.layer().temporal > 0) {
+    return drop(DropReason::kTemporalLayer, pkt.is_rtx);
+  }
+  if (queue_drain > cfg_.drop_spatial_above && pkt.layer().spatial > 0) {
+    return drop(DropReason::kSpatialLayer, pkt.is_rtx);
+  }
+
   if (queue_drain > cfg_.drop_p_above &&
-      pkt.frame_type() == media::FrameType::kP) {
+      pkt.frame_type() == media::FrameType::kP &&
+      pkt.layer().temporal == 0 && pkt.layer().spatial == 0) {
     poisoned_gop_id_ = pkt.gop_id();
     poisoned_from_frame_ = pkt.frame_id();
     return drop(DropReason::kPFrame, pkt.is_rtx);

@@ -20,6 +20,14 @@ class FrameDropper {
     Duration drop_b_above = 300 * kMs;    ///< queue drain time thresholds
     Duration drop_p_above = 600 * kMs;
     Duration drop_gop_above = 1200 * kMs;
+    // SVC rungs, interleaved below the paper's ladder (highest temporal
+    // layer first, then remaining temporal enhancements, then spatial
+    // enhancement — an enhancement drop blurs one layer and never
+    // poisons a GoP). Non-SVC streams carry layer {0,0}/discardable
+    // false and never match these rules.
+    Duration drop_discardable_above = 250 * kMs;  ///< top temporal layer
+    Duration drop_temporal_above = 400 * kMs;     ///< any temporal > 0
+    Duration drop_spatial_above = 500 * kMs;      ///< any spatial > 0
   };
 
   FrameDropper() : FrameDropper(Config()) {}
@@ -62,8 +70,12 @@ class FrameDropper {
     return dropped(telemetry::DropReason::kGopThreshold) +
            dropped(telemetry::DropReason::kGopSuppressed);
   }
+  std::uint64_t layer_dropped() const {
+    return dropped(telemetry::DropReason::kTemporalLayer) +
+           dropped(telemetry::DropReason::kSpatialLayer);
+  }
   std::uint64_t total_dropped() const {
-    return b_dropped() + p_dropped() + gop_dropped();
+    return b_dropped() + p_dropped() + gop_dropped() + layer_dropped();
   }
 
   /// True while the dropper is consistently above the B threshold; the

@@ -60,6 +60,13 @@ class LinkReceiver {
     buffer_.forget_stream(stream);
   }
 
+  /// Supplier-vouched voids (NackVoid answer): see
+  /// ReceiveBuffer::void_seqs.
+  void void_seqs(media::StreamId stream, bool audio,
+                 const std::vector<media::Seq>& seqs) {
+    buffer_.void_seqs(stream, audio, seqs);
+  }
+
   sim::NodeId peer() const { return peer_; }
   const transport::ReceiveBuffer& buffer() const { return buffer_; }
   const media::FecDecoder& fec() const { return fec_; }

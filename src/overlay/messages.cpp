@@ -18,6 +18,12 @@ std::string SubscribeAck::describe() const {
   return ss.str();
 }
 
+std::string LayerMaskUpdate::describe() const {
+  std::ostringstream ss;
+  ss << "LAYERMASK s" << stream_id << " m=0x" << std::hex << layer_mask;
+  return ss.str();
+}
+
 std::string UnsubscribeRequest::describe() const {
   std::ostringstream ss;
   ss << "UNSUB s" << stream_id;

@@ -31,10 +31,26 @@ class SubscribeRequest final : public sim::CloneableMessage<SubscribeRequest> {
   /// Standby-supplier subscription (multi-supplier RTX): the requester
   /// wants NACK service only — no media fan-out toward it.
   bool rtx_only = false;
+  /// SVC layers the requester's subtree currently wants (OR over its
+  /// own subscribers). kAllLayers = no filtering on this edge.
+  media::LayerMask layer_mask = media::kAllLayers;
 
   std::size_t wire_size() const override {
     return 32 + 4 * remaining_reverse_path.size();
   }
+  std::string describe() const override;
+};
+
+/// Downstream node or viewer -> its supplier: the SVC layer set wanted
+/// on this edge changed (a quality flip is a mask flip, not a stream
+/// switch). Nodes aggregate (OR) their subscribers' masks and forward
+/// the update only when their own aggregate changes.
+class LayerMaskUpdate final : public sim::CloneableMessage<LayerMaskUpdate> {
+ public:
+  media::StreamId stream_id = media::kNoStream;
+  media::LayerMask layer_mask = media::kAllLayers;
+
+  std::size_t wire_size() const override { return 18; }
   std::string describe() const override;
 };
 
@@ -86,6 +102,9 @@ class ViewRequest final : public sim::CloneableMessage<ViewRequest> {
   media::StreamId stream_id = media::kNoStream;
   ClientId client_id = 0;
   std::vector<media::StreamId> fallback_versions;
+  /// Initial SVC layer mask for the view (kAllLayers = everything; the
+  /// viewer may flip it later with LayerMaskUpdate).
+  media::LayerMask layer_mask = media::kAllLayers;
 
   std::size_t wire_size() const override {
     return 24 + 8 * fallback_versions.size();

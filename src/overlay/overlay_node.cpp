@@ -52,6 +52,9 @@ void OverlayNode::wire_engines() {
     control_.fetch_for_switch(s);
   };
   hooks.quality_switch = [this](StreamId s) { control_.switch_path(s); };
+  hooks.downstream_mask_changed = [this](StreamId s) {
+    control_.update_upstream_mask(s);
+  };
   session_.set_hooks(std::move(hooks));
 
   recovery_.set_hooks(
@@ -118,8 +121,18 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
     // Only for overlay peers: client-facing flows use rewritten seq
     // numbers that do not index the cache.
     if (!nack->audio && env_.peer_set.count(from) != 0) {
-      recovery_.serve_nack_fallback(snd, from, nack->stream_id, unserved);
+      const StreamFib::Entry* e = streams_.find(nack->stream_id);
+      recovery_.serve_nack_fallback(
+          snd, from, nack->stream_id, unserved,
+          e != nullptr ? e->node_mask(from) : media::kAllLayers);
     }
+    return;
+  }
+  if (const auto nv = sim::msg_cast<const media::NackVoidMessage>(msg)) {
+    // A supplier's answer for holes its mask-filtering created on
+    // purpose: convert them to voids on the owning pipeline so the
+    // in-order drain stops waiting for an RTX that will never come.
+    recovery_.on_void_notice(from, nv->stream_id, nv->audio, nv->voided);
     return;
   }
   if (const auto fb =
@@ -158,6 +171,16 @@ void OverlayNode::on_message(NodeId from, const sim::MessagePtr& msg) {
   if (const auto unsub =
           sim::msg_cast<const UnsubscribeRequest>(msg)) {
     control_.handle_unsubscribe(from, *unsub);
+    return;
+  }
+  if (const auto lmu = sim::msg_cast<const LayerMaskUpdate>(msg)) {
+    // From a downstream peer: fold into the FIB's node masks; from a
+    // viewer: a client-side quality flip handled by the session layer.
+    if (env_.peer_set.count(from) != 0) {
+      control_.handle_layer_mask_update(from, *lmu);
+    } else {
+      session_.handle_layer_mask_request(from, *lmu);
+    }
     return;
   }
   if (const auto qrep =

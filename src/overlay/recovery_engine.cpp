@@ -111,6 +111,28 @@ void RecoveryEngine::route_nack(sim::NodeId primary, media::StreamId stream,
   }
 }
 
+void RecoveryEngine::on_void_notice(sim::NodeId from, media::StreamId stream,
+                                    bool audio,
+                                    const std::vector<media::Seq>& voided) {
+  // Group per owning pipeline: each seq belongs to the pipeline the
+  // NACK named (the redirect registered when it was raced to an
+  // alternate supplier), defaulting to the notice's sender.
+  for (const media::Seq s : voided) {
+    sim::NodeId origin = from;
+    if (!rtx_redirects_.empty()) {
+      const auto it = rtx_redirects_.find({stream, s});
+      if (it != rtx_redirects_.end()) {
+        origin = it->second;
+        rtx_redirects_.erase(it);
+      }
+    }
+    const auto rx = receivers_.find(origin);
+    if (rx != receivers_.end()) {
+      rx->second->void_seqs(stream, audio, {s});
+    }
+  }
+}
+
 void RecoveryEngine::cancel_staggers() {
   for (const sim::EventId id : stagger_timers_) {
     net_->loop()->cancel(id);
@@ -120,10 +142,54 @@ void RecoveryEngine::cancel_staggers() {
 
 void RecoveryEngine::serve_nack_fallback(
     LinkSender& snd, sim::NodeId to, media::StreamId stream,
-    const std::vector<media::Seq>& unserved) {
+    const std::vector<media::Seq>& unserved, media::LayerMask mask) {
+  // Collect cache hits first so base-layer holes can be served before
+  // enhancement-layer ones (the stable sort is a no-op for non-SVC
+  // content, whose packets all sit at layer {0,0}).
+  std::vector<media::RtpPacketPtr> hits;
+  std::vector<media::Seq> voided;
+  hits.reserve(unserved.size());
   for (const media::Seq seq : unserved) {
-    const auto cached = packet_cache_.find_packet(stream, seq);
-    if (!cached) continue;
+    auto cached = packet_cache_.find_packet(stream, seq);
+    if (!cached) {
+      // Not in history, not in cache — but if an ingress pipeline
+      // recorded the seq as a void, it was layer-filtered before it
+      // ever reached this node: vouch for the void downstream, the
+      // relay is the only one who still knows.
+      for (const auto& [peer, rx] : receivers_) {
+        if (rx->buffer().was_voided(stream, /*audio=*/false, seq)) {
+          voided.push_back(seq);
+          break;
+        }
+      }
+      continue;
+    }
+    // Never retransmit a layer the requester's mask filters out: the
+    // hole is intentional on that link, not a loss — vouch for the void
+    // instead so the requester stops hoping (and NACKing) for it.
+    if ((mask & cached->layer_mask_bit()) == 0) {
+      voided.push_back(seq);
+      continue;
+    }
+    hits.push_back(std::move(cached));
+  }
+  if (!voided.empty()) {
+    if (cfg_.telemetry) {
+      telemetry::handles().svc_nack_voids->add(voided.size());
+    }
+    auto notice = sim::make_message<media::NackVoidMessage>();
+    notice->stream_id = stream;
+    notice->audio = false;
+    notice->voided = std::move(voided);
+    net_->send(owner_->node_id(), to, std::move(notice));
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const media::RtpPacketPtr& a,
+                      const media::RtpPacketPtr& b) {
+                     return media::layer_bit(a->layer()) <
+                            media::layer_bit(b->layer());
+                   });
+  for (const auto& cached : hits) {
     if (cfg_.telemetry) {
       telemetry::handles().cache_hits->add();
       telemetry::record_hop(cached->trace_id(), net_->loop()->now(),

@@ -104,10 +104,24 @@ class RecoveryEngine {
 
   /// Serves NACKed seqs the sender's history could not answer from the
   /// slow path's cached copy (§3: covers packets this node recovered
-  /// but never fast-forwarded).
+  /// but never fast-forwarded). `mask` is the requester's SVC layer
+  /// mask: filtered-layer seqs are never served (no stale-layer
+  /// resurrection), and base-layer holes are served first. Seqs whose
+  /// cached copy the mask excludes are answered with a NackVoid notice
+  /// instead — the hole is intentional, and without the answer the
+  /// requester's drain would block on it until the NACK give-up.
   void serve_nack_fallback(LinkSender& snd, sim::NodeId to,
                            media::StreamId stream,
-                           const std::vector<media::Seq>& unserved);
+                           const std::vector<media::Seq>& unserved,
+                           media::LayerMask mask = media::kAllLayers);
+
+  /// A NackVoid answer from a supplier: fold the vouched seqs into the
+  /// owning pipeline's void set. Multi-supplier NACKs may have been
+  /// raced to an alternate; the redirect table maps each seq back to
+  /// the primary pipeline whose hole it names, exactly as RTX arrivals
+  /// are redirected in ingest().
+  void on_void_notice(sim::NodeId from, media::StreamId stream, bool audio,
+                      const std::vector<media::Seq>& voided);
 
   /// Packets received for `stream` but still blocked behind a recovery
   /// hole at `peer` (startup-burst seam shrinking).

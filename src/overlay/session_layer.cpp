@@ -6,9 +6,31 @@
 
 namespace livenet::overlay {
 
+using media::LayerMask;
 using media::RtpPacketPtr;
 using media::StreamId;
 using sim::NodeId;
+
+namespace {
+
+/// The base layer can never be masked off, and an empty request means
+/// "everything".
+LayerMask sanitize_mask(LayerMask mask) {
+  if (mask == 0) return media::kAllLayers;
+  return static_cast<LayerMask>(mask | media::layer_bit(0, 0));
+}
+
+}  // namespace
+
+const std::vector<StreamId>* SessionLayer::intern_ladder(
+    std::vector<StreamId> ladder) {
+  auto it = ladder_table_.find(ladder);
+  if (it == ladder_table_.end()) {
+    auto copy = std::make_unique<const std::vector<StreamId>>(ladder);
+    it = ladder_table_.emplace(std::move(ladder), std::move(copy)).first;
+  }
+  return it->second.get();
+}
 
 void SessionLayer::handle_view_request(NodeId client, const ViewRequest& req) {
   ++view_requests_;
@@ -23,12 +45,18 @@ void SessionLayer::handle_view_request(NodeId client, const ViewRequest& req) {
     // ladder survives a deferred (pending) attach.
     auto& view = views_[client];
     view.stream = req.stream_id;
-    view.ladder.clear();
-    view.ladder.push_back(req.stream_id);
-    view.ladder.insert(view.ladder.end(), req.fallback_versions.begin(),
-                       req.fallback_versions.end());
+    std::vector<StreamId> ladder;
+    ladder.reserve(1 + req.fallback_versions.size());
+    ladder.push_back(req.stream_id);
+    ladder.insert(ladder.end(), req.fallback_versions.begin(),
+                  req.fallback_versions.end());
+    view.ladder = intern_ladder(std::move(ladder));
     view.ladder_pos = 0;
     view.pressure_count = 0;
+    view.layer_mask = sanitize_mask(req.layer_mask);
+    view.pending_mask = 0;
+    view.pending_since = kNever;
+    view.good_windows = 0;
   }
 
   // Algorithm 1, line 1: already serving or producing this stream (or a
@@ -63,10 +91,14 @@ void SessionLayer::attach_client(NodeId client, StreamId stream,
     const StreamId old_stream = view.stream;
     table_->remove_client_subscriber(old_stream, client);
     hooks_.maybe_release(old_stream);
+    if (hooks_.downstream_mask_changed) {
+      hooks_.downstream_mask_changed(old_stream);
+    }
   }
   table_->add_client_subscriber(stream, client);
   if (session != nullptr) view.session = session;
   view.stream = stream;
+  sync_fib_client_mask(client, view);
   auto ack = sim::make_message<ViewAck>();
   ack->stream_id = stream;
   ack->ok = true;
@@ -95,6 +127,13 @@ void SessionLayer::serve_startup_burst(NodeId client, ClientViewState& view) {
   LinkSender& snd = senders_->sender_for(client);
   const Time now = net_->loop()->now();
   for (const auto& pkt : burst) {
+    // SVC: the burst honours the client's committed mask — a filtered
+    // packet is simply not part of this client's flow (no fork).
+    if (view.layer_mask != media::kAllLayers &&
+        (view.layer_mask & pkt->layer_mask_bit()) == 0) {
+      telemetry::handles().layer_filtered->add();
+      continue;
+    }
     auto clone = pkt->fork();
     // Cached content: exclude from CDN-path-delay sampling (its transit
     // time is dominated by cache residency, not path quality).
@@ -126,9 +165,13 @@ void SessionLayer::handle_view_stop(NodeId client, const ViewStop& msg) {
   }
   table_->remove_client_subscriber(current, client);
   hooks_.maybe_release(current);
+  if (hooks_.downstream_mask_changed) hooks_.downstream_mask_changed(current);
   if (current != msg.stream_id) {
     table_->remove_client_subscriber(msg.stream_id, client);
     hooks_.maybe_release(msg.stream_id);
+    if (hooks_.downstream_mask_changed) {
+      hooks_.downstream_mask_changed(msg.stream_id);
+    }
   }
 }
 
@@ -163,6 +206,140 @@ void SessionLayer::handle_quality_report(NodeId client,
     view.bad_quality_windows = 0;
     if (hooks_.quality_switch) hooks_.quality_switch(view.stream);
   }
+
+  // SVC up-switch: after enough consecutive clean windows, request the
+  // lowest missing lattice layer back. The widen only *commits* at a
+  // decodable anchor (maybe_commit_mask), so this is safe to request
+  // optimistically.
+  const bool clean = rep.stalls_since_last == 0 && net_skips == 0 &&
+                     !view.dropper.under_pressure();
+  if (clean && !view.client_driven && (view.svc_s > 1 || view.svc_t > 1)) {
+    if (++view.good_windows >= 3) {
+      view.good_windows = 0;
+      const LayerMask lattice = media::lattice_mask(view.svc_s, view.svc_t);
+      const LayerMask have = static_cast<LayerMask>(
+          (view.layer_mask | view.pending_mask) & lattice);
+      const LayerMask missing = static_cast<LayerMask>(lattice & ~have);
+      if (missing != 0) {
+        const LayerMask lowest = static_cast<LayerMask>(
+            missing & static_cast<LayerMask>(-missing));
+        set_client_layer_mask(client, view,
+                              static_cast<LayerMask>(have | lowest));
+      }
+    }
+  } else if (!clean) {
+    view.good_windows = 0;
+  }
+}
+
+void SessionLayer::handle_layer_mask_request(NodeId client,
+                                             const LayerMaskUpdate& msg) {
+  const auto it = views_.find(client);
+  if (it == views_.end() || it->second.stream != msg.stream_id) return;
+  it->second.client_driven = true;
+  set_client_layer_mask(client, it->second, msg.layer_mask);
+}
+
+void SessionLayer::set_client_layer_mask(NodeId client, ClientViewState& view,
+                                         LayerMask mask) {
+  mask = sanitize_mask(mask);
+  // Narrowing takes effect immediately: dropping layers can never break
+  // decodability. Widening goes pending until a decodable anchor.
+  const LayerMask narrowed = static_cast<LayerMask>(view.layer_mask & mask);
+  const bool changed = narrowed != view.layer_mask;
+  if (changed) {
+    view.layer_mask = narrowed;
+    telemetry::handles().svc_mask_flips->add();
+  }
+  const LayerMask widen = static_cast<LayerMask>(mask & ~view.layer_mask);
+  if (widen != 0) {
+    if (view.pending_mask != mask) {
+      view.pending_mask = mask;
+      view.pending_since = net_->loop()->now();
+    }
+  } else if (view.pending_mask != 0) {
+    view.pending_mask = 0;
+    view.pending_since = kNever;
+  }
+  sync_fib_client_mask(client, view);
+  if (changed) notify_client_mask(client, view);
+}
+
+bool SessionLayer::narrow_mask_step(NodeId client, ClientViewState& view) {
+  if (view.svc_s <= 1 && view.svc_t <= 1) return false;
+  const LayerMask lattice = media::lattice_mask(view.svc_s, view.svc_t);
+  const LayerMask base = media::layer_bit(0, 0);
+  const LayerMask candidates =
+      static_cast<LayerMask>(view.layer_mask & lattice & ~base);
+  if (candidates == 0) return false;  // already base-only
+  int hi = 15;
+  while (((candidates >> hi) & 1u) == 0) --hi;
+  view.layer_mask = static_cast<LayerMask>(
+      ((view.layer_mask & lattice) & ~(LayerMask{1} << hi)) | base);
+  // Pressure overrides any widen in flight.
+  view.pending_mask = 0;
+  view.pending_since = kNever;
+  telemetry::handles().svc_mask_flips->add();
+  sync_fib_client_mask(client, view);
+  notify_client_mask(client, view);
+  return true;
+}
+
+void SessionLayer::maybe_commit_mask(NodeId client, ClientViewState& view,
+                                     const media::RtpPacket& pkt) {
+  if (pkt.is_rtx || pkt.is_audio() || pkt.is_fec_parity()) return;
+  const LayerMask target = view.pending_mask;
+  const LayerMask widen = static_cast<LayerMask>(target & ~view.layer_mask);
+  if (widen == 0) {
+    view.pending_mask = 0;
+    view.pending_since = kNever;
+    return;
+  }
+  // A new spatial column only decodes from a keyframe; a temporal-only
+  // widen decodes from any T0 frame of the layers we already have.
+  bool new_spatial = false;
+  for (std::uint8_t s = 0; s < media::kMaxSpatialLayers; ++s) {
+    const LayerMask col = static_cast<LayerMask>(LayerMask{0xF} << (s * 4));
+    if ((widen & col) != 0 && (view.layer_mask & col) == 0) new_spatial = true;
+  }
+  const bool anchored =
+      new_spatial ? pkt.is_keyframe_packet() : pkt.layer().temporal == 0;
+  if (!anchored) return;
+  view.layer_mask = sanitize_mask(target);
+  view.pending_mask = 0;
+  auto& h = telemetry::handles();
+  h.svc_mask_flips->add();
+  if (view.pending_since != kNever) {
+    h.svc_upswitch_wait_ms->observe(
+        to_ms(net_->loop()->now() - view.pending_since));
+  }
+  view.pending_since = kNever;
+  notify_client_mask(client, view);
+}
+
+void SessionLayer::notify_client_mask(NodeId client,
+                                      const ClientViewState& view) {
+  if (view.stream == media::kNoStream) return;
+  auto upd = sim::make_message<LayerMaskUpdate>();
+  upd->stream_id = view.stream;
+  upd->layer_mask = view.layer_mask;
+  net_->send(owner_->node_id(), client, std::move(upd));
+}
+
+void SessionLayer::sync_fib_client_mask(NodeId client,
+                                        const ClientViewState& view) {
+  if (view.stream == media::kNoStream || table_->find(view.stream) == nullptr) {
+    return;
+  }
+  // The FIB carries committed|pending: upstream starts shipping the
+  // wanted layers early so the anchor this client is waiting on can
+  // actually arrive.
+  const LayerMask want =
+      view.pending_mask != 0
+          ? static_cast<LayerMask>(view.layer_mask | view.pending_mask)
+          : view.layer_mask;
+  table_->fib_entry(view.stream).set_client_mask(client, want);
+  if (hooks_.downstream_mask_changed) hooks_.downstream_mask_changed(view.stream);
 }
 
 void SessionLayer::switch_client_stream(NodeId client, StreamId new_stream) {
@@ -255,23 +432,48 @@ void SessionLayer::deliver_to_client(NodeId client, const RtpPacketPtr& pkt) {
 void SessionLayer::send_to_client(NodeId client, ClientViewState& view,
                                   const RtpPacketPtr& pkt) {
   LinkSender& snd = senders_->sender_for(client);
+
+  // SVC: latch the stream's lattice shape, commit any pending widen at
+  // its decodable anchor, then apply the committed mask. A filtered
+  // packet is never forked — the client's seq space skips it entirely,
+  // so its NACK machinery never asks for it.
+  if (pkt->is_svc() && !pkt->is_audio()) {
+    view.svc_s = pkt->spatial_layers();
+    view.svc_t = pkt->temporal_layers();
+    if (view.pending_mask != 0) maybe_commit_mask(client, view, *pkt);
+  }
+  if (view.layer_mask != media::kAllLayers &&
+      (view.layer_mask & pkt->layer_mask_bit()) == 0) {
+    telemetry::handles().layer_filtered->add();
+    telemetry::record_hop(pkt->trace_id(), net_->loop()->now(),
+                          pkt->stream_id(), pkt->producer_seq(),
+                          owner_->node_id(), client,
+                          telemetry::HopEvent::kDrop,
+                          telemetry::DropReason::kLayerFiltered);
+    return;
+  }
+
   const telemetry::DropReason drop_reason =
       view.dropper.decide(*pkt, snd.queue_drain_time());
   const bool forward = drop_reason == telemetry::DropReason::kNone;
 
   // Delegated bitrate selection (§5.2): a consistently building queue
-  // means the last mile cannot sustain this version; move the client to
-  // the next lower simulcast bitrate. Pressure accrues on every packet
+  // means the last mile cannot sustain this version. For SVC streams
+  // the first response is a mask flip — shed the highest enhancement
+  // layer; only when the client is already at base-only does the
+  // simulcast ladder take over. Pressure accrues on every packet
   // offered (dropped ones included — sustained dropping IS pressure).
   if (view.dropper.under_pressure()) {
     if (++view.pressure_count >
-            static_cast<int>(cfg_.downgrade_pressure_packets) &&
-        view.ladder_pos + 1 < view.ladder.size()) {
-      ++view.ladder_pos;
+        static_cast<int>(cfg_.downgrade_pressure_packets)) {
       view.pressure_count = 0;
-      if (view.session != nullptr) ++view.session->bitrate_downgrades;
-      switch_client_stream(client, view.ladder[view.ladder_pos]);
-      return;
+      if (!narrow_mask_step(client, view) && view.ladder != nullptr &&
+          view.ladder_pos + 1 < view.ladder->size()) {
+        ++view.ladder_pos;
+        if (view.session != nullptr) ++view.session->bitrate_downgrades;
+        switch_client_stream(client, (*view.ladder)[view.ladder_pos]);
+        return;
+      }
     }
   } else {
     view.pressure_count = 0;

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -41,9 +43,29 @@ struct ClientViewState {
   std::uint32_t stalls_in_window = 0;
   int bad_quality_windows = 0;  ///< consecutive poor quality reports
   std::uint64_t dropper_total_at_report = 0;  ///< for skip discounting
-  std::vector<media::StreamId> ladder;  ///< simulcast versions, best first
+  /// Simulcast versions, best first. Points into the session layer's
+  /// interned ladder table: every viewer of the same broadcast shares
+  /// one immutable copy instead of carrying its own vector.
+  const std::vector<media::StreamId>* ladder = nullptr;
   std::size_t ladder_pos = 0;
   int pressure_count = 0;  ///< consecutive under-pressure packets
+
+  // ---- SVC layer switching (DESIGN.md "SVC layered forwarding") ----
+  /// Committed mask: gates per-packet delivery right now.
+  media::LayerMask layer_mask = media::kAllLayers;
+  /// Widen in flight: the full target mask, committed only at a
+  /// decodable anchor (keyframe for new spatial layers, T0 frame for
+  /// temporal-only widens). 0 = nothing pending.
+  media::LayerMask pending_mask = 0;
+  Time pending_since = kNever;
+  /// Stream lattice as observed from delivered packets.
+  std::uint8_t svc_s = 1;
+  std::uint8_t svc_t = 1;
+  int good_windows = 0;  ///< consecutive clean reports (up-switch signal)
+  /// The client sent an explicit LayerMaskUpdate: it is driving its own
+  /// layer selection, so the consumer's automatic up-switch stands down
+  /// (the pressure narrow still protects the last mile).
+  bool client_driven = false;
 
   /// Client-facing RTP seq spaces (video/audio are separate flows).
   /// The consumer rewrites sequence numbers per client so that
@@ -90,6 +112,9 @@ class SessionLayer {
     std::function<void(sim::NodeId, ClientViewState&)> serve_burst;
     /// Overlay only: quality-triggered path switch (§4.4).
     std::function<void(media::StreamId)> quality_switch;
+    /// SVC: a client's layer mask changed — re-aggregate the stream's
+    /// downstream mask and propagate upstream if it moved.
+    std::function<void(media::StreamId)> downstream_mask_changed;
   };
 
   SessionLayer(sim::Network* net, const sim::SimNode* owner,
@@ -115,6 +140,10 @@ class SessionLayer {
   void handle_view_stop(sim::NodeId client, const ViewStop& msg);
   void handle_quality_report(sim::NodeId client,
                              const ClientQualityReport& rep);
+  /// Viewer-initiated SVC layer flip: narrows commit immediately,
+  /// widens go pending until a decodable anchor.
+  void handle_layer_mask_request(sim::NodeId client,
+                                 const LayerMaskUpdate& msg);
 
   /// Serves `stream` to the client (seamless handover if it was on
   /// another stream): subscribe, ack, startup burst.
@@ -165,11 +194,36 @@ class SessionLayer {
 
   std::uint64_t view_requests() const { return view_requests_; }
 
+  /// Distinct simulcast ladders interned so far (telemetry/tests).
+  std::size_t interned_ladders() const { return ladder_table_.size(); }
+
   /// Crash: drops all per-client state (the request counter survives,
   /// as node counters did before).
   void clear() { views_.clear(); }
 
  private:
+  /// Returns the shared immutable copy of `ladder`, creating it on
+  /// first sight. Pointers stay valid for the session layer's lifetime.
+  const std::vector<media::StreamId>* intern_ladder(
+      std::vector<media::StreamId> ladder);
+
+  /// Applies a requested mask to the view: narrowing commits now,
+  /// widening goes pending; mirrors the wanted set into the FIB.
+  void set_client_layer_mask(sim::NodeId client, ClientViewState& view,
+                             media::LayerMask mask);
+  /// Pressure response for SVC streams: shed the highest enhancement
+  /// bit. Returns false when already at base-only (ladder takes over).
+  bool narrow_mask_step(sim::NodeId client, ClientViewState& view);
+  /// Commits a pending widen when `pkt` is its decodable anchor.
+  void maybe_commit_mask(sim::NodeId client, ClientViewState& view,
+                         const media::RtpPacket& pkt);
+  /// Pushes committed|pending into the FIB's client mask and notifies
+  /// the control plane.
+  void sync_fib_client_mask(sim::NodeId client, const ClientViewState& view);
+  /// Tells the client its *committed* mask (so its skip expectation
+  /// tracks exactly what this node filters).
+  void notify_client_mask(sim::NodeId client, const ClientViewState& view);
+
   sim::Network* net_;
   const sim::SimNode* owner_;
   OverlayMetrics* metrics_;
@@ -181,6 +235,10 @@ class SessionLayer {
   transport::RateMeter* egress_meter_ = nullptr;
   std::unordered_map<sim::NodeId, ClientViewState, SeededHash<sim::NodeId>>
       views_;
+  /// Interned simulcast ladders (see ClientViewState::ladder).
+  std::map<std::vector<media::StreamId>,
+           std::unique_ptr<const std::vector<media::StreamId>>>
+      ladder_table_;
   std::uint64_t view_requests_ = 0;
 };
 

@@ -15,12 +15,14 @@ void StreamTable::remove_node_subscriber(media::StreamId s, sim::NodeId n) {
   const auto it = map_.find(s);
   if (it == map_.end() || !it->second.fib_active) return;
   it->second.fib.subscriber_nodes.erase(n);
+  it->second.fib.node_layer_masks.erase(n);
 }
 
 void StreamTable::remove_client_subscriber(media::StreamId s, ClientId c) {
   const auto it = map_.find(s);
   if (it == map_.end() || !it->second.fib_active) return;
   it->second.fib.subscriber_clients.erase(c);
+  it->second.fib.client_layer_masks.erase(c);
 }
 
 }  // namespace livenet::overlay

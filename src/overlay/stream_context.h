@@ -84,6 +84,10 @@ struct StreamContext {
   /// Standby subscribe requests in flight (ack outstanding), so crash /
   /// release can tell live standbys from half-established ones.
   std::vector<sim::NodeId> pending_standbys;
+  /// Last SVC layer mask propagated to the primary upstream (the OR of
+  /// our subscribers' masks). Lets the control agent send a
+  /// LayerMaskUpdate only when the aggregate actually changes.
+  media::LayerMask upstream_mask_sent = media::kAllLayers;
 
   // ----------------------------------------------------------- session
   std::vector<PendingView> pending_views;

@@ -6,12 +6,14 @@ void StreamFib::remove_node_subscriber(media::StreamId s, sim::NodeId n) {
   const auto it = map_.find(s);
   if (it == map_.end()) return;
   it->second.subscriber_nodes.erase(n);
+  it->second.node_layer_masks.erase(n);
 }
 
 void StreamFib::remove_client_subscriber(media::StreamId s, ClientId c) {
   const auto it = map_.find(s);
   if (it == map_.end()) return;
   it->second.subscriber_clients.erase(c);
+  it->second.client_layer_masks.erase(c);
 }
 
 std::vector<media::StreamId> StreamFib::streams() const {

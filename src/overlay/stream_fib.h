@@ -25,12 +25,42 @@ class StreamFib {
     /// Kept out of subscriber_nodes so the fast path never iterates
     /// them — multi-supplier RTX costs the hot loop nothing.
     std::unordered_set<sim::NodeId> rtx_only_nodes;
+    /// SVC layer masks, kept as SIDE maps holding only non-default
+    /// entries: a subscriber absent here wants every layer. The fast
+    /// path's fan-out loop stays untouched for the all-layers world —
+    /// it pays one `any_layer_filter()` bool before consulting masks.
+    std::unordered_map<sim::NodeId, media::LayerMask> node_layer_masks;
+    std::unordered_map<ClientId, media::LayerMask> client_layer_masks;
     sim::NodeId upstream = sim::kNoNode;  ///< where we receive it from
     bool locally_produced = false;        ///< this node is the producer
 
     bool has_subscribers() const {
       return !subscriber_nodes.empty() || !subscriber_clients.empty() ||
              !rtx_only_nodes.empty();
+    }
+
+    bool any_layer_filter() const { return !node_layer_masks.empty(); }
+    media::LayerMask node_mask(sim::NodeId n) const {
+      const auto it = node_layer_masks.find(n);
+      return it != node_layer_masks.end() ? it->second : media::kAllLayers;
+    }
+    media::LayerMask client_mask(ClientId c) const {
+      const auto it = client_layer_masks.find(c);
+      return it != client_layer_masks.end() ? it->second : media::kAllLayers;
+    }
+    void set_node_mask(sim::NodeId n, media::LayerMask m) {
+      if (m == media::kAllLayers) {
+        node_layer_masks.erase(n);
+      } else {
+        node_layer_masks[n] = m;
+      }
+    }
+    void set_client_mask(ClientId c, media::LayerMask m) {
+      if (m == media::kAllLayers) {
+        client_layer_masks.erase(c);
+      } else {
+        client_layer_masks[c] = m;
+      }
     }
   };
 

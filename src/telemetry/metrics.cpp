@@ -110,6 +110,8 @@ const Handles& handles() {
     out.drops_b = reg.counter("overlay.drops_b");
     out.drops_p = reg.counter("overlay.drops_p");
     out.drops_gop = reg.counter("overlay.drops_gop");
+    out.drops_layer = reg.counter("overlay.drops_layer");
+    out.layer_filtered = reg.counter("overlay.layer_filtered");
     out.cache_hits = reg.counter("overlay.cache_hits");
     out.rtx_sent = reg.counter("overlay.rtx_sent");
     out.fec_parity_sent = reg.counter("overlay.fec_parity_sent");
@@ -146,6 +148,10 @@ const Handles& handles() {
         reg.latency("overlay.recovery_fec_ms", 0.0, 1000.0, 200);
     out.recovery_rtx_ms =
         reg.latency("overlay.recovery_rtx_ms", 0.0, 1000.0, 200);
+    out.svc_mask_flips = reg.counter("svc.mask_flips");
+    out.svc_nack_voids = reg.counter("svc.nack_voids");
+    out.svc_upswitch_wait_ms =
+        reg.latency("svc.upswitch_wait_ms", 0.0, 5000.0, 200);
     return out;
   }();
   return h;

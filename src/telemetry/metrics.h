@@ -140,6 +140,9 @@ struct Handles {
   Counter* drops_b;              ///< proactive dropper, by escalation
   Counter* drops_p;
   Counter* drops_gop;
+  Counter* drops_layer;          ///< proactive dropper: SVC enhancement
+  Counter* layer_filtered;       ///< packets excluded by a layer mask
+                                 ///< (not forked — never copies)
   Counter* cache_hits;           ///< GoP-cache serves (NACK + bursts)
   Counter* rtx_sent;             ///< retransmissions enqueued
   // Loss-recovery tier (FEC + multi-supplier RTX).
@@ -177,6 +180,10 @@ struct Handles {
   LatencyStat* recovery_ms;
   LatencyStat* recovery_fec_ms;
   LatencyStat* recovery_rtx_ms;
+  // SVC layer switching (queryable via trace_query --metrics svc.).
+  Counter* svc_mask_flips;          ///< per-client layer-mask changes
+  Counter* svc_nack_voids;          ///< filtered-seq NACKs answered as voids
+  LatencyStat* svc_upswitch_wait_ms; ///< widen commit gating delay
 };
 
 /// The shared handle set (registered on first use).

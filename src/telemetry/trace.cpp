@@ -95,6 +95,9 @@ const char* to_string(DropReason r) {
     case DropReason::kQueueOverflow: return "queue_overflow";
     case DropReason::kWireLoss: return "wire_loss";
     case DropReason::kLinkDown: return "link_down";
+    case DropReason::kTemporalLayer: return "temporal_layer";
+    case DropReason::kSpatialLayer: return "spatial_layer";
+    case DropReason::kLayerFiltered: return "layer_filtered";
   }
   return "unknown";
 }

@@ -41,6 +41,9 @@ enum class DropReason : std::uint8_t {
   kQueueOverflow = 6,  ///< link tail drop
   kWireLoss = 7,       ///< random wire loss
   kLinkDown = 8,       ///< black-holed on a downed link
+  kTemporalLayer = 9,  ///< proactive dropper: SVC temporal enhancement
+  kSpatialLayer = 10,  ///< proactive dropper: SVC spatial enhancement
+  kLayerFiltered = 11, ///< subscriber's layer mask excluded the packet
 };
 
 const char* to_string(HopEvent e);

@@ -10,6 +10,12 @@ using media::RtpPacketPtr;
 using media::Seq;
 using media::StreamId;
 
+namespace {
+/// Drained voids kept per flow for relayed NACK-void answers. The
+/// window only needs to cover a few NACK round trips of seqs.
+constexpr std::size_t kVoidHistoryCap = 1024;
+}  // namespace
+
 ReceiveBuffer::ReceiveBuffer(sim::EventLoop* loop, DeliverFn deliver,
                              GapFn gap, NackFn nack, const Config& cfg)
     : loop_(loop), deliver_(std::move(deliver)), gap_(std::move(gap)),
@@ -36,6 +42,19 @@ void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
     return;
   }
 
+  if (pkt->prev_link_seq != 0 && pkt->seq > st.next_expected &&
+      pkt->seq > pkt->prev_link_seq &&
+      pkt->seq - pkt->prev_link_seq <= cfg_.max_buffered) {
+    // The sender vouches that (prev_link_seq, seq) was filtered out on
+    // purpose: record the seqs as voids, not holes, and cancel any hole
+    // already marked there by an out-of-order arrival.
+    for (Seq s = std::max(st.next_expected, pkt->prev_link_seq + 1);
+         s < pkt->seq; ++s) {
+      if (st.buffered.count(s) != 0) continue;
+      if (st.missing.erase(s) != 0 && holes_since_fb_ > 0) --holes_since_fb_;
+      st.voids.insert(s);
+    }
+  }
   if (pkt->seq > st.next_expected) {
     // Mark newly discovered holes.
     const Seq scan_from =
@@ -43,7 +62,8 @@ void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
                             : std::max(st.next_expected,
                                        st.buffered.rbegin()->first + 1);
     for (Seq s = scan_from; s < pkt->seq; ++s) {
-      if (st.buffered.count(s) == 0 && st.missing.count(s) == 0) {
+      if (st.buffered.count(s) == 0 && st.missing.count(s) == 0 &&
+          st.voids.count(s) == 0) {
         st.missing.emplace(s, MissInfo{loop_->now(), kNever, 0});
         ++holes_since_fb_;
       }
@@ -78,6 +98,7 @@ void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
     for (Seq s = st.next_expected; s < first_buffered; ++s) {
       st.missing.erase(s);
     }
+    st.voids.erase(st.voids.begin(), st.voids.lower_bound(first_buffered));
     st.next_expected = first_buffered;
     ++gaps_;
     gap_(pkt->stream_id());
@@ -93,13 +114,27 @@ void ReceiveBuffer::on_packet(const RtpPacketPtr& pkt) {
 }
 
 void ReceiveBuffer::drain_in_order(StreamState& st) {
-  auto it = st.buffered.find(st.next_expected);
-  while (it != st.buffered.end()) {
-    deliver_(it->second);
-    ++delivered_;
-    st.buffered.erase(it);
-    ++st.next_expected;
-    it = st.buffered.find(st.next_expected);
+  for (;;) {
+    const auto it = st.buffered.find(st.next_expected);
+    if (it != st.buffered.end()) {
+      deliver_(it->second);
+      ++delivered_;
+      st.buffered.erase(it);
+      ++st.next_expected;
+      continue;
+    }
+    // A voided seq was filtered upstream on purpose: step over it as if
+    // delivered — no gap, no NACK. Remember it (bounded) so a relay can
+    // still vouch for the void if a downstream node NACKs the seq.
+    if (!st.voids.empty() && st.voids.erase(st.next_expected) != 0) {
+      st.void_history.insert(st.next_expected);
+      while (st.void_history.size() > kVoidHistoryCap) {
+        st.void_history.erase(st.void_history.begin());
+      }
+      ++st.next_expected;
+      continue;
+    }
+    break;
   }
 }
 
@@ -139,7 +174,8 @@ void ReceiveBuffer::scan() {
       for (Seq s : to_abandon) st.missing.erase(s);
       bool skipped = false;
       while (!st.missing.empty() || !st.buffered.empty()) {
-        if (st.buffered.count(st.next_expected) != 0) {
+        if (st.buffered.count(st.next_expected) != 0 ||
+            st.voids.count(st.next_expected) != 0) {
           drain_in_order(st);
           continue;
         }
@@ -165,6 +201,27 @@ void ReceiveBuffer::scan() {
   }
 }
 
+bool ReceiveBuffer::was_voided(StreamId stream, bool audio, Seq seq) const {
+  const auto it = streams_.find(flow_key(stream, audio));
+  if (it == streams_.end()) return false;
+  const StreamState& st = it->second;
+  return st.voids.count(seq) != 0 || st.void_history.count(seq) != 0;
+}
+
+void ReceiveBuffer::void_seqs(StreamId stream, bool audio,
+                              const std::vector<Seq>& seqs) {
+  const auto it = streams_.find(flow_key(stream, audio));
+  if (it == streams_.end()) return;
+  StreamState& st = it->second;
+  if (!st.started) return;
+  for (const Seq s : seqs) {
+    if (s < st.next_expected || st.buffered.count(s) != 0) continue;
+    if (st.missing.erase(s) != 0 && holes_since_fb_ > 0) --holes_since_fb_;
+    st.voids.insert(s);
+  }
+  drain_in_order(st);
+}
+
 std::vector<RtpPacketPtr> ReceiveBuffer::buffered_packets(
     StreamId stream) const {
   std::vector<RtpPacketPtr> out;
@@ -185,6 +242,9 @@ bool ReceiveBuffer::would_accept(StreamId stream, bool audio,
   const StreamState& st = it->second;
   if (!st.started) return true;
   if (seq < st.next_expected) return false;
+  // A voided seq was layer-filtered upstream: an out-of-band recovery
+  // injecting it would resurrect the filtered layer.
+  if (st.voids.count(seq) != 0) return false;
   return st.buffered.count(seq) == 0;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -72,6 +73,19 @@ class ReceiveBuffer {
   /// reconstruction) so they never regress to duplicates.
   bool would_accept(media::StreamId stream, bool audio, media::Seq seq) const;
 
+  /// Supplier-vouched voids (a NackVoid answer): the listed seqs were
+  /// layer-filtered upstream on purpose and will never be retransmitted.
+  /// Converts tracked holes into voids and drains past them — the
+  /// counterpart of the in-band prev_link_seq voucher for the case where
+  /// the voucher itself was lost and the hole already triggered a NACK.
+  void void_seqs(media::StreamId stream, bool audio,
+                 const std::vector<media::Seq>& seqs);
+
+  /// Was this seq ever recorded as a void on this flow (pending or
+  /// already drained past)? Lets a relay answer a downstream NACK for a
+  /// seq that was filtered before it ever reached this node.
+  bool was_voided(media::StreamId stream, bool audio, media::Seq seq) const;
+
   /// The subset of `seqs` still tracked as missing on this flow —
   /// the staggered multi-supplier fallback re-checks before escalating
   /// a NACK to the next supplier.
@@ -108,6 +122,14 @@ class ReceiveBuffer {
     media::Seq next_expected = 0;
     std::map<media::Seq, media::RtpPacketPtr> buffered;
     std::map<media::Seq, MissInfo> missing;
+    /// Seqs the upstream declared intentionally absent on this link
+    /// (layer-filtered; see RtpPacket::prev_link_seq). Never NACKed,
+    /// never a gap: drain steps over them as if delivered.
+    std::set<media::Seq> voids;
+    /// Voids the drain already stepped over, kept (bounded) so a
+    /// downstream NACK for a seq this node never had can still be
+    /// answered as a void instead of left to time out.
+    std::set<media::Seq> void_history;
   };
 
   void scan();

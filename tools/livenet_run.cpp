@@ -5,7 +5,8 @@
 //   livenet_run [--system livenet|hier] [--days N] [--seed S]
 //               [--replicas N] [--flash] [--chaos] [--fault-seed S]
 //               [--csv-dir DIR] [--trace-sample F] [--metrics-out DIR]
-//               [--brain-threads N]
+//               [--brain-threads N] [--svc-mode off|L1T3|L3T3]
+//               [--layer-mask M]
 //
 // With --csv-dir, writes sessions.csv / views.csv / path_requests.csv /
 // timeline.csv into DIR; always prints the Table-1-style summary.
@@ -42,6 +43,8 @@ struct Options {
   double trace_sample = 0.0;
   std::string metrics_dir;
   int brain_threads = 1;
+  std::string svc_mode = "off";
+  std::uint16_t layer_mask = 0xFFFF;
 };
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -91,6 +94,16 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->brain_threads = std::atoi(v);
+    } else if (arg == "--svc-mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->svc_mode = v;
+    } else if (arg == "--layer-mask") {
+      // Initial per-viewer SVC layer mask, hex or decimal (0xFFFF=all).
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->layer_mask =
+          static_cast<std::uint16_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -100,7 +113,9 @@ bool parse(int argc, char** argv, Options* opt) {
   }
   return opt->days > 0 && opt->trace_sample >= 0.0 &&
          opt->trace_sample <= 1.0 && opt->brain_threads > 0 &&
-         (opt->system == "livenet" || opt->system == "hier");
+         (opt->system == "livenet" || opt->system == "hier") &&
+         (opt->svc_mode == "off" || opt->svc_mode == "L1T3" ||
+          opt->svc_mode == "L3T3");
 }
 
 void write_file(const std::string& path,
@@ -124,7 +139,8 @@ int main(int argc, char** argv) {
                  "          [--replicas N] [--flash] [--chaos]\n"
                  "          [--fault-seed S] [--csv-dir DIR]\n"
                  "          [--trace-sample F] [--metrics-out DIR]\n"
-                 "          [--brain-threads N]\n",
+                 "          [--brain-threads N] [--svc-mode off|L1T3|L3T3]\n"
+                 "          [--layer-mask M]\n",
                  argv[0]);
     return 2;
   }
@@ -145,6 +161,8 @@ int main(int argc, char** argv) {
     scn.flash_capacity_factor = 1.25;
   }
   scn.trace_sample = opt.trace_sample;
+  apply_svc_mode(scn, opt.svc_mode);  // validated in parse()
+  scn.viewer_layer_mask = opt.layer_mask;
   if (opt.chaos) {
     scn.faults.seed = opt.fault_seed;
     scn.faults.link_flaps_per_min = 0.5;
